@@ -1,0 +1,112 @@
+// Command hyperion-bench regenerates the tables and figures of the paper's
+// evaluation section (§4) at a configurable scale.
+//
+// Usage:
+//
+//	hyperion-bench -experiment all -scale medium
+//	hyperion-bench -experiment table1 -strings 2000000
+//	hyperion-bench -experiment fig15 -ints 4000000 -structures Hyperion,ART,Judy
+//	hyperion-bench -experiment ablation -dataset random-int
+//
+// Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
+// all. See DESIGN.md for the mapping of each experiment to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|all")
+		scale      = flag.String("scale", "medium", "preset scale: small|medium|large")
+		strKeys    = flag.Int("strings", 0, "override: number of string keys")
+		intKeys    = flag.Int("ints", 0, "override: number of integer keys")
+		budget     = flag.Int64("budget-mib", 0, "override: figure 13 memory budget in MiB")
+		structures = flag.String("structures", "", "comma separated subset of structures (default: all)")
+		dataset    = flag.String("dataset", "random-int", "ablation data set: random-int|sequential-int|ngram")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	var cfg bench.Config
+	switch *scale {
+	case "small":
+		cfg = bench.SmallConfig()
+	case "large":
+		cfg = bench.LargeConfig()
+	default:
+		cfg = bench.MediumConfig()
+	}
+	cfg.Seed = *seed
+	if *strKeys > 0 {
+		cfg.StringKeys = *strKeys
+	}
+	if *intKeys > 0 {
+		cfg.IntKeys = *intKeys
+	}
+	if *budget > 0 {
+		cfg.Fig13Budget = *budget << 20
+	}
+	if *structures != "" {
+		cfg.Structures = map[string]bool{}
+		for _, s := range strings.Split(*structures, ",") {
+			cfg.Structures[strings.TrimSpace(s)] = true
+		}
+	}
+
+	out := os.Stdout
+	run := func(name string, fn func()) {
+		start := time.Now()
+		fmt.Fprintf(out, "\n===== %s =====\n", name)
+		fn()
+		fmt.Fprintf(out, "\n(%s finished in %.1fs)\n", name, time.Since(start).Seconds())
+	}
+
+	want := func(name string) bool { return *experiment == "all" || *experiment == name }
+
+	ran := false
+	if want("table1") {
+		ran = true
+		run("Table 1: string data set KPIs", func() { bench.WriteTable(out, bench.RunTable1(cfg)) })
+	}
+	if want("table2") {
+		ran = true
+		run("Table 2: integer data set KPIs", func() { bench.WriteTable(out, bench.RunTable2(cfg)) })
+	}
+	if want("table3") {
+		ran = true
+		run("Table 3: range query durations", func() { bench.WriteRangeTable(out, bench.RunTable3(cfg)) })
+	}
+	if want("fig13") {
+		ran = true
+		run("Figure 13: unlimited inserts", func() { bench.WriteFigure13(out, bench.RunFigure13(cfg)) })
+	}
+	if want("fig14") {
+		ran = true
+		run("Figure 14: memory characteristics (strings)", func() { bench.WriteMemoryFigure(out, bench.RunFigure14(cfg)) })
+	}
+	if want("fig15") {
+		ran = true
+		run("Figure 15: throughput over index size", func() { bench.WriteFigure15(out, bench.RunFigure15(cfg)) })
+	}
+	if want("fig16") {
+		ran = true
+		run("Figure 16: Hyperion vs Hyperion_p memory", func() { bench.WriteMemoryFigure(out, bench.RunFigure16(cfg)) })
+	}
+	if want("ablation") {
+		ran = true
+		run("Ablation: Hyperion feature contributions", func() { bench.WriteAblation(out, bench.RunAblation(cfg, *dataset)) })
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,159 @@
+// Command hyperion-cli is an interactive shell around a Hyperion store. It is
+// a convenient way to poke at the data structure, inspect its engine counters
+// and allocator state, and demo range queries.
+//
+// Commands (one per line on stdin):
+//
+//	put <key> <value>     store a key with an unsigned 64-bit value
+//	putkey <key>          store a key without a value (set semantics)
+//	get <key>             look a key up
+//	del <key>             delete a key
+//	has <key>             test membership
+//	range <start> [n]     list up to n keys >= start (default 20)
+//	prefix <p> [n]        list up to n keys with prefix p
+//	len                   number of stored keys
+//	stats                 engine counters (containers, deltas, PC nodes, ...)
+//	mem                   allocator summary and per-superbin usage
+//	help                  this text
+//	quit                  exit
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/hyperion"
+)
+
+func main() {
+	var (
+		arenas  = flag.Int("arenas", 1, "number of arenas")
+		prep    = flag.Bool("preprocess", false, "enable key pre-processing (Hyperion_p)")
+		integer = flag.Bool("integer-tuned", false, "use the integer-tuned configuration")
+	)
+	flag.Parse()
+
+	opts := hyperion.DefaultOptions()
+	if *integer {
+		opts = hyperion.IntegerOptions()
+	}
+	opts.Arenas = *arenas
+	opts.KeyPreprocessing = *prep
+	store := hyperion.New(opts)
+
+	fmt.Println("hyperion-cli — type 'help' for commands")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			break
+		}
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		cmd, args := fields[0], fields[1:]
+		switch cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("put <key> <value> | putkey <key> | get <key> | del <key> | has <key> |")
+			fmt.Println("range <start> [n] | prefix <p> [n] | len | stats | mem | quit")
+		case "put":
+			if len(args) != 2 {
+				fmt.Println("usage: put <key> <value>")
+				continue
+			}
+			v, err := strconv.ParseUint(args[1], 10, 64)
+			if err != nil {
+				fmt.Println("bad value:", err)
+				continue
+			}
+			store.Put([]byte(args[0]), v)
+			fmt.Println("ok")
+		case "putkey":
+			if len(args) != 1 {
+				fmt.Println("usage: putkey <key>")
+				continue
+			}
+			store.PutKey([]byte(args[0]))
+			fmt.Println("ok")
+		case "get":
+			if len(args) != 1 {
+				fmt.Println("usage: get <key>")
+				continue
+			}
+			if v, ok := store.Get([]byte(args[0])); ok {
+				fmt.Println(v)
+			} else {
+				fmt.Println("(not found)")
+			}
+		case "has":
+			if len(args) != 1 {
+				fmt.Println("usage: has <key>")
+				continue
+			}
+			fmt.Println(store.Has([]byte(args[0])))
+		case "del":
+			if len(args) != 1 {
+				fmt.Println("usage: del <key>")
+				continue
+			}
+			fmt.Println(store.Delete([]byte(args[0])))
+		case "range", "prefix":
+			if len(args) < 1 {
+				fmt.Printf("usage: %s <start> [n]\n", cmd)
+				continue
+			}
+			limit := 20
+			if len(args) > 1 {
+				if n, err := strconv.Atoi(args[1]); err == nil {
+					limit = n
+				}
+			}
+			start := []byte(args[0])
+			count := 0
+			store.Range(start, func(key []byte, value uint64) bool {
+				if cmd == "prefix" && !bytes.HasPrefix(key, start) {
+					return false
+				}
+				fmt.Printf("  %q = %d\n", key, value)
+				count++
+				return count < limit
+			})
+			if count == 0 {
+				fmt.Println("  (no keys)")
+			}
+		case "len":
+			fmt.Println(store.Len())
+		case "stats":
+			st := store.Stats()
+			fmt.Printf("keys=%d containers=%d embedded=%d pc-nodes=%d pc-bytes=%d delta-nodes=%d\n",
+				st.Keys, st.Containers, st.EmbeddedContainers, st.PathCompressed, st.PathCompressedLen, st.DeltaEncodedNodes)
+			fmt.Printf("ejections=%d splits=%d split-aborts=%d jump-successors=%d t-jump-tables=%d\n",
+				st.Ejections, st.Splits, st.SplitAborts, st.JumpSuccessors, st.TNodeJumpTables)
+		case "mem":
+			ms := store.MemoryStats()
+			fmt.Printf("footprint=%d B (%.2f MiB), allocated=%d B, empty=%d B, metadata=%d B\n",
+				ms.Footprint, float64(ms.Footprint)/(1<<20), ms.AllocatedBytes, ms.EmptyBytes, ms.MetadataBytes)
+			if store.Len() > 0 {
+				fmt.Printf("bytes/key=%.2f\n", float64(ms.Footprint)/float64(store.Len()))
+			}
+			for _, sb := range ms.Superbins {
+				if sb.AllocatedChunks == 0 && sb.EmptyChunks == 0 {
+					continue
+				}
+				fmt.Printf("  SB%-2d chunk=%-5d allocated=%-8d empty=%-8d\n", sb.ID, sb.ChunkSize, sb.AllocatedChunks, sb.EmptyChunks)
+			}
+		default:
+			fmt.Println("unknown command; type 'help'")
+		}
+	}
+}

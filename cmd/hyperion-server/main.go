@@ -1,0 +1,150 @@
+// Command hyperion-server exposes a Hyperion store over TCP with a minimal
+// RESP-inspired line protocol. It demonstrates the paper's primary use case:
+// Hyperion as the index of a distributed in-memory key-value store, where a
+// single node has to sustain a few million operations per second without
+// wasting memory (§1).
+//
+// Protocol (newline terminated, space separated, values are uint64):
+//
+//	PUT <key> <value>   -> +OK
+//	GET <key>           -> +<value> | -NOTFOUND
+//	DEL <key>           -> +1 | +0
+//	HAS <key>           -> +1 | +0
+//	RANGE <start> <n>   -> +<k> lines "<key> <value>", terminated by "."
+//	LEN                 -> +<count>
+//	STATS               -> one line of engine counters
+//	QUIT                -> closes the connection
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/hyperion"
+)
+
+type server struct {
+	store *hyperion.Store
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:7411", "listen address")
+		arenas = flag.Int("arenas", 16, "number of arenas (coarse-grained parallelism)")
+	)
+	flag.Parse()
+
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = *arenas
+	s := &server{store: hyperion.New(opts)}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("hyperion-server listening on %s (%d arenas)", *addr, *arenas)
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *server) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 1<<20), 1<<20)
+	w := bufio.NewWriter(conn)
+	defer w.Flush()
+	for r.Scan() {
+		fields := strings.Fields(r.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		cmd := strings.ToUpper(fields[0])
+		args := fields[1:]
+		switch cmd {
+		case "QUIT":
+			fmt.Fprintln(w, "+BYE")
+			w.Flush()
+			return
+		case "PUT":
+			if len(args) != 2 {
+				fmt.Fprintln(w, "-ERR usage: PUT key value")
+				break
+			}
+			v, err := strconv.ParseUint(args[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(w, "-ERR bad value")
+				break
+			}
+			s.store.Put([]byte(args[0]), v)
+			fmt.Fprintln(w, "+OK")
+		case "GET":
+			if len(args) != 1 {
+				fmt.Fprintln(w, "-ERR usage: GET key")
+				break
+			}
+			if v, ok := s.store.Get([]byte(args[0])); ok {
+				fmt.Fprintf(w, "+%d\n", v)
+			} else {
+				fmt.Fprintln(w, "-NOTFOUND")
+			}
+		case "DEL":
+			if len(args) != 1 {
+				fmt.Fprintln(w, "-ERR usage: DEL key")
+				break
+			}
+			if s.store.Delete([]byte(args[0])) {
+				fmt.Fprintln(w, "+1")
+			} else {
+				fmt.Fprintln(w, "+0")
+			}
+		case "HAS":
+			if len(args) != 1 {
+				fmt.Fprintln(w, "-ERR usage: HAS key")
+				break
+			}
+			if s.store.Has([]byte(args[0])) {
+				fmt.Fprintln(w, "+1")
+			} else {
+				fmt.Fprintln(w, "+0")
+			}
+		case "RANGE":
+			if len(args) != 2 {
+				fmt.Fprintln(w, "-ERR usage: RANGE start n")
+				break
+			}
+			limit, err := strconv.Atoi(args[1])
+			if err != nil || limit <= 0 {
+				fmt.Fprintln(w, "-ERR bad count")
+				break
+			}
+			count := 0
+			s.store.Range([]byte(args[0]), func(key []byte, value uint64) bool {
+				fmt.Fprintf(w, "%s %d\n", key, value)
+				count++
+				return count < limit
+			})
+			fmt.Fprintln(w, ".")
+		case "LEN":
+			fmt.Fprintf(w, "+%d\n", s.store.Len())
+		case "STATS":
+			st := s.store.Stats()
+			ms := s.store.MemoryStats()
+			fmt.Fprintf(w, "+keys=%d containers=%d embedded=%d pc=%d deltas=%d footprint_bytes=%d\n",
+				st.Keys, st.Containers, st.EmbeddedContainers, st.PathCompressed, st.DeltaEncodedNodes, ms.Footprint)
+		default:
+			fmt.Fprintln(w, "-ERR unknown command")
+		}
+		w.Flush()
+	}
+}

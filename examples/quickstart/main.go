@@ -1,0 +1,57 @@
+// Quickstart: the smallest useful Hyperion program. It stores a handful of
+// keys, reads them back, iterates a range, deletes one, and prints the
+// engine's structural statistics.
+package main
+
+import (
+	"fmt"
+
+	"repro/hyperion"
+)
+
+func main() {
+	store := hyperion.New(hyperion.DefaultOptions())
+
+	// Point writes: arbitrary byte-string keys, 64-bit values.
+	store.Put([]byte("user:1001:name-hash"), 0xdeadbeef)
+	store.Put([]byte("user:1001:last-login"), 1718500000)
+	store.Put([]byte("user:1002:name-hash"), 0xfeedface)
+	store.Put([]byte("user:1002:last-login"), 1718503600)
+	store.PutKey([]byte("user:1002:verified")) // a key without a value (set member)
+
+	// Integer convenience helpers use the binary-comparable encoding.
+	for i := uint64(0); i < 1000; i++ {
+		store.PutUint64(i, i*i)
+	}
+
+	// Point reads.
+	if v, ok := store.Get([]byte("user:1001:last-login")); ok {
+		fmt.Println("user:1001:last-login =", v)
+	}
+	if v, ok := store.GetUint64(31); ok {
+		fmt.Println("31^2 =", v)
+	}
+	fmt.Println("user:1002 verified?", store.Has([]byte("user:1002:verified")))
+
+	// Ordered range query: every key starting at the given prefix, in
+	// lexicographic order.
+	fmt.Println("\nkeys of user:1002, in order:")
+	store.Range([]byte("user:1002:"), func(key []byte, value uint64) bool {
+		if string(key) > "user:1002:\xff" {
+			return false
+		}
+		fmt.Printf("  %s = %d\n", key, value)
+		return true
+	})
+
+	// Deletes reclaim container space.
+	store.Delete([]byte("user:1001:name-hash"))
+
+	fmt.Println("\nstored keys:", store.Len())
+	st := store.Stats()
+	fmt.Printf("engine: %d containers, %d embedded, %d path-compressed suffixes, %d delta-encoded nodes\n",
+		st.Containers, st.EmbeddedContainers, st.PathCompressed, st.DeltaEncodedNodes)
+	ms := store.MemoryStats()
+	fmt.Printf("memory: %.1f KiB total, %.2f bytes/key\n",
+		float64(ms.Footprint)/1024, float64(ms.Footprint)/float64(store.Len()))
+}

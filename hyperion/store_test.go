@@ -1,0 +1,316 @@
+package hyperion
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func allOptionVariants() map[string]Options {
+	return map[string]Options{
+		"default":       DefaultOptions(),
+		"integer":       IntegerOptions(),
+		"preprocessed":  PreprocessedIntegerOptions(),
+		"arenas-4":      {Arenas: 4, EmbeddedEjectThreshold: 16 * 1024},
+		"arenas-256":    {Arenas: 256, EmbeddedEjectThreshold: 16 * 1024},
+		"no-features":   {Arenas: 1, EmbeddedEjectThreshold: 16 * 1024, DisableDeltaEncoding: true, DisablePathCompression: true, DisableEmbedded: true, DisableJumpSuccessor: true, DisableJumpTables: true, DisableContainerSplit: true},
+		"prep-arenas-8": {Arenas: 8, KeyPreprocessing: true, EmbeddedEjectThreshold: 8 * 1024},
+	}
+}
+
+func TestStoreBasicOperations(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			s.Put([]byte("alpha"), 1)
+			s.Put([]byte("beta"), 2)
+			s.PutKey([]byte("gamma"))
+			if v, ok := s.Get([]byte("alpha")); !ok || v != 1 {
+				t.Fatalf("Get(alpha) = %d,%v", v, ok)
+			}
+			if v, ok := s.Get([]byte("beta")); !ok || v != 2 {
+				t.Fatalf("Get(beta) = %d,%v", v, ok)
+			}
+			if _, ok := s.Get([]byte("gamma")); ok {
+				t.Fatal("Get(gamma) must not return a value for PutKey entries")
+			}
+			if !s.Has([]byte("gamma")) {
+				t.Fatal("Has(gamma) = false")
+			}
+			if s.Len() != 3 {
+				t.Fatalf("Len = %d", s.Len())
+			}
+			if !s.Delete([]byte("beta")) || s.Has([]byte("beta")) {
+				t.Fatal("Delete(beta) failed")
+			}
+			if s.Delete([]byte("missing")) {
+				t.Fatal("Delete of a missing key returned true")
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreUint64Helpers(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			for i := uint64(0); i < 2000; i++ {
+				s.PutUint64(i*7, i)
+			}
+			for i := uint64(0); i < 2000; i++ {
+				if v, ok := s.GetUint64(i * 7); !ok || v != i {
+					t.Fatalf("GetUint64(%d) = %d,%v", i*7, v, ok)
+				}
+			}
+			if !s.DeleteUint64(7) || s.Len() != 1999 {
+				t.Fatal("DeleteUint64 failed")
+			}
+		})
+	}
+}
+
+func TestStoreOracle(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			oracle := map[string]uint64{}
+			rng := rand.New(rand.NewSource(77))
+			for i := 0; i < 8000; i++ {
+				var key []byte
+				if rng.Intn(2) == 0 {
+					key = []byte(fmt.Sprintf("str/%c%c/%05d", 'a'+rng.Intn(26), 'a'+rng.Intn(26), rng.Intn(5000)))
+				} else {
+					key = make([]byte, 8)
+					rng.Read(key)
+				}
+				if rng.Intn(10) == 0 && len(oracle) > 0 {
+					s.Delete(key)
+					delete(oracle, string(key))
+					continue
+				}
+				v := rng.Uint64()
+				s.Put(key, v)
+				oracle[string(key)] = v
+			}
+			if s.Len() != len(oracle) {
+				t.Fatalf("Len = %d, oracle %d", s.Len(), len(oracle))
+			}
+			for k, v := range oracle {
+				if got, ok := s.Get([]byte(k)); !ok || got != v {
+					t.Fatalf("Get(%q) = %d,%v want %d", k, got, ok, v)
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStoreRangeOrderedAcrossArenas(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			rng := rand.New(rand.NewSource(99))
+			var want []string
+			seen := map[string]bool{}
+			for i := 0; i < 5000; i++ {
+				key := make([]byte, 8)
+				rng.Read(key)
+				s.Put(key, uint64(i))
+				if !seen[string(key)] {
+					seen[string(key)] = true
+					want = append(want, string(key))
+				}
+			}
+			sort.Strings(want)
+			var got []string
+			s.Each(func(key []byte, _ uint64) bool {
+				got = append(got, string(key))
+				return true
+			})
+			if len(got) != len(want) {
+				t.Fatalf("Each visited %d keys, want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("order mismatch at %d: %x vs %x", i, got[i], want[i])
+				}
+			}
+			// Bounded range starting in the middle.
+			start := want[len(want)/2]
+			var bounded []string
+			s.Range([]byte(start), func(key []byte, _ uint64) bool {
+				bounded = append(bounded, string(key))
+				return true
+			})
+			if len(bounded) != len(want)-len(want)/2 {
+				t.Fatalf("bounded range returned %d keys, want %d", len(bounded), len(want)-len(want)/2)
+			}
+			if bounded[0] != start {
+				t.Fatalf("bounded range starts at %x, want %x", bounded[0], start)
+			}
+		})
+	}
+}
+
+func TestStoreRangeEarlyStop(t *testing.T) {
+	s := New(Options{Arenas: 16, EmbeddedEjectThreshold: 1 << 14})
+	for i := 0; i < 4096; i++ {
+		s.Put([]byte{byte(i >> 8), byte(i)}, uint64(i))
+	}
+	n := 0
+	s.Each(func([]byte, uint64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestStorePreprocessingTransparent(t *testing.T) {
+	plain := New(IntegerOptions())
+	prep := New(PreprocessedIntegerOptions())
+	rng := rand.New(rand.NewSource(123))
+	keySet := make([][]byte, 3000)
+	for i := range keySet {
+		keySet[i] = make([]byte, 8)
+		rng.Read(keySet[i])
+		plain.Put(keySet[i], uint64(i))
+		prep.Put(keySet[i], uint64(i))
+	}
+	for i, k := range keySet {
+		v1, ok1 := plain.Get(k)
+		v2, ok2 := prep.Get(k)
+		if ok1 != ok2 || v1 != v2 {
+			t.Fatalf("key %d: plain (%d,%v) vs preprocessed (%d,%v)", i, v1, ok1, v2, ok2)
+		}
+	}
+	// Iteration must yield identical original keys in identical order.
+	var a, b []string
+	plain.Each(func(k []byte, _ uint64) bool { a = append(a, string(k)); return true })
+	prep.Each(func(k []byte, _ uint64) bool { b = append(b, string(k)); return true })
+	if len(a) != len(b) {
+		t.Fatalf("iteration lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("iteration order differs at %d", i)
+		}
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := New(Options{Arenas: 16, EmbeddedEjectThreshold: 8 * 1024})
+	var wg sync.WaitGroup
+	workers := 8
+	perWorker := 3000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				key := []byte(fmt.Sprintf("%02x-worker-%d-key-%06d", (w*37+i)%256, w, i))
+				s.Put(key, uint64(w*perWorker+i))
+				if v, ok := s.Get(key); !ok || v != uint64(w*perWorker+i) {
+					panic("concurrent get mismatch")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", s.Len(), workers*perWorker)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreStatsAndMemory(t *testing.T) {
+	s := New(DefaultOptions())
+	for i := 0; i < 20000; i++ {
+		s.Put([]byte(fmt.Sprintf("metrics/host-%03d/cpu/%06d", i%50, i)), uint64(i))
+	}
+	st := s.Stats()
+	if st.Keys != 20000 {
+		t.Fatalf("Stats.Keys = %d", st.Keys)
+	}
+	if st.Containers == 0 || st.DeltaEncodedNodes == 0 {
+		t.Fatalf("expected containers and delta-encoded nodes, got %+v", st)
+	}
+	ms := s.MemoryStats()
+	if ms.Footprint <= 0 || ms.AllocatedChunks <= 0 {
+		t.Fatalf("memory stats look wrong: %+v", ms)
+	}
+	if len(ms.Superbins) != 64 {
+		t.Fatalf("expected 64 superbins, got %d", len(ms.Superbins))
+	}
+	if s.MemoryFootprint() != ms.Footprint {
+		t.Fatal("MemoryFootprint and MemoryStats disagree")
+	}
+	bytesPerKey := float64(ms.Footprint) / 20000
+	if bytesPerKey > 64 {
+		t.Fatalf("bytes/key = %.1f, suspiciously high for prefix-heavy strings", bytesPerKey)
+	}
+}
+
+func TestStoreClear(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Put([]byte("x"), 1)
+	s.Clear()
+	if s.Len() != 0 || s.Has([]byte("x")) {
+		t.Fatal("Clear did not empty the store")
+	}
+	s.Put([]byte("y"), 2)
+	if v, ok := s.Get([]byte("y")); !ok || v != 2 {
+		t.Fatal("store unusable after Clear")
+	}
+}
+
+func TestStoreEmptyAndBinaryKeys(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Put(nil, 1)
+	s.Put([]byte{0}, 2)
+	s.Put([]byte{0, 0}, 3)
+	s.Put(bytes.Repeat([]byte{0xff}, 20), 4)
+	if v, ok := s.Get(nil); !ok || v != 1 {
+		t.Fatalf("empty key: %d,%v", v, ok)
+	}
+	if v, ok := s.Get([]byte{0}); !ok || v != 2 {
+		t.Fatalf("zero key: %d,%v", v, ok)
+	}
+	if v, ok := s.Get([]byte{0, 0}); !ok || v != 3 {
+		t.Fatalf("zero-zero key: %d,%v", v, ok)
+	}
+	if v, ok := s.Get(bytes.Repeat([]byte{0xff}, 20)); !ok || v != 4 {
+		t.Fatalf("ff key: %d,%v", v, ok)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestOptionsNormalization(t *testing.T) {
+	s := New(Options{Arenas: -5})
+	if len(s.arenas) != 1 {
+		t.Fatalf("negative arenas normalised to %d", len(s.arenas))
+	}
+	s = New(Options{Arenas: 1000})
+	if len(s.arenas) != 256 {
+		t.Fatalf("oversized arenas normalised to %d", len(s.arenas))
+	}
+}
+
+func TestStoreName(t *testing.T) {
+	if New(DefaultOptions()).Name() != "Hyperion" {
+		t.Fatal("unexpected name")
+	}
+	if New(PreprocessedIntegerOptions()).Name() != "Hyperion_p" {
+		t.Fatal("unexpected preprocessed name")
+	}
+}

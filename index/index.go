@@ -1,0 +1,132 @@
+// Package index defines the common key-value interface that Hyperion and
+// every comparison data structure of the paper's evaluation implement, plus
+// constructors and a registry used by the benchmark harness and the examples.
+//
+// All structures map byte-string keys to 64-bit values, exactly like the
+// paper's k/v-store usage of the original implementations (§4.1).
+package index
+
+import (
+	"repro/hyperion"
+	"repro/internal/art"
+	"repro/internal/hashkv"
+	"repro/internal/hattrie"
+	"repro/internal/hot"
+	"repro/internal/judy"
+	"repro/internal/rbtree"
+)
+
+// KV is the minimal key-value store interface.
+type KV interface {
+	// Put stores key with value, overwriting any existing value.
+	Put(key []byte, value uint64)
+	// Get returns the value stored for key.
+	Get(key []byte) (uint64, bool)
+	// Delete removes key and reports whether it was present.
+	Delete(key []byte) bool
+	// Len returns the number of stored keys.
+	Len() int
+	// Name identifies the structure in reports.
+	Name() string
+	// MemoryFootprint returns the structure's self-accounted memory usage in
+	// bytes (allocator-exact for Hyperion, analytic node models for the
+	// re-implemented baselines; see DESIGN.md).
+	MemoryFootprint() int64
+}
+
+// Ordered is a KV store that supports ordered iteration, the prerequisite for
+// the range-query experiment (Table 3).
+type Ordered interface {
+	KV
+	// Range calls fn for every key >= start in lexicographic order until fn
+	// returns false.
+	Range(start []byte, fn func(key []byte, value uint64) bool)
+	// Each iterates every key in order.
+	Each(fn func(key []byte, value uint64) bool)
+}
+
+// Compile-time interface checks.
+var (
+	_ Ordered = (*hyperion.Store)(nil)
+	_ Ordered = (*art.Tree)(nil)
+	_ Ordered = (*judy.Tree)(nil)
+	_ Ordered = (*hot.Tree)(nil)
+	_ Ordered = (*hattrie.Tree)(nil)
+	_ Ordered = (*rbtree.Tree)(nil)
+	_ KV      = (*hashkv.Map)(nil)
+)
+
+// NewHyperion creates a Hyperion store with the paper's string-tuned default
+// options.
+func NewHyperion() *hyperion.Store { return hyperion.New(hyperion.DefaultOptions()) }
+
+// NewHyperionInteger creates a Hyperion store with the integer-tuned options
+// (8 KiB embedded-container threshold).
+func NewHyperionInteger() *hyperion.Store { return hyperion.New(hyperion.IntegerOptions()) }
+
+// NewHyperionP creates a Hyperion store with key pre-processing enabled
+// ("Hyperion_p" in the paper).
+func NewHyperionP() *hyperion.Store { return hyperion.New(hyperion.PreprocessedIntegerOptions()) }
+
+// NewART creates an Adaptive Radix Tree with the paper's "ART" memory
+// accounting (external key/value array).
+func NewART() *art.Tree { return art.New() }
+
+// NewARTC creates an Adaptive Radix Tree with the paper's "ARTC" accounting
+// (single-value leaves).
+func NewARTC() *art.Tree { return art.NewC() }
+
+// NewJudy creates a Judy-like adaptive radix tree.
+func NewJudy() *judy.Tree { return judy.New() }
+
+// NewHOT creates a height-optimised-trie-like index.
+func NewHOT() *hot.Tree { return hot.New() }
+
+// NewHAT creates a HAT-trie.
+func NewHAT() *hattrie.Tree { return hattrie.New() }
+
+// NewRBTree creates a red-black tree (the std::map baseline).
+func NewRBTree() *rbtree.Tree { return rbtree.New() }
+
+// NewHash creates a hash table (the std::unordered_map baseline).
+func NewHash() *hashkv.Map { return hashkv.New() }
+
+// Factory describes one data structure available to the benchmark harness.
+type Factory struct {
+	// Name as used in the paper's tables.
+	Name string
+	// New creates an empty instance.
+	New func() KV
+	// Ordered reports whether the structure supports range queries.
+	Ordered bool
+	// IntegerTuned creates the variant used for the integer experiments (may
+	// be nil when it does not differ from New).
+	IntegerTuned func() KV
+}
+
+// All returns the factories for every structure of the paper's evaluation,
+// in the order the paper's tables list them.
+func All() []Factory {
+	return []Factory{
+		{Name: "Hyperion", New: func() KV { return NewHyperion() }, Ordered: true,
+			IntegerTuned: func() KV { return NewHyperionInteger() }},
+		{Name: "Hyperion_p", New: func() KV { return NewHyperionP() }, Ordered: true},
+		{Name: "Judy", New: func() KV { return NewJudy() }, Ordered: true},
+		{Name: "HAT", New: func() KV { return NewHAT() }, Ordered: true},
+		{Name: "ART_C", New: func() KV { return NewARTC() }, Ordered: true},
+		{Name: "ART", New: func() KV { return NewART() }, Ordered: true},
+		{Name: "HOT", New: func() KV { return NewHOT() }, Ordered: true},
+		{Name: "RB-Tree", New: func() KV { return NewRBTree() }, Ordered: true},
+		{Name: "Hash", New: func() KV { return NewHash() }, Ordered: false},
+	}
+}
+
+// ByName returns the factory with the given name, or false.
+func ByName(name string) (Factory, bool) {
+	for _, f := range All() {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Factory{}, false
+}

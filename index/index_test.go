@@ -1,0 +1,346 @@
+package index
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The conformance suite drives every registered structure through the same
+// oracle-checked workloads: point operations, deletions, ordered iteration
+// and memory accounting sanity.
+
+func datasets(t *testing.T) map[string][][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2024))
+	sets := map[string][][]byte{}
+
+	var seq [][]byte
+	for i := 0; i < 4000; i++ {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, uint64(i))
+		seq = append(seq, k)
+	}
+	sets["sequential-int"] = seq
+
+	var rnd [][]byte
+	for i := 0; i < 4000; i++ {
+		k := make([]byte, 8)
+		binary.BigEndian.PutUint64(k, rng.Uint64())
+		rnd = append(rnd, k)
+	}
+	sets["random-int"] = rnd
+
+	var words [][]byte
+	vocab := []string{"analysis", "boston", "cambridge", "data", "engine", "frame", "graph", "hyperion", "index", "journal"}
+	for i := 0; i < 4000; i++ {
+		w1 := vocab[rng.Intn(len(vocab))]
+		w2 := vocab[rng.Intn(len(vocab))]
+		words = append(words, []byte(fmt.Sprintf("%s %s %d", w1, w2, 1800+rng.Intn(220))))
+	}
+	sets["ngram-like"] = words
+
+	var mixed [][]byte
+	for i := 0; i < 2000; i++ {
+		l := 1 + rng.Intn(60)
+		k := make([]byte, l)
+		rng.Read(k)
+		mixed = append(mixed, k)
+	}
+	sets["binary-mixed"] = mixed
+	return sets
+}
+
+func TestConformancePutGet(t *testing.T) {
+	for _, f := range All() {
+		for setName, keys := range datasets(t) {
+			t.Run(f.Name+"/"+setName, func(t *testing.T) {
+				kv := f.New()
+				oracle := map[string]uint64{}
+				for i, k := range keys {
+					v := uint64(i)*2654435761 + 17
+					kv.Put(k, v)
+					oracle[string(k)] = v
+				}
+				if kv.Len() != len(oracle) {
+					t.Fatalf("%s: Len=%d oracle=%d", f.Name, kv.Len(), len(oracle))
+				}
+				for k, v := range oracle {
+					got, ok := kv.Get([]byte(k))
+					if !ok || got != v {
+						t.Fatalf("%s: Get(%q)=%d,%v want %d", f.Name, k, got, ok, v)
+					}
+				}
+				// Absent keys must miss.
+				for i := 0; i < 200; i++ {
+					probe := append(append([]byte{}, keys[i%len(keys)]...), 0xfd, byte(i))
+					if _, exists := oracle[string(probe)]; exists {
+						continue
+					}
+					if _, ok := kv.Get(probe); ok {
+						t.Fatalf("%s: Get of absent key succeeded", f.Name)
+					}
+				}
+				if kv.MemoryFootprint() <= 0 {
+					t.Fatalf("%s: non-positive memory footprint", f.Name)
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceOverwrite(t *testing.T) {
+	for _, f := range All() {
+		t.Run(f.Name, func(t *testing.T) {
+			kv := f.New()
+			key := []byte("overwrite-me")
+			for i := 0; i < 10; i++ {
+				kv.Put(key, uint64(i))
+			}
+			if v, ok := kv.Get(key); !ok || v != 9 {
+				t.Fatalf("%s: got %d,%v", f.Name, v, ok)
+			}
+			if kv.Len() != 1 {
+				t.Fatalf("%s: Len=%d", f.Name, kv.Len())
+			}
+		})
+	}
+}
+
+func TestConformanceDelete(t *testing.T) {
+	for _, f := range All() {
+		for setName, keys := range datasets(t) {
+			t.Run(f.Name+"/"+setName, func(t *testing.T) {
+				kv := f.New()
+				oracle := map[string]uint64{}
+				for i, k := range keys {
+					kv.Put(k, uint64(i))
+					oracle[string(k)] = uint64(i)
+				}
+				// Delete every third distinct key.
+				i := 0
+				for k := range oracle {
+					if i%3 == 0 {
+						if !kv.Delete([]byte(k)) {
+							t.Fatalf("%s: Delete(%q) returned false", f.Name, k)
+						}
+						delete(oracle, k)
+					}
+					i++
+				}
+				if kv.Len() != len(oracle) {
+					t.Fatalf("%s: Len=%d oracle=%d", f.Name, kv.Len(), len(oracle))
+				}
+				for k, v := range oracle {
+					if got, ok := kv.Get([]byte(k)); !ok || got != v {
+						t.Fatalf("%s: Get(%q)=%d,%v want %d", f.Name, k, got, ok, v)
+					}
+				}
+				if kv.Delete([]byte("definitely-not-present-\xff\xfe")) {
+					t.Fatalf("%s: deleting an absent key returned true", f.Name)
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceOrderedIteration(t *testing.T) {
+	for _, f := range All() {
+		if !f.Ordered {
+			continue
+		}
+		for setName, keys := range datasets(t) {
+			if f.Name == "Hyperion_p" && setName == "binary-mixed" {
+				// Key pre-processing targets fixed-size (>= 4 byte) keys; it
+				// does not preserve order across the short/long key boundary
+				// (documented limitation, paper §3.4).
+				continue
+			}
+			t.Run(f.Name+"/"+setName, func(t *testing.T) {
+				kv := f.New().(Ordered)
+				oracle := map[string]uint64{}
+				for i, k := range keys {
+					kv.Put(k, uint64(i))
+					oracle[string(k)] = uint64(i)
+				}
+				var want []string
+				for k := range oracle {
+					want = append(want, k)
+				}
+				sort.Strings(want)
+
+				var got []string
+				kv.Each(func(k []byte, v uint64) bool {
+					got = append(got, string(k))
+					if v != oracle[string(k)] {
+						t.Fatalf("%s: value mismatch for %q", f.Name, k)
+					}
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("%s: iterated %d keys, want %d", f.Name, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: order mismatch at %d: %q vs %q", f.Name, i, got[i], want[i])
+					}
+				}
+
+				// Bounded range from the median key.
+				start := want[len(want)/2]
+				idx := sort.SearchStrings(want, start)
+				var bounded []string
+				kv.Range([]byte(start), func(k []byte, _ uint64) bool {
+					bounded = append(bounded, string(k))
+					return true
+				})
+				if len(bounded) != len(want)-idx {
+					t.Fatalf("%s: bounded range %d keys, want %d", f.Name, len(bounded), len(want)-idx)
+				}
+				if !sort.StringsAreSorted(bounded) {
+					t.Fatalf("%s: bounded range not sorted", f.Name)
+				}
+				if bytes.Compare([]byte(bounded[0]), []byte(start)) < 0 {
+					t.Fatalf("%s: bounded range starts below the bound", f.Name)
+				}
+
+				// Early termination.
+				n := 0
+				kv.Each(func([]byte, uint64) bool { n++; return n < 7 })
+				if n != 7 {
+					t.Fatalf("%s: early stop visited %d keys", f.Name, n)
+				}
+			})
+		}
+	}
+}
+
+func TestConformanceEmptyAndEdgeKeys(t *testing.T) {
+	edge := [][]byte{
+		{},
+		{0},
+		{0, 0, 0},
+		{0xff},
+		bytes.Repeat([]byte{0xff}, 64),
+		[]byte("a"),
+		[]byte("ab"),
+		[]byte("abc"),
+		[]byte("abcd"),
+		bytes.Repeat([]byte("ab"), 100),
+	}
+	for _, f := range All() {
+		t.Run(f.Name, func(t *testing.T) {
+			kv := f.New()
+			for i, k := range edge {
+				kv.Put(k, uint64(i+1))
+			}
+			for i, k := range edge {
+				if v, ok := kv.Get(k); !ok || v != uint64(i+1) {
+					t.Fatalf("%s: edge key %d: %d,%v", f.Name, i, v, ok)
+				}
+			}
+			if kv.Len() != len(edge) {
+				t.Fatalf("%s: Len=%d want %d", f.Name, kv.Len(), len(edge))
+			}
+			for i, k := range edge {
+				if !kv.Delete(k) {
+					t.Fatalf("%s: Delete edge key %d failed", f.Name, i)
+				}
+			}
+			if kv.Len() != 0 {
+				t.Fatalf("%s: Len=%d after deleting all", f.Name, kv.Len())
+			}
+		})
+	}
+}
+
+func TestConformanceRandomisedOracle(t *testing.T) {
+	for _, f := range All() {
+		t.Run(f.Name, func(t *testing.T) {
+			kv := f.New()
+			oracle := map[string]uint64{}
+			rng := rand.New(rand.NewSource(5150))
+			for op := 0; op < 20000; op++ {
+				r := rng.Intn(100)
+				var key []byte
+				if rng.Intn(2) == 0 {
+					key = []byte(fmt.Sprintf("k%06d", rng.Intn(6000)))
+				} else {
+					key = make([]byte, 1+rng.Intn(12))
+					rng.Read(key)
+				}
+				switch {
+				case r < 60:
+					v := rng.Uint64()
+					kv.Put(key, v)
+					oracle[string(key)] = v
+				case r < 80:
+					wantV, wantOK := oracle[string(key)]
+					gotV, gotOK := kv.Get(key)
+					if wantOK != gotOK || (wantOK && wantV != gotV) {
+						t.Fatalf("%s: op %d: Get mismatch", f.Name, op)
+					}
+				default:
+					_, wantOK := oracle[string(key)]
+					if got := kv.Delete(key); got != wantOK {
+						t.Fatalf("%s: op %d: Delete mismatch", f.Name, op)
+					}
+					delete(oracle, string(key))
+				}
+			}
+			if kv.Len() != len(oracle) {
+				t.Fatalf("%s: final Len=%d oracle=%d", f.Name, kv.Len(), len(oracle))
+			}
+		})
+	}
+}
+
+func TestFactoryRegistry(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range All() {
+		if names[f.Name] {
+			t.Fatalf("duplicate factory name %s", f.Name)
+		}
+		names[f.Name] = true
+		kv := f.New()
+		if kv.Name() == "" {
+			t.Fatalf("factory %s creates a structure with an empty name", f.Name)
+		}
+	}
+	for _, want := range []string{"Hyperion", "Hyperion_p", "Judy", "HAT", "ART", "ART_C", "HOT", "RB-Tree", "Hash"} {
+		if _, ok := ByName(want); !ok {
+			t.Fatalf("ByName(%q) failed", want)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName of unknown structure succeeded")
+	}
+}
+
+func TestMemoryFootprintOrdering(t *testing.T) {
+	// The paper's headline result: for string data sets Hyperion is the most
+	// memory-efficient structure, and the RB-tree / hash table are the worst.
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"analysis", "boston", "cambridge", "data", "engine", "frame", "graph", "hyperion", "index", "journal", "kernel", "lattice"}
+	var keys [][]byte
+	for i := 0; i < 30000; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("%s %s %s %d", vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))], vocab[rng.Intn(len(vocab))], 1800+rng.Intn(220))))
+	}
+	foot := map[string]float64{}
+	for _, f := range All() {
+		kv := f.New()
+		for i, k := range keys {
+			kv.Put(k, uint64(i))
+		}
+		foot[f.Name] = float64(kv.MemoryFootprint()) / float64(kv.Len())
+	}
+	if foot["Hyperion"] >= foot["Judy"] || foot["Hyperion"] >= foot["ART_C"] || foot["Hyperion"] >= foot["RB-Tree"] || foot["Hyperion"] >= foot["Hash"] || foot["Hyperion"] >= foot["HAT"] {
+		t.Fatalf("Hyperion is expected to have the smallest bytes/key on string data: %+v", foot)
+	}
+	if foot["RB-Tree"] <= foot["Judy"] {
+		t.Fatalf("RB-Tree should cost more per key than Judy: %+v", foot)
+	}
+}

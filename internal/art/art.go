@@ -1,0 +1,525 @@
+// Package art implements the Adaptive Radix Tree of Leis et al. (ICDE 2013),
+// one of the comparison structures in the paper's evaluation (§2.2, §4). Inner
+// nodes adapt their layout to their population (Node4, Node16, Node48,
+// Node256), paths are compressed pessimistically (the full prefix is kept in
+// the node), and leaves store complete key/value pairs.
+//
+// Keys may be arbitrary byte strings; a key that is a strict prefix of
+// another key is held in the inner node's prefix-leaf slot, the practical
+// equivalent of the terminator byte the original paper assumes.
+package art
+
+import "bytes"
+
+// Node kinds.
+const (
+	kindLeaf = iota
+	kindNode4
+	kindNode16
+	kindNode48
+	kindNode256
+)
+
+// Analytical node sizes in bytes, following the layout of the original C
+// implementation (16-byte header + key array + child pointer array). They are
+// used for the memory accounting of the evaluation, independent of Go's own
+// object overhead.
+const (
+	sizeNode4   = 16 + 4 + 4*8
+	sizeNode16  = 16 + 16 + 16*8
+	sizeNode48  = 16 + 256 + 48*8
+	sizeNode256 = 16 + 256*8
+)
+
+type node struct {
+	kind        uint8
+	numChildren uint16
+	prefix      []byte
+	keys        []byte  // node4/node16: sorted key bytes; node48: 256-entry child index (+1)
+	children    []*node // child pointers (4/16/48/256)
+	prefixLeaf  *node   // leaf whose key ends exactly at this inner node
+
+	// leaf fields
+	key   []byte
+	value uint64
+}
+
+// Tree is an adaptive radix tree. It is not safe for concurrent use.
+type Tree struct {
+	root     *node
+	count    int
+	keyBytes int64
+	nodes    [5]int64 // per-kind node counts
+	// SingleValueLeaves selects the ARTC accounting (k/v pairs stored in
+	// individually allocated leaves) instead of the paper's ART accounting
+	// (k/v pairs in one external array without per-pair overhead).
+	SingleValueLeaves bool
+}
+
+// New creates an empty tree with the paper's "ART" memory accounting.
+func New() *Tree { return &Tree{} }
+
+// NewC creates an empty tree with the paper's "ARTC" accounting (per-leaf
+// allocations, Dadgar's libart style).
+func NewC() *Tree { return &Tree{SingleValueLeaves: true} }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.count }
+
+// Name identifies the structure in benchmark reports.
+func (t *Tree) Name() string {
+	if t.SingleValueLeaves {
+		return "ART_C"
+	}
+	return "ART"
+}
+
+// MemoryFootprint returns the analytically accounted memory consumption (see
+// package documentation and DESIGN.md).
+func (t *Tree) MemoryFootprint() int64 {
+	inner := t.nodes[kindNode4]*sizeNode4 + t.nodes[kindNode16]*sizeNode16 +
+		t.nodes[kindNode48]*sizeNode48 + t.nodes[kindNode256]*sizeNode256
+	if t.SingleValueLeaves {
+		// Leaf allocations: malloc-style header + key + value.
+		return inner + t.nodes[kindLeaf]*(16+8) + t.keyBytes
+	}
+	// External key/value array: raw data plus one pointer per pair.
+	return inner + t.keyBytes + t.nodes[kindLeaf]*(8+8)
+}
+
+func (t *Tree) newLeaf(key []byte, value uint64) *node {
+	k := make([]byte, len(key))
+	copy(k, key)
+	t.nodes[kindLeaf]++
+	t.keyBytes += int64(len(key))
+	return &node{kind: kindLeaf, key: k, value: value}
+}
+
+func (t *Tree) newNode4() *node {
+	t.nodes[kindNode4]++
+	return &node{kind: kindNode4, keys: make([]byte, 0, 4), children: make([]*node, 0, 4)}
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	depth := 0
+	for n != nil {
+		if n.kind == kindLeaf {
+			if bytes.Equal(n.key, key) {
+				return n.value, true
+			}
+			return 0, false
+		}
+		if len(n.prefix) > 0 {
+			if len(key)-depth < len(n.prefix) || !bytes.Equal(key[depth:depth+len(n.prefix)], n.prefix) {
+				return 0, false
+			}
+			depth += len(n.prefix)
+		}
+		if depth == len(key) {
+			if n.prefixLeaf != nil && bytes.Equal(n.prefixLeaf.key, key) {
+				return n.prefixLeaf.value, true
+			}
+			return 0, false
+		}
+		n = n.findChild(key[depth])
+		depth++
+	}
+	return 0, false
+}
+
+func (n *node) findChild(c byte) *node {
+	switch n.kind {
+	case kindNode4, kindNode16:
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == c {
+				return n.children[i]
+			}
+		}
+	case kindNode48:
+		if idx := n.keys[c]; idx != 0 {
+			return n.children[idx-1]
+		}
+	case kindNode256:
+		return n.children[c]
+	}
+	return nil
+}
+
+// Put stores key with value, overwriting any existing value.
+func (t *Tree) Put(key []byte, value uint64) {
+	added := false
+	t.root = t.insert(t.root, key, value, 0, &added)
+	if added {
+		t.count++
+	}
+}
+
+func commonPrefixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+func (t *Tree) insert(n *node, key []byte, value uint64, depth int, added *bool) *node {
+	if n == nil {
+		*added = true
+		return t.newLeaf(key, value)
+	}
+	if n.kind == kindLeaf {
+		if bytes.Equal(n.key, key) {
+			n.value = value
+			return n
+		}
+		// Split into a Node4 holding the common prefix of both keys.
+		lcp := commonPrefixLen(n.key[depth:], key[depth:])
+		nn := t.newNode4()
+		nn.prefix = append([]byte(nil), key[depth:depth+lcp]...)
+		d := depth + lcp
+		t.attach(nn, n.key, d, n)
+		leaf := t.newLeaf(key, value)
+		t.attach(nn, key, d, leaf)
+		*added = true
+		return nn
+	}
+	if len(n.prefix) > 0 {
+		p := commonPrefixLen(n.prefix, key[depth:])
+		if p < len(n.prefix) {
+			// Split the compressed path.
+			nn := t.newNode4()
+			nn.prefix = append([]byte(nil), n.prefix[:p]...)
+			oldEdge := n.prefix[p]
+			n.prefix = append([]byte(nil), n.prefix[p+1:]...)
+			nn = nn.addChild(t, oldEdge, n)
+			leaf := t.newLeaf(key, value)
+			t.attach(nn, key, depth+p, leaf)
+			*added = true
+			return nn
+		}
+		depth += len(n.prefix)
+	}
+	if depth == len(key) {
+		if n.prefixLeaf == nil {
+			n.prefixLeaf = t.newLeaf(key, value)
+			*added = true
+		} else {
+			n.prefixLeaf.value = value
+		}
+		return n
+	}
+	c := key[depth]
+	if child := n.findChild(c); child != nil {
+		newChild := t.insert(child, key, value, depth+1, added)
+		if newChild != child {
+			n.replaceChild(c, newChild)
+		}
+		return n
+	}
+	*added = true
+	return n.addChild(t, c, t.newLeaf(key, value))
+}
+
+// attach adds child under nn at the byte key[depth]; if the key is exhausted
+// the child becomes nn's prefix leaf.
+func (t *Tree) attach(nn *node, key []byte, depth int, child *node) {
+	if depth == len(key) {
+		nn.prefixLeaf = child
+		return
+	}
+	nn.addChild(t, key[depth], child)
+}
+
+func (n *node) replaceChild(c byte, child *node) {
+	switch n.kind {
+	case kindNode4, kindNode16:
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == c {
+				n.children[i] = child
+				return
+			}
+		}
+	case kindNode48:
+		n.children[n.keys[c]-1] = child
+	case kindNode256:
+		n.children[c] = child
+	}
+}
+
+// addChild inserts child under key byte c, growing the node when necessary,
+// and returns the (possibly replaced) node.
+func (n *node) addChild(t *Tree, c byte, child *node) *node {
+	switch n.kind {
+	case kindNode4, kindNode16:
+		capacity := 4
+		if n.kind == kindNode16 {
+			capacity = 16
+		}
+		if int(n.numChildren) < capacity {
+			pos := 0
+			for pos < int(n.numChildren) && n.keys[pos] < c {
+				pos++
+			}
+			n.keys = append(n.keys, 0)
+			n.children = append(n.children, nil)
+			copy(n.keys[pos+1:], n.keys[pos:])
+			copy(n.children[pos+1:], n.children[pos:])
+			n.keys[pos] = c
+			n.children[pos] = child
+			n.numChildren++
+			return n
+		}
+		return n.grow(t).addChild(t, c, child)
+	case kindNode48:
+		if n.numChildren < 48 {
+			// Reuse a slot freed by a previous removal before appending.
+			slot := -1
+			for i, ch := range n.children {
+				if ch == nil {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				n.children = append(n.children, child)
+				slot = len(n.children) - 1
+			} else {
+				n.children[slot] = child
+			}
+			n.keys[c] = byte(slot + 1)
+			n.numChildren++
+			return n
+		}
+		return n.grow(t).addChild(t, c, child)
+	default: // node256
+		if n.children[c] == nil {
+			n.numChildren++
+		}
+		n.children[c] = child
+		return n
+	}
+}
+
+// grow converts the node into the next larger layout.
+func (n *node) grow(t *Tree) *node {
+	switch n.kind {
+	case kindNode4:
+		t.nodes[kindNode4]--
+		t.nodes[kindNode16]++
+		nn := &node{kind: kindNode16, prefix: n.prefix, prefixLeaf: n.prefixLeaf,
+			keys: make([]byte, 0, 16), children: make([]*node, 0, 16), numChildren: n.numChildren}
+		nn.keys = append(nn.keys, n.keys...)
+		nn.children = append(nn.children, n.children...)
+		return nn
+	case kindNode16:
+		t.nodes[kindNode16]--
+		t.nodes[kindNode48]++
+		nn := &node{kind: kindNode48, prefix: n.prefix, prefixLeaf: n.prefixLeaf,
+			keys: make([]byte, 256), children: make([]*node, 0, 48), numChildren: n.numChildren}
+		for i := 0; i < int(n.numChildren); i++ {
+			nn.children = append(nn.children, n.children[i])
+			nn.keys[n.keys[i]] = byte(len(nn.children))
+		}
+		return nn
+	case kindNode48:
+		t.nodes[kindNode48]--
+		t.nodes[kindNode256]++
+		nn := &node{kind: kindNode256, prefix: n.prefix, prefixLeaf: n.prefixLeaf,
+			children: make([]*node, 256), numChildren: n.numChildren}
+		for c := 0; c < 256; c++ {
+			if idx := n.keys[c]; idx != 0 {
+				nn.children[c] = n.children[idx-1]
+			}
+		}
+		return nn
+	}
+	return n
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	removed := false
+	t.root = t.remove(t.root, key, 0, &removed)
+	if removed {
+		t.count--
+	}
+	return removed
+}
+
+func (t *Tree) remove(n *node, key []byte, depth int, removed *bool) *node {
+	if n == nil {
+		return nil
+	}
+	if n.kind == kindLeaf {
+		if bytes.Equal(n.key, key) {
+			*removed = true
+			t.nodes[kindLeaf]--
+			t.keyBytes -= int64(len(n.key))
+			return nil
+		}
+		return n
+	}
+	if len(n.prefix) > 0 {
+		if len(key)-depth < len(n.prefix) || !bytes.Equal(key[depth:depth+len(n.prefix)], n.prefix) {
+			return n
+		}
+		depth += len(n.prefix)
+	}
+	if depth == len(key) {
+		if n.prefixLeaf != nil && bytes.Equal(n.prefixLeaf.key, key) {
+			*removed = true
+			t.nodes[kindLeaf]--
+			t.keyBytes -= int64(len(key))
+			n.prefixLeaf = nil
+			return t.collapse(n)
+		}
+		return n
+	}
+	c := key[depth]
+	child := n.findChild(c)
+	if child == nil {
+		return n
+	}
+	newChild := t.remove(child, key, depth+1, removed)
+	if newChild == child {
+		return n
+	}
+	if newChild != nil {
+		n.replaceChild(c, newChild)
+		return n
+	}
+	n.removeChild(c)
+	return t.collapse(n)
+}
+
+func (n *node) removeChild(c byte) {
+	switch n.kind {
+	case kindNode4, kindNode16:
+		for i := 0; i < int(n.numChildren); i++ {
+			if n.keys[i] == c {
+				copy(n.keys[i:], n.keys[i+1:])
+				copy(n.children[i:], n.children[i+1:])
+				n.keys = n.keys[:n.numChildren-1]
+				n.children = n.children[:n.numChildren-1]
+				n.numChildren--
+				return
+			}
+		}
+	case kindNode48:
+		idx := n.keys[c]
+		if idx == 0 {
+			return
+		}
+		n.keys[c] = 0
+		n.children[idx-1] = nil
+		n.numChildren--
+	case kindNode256:
+		if n.children[c] != nil {
+			n.children[c] = nil
+			n.numChildren--
+		}
+	}
+}
+
+// collapse merges an inner node into its single remaining child (path
+// compression on the way up) or removes it entirely when it became empty.
+func (t *Tree) collapse(n *node) *node {
+	if n.numChildren == 0 {
+		if n.prefixLeaf != nil {
+			leaf := n.prefixLeaf
+			t.nodes[n.kind]--
+			return leaf
+		}
+		t.nodes[n.kind]--
+		return nil
+	}
+	if n.numChildren == 1 && n.prefixLeaf == nil && (n.kind == kindNode4 || n.kind == kindNode16) {
+		var c byte
+		var child *node
+		for i := 0; i < len(n.keys); i++ {
+			if n.children[i] != nil {
+				c, child = n.keys[i], n.children[i]
+				break
+			}
+		}
+		if child.kind == kindLeaf {
+			t.nodes[n.kind]--
+			return child
+		}
+		// Merge prefixes: n.prefix + c + child.prefix.
+		merged := make([]byte, 0, len(n.prefix)+1+len(child.prefix))
+		merged = append(merged, n.prefix...)
+		merged = append(merged, c)
+		merged = append(merged, child.prefix...)
+		child.prefix = merged
+		t.nodes[n.kind]--
+		return child
+	}
+	return n
+}
+
+// Range calls fn for every key >= start in lexicographic order until fn
+// returns false.
+func (t *Tree) Range(start []byte, fn func(key []byte, value uint64) bool) {
+	t.iterate(t.root, start, fn)
+}
+
+// Each iterates all keys in order.
+func (t *Tree) Each(fn func(key []byte, value uint64) bool) {
+	t.Range(nil, fn)
+}
+
+func (t *Tree) iterate(n *node, start []byte, fn func([]byte, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if n.kind == kindLeaf {
+		if len(start) > 0 && bytes.Compare(n.key, start) < 0 {
+			return true
+		}
+		return fn(n.key, n.value)
+	}
+	if n.prefixLeaf != nil {
+		if len(start) == 0 || bytes.Compare(n.prefixLeaf.key, start) >= 0 {
+			if !fn(n.prefixLeaf.key, n.prefixLeaf.value) {
+				return false
+			}
+		}
+	}
+	switch n.kind {
+	case kindNode4, kindNode16:
+		for i := 0; i < int(n.numChildren); i++ {
+			if !t.iterate(n.children[i], start, fn) {
+				return false
+			}
+		}
+	case kindNode48:
+		for c := 0; c < 256; c++ {
+			if idx := n.keys[c]; idx != 0 {
+				if !t.iterate(n.children[idx-1], start, fn) {
+					return false
+				}
+			}
+		}
+	case kindNode256:
+		for c := 0; c < 256; c++ {
+			if !t.iterate(n.children[c], start, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// NodeCounts returns the number of nodes per kind (leaf, Node4, Node16,
+// Node48, Node256); used by tests and the ARTopt lower-bound estimate.
+func (t *Tree) NodeCounts() [5]int64 { return t.nodes }
+
+// KeyBytes returns the total number of key bytes stored.
+func (t *Tree) KeyBytes() int64 { return t.keyBytes }

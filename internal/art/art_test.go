@@ -1,0 +1,136 @@
+package art
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeGrowthTransitions(t *testing.T) {
+	tr := New()
+	// Keys sharing a one-byte prefix populate a single inner node that must
+	// grow Node4 -> Node16 -> Node48 -> Node256.
+	check := func(wantKind int, atLeast int64) {
+		t.Helper()
+		counts := tr.NodeCounts()
+		if counts[wantKind] < atLeast {
+			t.Fatalf("expected at least %d nodes of kind %d, have %v", atLeast, wantKind, counts)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		tr.Put([]byte{0x10, byte(i), 0xff}, uint64(i))
+	}
+	check(kindNode4, 1)
+	for i := 4; i < 16; i++ {
+		tr.Put([]byte{0x10, byte(i), 0xff}, uint64(i))
+	}
+	check(kindNode16, 1)
+	for i := 16; i < 48; i++ {
+		tr.Put([]byte{0x10, byte(i), 0xff}, uint64(i))
+	}
+	check(kindNode48, 1)
+	for i := 48; i < 256; i++ {
+		tr.Put([]byte{0x10, byte(i), 0xff}, uint64(i))
+	}
+	check(kindNode256, 1)
+	for i := 0; i < 256; i++ {
+		if v, ok := tr.Get([]byte{0x10, byte(i), 0xff}); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	tr := New()
+	keys := []string{"a", "ab", "abc", "abcd", "abcde", "b", "ba"}
+	for i, k := range keys {
+		tr.Put([]byte(k), uint64(i))
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get([]byte(k)); !ok || v != uint64(i) {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, v, ok, i)
+		}
+	}
+	var got []string
+	tr.Each(func(k []byte, _ uint64) bool { got = append(got, string(k)); return true })
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPathCompressionSplit(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("aaaaaaaaaaaaaaaaX"), 1)
+	tr.Put([]byte("aaaaaaaaaaaaaaaaY"), 2)
+	tr.Put([]byte("aaaaaaaaZZZZZZZZZ"), 3) // splits the compressed path in the middle
+	for k, v := range map[string]uint64{"aaaaaaaaaaaaaaaaX": 1, "aaaaaaaaaaaaaaaaY": 2, "aaaaaaaaZZZZZZZZZ": 3} {
+		if got, ok := tr.Get([]byte(k)); !ok || got != v {
+			t.Fatalf("Get(%q) = %d,%v", k, got, ok)
+		}
+	}
+}
+
+func TestDeleteCollapsesNodes(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("prefix-one"), 1)
+	tr.Put([]byte("prefix-two"), 2)
+	if !tr.Delete([]byte("prefix-one")) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get([]byte("prefix-one")); ok {
+		t.Fatal("deleted key still present")
+	}
+	if v, ok := tr.Get([]byte("prefix-two")); !ok || v != 2 {
+		t.Fatalf("surviving key lost: %d,%v", v, ok)
+	}
+	counts := tr.NodeCounts()
+	if counts[kindNode4] != 0 && counts[kindLeaf] != 1 {
+		t.Fatalf("expected the inner node to collapse, counts=%v", counts)
+	}
+}
+
+func TestARTvsARTCFootprint(t *testing.T) {
+	a, c := New(), NewC()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%08d", i))
+		a.Put(k, uint64(i))
+		c.Put(k, uint64(i))
+	}
+	if a.MemoryFootprint() >= c.MemoryFootprint() {
+		t.Fatalf("ART accounting (%d) must be below ARTC accounting (%d)", a.MemoryFootprint(), c.MemoryFootprint())
+	}
+}
+
+func TestQuickOracle(t *testing.T) {
+	oracle := map[string]uint64{}
+	tr := New()
+	f := func(key []byte, value uint64, del bool) bool {
+		if len(key) > 40 {
+			key = key[:40]
+		}
+		if del {
+			want := false
+			if _, ok := oracle[string(key)]; ok {
+				want = true
+				delete(oracle, string(key))
+			}
+			return tr.Delete(key) == want
+		}
+		tr.Put(key, value)
+		oracle[string(key)] = value
+		got, ok := tr.Get(key)
+		return ok && got == value && tr.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4000, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

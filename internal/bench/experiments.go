@@ -1,0 +1,509 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/hyperion"
+	"repro/index"
+	"repro/internal/workload"
+)
+
+// Config scales the experiments. The paper runs 7.95 billion string keys and
+// 13-16 billion integer keys on a 1 TiB machine; the defaults here reproduce
+// the same experiments at laptop scale.
+type Config struct {
+	// StringKeys is the size of the synthetic n-gram corpus (Table 1,
+	// Figures 13/14, Table 3).
+	StringKeys int
+	// IntKeys is the size of the integer data sets (Table 2, Figures 15/16,
+	// Table 3).
+	IntKeys int
+	// Fig13Budget is the memory budget (bytes) for the unlimited-insert
+	// experiment.
+	Fig13Budget int64
+	// Fig13MaxKeys caps the number of keys generated for Figure 13.
+	Fig13MaxKeys int
+	// Fig15Samples is the number of throughput samples per series.
+	Fig15Samples int
+	// Structures restricts the experiment to the named structures (nil = all).
+	Structures map[string]bool
+	// Seed drives every workload generator.
+	Seed uint64
+}
+
+// SmallConfig finishes in well under a minute and is used by the `go test`
+// benchmarks.
+func SmallConfig() Config {
+	return Config{
+		StringKeys:   100_000,
+		IntKeys:      200_000,
+		Fig13Budget:  8 << 20,
+		Fig13MaxKeys: 400_000,
+		Fig15Samples: 10,
+		Seed:         42,
+	}
+}
+
+// MediumConfig is the default of cmd/hyperion-bench.
+func MediumConfig() Config {
+	return Config{
+		StringKeys:   1_000_000,
+		IntKeys:      2_000_000,
+		Fig13Budget:  64 << 20,
+		Fig13MaxKeys: 4_000_000,
+		Fig15Samples: 20,
+		Seed:         42,
+	}
+}
+
+// LargeConfig stresses a workstation (several GiB of index data).
+func LargeConfig() Config {
+	return Config{
+		StringKeys:   8_000_000,
+		IntKeys:      16_000_000,
+		Fig13Budget:  512 << 20,
+		Fig13MaxKeys: 32_000_000,
+		Fig15Samples: 25,
+		Seed:         42,
+	}
+}
+
+func (c Config) wants(name string) bool {
+	if len(c.Structures) == 0 {
+		return true
+	}
+	return c.Structures[name]
+}
+
+// TableSection is one block of a result table (e.g. the sequential or the
+// randomized half of Table 1).
+type TableSection struct {
+	Name string
+	Rows []KPI
+}
+
+// TableResult is a reproduced table.
+type TableResult struct {
+	ID       string
+	Title    string
+	Sections []TableSection
+}
+
+// stringFactories returns the structures of the string experiments in the
+// order the paper lists them (Table 1).
+func stringFactories() []index.Factory {
+	names := []string{"Hyperion", "Judy", "HAT", "ART_C", "ART", "HOT", "RB-Tree", "Hash"}
+	out := make([]index.Factory, 0, len(names))
+	for _, n := range names {
+		f, _ := index.ByName(n)
+		out = append(out, f)
+	}
+	return out
+}
+
+// integerFactories returns the structures of the integer experiments
+// (Table 2). Hyperion uses the integer-tuned options; Hyperion_p is only
+// meaningful for the randomized data set, as in the paper.
+func integerFactories(randomized bool) []index.Factory {
+	names := []string{"Hyperion"}
+	if randomized {
+		names = append(names, "Hyperion_p")
+	}
+	names = append(names, "Judy", "HAT", "ART_C", "ART", "HOT", "RB-Tree", "Hash")
+	out := make([]index.Factory, 0, len(names))
+	for _, n := range names {
+		f, _ := index.ByName(n)
+		if n == "Hyperion" && f.IntegerTuned != nil {
+			tuned := f.IntegerTuned
+			f.New = tuned
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// optRows derives the paper's ARTopt and HOTopt lower bounds (§4.1): variants
+// that would store up to 8-byte values directly inside the trie, removing the
+// external key/value array's per-pair pointer. They are memory-only rows.
+func optRows(rows []KPI) []KPI {
+	var out []KPI
+	for _, r := range rows {
+		switch r.Structure {
+		case "ART":
+			out = append(out, KPI{
+				Structure:   "ART_opt",
+				Keys:        r.Keys,
+				SelfMemory:  r.SelfMemory - int64(r.Keys)*8,
+				BytesPerKey: float64(r.SelfMemory-int64(r.Keys)*8) / float64(r.Keys),
+			})
+		case "HOT":
+			out = append(out, KPI{
+				Structure:   "HOT_opt",
+				Keys:        r.Keys,
+				SelfMemory:  r.SelfMemory - int64(r.Keys)*8,
+				BytesPerKey: float64(r.SelfMemory-int64(r.Keys)*8) / float64(r.Keys),
+			})
+		}
+	}
+	return out
+}
+
+func runSection(name string, factories []index.Factory, cfg Config, ds *workload.Dataset, withRange bool) TableSection {
+	sec := TableSection{Name: name}
+	for _, f := range factories {
+		if !cfg.wants(f.Name) {
+			continue
+		}
+		kpi := LoadKPI(f.New(), ds, withRange)
+		kpi.Structure = f.Name
+		sec.Rows = append(sec.Rows, kpi)
+	}
+	sec.Rows = append(sec.Rows, optRows(sec.Rows)...)
+	NormalizePM(sec.Rows, "Hyperion")
+	return sec
+}
+
+// RunTable1 reproduces Table 1: KPIs of the (synthetic) Google Books n-gram
+// string data set, inserted in sequential and in randomized order.
+func RunTable1(cfg Config) TableResult {
+	corpus := workload.NGrams(workload.NGramOptions{N: cfg.StringKeys, MaxWords: 5, Seed: cfg.Seed})
+	seq := corpus.Sorted()
+	rnd := corpus.Shuffled(cfg.Seed + 1)
+	return TableResult{
+		ID:    "table1",
+		Title: fmt.Sprintf("Table 1: KPIs of the string data sets (%d synthetic n-gram keys, avg %.1f B)", seq.Len(), seq.AverageKeySize()),
+		Sections: []TableSection{
+			runSection("Sequential String Keys", stringFactories(), cfg, seq, false),
+			runSection("Randomized String Keys", stringFactories(), cfg, rnd, false),
+		},
+	}
+}
+
+// RunTable2 reproduces Table 2: KPIs of the sequential and randomized 64-bit
+// integer data sets.
+func RunTable2(cfg Config) TableResult {
+	seq := workload.SequentialIntegers(cfg.IntKeys)
+	rnd := workload.RandomIntegers(cfg.IntKeys, cfg.Seed)
+	return TableResult{
+		ID:    "table2",
+		Title: fmt.Sprintf("Table 2: KPIs of the integer data sets (%d keys)", cfg.IntKeys),
+		Sections: []TableSection{
+			runSection("Sequential Integer Keys", integerFactories(false), cfg, seq, false),
+			runSection("Randomized Integer Keys", integerFactories(true), cfg, rnd, false),
+		},
+	}
+}
+
+// RunTable3 reproduces Table 3: the duration of a full-index ordered range
+// query for every ordered structure on all four data sets.
+func RunTable3(cfg Config) TableResult {
+	corpus := workload.NGrams(workload.NGramOptions{N: cfg.StringKeys, MaxWords: 5, Seed: cfg.Seed})
+	sets := []struct {
+		name string
+		ds   *workload.Dataset
+		fact []index.Factory
+	}{
+		{"Sequential Integer Keys", workload.SequentialIntegers(cfg.IntKeys), integerFactories(false)},
+		{"Randomized Integer Keys", workload.RandomIntegers(cfg.IntKeys, cfg.Seed), integerFactories(true)},
+		{"Sequential String Keys", corpus.Sorted(), stringFactories()},
+		{"Randomized String Keys", corpus.Shuffled(cfg.Seed + 1), stringFactories()},
+	}
+	res := TableResult{ID: "table3", Title: "Table 3: Range query duration (full index scan)"}
+	for _, s := range sets {
+		sec := TableSection{Name: s.name}
+		for _, f := range s.fact {
+			if !f.Ordered || !cfg.wants(f.Name) {
+				continue
+			}
+			kpi := LoadKPI(f.New(), s.ds, true)
+			kpi.Structure = f.Name
+			sec.Rows = append(sec.Rows, kpi)
+		}
+		NormalizePM(sec.Rows, "Hyperion")
+		res.Sections = append(res.Sections, sec)
+	}
+	return res
+}
+
+// Figure13Row is one bar of Figure 13: how many keys a structure can index
+// within the memory budget.
+type Figure13Row struct {
+	Structure    string
+	Keys         int
+	MemoryBytes  int64
+	BudgetBytes  int64
+	Extrapolated bool // the generated data set ran out before the budget did
+}
+
+// Figure13Result reproduces Figure 13 (unlimited inserts) for the random
+// integer data set (left plot) and the sequential string data set (right
+// plot).
+type Figure13Result struct {
+	ID      string
+	Title   string
+	Integer []Figure13Row
+	String  []Figure13Row
+}
+
+func insertUntilBudget(kv index.KV, ds *workload.Dataset, budget int64) Figure13Row {
+	row := Figure13Row{Structure: kv.Name(), BudgetBytes: budget}
+	checkEvery := ds.Len() / 512
+	if checkEvery < 256 {
+		checkEvery = 256
+	}
+	for i := 0; i < ds.Len(); i++ {
+		kv.Put(ds.Key(i), ds.Value(i))
+		if (i+1)%checkEvery == 0 && kv.MemoryFootprint() >= budget {
+			row.Keys = i + 1
+			row.MemoryBytes = kv.MemoryFootprint()
+			return row
+		}
+	}
+	row.MemoryBytes = kv.MemoryFootprint()
+	row.Keys = ds.Len()
+	if row.MemoryBytes < budget && row.MemoryBytes > 0 {
+		// The generated data set was exhausted before the budget: report the
+		// linear extrapolation, flagged as such.
+		row.Keys = int(float64(ds.Len()) * float64(budget) / float64(row.MemoryBytes))
+		row.Extrapolated = true
+	}
+	return row
+}
+
+// RunFigure13 reproduces Figure 13.
+func RunFigure13(cfg Config) Figure13Result {
+	res := Figure13Result{
+		ID:    "fig13",
+		Title: fmt.Sprintf("Figure 13: keys indexable within a %d MiB budget", cfg.Fig13Budget>>20),
+	}
+	randInt := workload.RandomIntegers(cfg.Fig13MaxKeys, cfg.Seed)
+	seqStr := workload.NGrams(workload.NGramOptions{N: cfg.Fig13MaxKeys, MaxWords: 3, Seed: cfg.Seed}).Sorted()
+
+	intNames := []string{"Hyperion", "Hyperion_p", "Judy", "HAT", "ART_C", "RB-Tree", "Hash"}
+	strNames := []string{"Hyperion", "Judy", "HAT", "ART_C", "RB-Tree", "Hash"}
+	for _, n := range intNames {
+		if !cfg.wants(n) {
+			continue
+		}
+		f, _ := index.ByName(n)
+		kv := f.New()
+		if n == "Hyperion" && f.IntegerTuned != nil {
+			kv = f.IntegerTuned()
+		}
+		r := insertUntilBudget(kv, randInt, cfg.Fig13Budget)
+		r.Structure = n
+		res.Integer = append(res.Integer, r)
+	}
+	for _, n := range strNames {
+		if !cfg.wants(n) {
+			continue
+		}
+		f, _ := index.ByName(n)
+		r := insertUntilBudget(f.New(), seqStr, cfg.Fig13Budget)
+		r.Structure = n
+		res.String = append(res.String, r)
+	}
+	return res
+}
+
+// SuperbinRow is one bar group of Figures 14 and 16.
+type SuperbinRow struct {
+	ID              int
+	ChunkSize       int
+	AllocatedChunks int64
+	EmptyChunks     int64
+	AllocatedBytes  int64
+	EmptyBytes      int64
+}
+
+// MemoryFigure holds the per-superbin memory characteristics of one Hyperion
+// configuration and data set (one subplot of Figure 14 or 16).
+type MemoryFigure struct {
+	Name           string
+	TotalChunks    int64
+	EmptyChunks    int64
+	AllocatedBytes int64
+	EmptyBytes     int64
+	Footprint      int64
+	Keys           int
+	Stats          hyperion.Stats
+	Superbins      []SuperbinRow
+}
+
+func memoryFigure(name string, store *hyperion.Store, keys int) MemoryFigure {
+	ms := store.MemoryStats()
+	fig := MemoryFigure{
+		Name:           name,
+		TotalChunks:    ms.AllocatedChunks,
+		EmptyChunks:    ms.EmptyChunks,
+		AllocatedBytes: ms.AllocatedBytes,
+		EmptyBytes:     ms.EmptyBytes,
+		Footprint:      ms.Footprint,
+		Keys:           keys,
+		Stats:          store.Stats(),
+	}
+	for _, sb := range ms.Superbins {
+		if sb.AllocatedChunks == 0 && sb.EmptyChunks == 0 {
+			continue
+		}
+		fig.Superbins = append(fig.Superbins, SuperbinRow{
+			ID:              sb.ID,
+			ChunkSize:       sb.ChunkSize,
+			AllocatedChunks: sb.AllocatedChunks,
+			EmptyChunks:     sb.EmptyChunks,
+			AllocatedBytes:  sb.AllocatedBytes,
+			EmptyBytes:      sb.EmptyBytes,
+		})
+	}
+	return fig
+}
+
+// FigureMemoryResult is the result of Figure 14 or Figure 16.
+type FigureMemoryResult struct {
+	ID      string
+	Title   string
+	Figures []MemoryFigure
+}
+
+// RunFigure14 reproduces Figure 14: Hyperion's per-superbin memory
+// characteristics for the ordered and the randomized string data set.
+func RunFigure14(cfg Config) FigureMemoryResult {
+	corpus := workload.NGrams(workload.NGramOptions{N: cfg.StringKeys, MaxWords: 5, Seed: cfg.Seed})
+	res := FigureMemoryResult{ID: "fig14", Title: "Figure 14: Hyperion memory characteristics, string data set"}
+	for _, variant := range []struct {
+		name string
+		ds   *workload.Dataset
+	}{
+		{"ordered", corpus.Sorted()},
+		{"randomized", corpus.Shuffled(cfg.Seed + 1)},
+	} {
+		store := hyperion.New(hyperion.DefaultOptions())
+		for i := 0; i < variant.ds.Len(); i++ {
+			store.Put(variant.ds.Key(i), variant.ds.Value(i))
+		}
+		res.Figures = append(res.Figures, memoryFigure(variant.name, store, variant.ds.Len()))
+	}
+	return res
+}
+
+// RunFigure16 reproduces Figure 16: Hyperion vs Hyperion_p memory usage after
+// loading the randomized integer data set.
+func RunFigure16(cfg Config) FigureMemoryResult {
+	ds := workload.RandomIntegers(cfg.IntKeys, cfg.Seed)
+	res := FigureMemoryResult{ID: "fig16", Title: "Figure 16: Hyperion vs Hyperion_p memory usage, random integers"}
+	for _, variant := range []struct {
+		name string
+		opts hyperion.Options
+	}{
+		{"Hyperion", hyperion.IntegerOptions()},
+		{"Hyperion_p", hyperion.PreprocessedIntegerOptions()},
+	} {
+		store := hyperion.New(variant.opts)
+		for i := 0; i < ds.Len(); i++ {
+			store.Put(ds.Key(i), ds.Value(i))
+		}
+		res.Figures = append(res.Figures, memoryFigure(variant.name, store, ds.Len()))
+	}
+	return res
+}
+
+// Figure15Series is the put and get throughput of one structure as a function
+// of the index size, plus its final memory footprint (one line of each
+// Figure 15 subplot).
+type Figure15Series struct {
+	Structure string
+	Puts      []ThroughputSample
+	Gets      []ThroughputSample
+	Memory    int64
+}
+
+// Figure15Result groups the series per data set.
+type Figure15Result struct {
+	ID         string
+	Title      string
+	Sequential []Figure15Series
+	Randomized []Figure15Series
+}
+
+// RunFigure15 reproduces Figure 15: put/get throughput over index size and
+// the memory footprint for the sequential and randomized integer data sets.
+func RunFigure15(cfg Config) Figure15Result {
+	res := Figure15Result{ID: "fig15", Title: "Figure 15: throughput over index size, integer keys"}
+	interval := cfg.IntKeys / cfg.Fig15Samples
+	run := func(randomized bool) []Figure15Series {
+		var ds *workload.Dataset
+		if randomized {
+			ds = workload.RandomIntegers(cfg.IntKeys, cfg.Seed)
+		} else {
+			ds = workload.SequentialIntegers(cfg.IntKeys)
+		}
+		var out []Figure15Series
+		for _, f := range integerFactories(randomized) {
+			if !cfg.wants(f.Name) {
+				continue
+			}
+			kv := f.New()
+			puts, gets := LoadWithSamples(kv, ds, interval)
+			out = append(out, Figure15Series{Structure: f.Name, Puts: puts, Gets: gets, Memory: kv.MemoryFootprint()})
+		}
+		return out
+	}
+	res.Sequential = run(false)
+	res.Randomized = run(true)
+	return res
+}
+
+// AblationRow is the result of one Hyperion feature configuration.
+type AblationRow struct {
+	Variant string
+	KPI     KPI
+	Stats   hyperion.Stats
+}
+
+// AblationResult covers the design-choice experiments of §3.3/§4.3/§4.4.
+type AblationResult struct {
+	ID      string
+	Title   string
+	Dataset string
+	Rows    []AblationRow
+}
+
+// RunAblation measures Hyperion with individual features disabled, the
+// configuration the paper's design discussion argues for.
+func RunAblation(cfg Config, dataset string) AblationResult {
+	var ds *workload.Dataset
+	switch dataset {
+	case "random-int":
+		ds = workload.RandomIntegers(cfg.IntKeys, cfg.Seed)
+	case "sequential-int":
+		ds = workload.SequentialIntegers(cfg.IntKeys)
+	default:
+		dataset = "ngram"
+		ds = workload.NGrams(workload.NGramOptions{N: cfg.StringKeys, MaxWords: 5, Seed: cfg.Seed}).Shuffled(cfg.Seed + 1)
+	}
+	variants := []struct {
+		name string
+		opts hyperion.Options
+	}{
+		{"full (paper default)", hyperion.IntegerOptions()},
+		{"no delta encoding", func() hyperion.Options { o := hyperion.IntegerOptions(); o.DisableDeltaEncoding = true; return o }()},
+		{"no path compression", func() hyperion.Options { o := hyperion.IntegerOptions(); o.DisablePathCompression = true; return o }()},
+		{"no embedded containers", func() hyperion.Options { o := hyperion.IntegerOptions(); o.DisableEmbedded = true; return o }()},
+		{"no jump successors/tables", func() hyperion.Options {
+			o := hyperion.IntegerOptions()
+			o.DisableJumpSuccessor = true
+			o.DisableJumpTables = true
+			return o
+		}()},
+		{"no container splitting", func() hyperion.Options { o := hyperion.IntegerOptions(); o.DisableContainerSplit = true; return o }()},
+		{"key pre-processing", hyperion.PreprocessedIntegerOptions()},
+	}
+	res := AblationResult{ID: "ablation", Title: "Ablation: Hyperion feature contributions", Dataset: dataset}
+	for _, v := range variants {
+		store := hyperion.New(v.opts)
+		kpi := LoadKPI(store, ds, true)
+		kpi.Structure = v.name
+		res.Rows = append(res.Rows, AblationRow{Variant: v.name, KPI: kpi, Stats: store.Stats()})
+	}
+	return res
+}

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// This file renders experiment results as plain-text tables and data series
+// in the same shape as the paper's tables and figures, so a run of
+// cmd/hyperion-bench can be compared side by side with the publication.
+
+func mib(b int64) float64 { return float64(b) / (1 << 20) }
+
+// WriteTable renders a TableResult (Tables 1 and 2).
+func WriteTable(w io.Writer, t TableResult) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	for _, sec := range t.Sections {
+		fmt.Fprintf(w, "\n  [%s]\n", sec.Name)
+		fmt.Fprintf(w, "  %-12s %10s %10s %12s %10s %8s\n", "Structure", "Puts MOPS", "Gets MOPS", "Mem MiB", "B/key", "P/M")
+		for _, r := range sec.Rows {
+			if r.MemoryOnly() {
+				fmt.Fprintf(w, "  %-12s %10s %10s %12.1f %10.1f %8s\n", r.Structure, "-", "-", mib(r.SelfMemory), r.BytesPerKey, "-")
+				continue
+			}
+			fmt.Fprintf(w, "  %-12s %10.2f %10.2f %12.1f %10.1f %8.2f\n",
+				r.Structure, r.PutsMOPS, r.GetsMOPS, mib(r.SelfMemory), r.BytesPerKey, r.PM)
+		}
+	}
+}
+
+// WriteRangeTable renders Table 3 (range-query durations).
+func WriteRangeTable(w io.Writer, t TableResult) {
+	fmt.Fprintf(w, "\n%s\n", t.Title)
+	for _, sec := range t.Sections {
+		fmt.Fprintf(w, "\n  [%s]\n", sec.Name)
+		fmt.Fprintf(w, "  %-12s %14s %14s\n", "Structure", "Scan seconds", "Mkeys/s")
+		for _, r := range sec.Rows {
+			rate := float64(r.Keys) / r.RangeSeconds / 1e6
+			fmt.Fprintf(w, "  %-12s %14.3f %14.2f\n", r.Structure, r.RangeSeconds, rate)
+		}
+	}
+}
+
+// WriteFigure13 renders the unlimited-insert bars.
+func WriteFigure13(w io.Writer, f Figure13Result) {
+	fmt.Fprintf(w, "\n%s\n", f.Title)
+	write := func(name string, rows []Figure13Row) {
+		fmt.Fprintf(w, "\n  [%s]\n", name)
+		fmt.Fprintf(w, "  %-12s %14s %12s %6s\n", "Structure", "Keys in budget", "Mem MiB", "extr.")
+		for _, r := range rows {
+			mark := ""
+			if r.Extrapolated {
+				mark = "*"
+			}
+			fmt.Fprintf(w, "  %-12s %14d %12.1f %6s\n", r.Structure, r.Keys, mib(r.MemoryBytes), mark)
+		}
+	}
+	write("Random integer keys", f.Integer)
+	write("Sequential string keys (3-grams)", f.String)
+	fmt.Fprintf(w, "  (* = data set exhausted before the budget; linear extrapolation)\n")
+}
+
+// WriteMemoryFigure renders Figures 14 and 16.
+func WriteMemoryFigure(w io.Writer, f FigureMemoryResult) {
+	fmt.Fprintf(w, "\n%s\n", f.Title)
+	for _, fig := range f.Figures {
+		fmt.Fprintf(w, "\n  [%s]  keys=%d  allocated=%.1f MiB  empty=%.1f MiB  footprint=%.1f MiB\n",
+			fig.Name, fig.Keys, mib(fig.AllocatedBytes), mib(fig.EmptyBytes), mib(fig.Footprint))
+		fmt.Fprintf(w, "  engine: %d containers, %d embedded, %d PC nodes, %d delta-encoded nodes, %d ejections, %d splits\n",
+			fig.Stats.Containers, fig.Stats.EmbeddedContainers, fig.Stats.PathCompressed, fig.Stats.DeltaEncodedNodes, fig.Stats.Ejections, fig.Stats.Splits)
+		fmt.Fprintf(w, "  %-5s %10s %12s %12s %12s %12s\n", "SB", "chunk B", "alloc chunks", "empty chunks", "alloc KiB", "empty KiB")
+		for _, sb := range fig.Superbins {
+			fmt.Fprintf(w, "  %-5d %10d %12d %12d %12.1f %12.1f\n",
+				sb.ID, sb.ChunkSize, sb.AllocatedChunks, sb.EmptyChunks, float64(sb.AllocatedBytes)/1024, float64(sb.EmptyBytes)/1024)
+		}
+	}
+}
+
+// WriteFigure15 renders the throughput-over-index-size series.
+func WriteFigure15(w io.Writer, f Figure15Result) {
+	fmt.Fprintf(w, "\n%s\n", f.Title)
+	write := func(name string, series []Figure15Series) {
+		fmt.Fprintf(w, "\n  [%s]\n", name)
+		for _, s := range series {
+			fmt.Fprintf(w, "  %-12s final memory %.1f MiB\n", s.Structure, mib(s.Memory))
+			fmt.Fprintf(w, "    %-12s", "index size:")
+			for _, p := range s.Puts {
+				fmt.Fprintf(w, " %10d", p.IndexSize)
+			}
+			fmt.Fprintf(w, "\n    %-12s", "puts/s:")
+			for _, p := range s.Puts {
+				fmt.Fprintf(w, " %10.0f", p.OpsPerSec)
+			}
+			fmt.Fprintf(w, "\n    %-12s", "gets/s:")
+			for _, p := range s.Gets {
+				fmt.Fprintf(w, " %10.0f", p.OpsPerSec)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	write("Sequential integer keys", f.Sequential)
+	write("Randomized integer keys", f.Randomized)
+}
+
+// WriteAblation renders the feature-ablation study.
+func WriteAblation(w io.Writer, a AblationResult) {
+	fmt.Fprintf(w, "\n%s (data set: %s)\n", a.Title, a.Dataset)
+	fmt.Fprintf(w, "  %-28s %10s %10s %10s %10s %12s %10s %8s\n",
+		"Variant", "Puts MOPS", "Gets MOPS", "Scan s", "Mem MiB", "B/key", "Splits", "Deltas")
+	for _, r := range a.Rows {
+		fmt.Fprintf(w, "  %-28s %10.2f %10.2f %10.3f %10.1f %12.1f %10d %8d\n",
+			r.Variant, r.KPI.PutsMOPS, r.KPI.GetsMOPS, r.KPI.RangeSeconds, mib(r.KPI.SelfMemory), r.KPI.BytesPerKey, r.Stats.Splits, r.Stats.DeltaEncodedNodes)
+	}
+}

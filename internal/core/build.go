@@ -1,0 +1,102 @@
+package core
+
+import "repro/internal/memman"
+
+// This file builds the byte encodings of brand-new key paths: a T-Node,
+// optionally followed by an S-Node, optionally followed by a path-compressed
+// suffix or a reference to a freshly allocated child container. These
+// encodings are inserted into an existing node stream by the put path.
+
+// appendNodeHead appends a node header (and, unless the key can be delta
+// encoded against prevKey, an explicit key byte) to enc and returns the new
+// slice plus the index of the header byte.
+func (t *Tree) appendNodeHead(enc []byte, typ int, isS bool, key byte, prevKey int) ([]byte, int) {
+	hdrIdx := len(enc)
+	if t.cfg.DeltaEncoding && prevKey >= 0 {
+		if d := int(key) - prevKey; d >= 1 && d <= 7 {
+			t.stats.DeltaEncodedNodes++
+			return append(enc, makeNodeHeader(typ, isS, d)), hdrIdx
+		}
+	}
+	enc = append(enc, makeNodeHeader(typ, isS, 0), key)
+	return enc, hdrIdx
+}
+
+func appendValueBytes(enc []byte, value uint64) []byte {
+	var v [valueSize]byte
+	putValue(v[:], 0, value)
+	return append(enc, v[:]...)
+}
+
+// appendLeafTail appends the encoding of everything below an S-Node for the
+// remaining key bytes rest: nothing (key ends at the S-Node), a PC node, or a
+// reference to a freshly created child container. It fixes up the S-Node
+// header (at hdrIdx) accordingly and returns the new slice.
+func (t *Tree) appendLeafTail(enc []byte, hdrIdx int, rest []byte, value uint64, hasValue bool) []byte {
+	if len(rest) == 0 {
+		if hasValue {
+			setNodeType(enc[hdrIdx:], 0, typeKeyVal)
+			return appendValueBytes(enc, value)
+		}
+		setNodeType(enc[hdrIdx:], 0, typeKey)
+		return enc
+	}
+	setNodeType(enc[hdrIdx:], 0, typeInner)
+	if t.cfg.PathCompression && len(rest) <= pcMaxSuffix {
+		setSChildKind(enc[hdrIdx:], 0, childPC)
+		t.stats.PathCompressed++
+		t.stats.PathCompressedLen += int64(len(rest))
+		return appendPC(enc, rest, value, hasValue)
+	}
+	// Too long for a PC node: the remainder goes into its own container.
+	hp := t.freshFillContainer(rest, value, hasValue)
+	setSChildKind(enc[hdrIdx:], 0, childHP)
+	var hpb [hpSize]byte
+	memman.PutHP(hpb[:], hp)
+	return append(enc, hpb[:]...)
+}
+
+// freshSubtree encodes a new T-Node (and, for keys longer than one byte, its
+// S-Node child plus suffix handling) holding the single key `key`. prevTKey
+// is the key of the sibling T-Node that will precede the new node (-1 if
+// none), used for delta encoding.
+func (t *Tree) freshSubtree(key []byte, value uint64, hasValue bool, prevTKey int) []byte {
+	enc := make([]byte, 0, 16+len(key))
+	var tIdx int
+	enc, tIdx = t.appendNodeHead(enc, typeInner, false, key[0], prevTKey)
+	if len(key) == 1 {
+		if hasValue {
+			setNodeType(enc[tIdx:], 0, typeKeyVal)
+			return appendValueBytes(enc, value)
+		}
+		setNodeType(enc[tIdx:], 0, typeKey)
+		return enc
+	}
+	var sIdx int
+	enc, sIdx = t.appendNodeHead(enc, typeInner, true, key[1], -1)
+	return t.appendLeafTail(enc, sIdx, key[2:], value, hasValue)
+}
+
+// freshSNode encodes a new S-Node (plus suffix handling) for skey, the key
+// remainder starting at the S level (skey[0] is the S-Node's own key byte).
+// prevSKey is the key of the preceding S sibling (-1 if none).
+func (t *Tree) freshSNode(skey []byte, value uint64, hasValue bool, prevSKey int) []byte {
+	enc := make([]byte, 0, 16+len(skey))
+	var sIdx int
+	enc, sIdx = t.appendNodeHead(enc, typeInner, true, skey[0], prevSKey)
+	return t.appendLeafTail(enc, sIdx, skey[1:], value, hasValue)
+}
+
+// freshFillContainer allocates a new standalone container that stores exactly
+// the key `key` (relative to the new container's key space) and returns its
+// HP. The key counter is not touched; callers account for new keys.
+func (t *Tree) freshFillContainer(key []byte, value uint64, hasValue bool) memman.HP {
+	enc := t.freshSubtree(key, value, hasValue, -1)
+	need := containerHeaderSize + len(enc)
+	size := roundUp32(need)
+	hp, buf := t.alloc.Alloc(size)
+	initContainer(buf, size, len(enc))
+	copy(buf[containerHeaderSize:], enc)
+	t.stats.Containers++
+	return hp
+}

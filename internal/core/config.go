@@ -1,0 +1,135 @@
+// Package core implements the Hyperion trie engine (paper §3): a 65,536-ary
+// trie whose nodes are containers storing an exact-fit, linearly scanned byte
+// encoding of a two-level internal trie (T-Nodes for the upper 8 bits of the
+// 16-bit partial key, S-Nodes for the lower 8 bits), together with the
+// performance and memory-efficiency features described in §3.3: delta
+// encoding, embedded containers, path compression, jump successors, jump
+// tables and vertical container splitting.
+//
+// The package is deliberately low level: it works on raw byte slices obtained
+// from the custom memory manager (internal/memman) and stores 5-byte Hyperion
+// Pointers instead of machine pointers. The public, ergonomic API lives in the
+// top-level hyperion package.
+package core
+
+// Config selects Hyperion's optional features and thresholds. The zero value
+// is NOT a valid configuration; use DefaultConfig (all paper features enabled
+// with the paper's default thresholds) and adjust individual fields for
+// ablation studies.
+type Config struct {
+	// DeltaEncoding stores sibling key characters as 3-bit deltas when the
+	// difference to the preceding sibling is small (paper §3.3, "Delta
+	// Encoding"). Disabling it always stores explicit key bytes.
+	DeltaEncoding bool
+
+	// Embedded enables embedding small child containers into their parent
+	// container (paper §3.1, "Child Containers").
+	Embedded bool
+
+	// EmbeddedEjectThreshold is the parent container size in bytes above
+	// which embedded children are ejected and new children are created as
+	// standalone containers. The paper uses 8 KiB for fixed-size integer
+	// keys and 16 KiB for variable-length string keys.
+	EmbeddedEjectThreshold int
+
+	// PathCompression stores unique key suffixes in path-compressed (PC)
+	// nodes of up to 127 bytes (paper §3.1).
+	PathCompression bool
+
+	// JumpSuccessor appends a 16-bit "offset to the next sibling T-Node" to
+	// T-Nodes so scans can skip over S-Node children (paper §3.3).
+	JumpSuccessor bool
+
+	// JumpSuccessorThreshold is the minimum number of S-Node children a
+	// T-Node must have before a jump successor is added (paper default: 2).
+	JumpSuccessorThreshold int
+
+	// TNodeJumpTable adds a 15-entry jump table to very wide T-Nodes
+	// (paper §3.3, "Jump Tables").
+	TNodeJumpTable bool
+
+	// TNodeJumpTableThreshold is the number of S-Nodes a scan has to
+	// traverse linearly before the owning T-Node receives a jump table.
+	TNodeJumpTableThreshold int
+
+	// ContainerJumpTable adds a growing jump table (7..49 entries) to the
+	// container header area once scans traverse many T-Nodes linearly.
+	ContainerJumpTable bool
+
+	// ContainerJumpTableThreshold is the number of T-Nodes a scan has to
+	// traverse linearly before the container jump table is grown or
+	// rebalanced (paper: eight).
+	ContainerJumpTableThreshold int
+
+	// Split enables vertical container splitting via chained extended bins
+	// (paper §3.3, "Splitting Containers").
+	Split bool
+
+	// SplitBaseSize and SplitStepSize parameterise the split condition
+	// size >= SplitBaseSize + SplitStepSize*delay (paper: a=16 KiB,
+	// b=64 KiB, delay in 0..3).
+	SplitBaseSize int
+	SplitStepSize int
+
+	// SplitMinPartSize is the minimum size of either split candidate; the
+	// split is aborted below it (paper: 3 KiB).
+	SplitMinPartSize int
+}
+
+// DefaultConfig returns the paper's default configuration for variable-length
+// (string) keys: every feature enabled, 16 KiB embedded-eject threshold.
+func DefaultConfig() Config {
+	return Config{
+		DeltaEncoding:               true,
+		Embedded:                    true,
+		EmbeddedEjectThreshold:      16 * 1024,
+		PathCompression:             true,
+		JumpSuccessor:               true,
+		JumpSuccessorThreshold:      2,
+		TNodeJumpTable:              true,
+		TNodeJumpTableThreshold:     16,
+		ContainerJumpTable:          true,
+		ContainerJumpTableThreshold: 8,
+		Split:                       true,
+		SplitBaseSize:               16 * 1024,
+		SplitStepSize:               64 * 1024,
+		SplitMinPartSize:            3 * 1024,
+	}
+}
+
+// IntegerConfig returns the paper's configuration for fixed-size integer keys
+// (8 KiB embedded-eject threshold, everything else as DefaultConfig).
+func IntegerConfig() Config {
+	c := DefaultConfig()
+	c.EmbeddedEjectThreshold = 8 * 1024
+	return c
+}
+
+// MinimalConfig disables every optional feature. It is the baseline for the
+// ablation benchmarks and the simplest configuration for debugging.
+func MinimalConfig() Config {
+	return Config{
+		EmbeddedEjectThreshold: 16 * 1024,
+		SplitBaseSize:          16 * 1024,
+		SplitStepSize:          64 * 1024,
+		SplitMinPartSize:       3 * 1024,
+	}
+}
+
+// Stats are the engine's self-reported structural counters. They back the
+// §4.3 analysis (delta-encoded entries, embedded containers, path-compressed
+// bytes) and the ablation experiments.
+type Stats struct {
+	Keys               int64 // number of stored keys
+	Containers         int64 // standalone containers (including split parts)
+	EmbeddedContainers int64 // currently embedded containers
+	PathCompressed     int64 // current number of PC nodes
+	PathCompressedLen  int64 // total suffix bytes held in PC nodes
+	DeltaEncodedNodes  int64 // T/S-Nodes currently stored as deltas
+	Ejections          int64 // embedded containers ejected (cumulative)
+	Splits             int64 // successful container splits (cumulative)
+	SplitAborts        int64 // aborted split attempts (cumulative)
+	JumpSuccessors     int64 // jump successors created (cumulative)
+	TNodeJumpTables    int64 // T-Node jump tables created (cumulative)
+	ContainerJTUpdates int64 // container jump table builds/rebalances (cumulative)
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/memman"
+)
+
+// Delete removes key from the tree and reports whether it was present.
+// Removal is structural: value bytes, PC nodes, emptied S- and T-Nodes,
+// emptied embedded containers and emptied standalone containers are all
+// reclaimed (paper §3.1: deletions trigger memmoves within containers).
+func (t *Tree) Delete(key []byte) bool {
+	if len(key) == 0 {
+		if !t.emptyExists {
+			return false
+		}
+		t.emptyExists, t.emptyHas, t.emptyValue = false, false, 0
+		t.stats.Keys--
+		return true
+	}
+	if t.rootHP.IsNil() {
+		return false
+	}
+	found, removed := t.deleteFromHP(t.rootHP, key, func(hp memman.HP) { t.rootHP = hp })
+	if found {
+		t.stats.Keys--
+		if removed {
+			t.rootHP = memman.NilHP
+		}
+	}
+	return found
+}
+
+// deleteFromHP deletes key from the container (tree) behind hp. removed
+// reports that the whole container is gone and the parent must drop its
+// reference.
+func (t *Tree) deleteFromHP(hp memman.HP, key []byte, writeback func(memman.HP)) (found, removed bool) {
+	if t.alloc.IsChained(hp) {
+		_, idx := t.alloc.ResolveChained(hp, key[0])
+		slot := &containerSlot{chain: hp, chainIdx: idx}
+		e := newEditCtx(t, slot, slot.resolve(t))
+		found, empty := t.deleteInStream(e, key)
+		if found && empty {
+			// Keep the slot resolvable (lower key ranges fall back onto it)
+			// but reset it to an empty container. The chain is released only
+			// once every populated slot is empty.
+			t.writeChainSlot(hp, idx, nil)
+			removed = true
+			for s := 0; s < memman.ChainLen; s++ {
+				if b := t.alloc.ChainedSlot(hp, s); b != nil && ctrContentEnd(b) > ctrStreamStart(b) {
+					removed = false
+					break
+				}
+			}
+			if removed {
+				for s := 0; s < memman.ChainLen; s++ {
+					if t.alloc.ChainedSlot(hp, s) != nil {
+						t.stats.Containers--
+					}
+				}
+				t.alloc.FreeChained(hp)
+			}
+		}
+		return found, removed
+	}
+	slot := &containerSlot{hp: hp, writeback: writeback}
+	e := newEditCtx(t, slot, slot.resolve(t))
+	found, empty := t.deleteInStream(e, key)
+	if found && empty {
+		t.alloc.Free(slot.hp)
+		t.stats.Containers--
+		return true, true
+	}
+	return found, false
+}
+
+// deleteInStream removes key from the node stream the edit context points at.
+// empty reports that the stream holds no nodes anymore.
+func (t *Tree) deleteInStream(e *editCtx, key []byte) (found, empty bool) {
+	buf := e.buf
+	reg := e.streamRegion()
+	topLevel := !e.inEmbedded()
+	ts := scanT(buf, reg, key[0], topLevel && t.cfg.ContainerJumpTable)
+	if !ts.found {
+		return false, false
+	}
+	tPos := ts.pos
+	if topLevel {
+		e.topT = tPos
+	}
+
+	if len(key) == 1 {
+		hdr := buf[tPos]
+		switch nodeType(hdr) {
+		case typeInner:
+			return false, false
+		case typeKeyVal:
+			p := tPos + nodeValueOffset(hdr)
+			setNodeType(buf, tPos, typeInner)
+			e.deleteBytes(p, valueSize)
+		case typeKey:
+			setNodeType(buf, tPos, typeInner)
+		}
+		return true, t.pruneTNode(e, tPos)
+	}
+
+	ss := scanS(buf, reg, tPos, key[1])
+	if !ss.found {
+		return false, false
+	}
+	sPos := ss.pos
+
+	if len(key) == 2 {
+		hdr := buf[sPos]
+		switch nodeType(hdr) {
+		case typeInner:
+			return false, false
+		case typeKeyVal:
+			p := sPos + nodeValueOffset(hdr)
+			setNodeType(buf, sPos, typeInner)
+			e.deleteBytes(p, valueSize)
+		case typeKey:
+			setNodeType(buf, sPos, typeInner)
+		}
+		return true, t.pruneSNode(e, tPos, sPos)
+	}
+
+	rest := key[2:]
+	sHdr := buf[sPos]
+	childOff := sPos + sNodeChildOffset(sHdr)
+	switch sChildKind(sHdr) {
+	case childNone:
+		return false, false
+
+	case childPC:
+		if !bytes.Equal(pcSuffix(buf, childOff), rest) {
+			return false, false
+		}
+		size := pcSize(buf, childOff)
+		t.stats.PathCompressed--
+		t.stats.PathCompressedLen -= int64(pcSuffixLen(buf, childOff))
+		setSChildKind(buf, sPos, childNone)
+		e.deleteBytes(childOff, size)
+		return true, t.pruneSNode(e, tPos, sPos)
+
+	case childHP:
+		hp := memman.GetHP(buf[childOff:])
+		parent := buf
+		f, removed := t.deleteFromHP(hp, rest, func(n memman.HP) { memman.PutHP(parent[childOff:], n) })
+		if !f {
+			return false, false
+		}
+		if removed {
+			setSChildKind(e.buf, sPos, childNone)
+			e.deleteBytes(childOff, hpSize)
+			return true, t.pruneSNode(e, tPos, sPos)
+		}
+		return true, false
+
+	case childEmbedded:
+		e.embStack = append(e.embStack, embInfo{sNodePos: sPos, sizePos: childOff})
+		f, childEmpty := t.deleteInStream(e, rest)
+		e.embStack = e.embStack[:len(e.embStack)-1]
+		if !f {
+			return false, false
+		}
+		if childEmpty {
+			t.stats.EmbeddedContainers--
+			setSChildKind(e.buf, sPos, childNone)
+			e.deleteBytes(childOff, embSize(e.buf, childOff))
+			return true, t.pruneSNode(e, tPos, sPos)
+		}
+		return true, false
+	}
+	return false, false
+}
+
+// pruneSNode removes the S-Node at sPos if it no longer marks a key and has
+// no child, then prunes its parent T-Node the same way. It returns whether
+// the surrounding stream is now empty.
+func (t *Tree) pruneSNode(e *editCtx, tPos, sPos int) (empty bool) {
+	buf := e.buf
+	hdr := buf[sPos]
+	if nodeType(hdr) != typeInner || sChildKind(hdr) != childNone {
+		return false
+	}
+	size := sNodeSize(buf, sPos)
+	// The next sibling S-Node (if any) loses its delta predecessor.
+	succ := sPos + size
+	reg := e.streamRegion()
+	if succ < reg.end && nodeIsS(buf[succ]) && nodeDelta(buf[succ]) != 0 {
+		prevKey := t.keyOfNode(buf, reg, tPos, sPos)
+		succKey := int(prevKey) + nodeDelta(buf[succ])
+		e.materializeKey(succ, byte(succKey))
+	}
+	if nodeDelta(hdr) != 0 {
+		t.stats.DeltaEncodedNodes--
+	}
+	e.deleteBytes(sPos, size)
+	return t.pruneTNode(e, tPos)
+}
+
+// pruneTNode removes the T-Node at tPos if it neither marks a key nor has any
+// S-Node children left. It returns whether the stream is now empty.
+func (t *Tree) pruneTNode(e *editCtx, tPos int) (empty bool) {
+	buf := e.buf
+	reg := e.streamRegion()
+	hdr := buf[tPos]
+	head := tNodeHeadSize(hdr)
+	hasChildren := tPos+head < reg.end && nodeIsS(buf[tPos+head])
+	if nodeType(hdr) != typeInner || hasChildren {
+		return false
+	}
+	// Materialise the next sibling T-Node's key before its predecessor goes.
+	succ := tPos + head
+	if succ < reg.end && !nodeIsS(buf[succ]) && nodeDelta(buf[succ]) != 0 {
+		prevKey := t.keyOfTNode(buf, reg, tPos)
+		succKey := int(prevKey) + nodeDelta(buf[succ])
+		e.materializeKey(succ, byte(succKey))
+	}
+	if nodeDelta(hdr) != 0 {
+		t.stats.DeltaEncodedNodes--
+	}
+	// The node being removed is the edit's reference T-Node; drop it so the
+	// delete fix-ups do not touch freed metadata.
+	if e.topT == tPos {
+		e.topT = -1
+	}
+	e.deleteBytes(tPos, head)
+	reg = e.streamRegion()
+	return reg.end <= reg.start
+}
+
+// keyOfTNode decodes the absolute key of the T-Node at tPos by scanning the
+// stream from the start (only used on the cold delete path).
+func (t *Tree) keyOfTNode(buf []byte, reg region, tPos int) byte {
+	positions, keys := countTNodes(buf, reg)
+	for i, p := range positions {
+		if p == tPos {
+			return keys[i]
+		}
+	}
+	panic("core: keyOfTNode: position is not a T-Node")
+}
+
+// keyOfNode decodes the absolute key of the S-Node at sPos below tPos.
+func (t *Tree) keyOfNode(buf []byte, reg region, tPos, sPos int) byte {
+	positions, keys := countSNodes(buf, reg, tPos)
+	for i, p := range positions {
+		if p == sPos {
+			return keys[i]
+		}
+	}
+	panic("core: keyOfNode: position is not an S-Node of this T-Node")
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"repro/internal/memman"
+)
+
+// containerSlot abstracts how a top-level container is resolved and how its
+// memory is grown. When growth moves the container to a different chunk (and
+// therefore changes its Hyperion Pointer), the new HP is written back to
+// wherever the parent stored it: the tree root field, an HP inside the parent
+// container's byte stream, or nowhere for chained split containers (their HP
+// never changes, only the chain slot's buffer).
+type containerSlot struct {
+	hp        memman.HP
+	chain     memman.HP // chain head; when set, hp is unused
+	chainIdx  int
+	writeback func(memman.HP)
+}
+
+func (s *containerSlot) isChained() bool { return !s.chain.IsNil() }
+
+func (s *containerSlot) resolve(t *Tree) []byte {
+	if s.isChained() {
+		return t.alloc.ChainedSlot(s.chain, s.chainIdx)
+	}
+	return t.alloc.Resolve(s.hp)
+}
+
+func (s *containerSlot) capacity(t *Tree) int {
+	if s.isChained() {
+		return len(t.alloc.ChainedSlot(s.chain, s.chainIdx))
+	}
+	return t.alloc.Capacity(s.hp)
+}
+
+// grow ensures the backing memory can hold newSize bytes and returns the
+// (possibly moved) buffer.
+func (s *containerSlot) grow(t *Tree, newSize int) []byte {
+	if s.isChained() {
+		return t.alloc.SetChainedSlot(s.chain, s.chainIdx, newSize)
+	}
+	newHP, buf := t.alloc.Realloc(s.hp, newSize)
+	if newHP != s.hp {
+		s.hp = newHP
+		if s.writeback != nil {
+			s.writeback(newHP)
+		}
+	}
+	return buf
+}
+
+// embInfo records one embedded container on the descent path: the S-Node that
+// owns it and the position of its size byte.
+type embInfo struct {
+	sNodePos int
+	sizePos  int
+}
+
+// editCtx carries the state needed to modify one top-level container,
+// including the stack of embedded containers the operation descended into and
+// the enclosing top-level T-Node whose jump metadata must be kept consistent.
+type editCtx struct {
+	t    *Tree
+	slot *containerSlot
+	buf  []byte
+	// embStack lists the embedded containers enclosing the current edit
+	// position, outermost first.
+	embStack []embInfo
+	// topT is the position of the enclosing T-Node in the top-level stream
+	// (-1 if the edit happens at T-Node level itself). Only top-level
+	// T-Nodes carry jump successors and jump tables.
+	topT int
+}
+
+func newEditCtx(t *Tree, slot *containerSlot, buf []byte) *editCtx {
+	return &editCtx{t: t, slot: slot, buf: buf, topT: -1}
+}
+
+func (e *editCtx) inEmbedded() bool { return len(e.embStack) > 0 }
+
+// streamRegion returns the node-stream region the edit currently operates on.
+func (e *editCtx) streamRegion() region {
+	if len(e.embStack) == 0 {
+		return topRegion(e.buf)
+	}
+	return embRegion(e.buf, e.embStack[len(e.embStack)-1].sizePos)
+}
+
+func roundUp32(n int) int { return (n + 31) &^ 31 }
+
+// makeRoom grows the top-level container until at least n free bytes are
+// available. Containers grow in 32-byte increments (paper §3.2).
+func (e *editCtx) makeRoom(n int) {
+	buf := e.buf
+	free := ctrFree(buf)
+	if free >= n {
+		return
+	}
+	size := ctrSize(buf)
+	content := size - free
+	newSize := roundUp32(content + n)
+	if newSize > maxContainerSize {
+		panic("core: container exceeds the 19-bit size limit; splitting must be enabled for such workloads")
+	}
+	if newSize <= e.slot.capacity(e.t) {
+		// The granted capacity already covers the new logical size.
+		for i := size; i < newSize; i++ {
+			buf[i] = 0
+		}
+		setCtrSize(buf, newSize)
+		setCtrFree(buf, newSize-content)
+		return
+	}
+	buf = e.slot.grow(e.t, newSize)
+	for i := size; i < newSize && i < len(buf); i++ {
+		buf[i] = 0
+	}
+	e.buf = buf
+	setCtrSize(buf, newSize)
+	setCtrFree(buf, newSize-content)
+}
+
+// wouldOverflowEmbedded returns the index (into embStack) of the outermost
+// embedded container that cannot absorb n more bytes, or -1 if all fit.
+func (e *editCtx) wouldOverflowEmbedded(n int) int {
+	for i, emb := range e.embStack {
+		if embSize(e.buf, emb.sizePos)+n > embMaxSize {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertBytes shifts the container content starting at p to the right by
+// len(data) bytes, writes data at p and repairs every offset that the shift
+// invalidated: the container header, enclosing embedded container sizes, the
+// container jump table and the enclosing top-level T-Node's jump successor
+// and jump table. Callers must have verified (insertChecked / explicit
+// ejection) that all enclosing embedded containers can absorb the growth.
+func (e *editCtx) insertBytes(p int, data []byte) {
+	n := len(data)
+	if n == 0 {
+		return
+	}
+	e.makeRoom(n)
+	buf := e.buf
+	end := ctrContentEnd(buf)
+	copy(buf[p+n:end+n], buf[p:end])
+	copy(buf[p:p+n], data)
+	setCtrFree(buf, ctrFree(buf)-n)
+	for _, emb := range e.embStack {
+		buf[emb.sizePos] += byte(n)
+	}
+	e.fixupInsert(p, n)
+}
+
+// fixupInsert repairs stored offsets after n bytes were inserted at p.
+func (e *editCtx) fixupInsert(p, n int) {
+	buf := e.buf
+	// Container jump table: entries reference T-Node positions from the
+	// container start.
+	steps := ctrJTSteps(buf)
+	for i := 0; i < steps*ctrJTStep; i++ {
+		key, off := ctrJTEntry(buf, i)
+		if off != 0 && off >= p {
+			setCtrJTEntry(buf, i, key, off+n)
+		}
+	}
+	// Enclosing top-level T-Node: jump successor and jump table.
+	if e.topT >= 0 && e.topT < p {
+		tPos := e.topT
+		hdr := buf[tPos]
+		if tHasJS(hdr) {
+			if js := tNodeJS(buf, tPos); js > 0 && tPos+js >= p {
+				setTNodeJS(buf, tPos, js+n)
+			}
+		}
+		if tHasJT(hdr) {
+			for i := 0; i < tJTEntries; i++ {
+				key, off := tNodeJTEntry(buf, tPos, i)
+				if off != 0 && tPos+off >= p {
+					setTNodeJTEntry(buf, tPos, i, key, off+n)
+				}
+			}
+		}
+	}
+}
+
+// deleteBytes removes n bytes starting at p, zero-fills the vacated tail
+// (paper Figure 8c) and repairs stored offsets. Offsets pointing into the
+// removed range are invalidated.
+func (e *editCtx) deleteBytes(p, n int) {
+	if n == 0 {
+		return
+	}
+	buf := e.buf
+	end := ctrContentEnd(buf)
+	copy(buf[p:end-n], buf[p+n:end])
+	for i := end - n; i < end; i++ {
+		buf[i] = 0
+	}
+	newFree := ctrFree(buf) + n
+	for _, emb := range e.embStack {
+		buf[emb.sizePos] -= byte(n)
+	}
+	// Container jump table.
+	steps := ctrJTSteps(buf)
+	for i := 0; i < steps*ctrJTStep; i++ {
+		key, off := ctrJTEntry(buf, i)
+		if off == 0 {
+			continue
+		}
+		switch {
+		case off >= p+n:
+			setCtrJTEntry(buf, i, key, off-n)
+		case off >= p:
+			setCtrJTEntry(buf, i, 0, 0)
+		}
+	}
+	// Enclosing top-level T-Node.
+	if e.topT >= 0 && e.topT < p {
+		tPos := e.topT
+		hdr := buf[tPos]
+		if tHasJS(hdr) {
+			if js := tNodeJS(buf, tPos); js > 0 {
+				switch {
+				case tPos+js >= p+n:
+					setTNodeJS(buf, tPos, js-n)
+				case tPos+js >= p:
+					setTNodeJS(buf, tPos, 0)
+				}
+			}
+		}
+		if tHasJT(hdr) {
+			for i := 0; i < tJTEntries; i++ {
+				key, off := tNodeJTEntry(buf, tPos, i)
+				if off == 0 {
+					continue
+				}
+				switch {
+				case tPos+off >= p+n:
+					setTNodeJTEntry(buf, tPos, i, key, off-n)
+				case tPos+off >= p:
+					setTNodeJTEntry(buf, tPos, i, 0, 0)
+				}
+			}
+		}
+	}
+	if newFree > 255 {
+		e.shrink(newFree)
+		return
+	}
+	setCtrFree(buf, newFree)
+}
+
+// shrink reallocates the container so that the unused tail stays below the
+// 8-bit free field (paper: "occasionally triggers a reallocation ... to keep
+// the unused free memory small").
+func (e *editCtx) shrink(newFree int) {
+	buf := e.buf
+	content := ctrSize(buf) - ctrFree(buf) // free field still holds the old value
+	content -= newFree - ctrFree(buf)      // account for the bytes just removed
+	newSize := roundUp32(content)
+	if newSize < initialContainerSz {
+		newSize = initialContainerSz
+	}
+	setCtrSize(buf, newSize)
+	setCtrFree(buf, newSize-content)
+	if !e.slot.isChained() {
+		newHP, nb := e.t.alloc.Realloc(e.slot.hp, newSize)
+		if newHP != e.slot.hp {
+			e.slot.hp = newHP
+			if e.slot.writeback != nil {
+				e.slot.writeback(newHP)
+			}
+		}
+		e.buf = nb
+	}
+}
+
+// materializeKey converts a delta-encoded node into one with an explicit key
+// byte. It is required before a node's preceding sibling is removed or when a
+// new sibling with an incompatible delta is inserted in front of it.
+func (e *editCtx) materializeKey(pos int, key byte) {
+	hdr := e.buf[pos]
+	if nodeDelta(hdr) == 0 {
+		return
+	}
+	setNodeDelta(e.buf, pos, 0)
+	e.t.stats.DeltaEncodedNodes--
+	e.insertBytes(pos+1, []byte{key})
+	// If the node is a T-Node carrying jump metadata, its own targets (which
+	// all lie behind the freshly inserted key byte) shifted by one.
+	hdr = e.buf[pos]
+	if !nodeIsS(hdr) {
+		if tHasJS(hdr) {
+			if js := tNodeJS(e.buf, pos); js > 0 {
+				setTNodeJS(e.buf, pos, js+1)
+			}
+		}
+		if tHasJT(hdr) {
+			for i := 0; i < tJTEntries; i++ {
+				k, off := tNodeJTEntry(e.buf, pos, i)
+				if off != 0 {
+					setTNodeJTEntry(e.buf, pos, i, k, off+1)
+				}
+			}
+		}
+	}
+}
+
+// rebaseSibling adjusts the delta encoding of the sibling node at succPos
+// (absolute key succKey) after a new sibling with key newKey was inserted
+// directly in front of it.
+func (e *editCtx) rebaseSibling(succPos int, succKey, newKey int) {
+	if succPos < 0 || succKey < 0 {
+		return
+	}
+	hdr := e.buf[succPos]
+	if nodeDelta(hdr) == 0 {
+		return // explicit keys never need rebasing
+	}
+	d := succKey - newKey
+	if e.t.cfg.DeltaEncoding && d >= 1 && d <= 7 {
+		setNodeDelta(e.buf, succPos, d)
+		return
+	}
+	e.materializeKey(succPos, byte(succKey))
+}

@@ -1,0 +1,55 @@
+package core
+
+import "repro/internal/memman"
+
+// eject converts the embedded container at e.embStack[depth] into a
+// standalone container referenced by a Hyperion Pointer (paper Figure 8).
+// Everything nested inside it (deeper embedded containers, PC nodes, HPs)
+// moves verbatim, since the encoding is position independent. The caller must
+// restart its operation afterwards: every position derived from the previous
+// scan is invalid.
+func (t *Tree) eject(e *editCtx, depth int) {
+	emb := e.embStack[depth]
+	buf := e.buf
+	sizePos := emb.sizePos
+	total := embSize(buf, sizePos)
+	// Tiny embedded containers are replaced by a larger 5-byte HP; make sure
+	// the enclosing embedded containers can absorb that growth, otherwise
+	// eject an outer one first (the caller restarts either way).
+	if grow := hpSize - total; grow > 0 {
+		for i := 0; i < depth; i++ {
+			if embSize(buf, e.embStack[i].sizePos)+grow > embMaxSize {
+				t.eject(e, i)
+				return
+			}
+		}
+	}
+	payload := buf[sizePos+1 : sizePos+total]
+
+	// Build the standalone container.
+	need := containerHeaderSize + len(payload)
+	size := roundUp32(need)
+	hp, nb := t.alloc.Alloc(size)
+	initContainer(nb, size, len(payload))
+	copy(nb[containerHeaderSize:], payload)
+	t.stats.Containers++
+	t.stats.EmbeddedContainers--
+	t.stats.Ejections++
+
+	// From here on the edit operates on the parent of the ejected container,
+	// so only the remaining enclosing embedded sizes get adjusted.
+	e.embStack = e.embStack[:depth]
+
+	var hpb [hpSize]byte
+	memman.PutHP(hpb[:], hp)
+	setSChildKind(buf, emb.sNodePos, childHP)
+	if total >= hpSize {
+		copy(buf[sizePos:sizePos+hpSize], hpb[:])
+		if total > hpSize {
+			e.deleteBytes(sizePos+hpSize, total-hpSize)
+		}
+	} else {
+		copy(buf[sizePos:sizePos+total], hpb[:total])
+		e.insertBytes(sizePos+total, hpb[total:])
+	}
+}

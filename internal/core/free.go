@@ -1,0 +1,69 @@
+package core
+
+import "repro/internal/memman"
+
+// freeSubtree releases the container behind hp and, recursively, every
+// standalone container referenced from it. Structural statistics other than
+// the container count are not rolled back; the function is used for tree
+// disposal and for undoing freshly built temporary subtrees.
+func (t *Tree) freeSubtree(hp memman.HP) {
+	if t.alloc.IsChained(hp) {
+		for slot := 0; slot < memman.ChainLen; slot++ {
+			if buf := t.alloc.ChainedSlot(hp, slot); buf != nil {
+				t.freeStreamChildren(buf, topRegion(buf))
+				t.stats.Containers--
+			}
+		}
+		t.alloc.FreeChained(hp)
+		return
+	}
+	buf := t.alloc.Resolve(hp)
+	t.freeStreamChildren(buf, topRegion(buf))
+	t.alloc.Free(hp)
+	t.stats.Containers--
+}
+
+// freeStreamChildren walks a node stream and frees every standalone child
+// container it references (directly or through embedded containers).
+func (t *Tree) freeStreamChildren(buf []byte, reg region) {
+	pos := reg.start
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid {
+			break
+		}
+		if !nodeIsS(hdr) {
+			pos += tNodeHeadSize(hdr)
+			continue
+		}
+		childOff := pos + sNodeChildOffset(hdr)
+		switch sChildKind(hdr) {
+		case childHP:
+			t.freeSubtree(memman.GetHP(buf[childOff:]))
+		case childEmbedded:
+			t.freeStreamChildren(buf, embRegion(buf, childOff))
+		}
+		pos += sNodeSize(buf, pos)
+	}
+}
+
+// Clear removes every key and releases all containers. The tree remains
+// usable afterwards.
+func (t *Tree) Clear() {
+	if !t.rootHP.IsNil() {
+		t.freeSubtree(t.rootHP)
+		t.rootHP = memman.NilHP
+	}
+	t.emptyExists, t.emptyHas, t.emptyValue = false, false, 0
+	keepCfg, keepAlloc := t.cfg, t.alloc
+	cum := t.stats
+	t.stats = Stats{
+		Ejections:          cum.Ejections,
+		Splits:             cum.Splits,
+		SplitAborts:        cum.SplitAborts,
+		JumpSuccessors:     cum.JumpSuccessors,
+		TNodeJumpTables:    cum.TNodeJumpTables,
+		ContainerJTUpdates: cum.ContainerJTUpdates,
+	}
+	t.cfg, t.alloc = keepCfg, keepAlloc
+}

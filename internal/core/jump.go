@@ -1,0 +1,108 @@
+package core
+
+// Jump successors and jump tables (paper §3.3) accelerate the linear scans by
+// letting them skip over S-Node regions (jump successor), over most S-Nodes of
+// a wide T-Node (T-Node jump table) and over most T-Nodes of a wide container
+// (container jump table). All of them are created lazily, driven by how much
+// work the preceding scan had to do, so no branch is added to the common case.
+
+// addJS inserts a jump successor field into the T-Node at tPos and fills it
+// with the distance to its next sibling. It returns true so the caller
+// restarts its (now stale) scan.
+func (t *Tree) addJS(e *editCtx, tPos int) bool {
+	buf := e.buf
+	reg := e.streamRegion()
+	next := sRegionEnd(buf, reg, tPos)
+	setTJSFlag(buf, tPos, true)
+	e.insertBytes(tPos+tNodeJSOffset(buf[tPos]), []byte{0, 0})
+	// The successor itself shifted by the two freshly inserted bytes.
+	setTNodeJS(e.buf, tPos, next+jsSize-tPos)
+	t.stats.JumpSuccessors++
+	return true
+}
+
+// addTNodeJT inserts a 15-entry jump table into the T-Node at tPos and fills
+// it with evenly spaced S-Node children. Returns true to restart the scan.
+func (t *Tree) addTNodeJT(e *editCtx, tPos int) bool {
+	buf := e.buf
+	setTJTFlag(buf, tPos, true)
+	e.insertBytes(tPos+tNodeJTOffset(buf[tPos]), make([]byte, tJTSize))
+	t.rebuildTNodeJT(e.buf, e.streamRegion(), tPos)
+	t.stats.TNodeJumpTables++
+	return true
+}
+
+// rebuildTNodeJT refreshes the jump table entries of the T-Node at tPos from
+// the current S-Node population.
+func (t *Tree) rebuildTNodeJT(buf []byte, reg region, tPos int) {
+	if !tHasJT(buf[tPos]) {
+		return
+	}
+	positions, keys := countSNodes(buf, reg, tPos)
+	for i := 0; i < tJTEntries; i++ {
+		setTNodeJTEntry(buf, tPos, i, 0, 0)
+	}
+	if len(positions) == 0 {
+		return
+	}
+	// Spread the entries evenly over the S-Node population. Storing the key
+	// together with the offset keeps delta decoding sound after a jump.
+	n := len(positions)
+	count := tJTEntries
+	if n < count {
+		count = n
+	}
+	for i := 0; i < count; i++ {
+		idx := (i + 1) * n / (count + 1)
+		if idx >= n {
+			idx = n - 1
+		}
+		setTNodeJTEntry(buf, tPos, i, keys[idx], positions[idx]-tPos)
+	}
+}
+
+// growContainerJT grows (by one step of seven entries) or rebalances the
+// container jump table. It returns true when the node stream shifted and the
+// caller must restart its scan.
+func (t *Tree) growContainerJT(e *editCtx) bool {
+	buf := e.buf
+	steps := ctrJTSteps(buf)
+	t.stats.ContainerJTUpdates++
+	if steps == ctrJTMaxSteps {
+		t.rebuildContainerJT(buf)
+		return false
+	}
+	p := containerHeaderSize + ctrJTBytes(buf)
+	e.insertBytes(p, make([]byte, ctrJTStep*ctrJTEntrySize))
+	setCtrJTSteps(e.buf, steps+1)
+	t.rebuildContainerJT(e.buf)
+	return true
+}
+
+// rebuildContainerJT refreshes every container jump table entry from the
+// current T-Node population.
+func (t *Tree) rebuildContainerJT(buf []byte) {
+	entries := ctrJTSteps(buf) * ctrJTStep
+	if entries == 0 {
+		return
+	}
+	positions, keys := countTNodes(buf, topRegion(buf))
+	for i := 0; i < entries; i++ {
+		setCtrJTEntry(buf, i, 0, 0)
+	}
+	n := len(positions)
+	if n == 0 {
+		return
+	}
+	count := entries
+	if n < count {
+		count = n
+	}
+	for i := 0; i < count; i++ {
+		idx := (i + 1) * n / (count + 1)
+		if idx >= n {
+			idx = n - 1
+		}
+		setCtrJTEntry(buf, i, keys[idx], positions[idx])
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestContainerHeaderFields(t *testing.T) {
+	buf := make([]byte, 64)
+	setCtrSize(buf, 0x7ffff)
+	setCtrFree(buf, 255)
+	setCtrJTSteps(buf, 7)
+	setCtrSplitDelay(buf, 3)
+	if ctrSize(buf) != 0x7ffff || ctrFree(buf) != 255 || ctrJTSteps(buf) != 7 || ctrSplitDelay(buf) != 3 {
+		t.Fatalf("max values lost: size=%d free=%d jt=%d delay=%d", ctrSize(buf), ctrFree(buf), ctrJTSteps(buf), ctrSplitDelay(buf))
+	}
+	// Fields are independent: rewriting one must not disturb the others.
+	setCtrSize(buf, 96)
+	if ctrFree(buf) != 255 || ctrJTSteps(buf) != 7 || ctrSplitDelay(buf) != 3 {
+		t.Fatal("updating size clobbered other header fields")
+	}
+	setCtrFree(buf, 0)
+	if ctrSize(buf) != 96 || ctrJTSteps(buf) != 7 {
+		t.Fatal("updating free clobbered other header fields")
+	}
+}
+
+func TestContainerHeaderQuick(t *testing.T) {
+	f := func(size uint32, free uint8, jt uint8, delay uint8) bool {
+		buf := make([]byte, containerHeaderSize)
+		s := int(size) % (maxContainerSize + 1)
+		j := int(jt) % (ctrJTMaxSteps + 1)
+		d := int(delay) % 4
+		setCtrSize(buf, s)
+		setCtrFree(buf, int(free))
+		setCtrJTSteps(buf, j)
+		setCtrSplitDelay(buf, d)
+		return ctrSize(buf) == s && ctrFree(buf) == int(free) && ctrJTSteps(buf) == j && ctrSplitDelay(buf) == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderOutOfRangePanics(t *testing.T) {
+	buf := make([]byte, containerHeaderSize)
+	for _, fn := range []func(){
+		func() { setCtrSize(buf, maxContainerSize+1) },
+		func() { setCtrFree(buf, 256) },
+		func() { setCtrJTSteps(buf, 8) },
+		func() { setCtrSplitDelay(buf, 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range header write did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNodeHeaderBits(t *testing.T) {
+	for _, typ := range []int{typeInvalid, typeInner, typeKey, typeKeyVal} {
+		for _, isS := range []bool{false, true} {
+			for delta := 0; delta <= 7; delta++ {
+				h := makeNodeHeader(typ, isS, delta)
+				if nodeType(h) != typ || nodeIsS(h) != isS || nodeDelta(h) != delta {
+					t.Fatalf("header round trip failed for typ=%d isS=%v delta=%d", typ, isS, delta)
+				}
+				if isS {
+					if sChildKind(h) != childNone {
+						t.Fatal("fresh S header must have no child")
+					}
+				} else {
+					if tHasJS(h) || tHasJT(h) {
+						t.Fatal("fresh T header must not carry jump flags")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNodeFlagMutators(t *testing.T) {
+	buf := []byte{makeNodeHeader(typeInner, false, 3)}
+	setTJSFlag(buf, 0, true)
+	setTJTFlag(buf, 0, true)
+	if !tHasJS(buf[0]) || !tHasJT(buf[0]) {
+		t.Fatal("T flags not set")
+	}
+	if nodeType(buf[0]) != typeInner || nodeDelta(buf[0]) != 3 {
+		t.Fatal("setting T flags clobbered type or delta")
+	}
+	setTJSFlag(buf, 0, false)
+	if tHasJS(buf[0]) || !tHasJT(buf[0]) {
+		t.Fatal("clearing js clobbered jt")
+	}
+
+	sbuf := []byte{makeNodeHeader(typeKeyVal, true, 0)}
+	for _, kind := range []int{childHP, childEmbedded, childPC, childNone} {
+		setSChildKind(sbuf, 0, kind)
+		if sChildKind(sbuf[0]) != kind {
+			t.Fatalf("child kind %d lost", kind)
+		}
+		if nodeType(sbuf[0]) != typeKeyVal || !nodeIsS(sbuf[0]) {
+			t.Fatal("setting child kind clobbered type")
+		}
+	}
+	setNodeType(sbuf, 0, typeInner)
+	if nodeType(sbuf[0]) != typeInner || sChildKind(sbuf[0]) != childNone {
+		t.Fatal("setNodeType clobbered child bits")
+	}
+	setNodeDelta(sbuf, 0, 5)
+	if nodeDelta(sbuf[0]) != 5 || nodeType(sbuf[0]) != typeInner {
+		t.Fatal("setNodeDelta clobbered type")
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		buf := make([]byte, valueSize)
+		putValue(buf, 0, v)
+		return getValue(buf, 0) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeSizeComputation(t *testing.T) {
+	// T-Node with explicit key, value, js and jt.
+	buf := make([]byte, 128)
+	buf[0] = makeNodeHeader(typeKeyVal, false, 0)
+	setTJSFlag(buf, 0, true)
+	setTJTFlag(buf, 0, true)
+	want := 1 + 1 + valueSize + jsSize + tJTSize
+	if got := tNodeHeadSize(buf[0]); got != want {
+		t.Fatalf("tNodeHeadSize = %d, want %d", got, want)
+	}
+	// Delta-encoded inner T-Node: header only.
+	buf[0] = makeNodeHeader(typeInner, false, 4)
+	if got := tNodeHeadSize(buf[0]); got != 1 {
+		t.Fatalf("minimal T head size = %d, want 1", got)
+	}
+
+	// S-Node with value and an HP child.
+	buf[0] = makeNodeHeader(typeKeyVal, true, 0)
+	setSChildKind(buf, 0, childHP)
+	want = 1 + 1 + valueSize + hpSize
+	if got := sNodeSize(buf, 0); got != want {
+		t.Fatalf("sNodeSize(HP child) = %d, want %d", got, want)
+	}
+
+	// S-Node with an embedded child of 17 bytes.
+	buf[0] = makeNodeHeader(typeInner, true, 2)
+	setSChildKind(buf, 0, childEmbedded)
+	buf[1] = 17
+	if got := sNodeSize(buf, 0); got != 1+17 {
+		t.Fatalf("sNodeSize(embedded) = %d, want 18", got)
+	}
+
+	// S-Node with a PC child carrying a value and a 5-byte suffix.
+	buf[0] = makeNodeHeader(typeInner, true, 0)
+	setSChildKind(buf, 0, childPC)
+	pc := appendPC(nil, []byte("abcde"), 99, true)
+	copy(buf[2:], pc)
+	if got := sNodeSize(buf, 0); got != 1+1+len(pc) {
+		t.Fatalf("sNodeSize(PC) = %d, want %d", got, 1+1+len(pc))
+	}
+}
+
+func TestPCEncoding(t *testing.T) {
+	pc := appendPC(nil, []byte("suffix"), 0xabcdef, true)
+	if !pcHasValue(pc, 0) || pcSuffixLen(pc, 0) != 6 {
+		t.Fatal("PC header wrong")
+	}
+	if pcValue(pc, 0) != 0xabcdef || string(pcSuffix(pc, 0)) != "suffix" {
+		t.Fatal("PC payload wrong")
+	}
+	if pcSize(pc, 0) != 1+8+6 {
+		t.Fatalf("pcSize = %d", pcSize(pc, 0))
+	}
+	pc2 := appendPC(nil, []byte("x"), 0, false)
+	if pcHasValue(pc2, 0) || pcSize(pc2, 0) != 2 {
+		t.Fatal("value-less PC encoding wrong")
+	}
+}
+
+func TestPCTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized PC suffix did not panic")
+		}
+	}()
+	appendPC(nil, make([]byte, pcMaxSuffix+1), 0, false)
+}
+
+func TestNodeKeyDecoding(t *testing.T) {
+	buf := []byte{makeNodeHeader(typeInner, false, 0), 0x61}
+	if nodeKey(buf, 0, -1) != 0x61 {
+		t.Fatal("explicit key decoding failed")
+	}
+	buf[0] = makeNodeHeader(typeInner, false, 4)
+	if nodeKey(buf, 0, 0x61) != 0x65 {
+		t.Fatal("delta key decoding failed")
+	}
+	if nodeKeyLen(makeNodeHeader(typeInner, false, 0)) != 1 || nodeKeyLen(makeNodeHeader(typeInner, false, 3)) != 0 {
+		t.Fatal("nodeKeyLen wrong")
+	}
+}
+
+func TestContainerJTEntryCodec(t *testing.T) {
+	buf := make([]byte, 64)
+	setCtrJTSteps(buf, 2)
+	setCtrJTEntry(buf, 0, 0x41, 12345)
+	setCtrJTEntry(buf, 13, 0xff, 0xffffff)
+	if k, off := ctrJTEntry(buf, 0); k != 0x41 || off != 12345 {
+		t.Fatalf("entry 0 = %d,%d", k, off)
+	}
+	if k, off := ctrJTEntry(buf, 13); k != 0xff || off != 0xffffff {
+		t.Fatalf("entry 13 = %d,%d", k, off)
+	}
+	if ctrJTBytes(buf) != 2*ctrJTStep*ctrJTEntrySize {
+		t.Fatalf("ctrJTBytes = %d", ctrJTBytes(buf))
+	}
+}
+
+func TestTNodeJTEntryCodec(t *testing.T) {
+	buf := make([]byte, 128)
+	buf[0] = makeNodeHeader(typeInner, false, 0)
+	buf[1] = 0x40
+	setTJTFlag(buf, 0, true)
+	setTNodeJTEntry(buf, 0, 0, 0x10, 77)
+	setTNodeJTEntry(buf, 0, 14, 0xf0, 65535)
+	if k, off := tNodeJTEntry(buf, 0, 0); k != 0x10 || off != 77 {
+		t.Fatalf("entry 0 = %d,%d", k, off)
+	}
+	if k, off := tNodeJTEntry(buf, 0, 14); k != 0xf0 || off != 65535 {
+		t.Fatalf("entry 14 = %d,%d", k, off)
+	}
+}
+
+func TestJumpSuccessorCodec(t *testing.T) {
+	buf := make([]byte, 32)
+	buf[0] = makeNodeHeader(typeKeyVal, false, 0)
+	buf[1] = 0x61
+	setTJSFlag(buf, 0, true)
+	setTNodeJS(buf, 0, 4242)
+	if tNodeJS(buf, 0) != 4242 {
+		t.Fatalf("js = %d", tNodeJS(buf, 0))
+	}
+	// Unrepresentable distances are stored as invalid (0), not truncated.
+	setTNodeJS(buf, 0, 70000)
+	if tNodeJS(buf, 0) != 0 {
+		t.Fatalf("oversized js stored as %d, want 0", tNodeJS(buf, 0))
+	}
+	// The js field follows the key and the value.
+	if tNodeJSOffset(buf[0]) != 1+1+valueSize {
+		t.Fatalf("js offset = %d", tNodeJSOffset(buf[0]))
+	}
+}
+
+func TestInitContainer(t *testing.T) {
+	buf := make([]byte, 96)
+	for i := range buf {
+		buf[i] = 0xee
+	}
+	initContainer(buf, 96, 10)
+	if ctrSize(buf) != 96 || ctrFree(buf) != 96-containerHeaderSize-10 {
+		t.Fatalf("header after init: size=%d free=%d", ctrSize(buf), ctrFree(buf))
+	}
+	for i := containerHeaderSize; i < 96; i++ {
+		if buf[i] != 0 {
+			t.Fatalf("byte %d not zeroed", i)
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/memman"
+)
+
+// putInStream inserts key into the node stream the edit context currently
+// points at (the top-level stream of a container or an embedded container's
+// payload). It returns a slot to descend into when the key continues in
+// another top-level container, or restart=true when structural maintenance
+// (ejection, jump table growth) invalidated the scan and the caller must
+// retry against the same container.
+func (t *Tree) putInStream(e *editCtx, key []byte, value uint64, hasValue bool) (descend *containerSlot, rest []byte, restart bool) {
+	buf := e.buf
+	reg := e.streamRegion()
+	k0 := key[0]
+	topLevel := !e.inEmbedded()
+
+	useCtrJT := topLevel && t.cfg.ContainerJumpTable && !t.suppressJumps
+	ts := scanT(buf, reg, k0, useCtrJT)
+	if useCtrJT && ts.traversed >= t.cfg.ContainerJumpTableThreshold {
+		if t.growContainerJT(e) {
+			return nil, nil, true
+		}
+	}
+
+	if !ts.found {
+		// New 16-bit partial key: insert a fresh T (+S) path. One extra byte
+		// of headroom covers a possible key materialisation of the successor.
+		enc := t.freshSubtree(key, value, hasValue, ts.prevKey)
+		if over := e.wouldOverflowEmbedded(len(enc) + 1); over >= 0 {
+			t.eject(e, over)
+			return nil, nil, true
+		}
+		e.insertBytes(ts.pos, enc)
+		if ts.succKey >= 0 {
+			e.rebaseSibling(ts.pos+len(enc), ts.succKey, int(k0))
+		}
+		t.stats.Keys++
+		return nil, nil, false
+	}
+	tPos := ts.pos
+	if topLevel {
+		e.topT = tPos
+	}
+
+	if len(key) == 1 {
+		restart = t.setTerminal(e, tPos, value, hasValue)
+		return nil, nil, restart
+	}
+
+	k1 := key[1]
+	ss := scanS(buf, reg, tPos, k1)
+	if topLevel && t.cfg.TNodeJumpTable && !t.suppressJumps && ss.traversed >= t.cfg.TNodeJumpTableThreshold && !tHasJT(buf[tPos]) {
+		if t.addTNodeJT(e, tPos) {
+			return nil, nil, true
+		}
+	}
+
+	if !ss.found {
+		if topLevel && t.cfg.JumpSuccessor && !t.suppressJumps && !tHasJS(buf[tPos]) && ss.sawS {
+			if t.addJS(e, tPos) {
+				return nil, nil, true
+			}
+		}
+		enc := t.freshSNode(key[1:], value, hasValue, ss.prevKey)
+		if over := e.wouldOverflowEmbedded(len(enc) + 1); over >= 0 {
+			t.eject(e, over)
+			return nil, nil, true
+		}
+		e.insertBytes(ss.pos, enc)
+		if ss.succKey >= 0 {
+			e.rebaseSibling(ss.pos+len(enc), ss.succKey, int(k1))
+		}
+		t.stats.Keys++
+		return nil, nil, false
+	}
+	sPos := ss.pos
+
+	if len(key) == 2 {
+		restart = t.setTerminal(e, sPos, value, hasValue)
+		return nil, nil, restart
+	}
+	return t.putBelowSNode(e, sPos, key[2:], value, hasValue)
+}
+
+// setTerminal marks the node at pos as a key ending and stores the value (if
+// any). The enclosing top-level T-Node must already be recorded in e.topT (or
+// pos itself must be that T-Node) so jump metadata stays consistent.
+func (t *Tree) setTerminal(e *editCtx, pos int, value uint64, hasValue bool) (restart bool) {
+	buf := e.buf
+	switch nodeType(buf[pos]) {
+	case typeKeyVal:
+		if hasValue {
+			putValue(buf, pos+nodeValueOffset(buf[pos]), value)
+		}
+		return false
+	case typeKey:
+		if !hasValue {
+			return false
+		}
+		if over := e.wouldOverflowEmbedded(valueSize); over >= 0 {
+			t.eject(e, over)
+			return true
+		}
+		setNodeType(buf, pos, typeKeyVal)
+		var v [valueSize]byte
+		putValue(v[:], 0, value)
+		e.insertBytes(pos+nodeValueOffset(buf[pos]), v[:])
+		return false
+	default: // typeInner
+		if over := e.wouldOverflowEmbedded(valueSize); over >= 0 && hasValue {
+			t.eject(e, over)
+			return true
+		}
+		if hasValue {
+			setNodeType(buf, pos, typeKeyVal)
+			var v [valueSize]byte
+			putValue(v[:], 0, value)
+			e.insertBytes(pos+nodeValueOffset(buf[pos]), v[:])
+		} else {
+			setNodeType(buf, pos, typeKey)
+		}
+		t.stats.Keys++
+		return false
+	}
+}
+
+// putBelowSNode handles the part of the key that extends beyond the 16 bits
+// covered by the current container: path-compressed suffixes, embedded
+// children, standalone child containers.
+func (t *Tree) putBelowSNode(e *editCtx, sPos int, rest []byte, value uint64, hasValue bool) (*containerSlot, []byte, bool) {
+	buf := e.buf
+	sHdr := buf[sPos]
+	childOff := sPos + sNodeChildOffset(sHdr)
+
+	switch sChildKind(sHdr) {
+	case childNone:
+		if t.cfg.PathCompression && len(rest) <= pcMaxSuffix {
+			pc := appendPC(nil, rest, value, hasValue)
+			if over := e.wouldOverflowEmbedded(len(pc)); over >= 0 {
+				t.eject(e, over)
+				return nil, nil, true
+			}
+			setSChildKind(buf, sPos, childPC)
+			e.insertBytes(childOff, pc)
+			t.stats.PathCompressed++
+			t.stats.PathCompressedLen += int64(len(rest))
+			t.stats.Keys++
+			return nil, nil, false
+		}
+		if over := e.wouldOverflowEmbedded(hpSize); over >= 0 {
+			t.eject(e, over)
+			return nil, nil, true
+		}
+		hp := t.freshFillContainer(rest, value, hasValue)
+		var hpb [hpSize]byte
+		memman.PutHP(hpb[:], hp)
+		setSChildKind(buf, sPos, childHP)
+		e.insertBytes(childOff, hpb[:])
+		t.stats.Keys++
+		return nil, nil, false
+
+	case childHP:
+		hp := memman.GetHP(buf[childOff:])
+		return t.childSlot(e, childOff, hp, rest), rest, false
+
+	case childEmbedded:
+		e.embStack = append(e.embStack, embInfo{sNodePos: sPos, sizePos: childOff})
+		// Lazily eject embedded children once the top-level container has
+		// outgrown the threshold (paper §4.1).
+		if ctrSize(buf)-ctrFree(buf) > t.cfg.EmbeddedEjectThreshold {
+			t.eject(e, 0)
+			return nil, nil, true
+		}
+		return t.putInStream(e, rest, value, hasValue)
+
+	case childPC:
+		return t.putAtPC(e, sPos, childOff, rest, value, hasValue)
+	}
+	panic("core: corrupt S-Node child kind")
+}
+
+// childSlot builds the slot used to descend into a standalone child
+// container, wiring HP write-back into the parent's byte stream.
+func (t *Tree) childSlot(e *editCtx, hpOff int, hp memman.HP, rest []byte) *containerSlot {
+	if t.alloc.IsChained(hp) {
+		_, idx := t.alloc.ResolveChained(hp, rest[0])
+		return &containerSlot{chain: hp, chainIdx: idx}
+	}
+	parent := e.buf
+	return &containerSlot{hp: hp, writeback: func(n memman.HP) { memman.PutHP(parent[hpOff:], n) }}
+}
+
+// putAtPC inserts a key that reaches an existing path-compressed node: either
+// the suffix matches (value update) or the formerly unique suffix must be
+// pushed down into a child container holding both keys (paper §3.1).
+func (t *Tree) putAtPC(e *editCtx, sPos, pcPos int, rest []byte, value uint64, hasValue bool) (*containerSlot, []byte, bool) {
+	buf := e.buf
+	suffix := pcSuffix(buf, pcPos)
+	if bytes.Equal(suffix, rest) {
+		if !hasValue {
+			return nil, nil, false
+		}
+		if pcHasValue(buf, pcPos) {
+			putValue(buf, pcPos+1, value)
+			return nil, nil, false
+		}
+		if over := e.wouldOverflowEmbedded(valueSize); over >= 0 {
+			t.eject(e, over)
+			return nil, nil, true
+		}
+		var v [valueSize]byte
+		putValue(v[:], 0, value)
+		buf[pcPos] |= 0x80
+		e.insertBytes(pcPos+1, v[:])
+		return nil, nil, false
+	}
+
+	// Diverging suffixes: move both keys into a child container.
+	oldSuffix := append([]byte(nil), suffix...)
+	oldHas := pcHasValue(buf, pcPos)
+	var oldVal uint64
+	if oldHas {
+		oldVal = pcValue(buf, pcPos)
+	}
+	oldLen := pcSize(buf, pcPos)
+
+	// Build the replacement child with jump structures suppressed: its content
+	// may be embedded verbatim, and embedded containers carry no jump
+	// metadata.
+	prevSuppress := t.suppressJumps
+	t.suppressJumps = true
+	childHPv := t.freshFillContainer(oldSuffix, oldVal, oldHas)
+	childHPv = t.putIntoHP(childHPv, rest, value, hasValue)
+	t.suppressJumps = prevSuppress
+
+	cbuf := t.alloc.Resolve(childHPv)
+	content := ctrContentEnd(cbuf) - ctrStreamStart(cbuf)
+	parentContent := ctrSize(buf) - ctrFree(buf)
+	embed := t.cfg.Embedded &&
+		content+1 <= embMaxSize &&
+		parentContent <= t.cfg.EmbeddedEjectThreshold &&
+		ctrJTSteps(cbuf) == 0
+
+	var repl []byte
+	if embed {
+		repl = make([]byte, 0, content+1)
+		repl = append(repl, byte(content+1))
+		repl = append(repl, cbuf[ctrStreamStart(cbuf):ctrContentEnd(cbuf)]...)
+	} else {
+		repl = make([]byte, hpSize)
+		memman.PutHP(repl, childHPv)
+	}
+
+	if delta := len(repl) - oldLen; delta > 0 {
+		if over := e.wouldOverflowEmbedded(delta); over >= 0 {
+			// Undo the temporary child and retry after ejecting.
+			t.freeSubtree(childHPv)
+			t.stats.Keys-- // putIntoHP counted the new key
+			t.eject(e, over)
+			return nil, nil, true
+		}
+	}
+
+	t.stats.PathCompressed--
+	t.stats.PathCompressedLen -= int64(len(oldSuffix))
+	if len(repl) > oldLen {
+		e.insertBytes(pcPos+oldLen, make([]byte, len(repl)-oldLen))
+	} else if len(repl) < oldLen {
+		e.deleteBytes(pcPos+len(repl), oldLen-len(repl))
+	}
+	copy(e.buf[pcPos:pcPos+len(repl)], repl)
+	if embed {
+		setSChildKind(e.buf, sPos, childEmbedded)
+		t.stats.EmbeddedContainers++
+		// The standalone child's payload now lives inline; release the chunk
+		// without touching the grandchildren it may reference.
+		t.alloc.Free(childHPv)
+		t.stats.Containers--
+	} else {
+		setSChildKind(e.buf, sPos, childHP)
+	}
+	return nil, nil, false
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+
+	"repro/internal/memman"
+)
+
+// Range calls fn for every stored key greater than or equal to start, in
+// lexicographic (binary-comparable) order, until fn returns false. A nil or
+// empty start iterates the whole tree. hasValue distinguishes keys stored via
+// Put from set members stored via PutKey (paper node types 11 vs 10).
+func (t *Tree) Range(start []byte, fn func(key []byte, value uint64, hasValue bool) bool) {
+	bounded := len(start) > 0
+	if t.emptyExists && !bounded {
+		if !fn([]byte{}, t.emptyValue, t.emptyHas) {
+			return
+		}
+	}
+	if t.rootHP.IsNil() {
+		return
+	}
+	prefix := make([]byte, 0, 64)
+	t.rangeHP(t.rootHP, prefix, start, bounded, fn)
+}
+
+// Each iterates every stored key in order.
+func (t *Tree) Each(fn func(key []byte, value uint64, hasValue bool) bool) {
+	t.Range(nil, fn)
+}
+
+// narrowBound advances the lower bound by one matched key byte.
+//   - skip:  every key that continues with b lies below the bound
+//   - emit:  a key ending exactly after b satisfies the bound
+//   - nlow/nbounded: the bound that applies below b
+func narrowBound(low []byte, bounded bool, b byte) (nlow []byte, nbounded bool, skip, emit bool) {
+	if !bounded {
+		return nil, false, false, true
+	}
+	if len(low) == 0 {
+		return nil, false, false, true
+	}
+	switch {
+	case b < low[0]:
+		return nil, false, true, false
+	case b > low[0]:
+		return nil, false, false, true
+	default:
+		rem := low[1:]
+		if len(rem) == 0 {
+			return nil, false, false, true
+		}
+		return rem, true, false, false
+	}
+}
+
+func (t *Tree) rangeHP(hp memman.HP, prefix, low []byte, bounded bool, fn func([]byte, uint64, bool) bool) bool {
+	if t.alloc.IsChained(hp) {
+		for s := 0; s < memman.ChainLen; s++ {
+			buf := t.alloc.ChainedSlot(hp, s)
+			if buf == nil {
+				continue
+			}
+			if !t.rangeStream(buf, topRegion(buf), prefix, low, bounded, true, fn) {
+				return false
+			}
+		}
+		return true
+	}
+	buf := t.alloc.Resolve(hp)
+	return t.rangeStream(buf, topRegion(buf), prefix, low, bounded, true, fn)
+}
+
+// rangeStream walks one node stream in order, emitting every key ending and
+// descending into children. prefix holds the key bytes accumulated on the
+// path to this stream.
+func (t *Tree) rangeStream(buf []byte, reg region, prefix, low []byte, bounded bool, topLevel bool, fn func([]byte, uint64, bool) bool) bool {
+	_ = topLevel
+	pos := reg.start
+	prevT, prevS := -1, -1
+	var tKey byte
+	tLow, tBounded := low, bounded
+	tSkip, tEmit := false, true
+	inT := false
+
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid {
+			break
+		}
+		if !nodeIsS(hdr) {
+			tKey = nodeKey(buf, pos, prevT)
+			prevT = int(tKey)
+			prevS = -1
+			inT = true
+			tLow, tBounded, tSkip, tEmit = narrowBound(low, bounded, tKey)
+			if !tSkip && nodeType(hdr) != typeInner && tEmit {
+				key := append(prefix, tKey)
+				var v uint64
+				hv := nodeType(hdr) == typeKeyVal
+				if hv {
+					v = getValue(buf, pos+nodeValueOffset(hdr))
+				}
+				if !fn(key, v, hv) {
+					return false
+				}
+			}
+			pos += tNodeHeadSize(hdr)
+			continue
+		}
+		// S-Node
+		sKey := nodeKey(buf, pos, prevS)
+		prevS = int(sKey)
+		size := sNodeSize(buf, pos)
+		if !inT || tSkip {
+			pos += size
+			continue
+		}
+		sLow, sBounded, sSkip, sEmit := narrowBound(tLow, tBounded, sKey)
+		if sSkip {
+			pos += size
+			continue
+		}
+		key := append(append(prefix, tKey), sKey)
+		if nodeType(hdr) != typeInner && sEmit {
+			var v uint64
+			hv := nodeType(hdr) == typeKeyVal
+			if hv {
+				v = getValue(buf, pos+nodeValueOffset(hdr))
+			}
+			if !fn(key, v, hv) {
+				return false
+			}
+		}
+		childOff := pos + sNodeChildOffset(hdr)
+		switch sChildKind(hdr) {
+		case childHP:
+			if !t.rangeHP(memman.GetHP(buf[childOff:]), key, sLow, sBounded, fn) {
+				return false
+			}
+		case childEmbedded:
+			if !t.rangeStream(buf, embRegion(buf, childOff), key, sLow, sBounded, false, fn) {
+				return false
+			}
+		case childPC:
+			suffix := pcSuffix(buf, childOff)
+			if !sBounded || bytes.Compare(suffix, sLow) >= 0 {
+				full := append(key, suffix...)
+				var v uint64
+				hv := pcHasValue(buf, childOff)
+				if hv {
+					v = pcValue(buf, childOff)
+				}
+				if !fn(full, v, hv) {
+					return false
+				}
+			}
+		}
+		pos += size
+	}
+	return true
+}

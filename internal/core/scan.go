@@ -1,0 +1,252 @@
+package core
+
+// This file implements the linear, order-aware scans over a container's node
+// stream (paper §3.1 "Operations" and Figure 2d). A scan locates the T-Node
+// for the upper 8 bits of the partial key and then the S-Node for the lower
+// 8 bits, returning enough context (predecessor key/position, successor key)
+// for order-preserving insertion and delta re-encoding.
+
+// region delimits a node stream inside a container buffer: the top-level
+// stream of a container, or the payload of an embedded container.
+type region struct {
+	start, end int
+}
+
+func topRegion(buf []byte) region {
+	return region{ctrStreamStart(buf), ctrContentEnd(buf)}
+}
+
+func embRegion(buf []byte, sizePos int) region {
+	return region{sizePos + 1, sizePos + embSize(buf, sizePos)}
+}
+
+// tScan is the result of locating a T-Node.
+type tScan struct {
+	found bool
+	pos   int // position of the T-Node if found, insertion position otherwise
+	// predecessor sibling (the greatest T-Node with a smaller key), if any
+	prevPos int
+	prevKey int // -1 if none
+	// successor sibling at the insertion position, if any
+	succPos int
+	succKey int // -1 if none
+	// number of T-Nodes traversed linearly (container jump table policy)
+	traversed int
+}
+
+// sScan is the result of locating an S-Node below a T-Node.
+type sScan struct {
+	found     bool
+	pos       int
+	prevPos   int
+	prevKey   int // -1 if none
+	succPos   int
+	succKey   int  // -1 if none
+	sawS      bool // the T-Node has at least one other S-Node child
+	traversed int
+}
+
+// scanT locates the T-Node with key k0 in the given stream region. When the
+// container has a jump table (top-level streams only) it is used to start the
+// scan close to the target.
+func scanT(buf []byte, reg region, k0 byte, useCtrJT bool) tScan {
+	res := tScan{prevKey: -1, prevPos: -1, succKey: -1, succPos: -1}
+	pos := reg.start
+	prevKey := -1
+	knownKey := -1 // absolute key of the node at pos, when arriving via a jump table
+
+	if useCtrJT {
+		steps := ctrJTSteps(buf)
+		best := -1
+		bestKey := byte(0)
+		for i := 0; i < steps*ctrJTStep; i++ {
+			key, off := ctrJTEntry(buf, i)
+			if off == 0 {
+				continue
+			}
+			if key <= k0 && (best < 0 || key >= bestKey) {
+				best, bestKey = off, key
+			}
+		}
+		if best > 0 && best >= reg.start && best < reg.end {
+			pos = best
+			knownKey = int(bestKey)
+		}
+	}
+
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid {
+			break
+		}
+		if nodeIsS(hdr) {
+			// S-Node child of the previous T-Node: skip.
+			pos += sNodeSize(buf, pos)
+			continue
+		}
+		var key byte
+		if knownKey >= 0 {
+			key = byte(knownKey)
+			knownKey = -1
+		} else {
+			key = nodeKey(buf, pos, prevKey)
+		}
+		res.traversed++
+		switch {
+		case key == k0:
+			res.found = true
+			res.pos = pos
+			res.prevKey = prevKey
+			return res
+		case key > k0:
+			res.pos = pos
+			res.succPos = pos
+			res.succKey = int(key)
+			res.prevKey = prevKey
+			return res
+		}
+		res.prevPos = pos
+		res.prevKey = int(key)
+		prevKey = int(key)
+		// Skip to the next sibling T-Node, via the jump successor if valid.
+		if js := tNodeJS(buf, pos); js > 0 && pos+js <= reg.end {
+			pos += js
+		} else {
+			pos += tNodeHeadSize(hdr)
+		}
+	}
+	res.pos = reg.end
+	if pos > reg.end {
+		// A corrupt jump landed us past the end; report insertion at end.
+		res.pos = reg.end
+	}
+	res.prevKey = prevKey
+	if prevKey >= 0 && res.prevPos < 0 {
+		res.prevPos = -1
+	}
+	return res
+}
+
+// sRegionEnd returns the offset one past the last S-Node child of the T-Node
+// at tPos, i.e. the position of the next sibling T-Node or the region end.
+func sRegionEnd(buf []byte, reg region, tPos int) int {
+	hdr := buf[tPos]
+	if js := tNodeJS(buf, tPos); js > 0 && tPos+js <= reg.end {
+		return tPos + js
+	}
+	pos := tPos + tNodeHeadSize(hdr)
+	for pos < reg.end {
+		h := buf[pos]
+		if nodeType(h) == typeInvalid || !nodeIsS(h) {
+			return pos
+		}
+		pos += sNodeSize(buf, pos)
+	}
+	return pos
+}
+
+// scanS locates the S-Node with key k1 below the T-Node at tPos.
+func scanS(buf []byte, reg region, tPos int, k1 byte) sScan {
+	res := sScan{prevKey: -1, prevPos: -1, succKey: -1, succPos: -1}
+	tHdr := buf[tPos]
+	pos := tPos + tNodeHeadSize(tHdr)
+	prevKey := -1
+	knownKey := -1
+
+	if tHasJT(tHdr) {
+		best := -1
+		bestKey := byte(0)
+		for i := 0; i < tJTEntries; i++ {
+			key, off := tNodeJTEntry(buf, tPos, i)
+			if off == 0 {
+				continue
+			}
+			if key <= k1 && (best < 0 || key >= bestKey) {
+				best, bestKey = off, key
+			}
+		}
+		if best > 0 && tPos+best < reg.end {
+			pos = tPos + best
+			knownKey = int(bestKey)
+			res.sawS = true
+		}
+	}
+
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid || !nodeIsS(hdr) {
+			break
+		}
+		res.sawS = true
+		var key byte
+		if knownKey >= 0 {
+			key = byte(knownKey)
+			knownKey = -1
+		} else {
+			key = nodeKey(buf, pos, prevKey)
+		}
+		res.traversed++
+		switch {
+		case key == k1:
+			res.found = true
+			res.pos = pos
+			res.prevKey = prevKey
+			return res
+		case key > k1:
+			res.pos = pos
+			res.succPos = pos
+			res.succKey = int(key)
+			res.prevKey = prevKey
+			return res
+		}
+		res.prevPos = pos
+		res.prevKey = int(key)
+		prevKey = int(key)
+		pos += sNodeSize(buf, pos)
+	}
+	res.pos = pos
+	res.prevKey = prevKey
+	return res
+}
+
+// countTNodes walks the whole stream and returns the positions and keys of
+// every T-Node. It is used to (re)build jump tables and to split containers.
+func countTNodes(buf []byte, reg region) (positions []int, keys []byte) {
+	pos := reg.start
+	prevKey := -1
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid {
+			break
+		}
+		if nodeIsS(hdr) {
+			pos += sNodeSize(buf, pos)
+			continue
+		}
+		key := nodeKey(buf, pos, prevKey)
+		positions = append(positions, pos)
+		keys = append(keys, key)
+		prevKey = int(key)
+		pos += tNodeHeadSize(hdr)
+	}
+	return positions, keys
+}
+
+// countSNodes returns the positions and keys of every S-Node child of the
+// T-Node at tPos.
+func countSNodes(buf []byte, reg region, tPos int) (positions []int, keys []byte) {
+	pos := tPos + tNodeHeadSize(buf[tPos])
+	prevKey := -1
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid || !nodeIsS(hdr) {
+			break
+		}
+		key := nodeKey(buf, pos, prevKey)
+		positions = append(positions, pos)
+		keys = append(keys, key)
+		prevKey = int(key)
+		pos += sNodeSize(buf, pos)
+	}
+	return positions, keys
+}

@@ -1,0 +1,181 @@
+package core
+
+import "repro/internal/memman"
+
+// Vertical container splitting (paper §3.3, Figure 11). Very large containers
+// suffer from the shifting overhead of order-preserving insertion; splitting
+// them at a 32-key T-Node boundary turns one container into up to eight
+// chunks owned by a single chained extended bin, so the parent keeps storing
+// one Hyperion Pointer.
+
+// maybeSplit checks the split condition size >= a + b*delay and performs the
+// split when it applies. The slot is updated in place to reference the part
+// responsible for partial key k0; the caller restarts its operation when true
+// is returned.
+func (t *Tree) maybeSplit(slot *containerSlot, k0 byte) bool {
+	buf := slot.resolve(t)
+	size := ctrSize(buf)
+	// Safety valve: force a split when the 19-bit size field is nearly
+	// exhausted, regardless of the configuration.
+	force := size > maxContainerSize-4096
+	if !force {
+		if !t.cfg.Split {
+			return false
+		}
+		if size < t.cfg.SplitBaseSize+t.cfg.SplitStepSize*ctrSplitDelay(buf) {
+			return false
+		}
+	}
+	return t.splitContainer(slot, k0, buf, force)
+}
+
+// abortSplit increments the split delay (capped at 3) so failing attempts are
+// not retried on every insertion.
+func (t *Tree) abortSplit(buf []byte) {
+	t.stats.SplitAborts++
+	if d := ctrSplitDelay(buf); d < 3 {
+		setCtrSplitDelay(buf, d+1)
+	}
+}
+
+// splitContainer cuts the container behind slot at a 32-aligned T-Node key
+// boundary into two parts stored in a chained extended bin.
+func (t *Tree) splitContainer(slot *containerSlot, k0 byte, buf []byte, force bool) bool {
+	reg := topRegion(buf)
+	positions, keys := countTNodes(buf, reg)
+	if len(positions) < 2 {
+		t.abortSplit(buf)
+		return false
+	}
+	if keys[0]/32 == keys[len(keys)-1]/32 {
+		// All keys fall into a single 32-key range (skewed distribution or an
+		// already fully split container): nothing to cut.
+		t.abortSplit(buf)
+		return false
+	}
+
+	// Per-T-Node region sizes, then the best balanced 32-aligned cut.
+	regionEnds := make([]int, len(positions))
+	for i := range positions {
+		if i+1 < len(positions) {
+			regionEnds[i] = positions[i+1]
+		} else {
+			regionEnds[i] = reg.end
+		}
+	}
+	total := reg.end - reg.start
+	bestCut, bestDiff, bestPos := -1, 1<<62, -1
+	for boundary := 32; boundary < 256; boundary += 32 {
+		// First T-Node with key >= boundary.
+		idx := -1
+		for i, k := range keys {
+			if int(k) >= boundary {
+				idx = i
+				break
+			}
+		}
+		if idx <= 0 {
+			continue // no keys on one of the sides
+		}
+		left := positions[idx] - reg.start
+		right := total - left
+		if !force && (left < t.cfg.SplitMinPartSize || right < t.cfg.SplitMinPartSize) {
+			continue
+		}
+		diff := left - right
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			bestDiff, bestCut, bestPos = diff, boundary, positions[idx]
+		}
+	}
+	if bestCut < 0 {
+		t.abortSplit(buf)
+		return false
+	}
+
+	leftContent := extractStream(t, buf, reg.start, bestPos, -1)
+	rightContent := extractStream(t, buf, bestPos, reg.end, int(keys[firstIndexAtOrAfter(keys, byte(bestCut))]))
+
+	if slot.isChained() {
+		// Further splitting an already split container: the left part stays in
+		// the current chain slot, the right part claims the slot of its range.
+		t.writeChainSlot(slot.chain, slot.chainIdx, leftContent)
+		t.writeChainSlot(slot.chain, bestCut/32, rightContent)
+		t.stats.Containers++
+		t.stats.Splits++
+		_, slot.chainIdx = t.alloc.ResolveChained(slot.chain, k0)
+		return true
+	}
+
+	chain := t.alloc.AllocChained()
+	// The left part is responsible for the full range below the cut and
+	// therefore occupies the first chained chunk (paper Figure 11).
+	t.writeChainSlot(chain, 0, leftContent)
+	t.writeChainSlot(chain, bestCut/32, rightContent)
+	if slot.writeback != nil {
+		slot.writeback(chain)
+	}
+	t.alloc.Free(slot.hp)
+	t.stats.Containers++ // net: one freed, two created
+	t.stats.Splits++
+	slot.hp = memman.NilHP
+	slot.chain = chain
+	_, slot.chainIdx = t.alloc.ResolveChained(chain, k0)
+	return true
+}
+
+func firstIndexAtOrAfter(keys []byte, boundary byte) int {
+	for i, k := range keys {
+		if k >= boundary {
+			return i
+		}
+	}
+	return len(keys) - 1
+}
+
+// extractStream copies the node stream range [from, to) out of buf. When
+// firstKey is >= 0 and the first node of the range is delta encoded, its key
+// byte is materialised so the copy decodes independently of nodes left behind
+// in the other part.
+func extractStream(t *Tree, buf []byte, from, to int, firstKey int) []byte {
+	src := buf[from:to]
+	if firstKey < 0 || len(src) == 0 || nodeDelta(src[0]) == 0 {
+		out := make([]byte, len(src))
+		copy(out, src)
+		return out
+	}
+	out := make([]byte, 0, len(src)+1)
+	hdr := src[0]
+	out = append(out, hdr&^(0x7<<3), byte(firstKey))
+	out = append(out, src[1:]...)
+	t.stats.DeltaEncodedNodes--
+	// The first node's own jump metadata targets shifted by the inserted byte.
+	if !nodeIsS(out[0]) {
+		if tHasJS(out[0]) {
+			if js := tNodeJS(out, 0); js > 0 {
+				setTNodeJS(out, 0, js+1)
+			}
+		}
+		if tHasJT(out[0]) {
+			for i := 0; i < tJTEntries; i++ {
+				k, off := tNodeJTEntry(out, 0, i)
+				if off != 0 {
+					setTNodeJTEntry(out, 0, i, k, off+1)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// writeChainSlot (re)initialises one chained chunk with a fresh container
+// holding the given node stream.
+func (t *Tree) writeChainSlot(chain memman.HP, idx int, content []byte) {
+	need := containerHeaderSize + len(content)
+	size := roundUp32(need)
+	buf := t.alloc.SetChainedSlot(chain, idx, size)
+	initContainer(buf, size, len(content))
+	copy(buf[containerHeaderSize:], content)
+}

@@ -1,0 +1,663 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// configs under test: the paper default, the integer configuration, every
+// feature disabled, and each feature toggled individually.
+func testConfigs() map[string]Config {
+	cfgs := map[string]Config{
+		"default": DefaultConfig(),
+		"integer": IntegerConfig(),
+		"minimal": MinimalConfig(),
+	}
+	c := MinimalConfig()
+	c.DeltaEncoding = true
+	cfgs["delta-only"] = c
+
+	c = MinimalConfig()
+	c.PathCompression = true
+	cfgs["pc-only"] = c
+
+	c = MinimalConfig()
+	c.PathCompression = true
+	c.Embedded = true
+	c.EmbeddedEjectThreshold = 256 // aggressive ejection
+	cfgs["embedded-aggressive"] = c
+
+	c = DefaultConfig()
+	c.JumpSuccessor = false
+	c.TNodeJumpTable = false
+	c.ContainerJumpTable = false
+	cfgs["no-jumps"] = c
+
+	c = DefaultConfig()
+	c.Split = false
+	cfgs["no-split"] = c
+
+	c = DefaultConfig()
+	c.SplitBaseSize = 512 // force very frequent splitting
+	c.SplitMinPartSize = 64
+	c.EmbeddedEjectThreshold = 1024
+	cfgs["split-aggressive"] = c
+
+	c = DefaultConfig()
+	c.ContainerJumpTableThreshold = 2
+	c.TNodeJumpTableThreshold = 2
+	c.JumpSuccessorThreshold = 1
+	cfgs["jump-aggressive"] = c
+	return cfgs
+}
+
+func u64key(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+func checkTree(t *testing.T, tree *Tree) {
+	t.Helper()
+	if err := tree.CheckInvariants(); err != nil {
+		t.Fatalf("invariant violation: %v", err)
+	}
+}
+
+func TestPutGetTiny(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tree := New(cfg)
+			words := []string{"a", "and", "be", "that", "the", "to"}
+			for i, w := range words {
+				tree.Put([]byte(w), uint64(i+1))
+				checkTree(t, tree)
+			}
+			for i, w := range words {
+				v, ok := tree.Get([]byte(w))
+				if !ok || v != uint64(i+1) {
+					t.Fatalf("Get(%q) = %d,%v want %d,true", w, v, ok, i+1)
+				}
+			}
+			for _, miss := range []string{"", "b", "an", "thaz", "toto", "zzz", "Th"} {
+				if _, ok := tree.Get([]byte(miss)); ok {
+					t.Fatalf("Get(%q) unexpectedly found", miss)
+				}
+			}
+			if tree.Len() != int64(len(words)) {
+				t.Fatalf("Len = %d, want %d", tree.Len(), len(words))
+			}
+		})
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	tree := New(DefaultConfig())
+	key := []byte("hyperion")
+	tree.Put(key, 1)
+	tree.Put(key, 2)
+	tree.Put(key, 3)
+	if v, ok := tree.Get(key); !ok || v != 3 {
+		t.Fatalf("Get = %d,%v want 3,true", v, ok)
+	}
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tree.Len())
+	}
+	checkTree(t, tree)
+}
+
+func TestPutKeyWithoutValue(t *testing.T) {
+	tree := New(DefaultConfig())
+	tree.PutKey([]byte("set-member"))
+	if !tree.Has([]byte("set-member")) {
+		t.Fatal("Has must report stored key")
+	}
+	if _, ok := tree.Get([]byte("set-member")); ok {
+		t.Fatal("Get must not report a value for PutKey entries")
+	}
+	// Upgrading with a value afterwards.
+	tree.Put([]byte("set-member"), 99)
+	if v, ok := tree.Get([]byte("set-member")); !ok || v != 99 {
+		t.Fatalf("after upgrade Get = %d,%v", v, ok)
+	}
+	if tree.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tree.Len())
+	}
+	checkTree(t, tree)
+}
+
+func TestEmptyKey(t *testing.T) {
+	tree := New(DefaultConfig())
+	tree.Put(nil, 42)
+	if v, ok := tree.Get(nil); !ok || v != 42 {
+		t.Fatalf("Get(empty) = %d,%v", v, ok)
+	}
+	if !tree.Has([]byte{}) {
+		t.Fatal("Has(empty) = false")
+	}
+	if !tree.Delete(nil) {
+		t.Fatal("Delete(empty) = false")
+	}
+	if tree.Has(nil) {
+		t.Fatal("empty key survived delete")
+	}
+	checkTree(t, tree)
+}
+
+func TestKeyLengths(t *testing.T) {
+	// Keys of every length from 1 to 300 bytes exercise T-terminals,
+	// S-terminals, PC nodes and chained child containers for very long keys.
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tree := New(cfg)
+			for l := 1; l <= 300; l++ {
+				key := bytes.Repeat([]byte{byte('a' + l%23)}, l)
+				tree.Put(key, uint64(l))
+			}
+			checkTree(t, tree)
+			for l := 1; l <= 300; l++ {
+				key := bytes.Repeat([]byte{byte('a' + l%23)}, l)
+				if v, ok := tree.Get(key); !ok || v != uint64(l) {
+					t.Fatalf("len %d: Get = %d,%v", l, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestSharedPrefixes(t *testing.T) {
+	// Long shared prefixes force PC splits and recursive pushes.
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tree := New(cfg)
+			base := "the quick brown fox jumps over the lazy dog"
+			keys := []string{}
+			for i := 0; i < 40; i++ {
+				keys = append(keys, fmt.Sprintf("%s/%04d/suffix", base, i))
+				keys = append(keys, fmt.Sprintf("%s/%04d", base, i))
+			}
+			for i, k := range keys {
+				tree.Put([]byte(k), uint64(i+1))
+			}
+			checkTree(t, tree)
+			for i, k := range keys {
+				if v, ok := tree.Get([]byte(k)); !ok || v != uint64(i+1) {
+					t.Fatalf("Get(%q) = %d,%v want %d", k, v, ok, i+1)
+				}
+			}
+		})
+	}
+}
+
+func TestZeroBytesInKeys(t *testing.T) {
+	tree := New(DefaultConfig())
+	keys := [][]byte{
+		{0},
+		{0, 0},
+		{0, 0, 0},
+		{0, 1, 0},
+		{1, 0, 2, 0},
+		{255, 0, 255},
+	}
+	for i, k := range keys {
+		tree.Put(k, uint64(i+100))
+	}
+	checkTree(t, tree)
+	for i, k := range keys {
+		if v, ok := tree.Get(k); !ok || v != uint64(i+100) {
+			t.Fatalf("Get(%v) = %d,%v want %d", k, v, ok, i+100)
+		}
+	}
+}
+
+func TestValueZeroAndMax(t *testing.T) {
+	tree := New(DefaultConfig())
+	tree.Put([]byte("zero"), 0)
+	tree.Put([]byte("max"), ^uint64(0))
+	if v, ok := tree.Get([]byte("zero")); !ok || v != 0 {
+		t.Fatalf("zero value: %d,%v", v, ok)
+	}
+	if v, ok := tree.Get([]byte("max")); !ok || v != ^uint64(0) {
+		t.Fatalf("max value: %d,%v", v, ok)
+	}
+}
+
+// oracleRun drives a tree and a map oracle with the same operations and
+// verifies gets, lengths and (periodically) invariants and range order.
+func oracleRun(t *testing.T, cfg Config, keys [][]byte, seed int64, ops int, withDelete bool) {
+	t.Helper()
+	tree := New(cfg)
+	oracle := map[string]uint64{}
+	rng := rand.New(rand.NewSource(seed))
+
+	for op := 0; op < ops; op++ {
+		k := keys[rng.Intn(len(keys))]
+		switch {
+		case withDelete && rng.Intn(100) < 20 && len(oracle) > 0:
+			tree.Delete(k)
+			delete(oracle, string(k))
+		default:
+			v := rng.Uint64()
+			tree.Put(k, v)
+			oracle[string(k)] = v
+		}
+		if op%997 == 0 {
+			checkTree(t, tree)
+		}
+	}
+	checkTree(t, tree)
+
+	if int(tree.Len()) != len(oracle) {
+		t.Fatalf("Len = %d, oracle has %d", tree.Len(), len(oracle))
+	}
+	for k, v := range oracle {
+		got, ok := tree.Get([]byte(k))
+		if !ok || got != v {
+			t.Fatalf("Get(%q) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+	// Probe absent keys.
+	for i := 0; i < 200; i++ {
+		k := keys[rng.Intn(len(keys))]
+		probe := append(append([]byte{}, k...), byte(rng.Intn(256)), 0xfe)
+		if _, exists := oracle[string(probe)]; exists {
+			continue
+		}
+		if _, ok := tree.Get(probe); ok {
+			t.Fatalf("Get of absent key %q succeeded", probe)
+		}
+	}
+	// Full ordered iteration must match the sorted oracle.
+	var want []string
+	for k := range oracle {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	var got []string
+	tree.Each(func(key []byte, value uint64, hasValue bool) bool {
+		got = append(got, string(key))
+		if !hasValue || value != oracle[string(key)] {
+			t.Fatalf("Each(%q) = %d (hasValue=%v), want %d", key, value, hasValue, oracle[string(key)])
+		}
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Each visited %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Each order mismatch at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+func randomStringKeys(rng *rand.Rand, n, maxLen int) [][]byte {
+	alphabet := []byte("abcdefghijklmnopqrstuvwxyz0123456789 _-")
+	keys := make([][]byte, n)
+	for i := range keys {
+		l := 1 + rng.Intn(maxLen)
+		k := make([]byte, l)
+		for j := range k {
+			k[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		keys[i] = k
+	}
+	return keys
+}
+
+func prefixHeavyKeys(rng *rand.Rand, n int) [][]byte {
+	prefixes := []string{"user:profile:", "user:settings:", "metrics/cpu/", "metrics/mem/", "/var/log/syslog.", "www.example.com/"}
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("%s%08d", prefixes[rng.Intn(len(prefixes))], rng.Intn(n)))
+	}
+	return keys
+}
+
+func randomIntKeys(rng *rand.Rand, n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = u64key(rng.Uint64())
+	}
+	return keys
+}
+
+func sequentialIntKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = u64key(uint64(i))
+	}
+	return keys
+}
+
+func denseShortKeys(n int) [][]byte {
+	// Dense 3-byte keys populate containers heavily and trigger splits.
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte{byte(i >> 16), byte(i >> 8), byte(i)}
+	}
+	return keys
+}
+
+func TestOracleRandomStrings(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	keys := randomStringKeys(rng, 3000, 40)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			oracleRun(t, cfg, keys, 11, 9000, false)
+		})
+	}
+}
+
+func TestOraclePrefixHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	keys := prefixHeavyKeys(rng, 4000)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			oracleRun(t, cfg, keys, 12, 9000, false)
+		})
+	}
+}
+
+func TestOracleRandomIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := randomIntKeys(rng, 5000)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			oracleRun(t, cfg, keys, 13, 10000, false)
+		})
+	}
+}
+
+func TestOracleSequentialIntegers(t *testing.T) {
+	keys := sequentialIntKeys(6000)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			oracleRun(t, cfg, keys, 14, 12000, false)
+		})
+	}
+}
+
+func TestOracleDenseShortKeys(t *testing.T) {
+	keys := denseShortKeys(8000)
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			oracleRun(t, cfg, keys, 15, 16000, false)
+		})
+	}
+}
+
+func TestOracleWithDeletes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sets := map[string][][]byte{
+		"strings":  randomStringKeys(rng, 1500, 30),
+		"prefixes": prefixHeavyKeys(rng, 1500),
+		"ints":     randomIntKeys(rng, 1500),
+		"dense":    denseShortKeys(2000),
+	}
+	for name, cfg := range testConfigs() {
+		for setName, keys := range sets {
+			t.Run(name+"/"+setName, func(t *testing.T) {
+				oracleRun(t, cfg, keys, 16, 8000, true)
+			})
+		}
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tree := New(cfg)
+			rng := rand.New(rand.NewSource(21))
+			keys := randomStringKeys(rng, 800, 24)
+			seen := map[string]bool{}
+			for _, k := range keys {
+				tree.Put(k, 7)
+				seen[string(k)] = true
+			}
+			checkTree(t, tree)
+			for k := range seen {
+				if !tree.Delete([]byte(k)) {
+					t.Fatalf("Delete(%q) = false", k)
+				}
+			}
+			checkTree(t, tree)
+			if tree.Len() != 0 {
+				t.Fatalf("Len after deleting everything = %d", tree.Len())
+			}
+			for k := range seen {
+				if tree.Has([]byte(k)) {
+					t.Fatalf("deleted key %q still present", k)
+				}
+			}
+			count := 0
+			tree.Each(func([]byte, uint64, bool) bool { count++; return true })
+			if count != 0 {
+				t.Fatalf("Each visited %d keys after deleting everything", count)
+			}
+		})
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	tree := New(DefaultConfig())
+	tree.Put([]byte("alpha"), 1)
+	tree.Put([]byte("alphabet"), 2)
+	for _, k := range []string{"", "a", "alp", "alphabets", "beta", "alpha0"} {
+		if tree.Delete([]byte(k)) {
+			t.Fatalf("Delete(%q) of absent key returned true", k)
+		}
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tree.Len())
+	}
+	checkTree(t, tree)
+}
+
+func TestRangeBounds(t *testing.T) {
+	for name, cfg := range testConfigs() {
+		t.Run(name, func(t *testing.T) {
+			tree := New(cfg)
+			var all []string
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%05d", i*3)
+				all = append(all, k)
+				tree.Put([]byte(k), uint64(i))
+			}
+			sort.Strings(all)
+			starts := []string{"", "key-00000", "key-00001", "key-02997", "key-03000", "key-059", "key-06000", "zzz", "a"}
+			for _, start := range starts {
+				wantIdx := sort.SearchStrings(all, start)
+				var got []string
+				tree.Range([]byte(start), func(key []byte, _ uint64, _ bool) bool {
+					got = append(got, string(key))
+					return true
+				})
+				want := all[wantIdx:]
+				if len(got) != len(want) {
+					t.Fatalf("start %q: got %d keys, want %d", start, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("start %q: position %d: got %q want %q", start, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	tree := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		tree.Put(u64key(uint64(i)), uint64(i))
+	}
+	count := 0
+	tree.Range(nil, func([]byte, uint64, bool) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d keys, want 10", count)
+	}
+}
+
+func TestRangeOrderRandomIntegers(t *testing.T) {
+	tree := New(IntegerConfig())
+	rng := rand.New(rand.NewSource(33))
+	n := 20000
+	var want []string
+	seen := map[string]bool{}
+	for i := 0; i < n; i++ {
+		k := u64key(rng.Uint64())
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			want = append(want, string(k))
+		}
+		tree.Put(k, uint64(i))
+	}
+	sort.Strings(want)
+	var got []string
+	tree.Each(func(key []byte, _ uint64, _ bool) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+	checkTree(t, tree)
+}
+
+func TestStatsCounters(t *testing.T) {
+	tree := New(DefaultConfig())
+	// Sequential keys delta-encode heavily.
+	for i := 0; i < 5000; i++ {
+		tree.Put(u64key(uint64(i)), uint64(i))
+	}
+	st := tree.Stats()
+	if st.Keys != 5000 {
+		t.Fatalf("Keys = %d", st.Keys)
+	}
+	if st.DeltaEncodedNodes == 0 {
+		t.Fatal("sequential integers must produce delta-encoded nodes")
+	}
+	if st.Containers == 0 {
+		t.Fatal("container counter is zero")
+	}
+	if tree.MemoryFootprint() <= 0 {
+		t.Fatal("memory footprint must be positive")
+	}
+}
+
+func TestEmbeddedContainersAppearAndEject(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EmbeddedEjectThreshold = 2048
+	tree := New(cfg)
+	rng := rand.New(rand.NewSource(5))
+	keys := prefixHeavyKeys(rng, 3000)
+	for i, k := range keys {
+		tree.Put(k, uint64(i))
+	}
+	st := tree.Stats()
+	if st.EmbeddedContainers == 0 && st.Ejections == 0 {
+		t.Fatal("prefix-heavy strings should create embedded containers or ejections")
+	}
+	checkTree(t, tree)
+}
+
+func TestContainerSplitHappens(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SplitBaseSize = 1024
+	cfg.SplitMinPartSize = 128
+	tree := New(cfg)
+	keys := denseShortKeys(30000)
+	for i, k := range keys {
+		tree.Put(k, uint64(i))
+	}
+	if tree.Stats().Splits == 0 {
+		t.Fatal("dense short keys with a tiny split threshold must split containers")
+	}
+	checkTree(t, tree)
+	for i, k := range keys {
+		if v, ok := tree.Get(k); !ok || v != uint64(i) {
+			t.Fatalf("after splits Get(%v) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestJumpStructuresCreated(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ContainerJumpTableThreshold = 4
+	cfg.TNodeJumpTableThreshold = 4
+	tree := New(cfg)
+	// Two-byte keys spread over many T- and S-Nodes in the root container.
+	for a := 0; a < 256; a += 2 {
+		for b := 0; b < 256; b += 8 {
+			tree.Put([]byte{byte(a), byte(b)}, uint64(a*256+b))
+		}
+	}
+	st := tree.Stats()
+	if st.JumpSuccessors == 0 {
+		t.Fatal("expected jump successors to be created")
+	}
+	if st.TNodeJumpTables == 0 {
+		t.Fatal("expected T-Node jump tables to be created")
+	}
+	if st.ContainerJTUpdates == 0 {
+		t.Fatal("expected container jump table updates")
+	}
+	checkTree(t, tree)
+	for a := 0; a < 256; a += 2 {
+		for b := 0; b < 256; b += 8 {
+			if v, ok := tree.Get([]byte{byte(a), byte(b)}); !ok || v != uint64(a*256+b) {
+				t.Fatalf("Get(%d,%d) = %d,%v", a, b, v, ok)
+			}
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	tree := New(DefaultConfig())
+	for i := 0; i < 1000; i++ {
+		tree.Put(u64key(uint64(i)), uint64(i))
+	}
+	tree.Clear()
+	if tree.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tree.Len())
+	}
+	if tree.Has(u64key(1)) {
+		t.Fatal("key survived Clear")
+	}
+	tree.Put([]byte("again"), 1)
+	if v, ok := tree.Get([]byte("again")); !ok || v != 1 {
+		t.Fatalf("tree unusable after Clear: %d,%v", v, ok)
+	}
+	checkTree(t, tree)
+}
+
+func TestSharedAllocator(t *testing.T) {
+	alloc := New(DefaultConfig()).Allocator()
+	t1 := NewWithAllocator(DefaultConfig(), alloc)
+	t2 := NewWithAllocator(DefaultConfig(), alloc)
+	for i := 0; i < 500; i++ {
+		t1.Put(u64key(uint64(i)), 1)
+		t2.Put(u64key(uint64(i)), 2)
+	}
+	if v, _ := t1.Get(u64key(42)); v != 1 {
+		t.Fatalf("t1 value = %d", v)
+	}
+	if v, _ := t2.Get(u64key(42)); v != 2 {
+		t.Fatalf("t2 value = %d", v)
+	}
+	checkTree(t, t1)
+	checkTree(t, t2)
+}

@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memman"
+)
+
+// CheckInvariants walks the whole tree and verifies the structural invariants
+// of the container encoding: header consistency, strictly increasing sibling
+// keys, exact node-stream sizes, jump successor and jump table targets,
+// embedded container sizes and resolvable child pointers. It returns the
+// first violation found. The walk is expensive and intended for tests.
+func (t *Tree) CheckInvariants() error {
+	if t.rootHP.IsNil() {
+		return nil
+	}
+	keys := int64(0)
+	if t.emptyExists {
+		keys++
+	}
+	if err := t.checkHP(t.rootHP, &keys); err != nil {
+		return err
+	}
+	if keys != t.stats.Keys {
+		return fmt.Errorf("key counter mismatch: counted %d, stats say %d", keys, t.stats.Keys)
+	}
+	return nil
+}
+
+func (t *Tree) checkHP(hp memman.HP, keys *int64) error {
+	if t.alloc.IsChained(hp) {
+		sawAny := false
+		for s := 0; s < memman.ChainLen; s++ {
+			buf := t.alloc.ChainedSlot(hp, s)
+			if buf == nil {
+				continue
+			}
+			sawAny = true
+			if err := t.checkContainer(buf, keys); err != nil {
+				return fmt.Errorf("chained slot %d: %w", s, err)
+			}
+		}
+		if !sawAny {
+			return fmt.Errorf("chained container %v has no populated slot", hp)
+		}
+		if t.alloc.ChainedSlot(hp, 0) == nil {
+			return fmt.Errorf("chained container %v has a void slot 0", hp)
+		}
+		return nil
+	}
+	buf := t.alloc.Resolve(hp)
+	return t.checkContainer(buf, keys)
+}
+
+func (t *Tree) checkContainer(buf []byte, keys *int64) error {
+	size, free := ctrSize(buf), ctrFree(buf)
+	if size < containerHeaderSize || size > len(buf) {
+		return fmt.Errorf("container size %d outside [%d,%d]", size, containerHeaderSize, len(buf))
+	}
+	if free < 0 || free > size-containerHeaderSize {
+		return fmt.Errorf("container free %d inconsistent with size %d", free, size)
+	}
+	reg := topRegion(buf)
+	if reg.start > reg.end {
+		return fmt.Errorf("jump table (%d bytes) exceeds content end %d", ctrJTBytes(buf), reg.end)
+	}
+	tPositions, tKeys, err := t.checkStream(buf, reg, true, keys)
+	if err != nil {
+		return err
+	}
+	// Container jump table entries must reference existing T-Nodes with the
+	// recorded key.
+	for i := 0; i < ctrJTSteps(buf)*ctrJTStep; i++ {
+		key, off := ctrJTEntry(buf, i)
+		if off == 0 {
+			continue
+		}
+		found := false
+		for j, p := range tPositions {
+			if p == off {
+				if tKeys[j] != key {
+					return fmt.Errorf("container JT entry %d: key %d but T-Node at %d has key %d", i, key, off, tKeys[j])
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("container JT entry %d points at %d which is not a T-Node", i, off)
+		}
+	}
+	return nil
+}
+
+// checkStream validates one node stream and returns the T-Node positions and
+// keys it found (used by the container jump table check).
+func (t *Tree) checkStream(buf []byte, reg region, topLevel bool, keys *int64) ([]int, []byte, error) {
+	var tPositions []int
+	var tKeys []byte
+	pos := reg.start
+	prevT, prevS := -1, -1
+	lastT := -1
+
+	for pos < reg.end {
+		hdr := buf[pos]
+		if nodeType(hdr) == typeInvalid {
+			return nil, nil, fmt.Errorf("invalid node type at %d inside content", pos)
+		}
+		if !nodeIsS(hdr) {
+			key := int(nodeKey(buf, pos, prevT))
+			if key <= prevT {
+				return nil, nil, fmt.Errorf("T-Node keys not strictly increasing at %d (%d after %d)", pos, key, prevT)
+			}
+			if nodeDelta(hdr) != 0 && prevT < 0 {
+				return nil, nil, fmt.Errorf("first T-Node at %d is delta encoded", pos)
+			}
+			if !topLevel && (tHasJS(hdr) || tHasJT(hdr)) {
+				return nil, nil, fmt.Errorf("embedded T-Node at %d carries jump metadata", pos)
+			}
+			if nodeType(hdr) != typeInner {
+				*keys++
+			}
+			tPositions = append(tPositions, pos)
+			tKeys = append(tKeys, byte(key))
+			prevT = key
+			prevS = -1
+			lastT = pos
+			// Jump successor must point exactly at the next sibling T-Node
+			// (or the end of the stream).
+			if js := tNodeJS(buf, pos); js > 0 {
+				target := pos + js
+				if target > reg.end {
+					return nil, nil, fmt.Errorf("T-Node at %d: jump successor overshoots content end", pos)
+				}
+				if want := sRegionEndLinear(buf, reg, pos); want != target {
+					return nil, nil, fmt.Errorf("T-Node at %d: jump successor %d, want %d", pos, target, want)
+				}
+			}
+			pos += tNodeHeadSize(hdr)
+			continue
+		}
+		if lastT < 0 {
+			return nil, nil, fmt.Errorf("S-Node at %d without preceding T-Node", pos)
+		}
+		key := int(nodeKey(buf, pos, prevS))
+		if key <= prevS {
+			return nil, nil, fmt.Errorf("S-Node keys not strictly increasing at %d (%d after %d)", pos, key, prevS)
+		}
+		if nodeDelta(hdr) != 0 && prevS < 0 {
+			return nil, nil, fmt.Errorf("first S-Node at %d is delta encoded", pos)
+		}
+		if nodeType(hdr) != typeInner {
+			*keys++
+		}
+		prevS = key
+		size := sNodeSize(buf, pos)
+		if pos+size > reg.end {
+			return nil, nil, fmt.Errorf("S-Node at %d overruns content end (%d > %d)", pos, pos+size, reg.end)
+		}
+		childOff := pos + sNodeChildOffset(hdr)
+		switch sChildKind(hdr) {
+		case childNone:
+			if nodeType(hdr) == typeInner {
+				return nil, nil, fmt.Errorf("S-Node at %d is inner but has no child", pos)
+			}
+		case childHP:
+			hp := memman.GetHP(buf[childOff:])
+			if hp.IsNil() {
+				return nil, nil, fmt.Errorf("S-Node at %d references a nil HP", pos)
+			}
+			if err := t.checkHP(hp, keys); err != nil {
+				return nil, nil, err
+			}
+		case childEmbedded:
+			sz := embSize(buf, childOff)
+			if sz < 1 || childOff+sz > reg.end {
+				return nil, nil, fmt.Errorf("embedded container at %d has bad size %d", childOff, sz)
+			}
+			if _, _, err := t.checkStream(buf, embRegion(buf, childOff), false, keys); err != nil {
+				return nil, nil, err
+			}
+		case childPC:
+			if pcSuffixLen(buf, childOff) == 0 {
+				return nil, nil, fmt.Errorf("PC node at %d has an empty suffix", childOff)
+			}
+			*keys++
+		}
+		pos += size
+	}
+	if pos != reg.end {
+		return nil, nil, fmt.Errorf("node stream ends at %d, content end is %d", pos, reg.end)
+	}
+
+	// T-Node jump tables must reference S-Nodes of their T-Node with the
+	// recorded keys.
+	for i, tPos := range tPositions {
+		if !tHasJT(buf[tPos]) {
+			continue
+		}
+		sPositions, sKeys := countSNodes(buf, reg, tPos)
+		for j := 0; j < tJTEntries; j++ {
+			key, off := tNodeJTEntry(buf, tPos, j)
+			if off == 0 {
+				continue
+			}
+			target := tPos + off
+			ok := false
+			for k, sp := range sPositions {
+				if sp == target {
+					if sKeys[k] != key {
+						return nil, nil, fmt.Errorf("T-Node %d (key %d): JT entry %d key %d but S-Node has key %d", tPos, tKeys[i], j, key, sKeys[k])
+					}
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return nil, nil, fmt.Errorf("T-Node %d: JT entry %d points at %d which is not one of its S-Nodes", tPos, j, target)
+			}
+		}
+	}
+	return tPositions, tKeys, nil
+}
+
+// sRegionEndLinear is the jump-free variant of sRegionEnd, used to verify
+// jump successors.
+func sRegionEndLinear(buf []byte, reg region, tPos int) int {
+	pos := tPos + tNodeHeadSize(buf[tPos])
+	for pos < reg.end {
+		h := buf[pos]
+		if nodeType(h) == typeInvalid || !nodeIsS(h) {
+			return pos
+		}
+		pos += sNodeSize(buf, pos)
+	}
+	return pos
+}
+
+// DumpStats is a compact, human-readable summary used by examples and debug
+// output.
+func (t *Tree) DumpStats() string {
+	s := t.stats
+	return fmt.Sprintf("keys=%d containers=%d embedded=%d pc=%d deltas=%d ejections=%d splits=%d",
+		s.Keys, s.Containers, s.EmbeddedContainers, s.PathCompressed, s.DeltaEncodedNodes, s.Ejections, s.Splits)
+}

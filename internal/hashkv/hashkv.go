@@ -1,0 +1,68 @@
+// Package hashkv implements the hash table baseline of the paper's
+// evaluation (std::unordered_map). It wraps Go's built-in map, which — like
+// the STL hash table — offers fast point accesses, no ordered iteration, and
+// a comparatively large memory footprint caused by per-bucket overhead and
+// key copies.
+package hashkv
+
+// Map is an unordered key-value store. It is not safe for concurrent use.
+type Map struct {
+	m     map[string]uint64
+	bytes int64
+}
+
+// New creates an empty map.
+func New() *Map { return &Map{m: make(map[string]uint64)} }
+
+// Put stores key with value.
+func (h *Map) Put(key []byte, value uint64) {
+	k := string(key)
+	if _, ok := h.m[k]; !ok {
+		h.bytes += int64(len(key))
+	}
+	h.m[k] = value
+}
+
+// Get returns the value stored for key.
+func (h *Map) Get(key []byte) (uint64, bool) {
+	v, ok := h.m[string(key)]
+	return v, ok
+}
+
+// Delete removes key and reports whether it was present.
+func (h *Map) Delete(key []byte) bool {
+	k := string(key)
+	if _, ok := h.m[k]; !ok {
+		return false
+	}
+	h.bytes -= int64(len(key))
+	delete(h.m, k)
+	return true
+}
+
+// Len returns the number of stored keys.
+func (h *Map) Len() int { return len(h.m) }
+
+// Name identifies the structure in benchmark reports.
+func (h *Map) Name() string { return "Hash" }
+
+// MemoryFootprint estimates the heap bytes held by the map: Go map bucket
+// overhead (8 entries per bucket, string header + value + tophash, plus the
+// usual over-provisioning) and the copied key bytes.
+func (h *Map) MemoryFootprint() int64 {
+	const perEntry = 16 + 8 + 1 // string header + value + tophash byte
+	n := int64(len(h.m))
+	// Buckets are sized for a load factor of 6.5/8 and grow in powers of two;
+	// account for 1.6x slots per entry on average.
+	return n*perEntry*8/5 + h.bytes
+}
+
+// Each calls fn for every stored key in unspecified order (hash tables have
+// no ordered iterator; the paper excludes them from range-query experiments).
+func (h *Map) Each(fn func(key []byte, value uint64) bool) {
+	for k, v := range h.m {
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package hashkv
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestBasicOperations(t *testing.T) {
+	m := New()
+	m.Put([]byte("a"), 1)
+	m.Put([]byte("a"), 2)
+	m.Put([]byte("b"), 3)
+	if v, ok := m.Get([]byte("a")); !ok || v != 2 {
+		t.Fatalf("Get(a) = %d,%v", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if !m.Delete([]byte("a")) || m.Delete([]byte("a")) {
+		t.Fatal("delete misbehaved")
+	}
+	if _, ok := m.Get([]byte("a")); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestEachVisitsAll(t *testing.T) {
+	m := New()
+	for i := 0; i < 500; i++ {
+		m.Put([]byte(fmt.Sprintf("k%d", i)), uint64(i))
+	}
+	seen := 0
+	m.Each(func(k []byte, v uint64) bool { seen++; return true })
+	if seen != 500 {
+		t.Fatalf("Each visited %d", seen)
+	}
+	seen = 0
+	m.Each(func(k []byte, v uint64) bool { seen++; return seen < 10 })
+	if seen != 10 {
+		t.Fatalf("early stop visited %d", seen)
+	}
+}
+
+func TestFootprintTracksKeyBytes(t *testing.T) {
+	m := New()
+	base := m.MemoryFootprint()
+	m.Put(make([]byte, 1000), 1)
+	if m.MemoryFootprint()-base < 1000 {
+		t.Fatal("footprint must grow with key bytes")
+	}
+	m.Delete(make([]byte, 1000))
+	if m.MemoryFootprint() != base {
+		t.Fatal("footprint must shrink after delete")
+	}
+}

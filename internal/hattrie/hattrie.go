@@ -1,0 +1,244 @@
+// Package hattrie implements the HAT-trie (paper §2.2, Askitis & Sinha): a
+// burst trie whose containers are cache-conscious hash tables of key
+// suffixes. Access paths descend through 256-ary trie nodes until they reach
+// a container; once a container exceeds the burst threshold it is replaced by
+// a trie node and smaller containers.
+//
+// Containers are implemented with Go's map; the memory accounting models the
+// original array hash (packed suffix strings plus a small per-slot overhead),
+// as documented in DESIGN.md. Ordered range queries sort each container on
+// demand, which is exactly why the HAT-trie performs poorly in the paper's
+// range-query experiment (Table 3).
+package hattrie
+
+import (
+	"bytes"
+	"sort"
+)
+
+// BurstThreshold is the container population that triggers a burst. The
+// original HAT-trie uses 16,384 entries; smaller containers trade memory for
+// speed.
+const BurstThreshold = 16384
+
+type node struct {
+	isTrie   bool
+	hasValue bool // key ends exactly at this trie node
+	value    uint64
+
+	children [256]*node        // trie node
+	bucket   map[string]uint64 // container: suffix -> value
+	suffixes int64             // total suffix bytes in the bucket
+}
+
+// Tree is a HAT-trie. It is not safe for concurrent use.
+type Tree struct {
+	root      *node
+	count     int
+	trieNodes int64
+	buckets   int64
+	bytes     int64 // suffix bytes across all buckets
+}
+
+// New creates an empty HAT-trie.
+func New() *Tree {
+	t := &Tree{}
+	t.root = t.newBucket()
+	return t
+}
+
+func (t *Tree) newBucket() *node {
+	t.buckets++
+	return &node{bucket: make(map[string]uint64)}
+}
+
+func (t *Tree) newTrieNode() *node {
+	t.trieNodes++
+	return &node{isTrie: true}
+}
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.count }
+
+// Name identifies the structure in benchmark reports.
+func (t *Tree) Name() string { return "HAT" }
+
+// MemoryFootprint models the array-hash containers of the original
+// implementation: packed suffixes with a one-byte length prefix, an 8-byte
+// value and roughly two bytes of slot overhead per entry, a slot array and
+// housekeeping per container, plus 256 child pointers per trie node.
+func (t *Tree) MemoryFootprint() int64 {
+	return t.bytes + int64(t.count)*(8+1+2) + t.buckets*512 + t.trieNodes*(256*8+16)
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	depth := 0
+	for n.isTrie {
+		if depth == len(key) {
+			if n.hasValue {
+				return n.value, true
+			}
+			return 0, false
+		}
+		child := n.children[key[depth]]
+		if child == nil {
+			return 0, false
+		}
+		n = child
+		depth++
+	}
+	v, ok := n.bucket[string(key[depth:])]
+	return v, ok
+}
+
+// Put stores key with value, overwriting any existing value.
+func (t *Tree) Put(key []byte, value uint64) {
+	n := t.root
+	depth := 0
+	for n.isTrie {
+		if depth == len(key) {
+			if !n.hasValue {
+				n.hasValue = true
+				t.count++
+			}
+			n.value = value
+			return
+		}
+		child := n.children[key[depth]]
+		if child == nil {
+			child = t.newBucket()
+			n.children[key[depth]] = child
+		}
+		n = child
+		depth++
+	}
+	suffix := string(key[depth:])
+	if _, exists := n.bucket[suffix]; !exists {
+		t.count++
+		t.bytes += int64(len(suffix))
+		n.suffixes += int64(len(suffix))
+	}
+	n.bucket[suffix] = value
+	if len(n.bucket) > BurstThreshold {
+		t.burst(n)
+	}
+}
+
+// burst replaces a container with a trie node and redistributes its suffixes
+// into fresh containers, one per leading character.
+func (t *Tree) burst(n *node) {
+	old := n.bucket
+	oldSuffixBytes := n.suffixes
+	n.isTrie = true
+	n.bucket = nil
+	n.suffixes = 0
+	t.buckets--
+	t.trieNodes++
+	t.bytes -= oldSuffixBytes
+	for suffix, value := range old {
+		if len(suffix) == 0 {
+			n.hasValue = true
+			n.value = value
+			continue
+		}
+		c := suffix[0]
+		child := n.children[c]
+		if child == nil {
+			child = t.newBucket()
+			n.children[c] = child
+		}
+		rest := suffix[1:]
+		child.bucket[rest] = value
+		child.suffixes += int64(len(rest))
+		t.bytes += int64(len(rest))
+	}
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	n := t.root
+	depth := 0
+	for n.isTrie {
+		if depth == len(key) {
+			if !n.hasValue {
+				return false
+			}
+			n.hasValue = false
+			t.count--
+			return true
+		}
+		child := n.children[key[depth]]
+		if child == nil {
+			return false
+		}
+		n = child
+		depth++
+	}
+	suffix := string(key[depth:])
+	if _, ok := n.bucket[suffix]; !ok {
+		return false
+	}
+	delete(n.bucket, suffix)
+	n.suffixes -= int64(len(suffix))
+	t.bytes -= int64(len(suffix))
+	t.count--
+	return true
+}
+
+// Range calls fn for every key >= start in lexicographic order until fn
+// returns false. Containers are sorted on demand, mirroring the original
+// implementation's behaviour for ordered access.
+func (t *Tree) Range(start []byte, fn func(key []byte, value uint64) bool) {
+	prefix := make([]byte, 0, 64)
+	t.iterate(t.root, prefix, start, fn)
+}
+
+// Each iterates all keys in order.
+func (t *Tree) Each(fn func(key []byte, value uint64) bool) { t.Range(nil, fn) }
+
+func (t *Tree) iterate(n *node, prefix, start []byte, fn func([]byte, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !n.isTrie {
+		suffixes := make([]string, 0, len(n.bucket))
+		for s := range n.bucket {
+			suffixes = append(suffixes, s)
+		}
+		sort.Strings(suffixes)
+		for _, s := range suffixes {
+			key := append(prefix, s...)
+			if len(start) > 0 && bytes.Compare(key, start) < 0 {
+				continue
+			}
+			if !fn(key, n.bucket[s]) {
+				return false
+			}
+		}
+		return true
+	}
+	if n.hasValue {
+		if len(start) == 0 || bytes.Compare(prefix, start) >= 0 {
+			if !fn(prefix, n.value) {
+				return false
+			}
+		}
+	}
+	for c := 0; c < 256; c++ {
+		if n.children[c] == nil {
+			continue
+		}
+		if !t.iterate(n.children[c], append(prefix, byte(c)), start, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// BucketCount returns the number of containers (used by tests).
+func (t *Tree) BucketCount() int64 { return t.buckets }
+
+// TrieNodeCount returns the number of trie nodes (used by tests).
+func (t *Tree) TrieNodeCount() int64 { return t.trieNodes }

@@ -1,0 +1,94 @@
+package hattrie
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestBurst(t *testing.T) {
+	tr := New()
+	n := BurstThreshold + 500
+	for i := 0; i < n; i++ {
+		tr.Put([]byte(fmt.Sprintf("shared-prefix-%08d", i)), uint64(i))
+	}
+	if tr.TrieNodeCount() < 2 {
+		t.Fatalf("expected the root container to burst, trie nodes = %d", tr.TrieNodeCount())
+	}
+	if tr.BucketCount() < 2 {
+		t.Fatalf("expected multiple containers after bursting, buckets = %d", tr.BucketCount())
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := tr.Get([]byte(fmt.Sprintf("shared-prefix-%08d", i))); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+}
+
+func TestEmptySuffixOnBurst(t *testing.T) {
+	tr := New()
+	// The key equal to the burst point's prefix must survive as a trie-node
+	// value.
+	tr.Put([]byte("p"), 42)
+	for i := 0; i <= BurstThreshold; i++ {
+		tr.Put([]byte(fmt.Sprintf("p%07d", i)), uint64(i))
+	}
+	if v, ok := tr.Get([]byte("p")); !ok || v != 42 {
+		t.Fatalf("prefix key lost after burst: %d,%v", v, ok)
+	}
+}
+
+func TestOrderedIterationSortsBuckets(t *testing.T) {
+	tr := New()
+	keys := []string{"zeta", "alpha", "mu", "omega", "beta", "kappa"}
+	for i, k := range keys {
+		tr.Put([]byte(k), uint64(i))
+	}
+	var got []string
+	tr.Each(func(k []byte, _ uint64) bool { got = append(got, string(k)); return true })
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration not sorted: %v", got)
+		}
+	}
+}
+
+func TestDeleteFromBucketAndTrieNode(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("abc"), 1)
+	tr.Put([]byte("abd"), 2)
+	if !tr.Delete([]byte("abc")) || tr.Delete([]byte("abc")) {
+		t.Fatal("bucket delete misbehaved")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Force a burst, then delete a key that ends exactly at a trie node.
+	tr2 := New()
+	tr2.Put([]byte("x"), 7)
+	for i := 0; i <= BurstThreshold; i++ {
+		tr2.Put([]byte(fmt.Sprintf("x%07d", i)), uint64(i))
+	}
+	if !tr2.Delete([]byte("x")) {
+		t.Fatal("trie-node value delete failed")
+	}
+	if _, ok := tr2.Get([]byte("x")); ok {
+		t.Fatal("deleted trie-node value still visible")
+	}
+}
+
+func TestMemoryFootprintGrowsWithKeys(t *testing.T) {
+	tr := New()
+	before := tr.MemoryFootprint()
+	for i := 0; i < 1000; i++ {
+		tr.Put([]byte(fmt.Sprintf("key-%d", i)), uint64(i))
+	}
+	if tr.MemoryFootprint() <= before {
+		t.Fatal("footprint did not grow")
+	}
+}

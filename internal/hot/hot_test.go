@@ -1,0 +1,112 @@
+package hot
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestBitAtExpansion(t *testing.T) {
+	key := []byte{0x80, 0x01}
+	// Byte 0: existence bit then 1000 0000.
+	if bitAt(key, 0) != 1 {
+		t.Fatal("existence bit of byte 0 must be 1")
+	}
+	if bitAt(key, 1) != 1 || bitAt(key, 2) != 0 {
+		t.Fatal("data bits of byte 0 decoded wrongly")
+	}
+	// Byte 1: existence bit then 0000 0001.
+	if bitAt(key, 9) != 1 || bitAt(key, 17) != 1 || bitAt(key, 10) != 0 {
+		t.Fatal("data bits of byte 1 decoded wrongly")
+	}
+	// Beyond the end every bit reads as 0.
+	if bitAt(key, 18) != 0 || bitAt(key, 100) != 0 {
+		t.Fatal("bits beyond the key end must be 0")
+	}
+}
+
+func TestFirstDiffBitPrefixKeys(t *testing.T) {
+	if firstDiffBit([]byte("abc"), []byte("abc")) != -1 {
+		t.Fatal("equal keys must not differ")
+	}
+	// "ab" is a prefix of "abc": they differ at byte 2's existence bit.
+	if got := firstDiffBit([]byte("ab"), []byte("abc")); got != 18 {
+		t.Fatalf("prefix keys differ at bit %d, want 18", got)
+	}
+}
+
+func TestPutGetDeleteBasics(t *testing.T) {
+	tr := New()
+	keys := []string{"a", "ab", "abc", "b", "ba", "z", "", "zz"}
+	for i, k := range keys {
+		tr.Put([]byte(k), uint64(i+1))
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get([]byte(k)); !ok || v != uint64(i+1) {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, v, ok, i+1)
+		}
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for _, k := range keys {
+		if !tr.Delete([]byte(k)) {
+			t.Fatalf("Delete(%q) failed", k)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after deleting everything = %d", tr.Len())
+	}
+}
+
+func TestOrderedIterationMatchesSort(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(3))
+	seen := map[string]bool{}
+	var want []string
+	for i := 0; i < 5000; i++ {
+		var k string
+		if rng.Intn(2) == 0 {
+			k = fmt.Sprintf("s-%06d", rng.Intn(10000))
+		} else {
+			b := make([]byte, 1+rng.Intn(10))
+			rng.Read(b)
+			k = string(b)
+		}
+		tr.Put([]byte(k), uint64(i))
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+		}
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Each(func(k []byte, _ uint64) bool { got = append(got, string(k)); return true })
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+}
+
+func TestMemoryFootprintCompoundModel(t *testing.T) {
+	tr := New()
+	n := 32000
+	keyLen := 0
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("benchmark-key-%010d", i)
+		keyLen += len(k)
+		tr.Put([]byte(k), uint64(i))
+	}
+	perKey := float64(tr.MemoryFootprint()) / float64(n)
+	avgKey := float64(keyLen) / float64(n)
+	// The model: key bytes + 16 bytes of tuple data/pointer + ~6 bytes of
+	// compound-node overhead.
+	if perKey < avgKey+16 || perKey > avgKey+30 {
+		t.Fatalf("per-key footprint %.1f outside the expected HOT-like band (key %.1f)", perKey, avgKey)
+	}
+}

@@ -1,0 +1,111 @@
+package judy
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestBranchKindTransitions(t *testing.T) {
+	tr := New()
+	// All keys share the first byte so a single branch node below the root
+	// takes all the fan-out and must move linear -> bitmap -> full.
+	put := func(n int) {
+		for i := 0; i < n; i++ {
+			tr.Put([]byte{0x42, byte(i), 0x01}, uint64(i))
+		}
+	}
+	put(linearMax)
+	if tr.branches[kindBitmap] != 0 {
+		t.Fatal("bitmap node created too early")
+	}
+	put(linearMax + 10)
+	if tr.branches[kindBitmap] == 0 {
+		t.Fatal("expected a bitmap branch after exceeding the linear limit")
+	}
+	put(256)
+	if tr.branches[kindFull] == 0 {
+		t.Fatal("expected an uncompressed branch after exceeding the bitmap limit")
+	}
+	for i := 0; i < 256; i++ {
+		if v, ok := tr.Get([]byte{0x42, byte(i), 0x01}); !ok || v != uint64(i) {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestLeafSplitSharedPrefix(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("shared/prefix/aaaa"), 1)
+	tr.Put([]byte("shared/prefix/bbbb"), 2)
+	tr.Put([]byte("shared/prefix"), 3)
+	tr.Put([]byte("shared"), 4)
+	for k, v := range map[string]uint64{"shared/prefix/aaaa": 1, "shared/prefix/bbbb": 2, "shared/prefix": 3, "shared": 4} {
+		if got, ok := tr.Get([]byte(k)); !ok || got != v {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestOrderedIteration(t *testing.T) {
+	tr := New()
+	var want []string
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("%04x", (i*2654435761)%65536)
+		if _, ok := tr.Get([]byte(k)); !ok {
+			want = append(want, k)
+		}
+		tr.Put([]byte(k), uint64(i))
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Each(func(k []byte, _ uint64) bool { got = append(got, string(k)); return true })
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d: %q vs %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("alpha"), 1)
+	tr.Put([]byte("alphabet"), 2)
+	tr.Put([]byte("beta"), 3)
+	if !tr.Delete([]byte("alpha")) {
+		t.Fatal("delete existing failed")
+	}
+	if tr.Delete([]byte("alpha")) {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Delete([]byte("alphabe")) {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if v, ok := tr.Get([]byte("alphabet")); !ok || v != 2 {
+		t.Fatalf("Get(alphabet) = %d,%v", v, ok)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestMemoryFootprintAdaptivity(t *testing.T) {
+	sparse, dense := New(), New()
+	for i := 0; i < 256; i++ {
+		dense.Put([]byte{byte(i)}, uint64(i))
+	}
+	for i := 0; i < 4; i++ {
+		sparse.Put([]byte{byte(i * 63)}, uint64(i))
+	}
+	perKeyDense := float64(dense.MemoryFootprint()) / 256
+	perKeySparse := float64(sparse.MemoryFootprint()) / 4
+	if perKeyDense > perKeySparse*4 {
+		t.Fatalf("dense population should amortise node cost: dense %.1f vs sparse %.1f B/key", perKeyDense, perKeySparse)
+	}
+}

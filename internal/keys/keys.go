@@ -1,0 +1,99 @@
+// Package keys provides the key transformations used by Hyperion: the
+// binary-comparable encodings of Leis et al. (paper §2.1) that turn integers
+// into memcmp-ordered byte strings, and the optional key pre-processing
+// heuristic of §3.4 ("Hyperion_p") that injects zero bits into uniformly
+// distributed keys to reduce the number of third-level containers.
+package keys
+
+import "encoding/binary"
+
+// Uint64Size is the encoded size of a 64-bit integer key.
+const Uint64Size = 8
+
+// EncodeUint64 turns v into its binary-comparable (big-endian) byte
+// representation. The paper reverses the little-endian byte order of the Xeon
+// platform for the same purpose: the trie is filled starting at the most
+// significant byte.
+func EncodeUint64(v uint64) []byte {
+	b := make([]byte, Uint64Size)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// AppendUint64 appends the binary-comparable encoding of v to dst.
+func AppendUint64(dst []byte, v uint64) []byte {
+	var b [Uint64Size]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return append(dst, b[:]...)
+}
+
+// PutUint64 writes the binary-comparable encoding of v into dst[:8].
+func PutUint64(dst []byte, v uint64) {
+	binary.BigEndian.PutUint64(dst, v)
+}
+
+// DecodeUint64 is the inverse of EncodeUint64.
+func DecodeUint64(b []byte) uint64 {
+	return binary.BigEndian.Uint64(b)
+}
+
+// EncodeInt64 maps a signed integer onto a binary-comparable byte string by
+// flipping the sign bit (two's-complement order becomes unsigned order).
+func EncodeInt64(v int64) []byte {
+	return EncodeUint64(uint64(v) ^ (1 << 63))
+}
+
+// DecodeInt64 is the inverse of EncodeInt64.
+func DecodeInt64(b []byte) int64 {
+	return int64(DecodeUint64(b) ^ (1 << 63))
+}
+
+// PreprocessedLen returns the length of Preprocess(key) for a key of n bytes.
+func PreprocessedLen(n int) int {
+	if n < 4 {
+		return n
+	}
+	return n + 1
+}
+
+// Preprocess applies Hyperion's key pre-processing heuristic (paper §3.4,
+// Figure 12): the 24 bits of the second, third and fourth key byte are spread
+// over four bytes, each receiving six payload bits in its upper positions and
+// two zero bits in its lowest positions. The first byte and everything from
+// the fifth byte on are copied verbatim. The transformation is injective,
+// invertible and preserves the binary-comparable order; the key grows by one
+// byte.
+//
+// Keys shorter than four bytes are returned as a copy without transformation;
+// the heuristic targets fixed-size keys such as 64-bit integers or hashes.
+func Preprocess(key []byte) []byte {
+	if len(key) < 4 {
+		out := make([]byte, len(key))
+		copy(out, key)
+		return out
+	}
+	out := make([]byte, 0, len(key)+1)
+	out = append(out, key[0])
+	bits := uint32(key[1])<<16 | uint32(key[2])<<8 | uint32(key[3])
+	out = append(out,
+		byte(bits>>18&0x3f)<<2,
+		byte(bits>>12&0x3f)<<2,
+		byte(bits>>6&0x3f)<<2,
+		byte(bits&0x3f)<<2,
+	)
+	return append(out, key[4:]...)
+}
+
+// Unpreprocess is the inverse of Preprocess.
+func Unpreprocess(key []byte) []byte {
+	if len(key) < 5 {
+		out := make([]byte, len(key))
+		copy(out, key)
+		return out
+	}
+	out := make([]byte, 0, len(key)-1)
+	out = append(out, key[0])
+	bits := uint32(key[1]>>2)<<18 | uint32(key[2]>>2)<<12 | uint32(key[3]>>2)<<6 | uint32(key[4]>>2)
+	out = append(out, byte(bits>>16), byte(bits>>8), byte(bits))
+	return append(out, key[5:]...)
+}

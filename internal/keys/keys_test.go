@@ -1,0 +1,191 @@
+package keys
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeUint64Order(t *testing.T) {
+	f := func(a, b uint64) bool {
+		ka, kb := EncodeUint64(a), EncodeUint64(b)
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeUint64RoundTrip(t *testing.T) {
+	f := func(v uint64) bool { return DecodeUint64(EncodeUint64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeInt64Order(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := EncodeInt64(a), EncodeInt64(b)
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeInt64RoundTrip(t *testing.T) {
+	f := func(v int64) bool { return DecodeInt64(EncodeInt64(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendAndPutUint64(t *testing.T) {
+	buf := AppendUint64([]byte("prefix"), 0x0102030405060708)
+	if string(buf[:6]) != "prefix" {
+		t.Fatal("prefix destroyed")
+	}
+	if DecodeUint64(buf[6:]) != 0x0102030405060708 {
+		t.Fatal("append round trip failed")
+	}
+	dst := make([]byte, 8)
+	PutUint64(dst, 42)
+	if DecodeUint64(dst) != 42 {
+		t.Fatal("PutUint64 round trip failed")
+	}
+}
+
+func TestPreprocessZeroBitInjection(t *testing.T) {
+	key := []byte{0xAA, 0xFF, 0xFF, 0xFF, 0x10, 0x20}
+	out := Preprocess(key)
+	if len(out) != len(key)+1 {
+		t.Fatalf("length = %d, want %d", len(out), len(key)+1)
+	}
+	if out[0] != 0xAA {
+		t.Fatal("first byte must be untouched")
+	}
+	// Every transformed byte carries exactly six payload bits; the two least
+	// significant bits are zero (paper Figure 12).
+	for i := 1; i <= 4; i++ {
+		if out[i]&0x03 != 0 {
+			t.Fatalf("byte %d = %#x has non-zero low bits", i, out[i])
+		}
+	}
+	if out[5] != 0x10 || out[6] != 0x20 {
+		t.Fatal("tail bytes must be untouched")
+	}
+}
+
+func TestPreprocessRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(24)
+		key := make([]byte, n)
+		rng.Read(key)
+		back := Unpreprocess(Preprocess(key))
+		if !bytes.Equal(back, key) {
+			t.Fatalf("round trip failed for %v: got %v", key, back)
+		}
+	}
+}
+
+func TestPreprocessOrderPreserving(t *testing.T) {
+	// The paper requires f to preserve the binary-comparable order for keys
+	// of the target class (fixed-size >= 4 byte keys).
+	f := func(a, b uint64) bool {
+		ka, kb := Preprocess(EncodeUint64(a)), Preprocess(EncodeUint64(b))
+		switch {
+		case a < b:
+			return bytes.Compare(ka, kb) < 0
+		case a > b:
+			return bytes.Compare(ka, kb) > 0
+		default:
+			return bytes.Equal(ka, kb)
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreprocessOrderPreservingVariableLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var prev, prevOut []byte
+	for i := 0; i < 3000; i++ {
+		n := 4 + rng.Intn(16)
+		key := make([]byte, n)
+		rng.Read(key)
+		out := Preprocess(key)
+		if prev != nil {
+			if bytes.Compare(prev, key) != bytes.Compare(prevOut, out) {
+				t.Fatalf("order not preserved between %v and %v", prev, key)
+			}
+		}
+		prev, prevOut = key, out
+	}
+}
+
+func TestPreprocessInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	seen := map[string][]byte{}
+	for i := 0; i < 20000; i++ {
+		key := EncodeUint64(rng.Uint64())
+		out := string(Preprocess(key))
+		if prev, dup := seen[out]; dup && !bytes.Equal(prev, key) {
+			t.Fatalf("collision: %v and %v map to %q", prev, key, out)
+		}
+		seen[out] = key
+	}
+}
+
+func TestPreprocessReducesPrefixEntropy(t *testing.T) {
+	// The point of the heuristic: the number of distinct 4-byte prefixes
+	// (third-level containers) shrinks from 2^32 to 2^26; with random keys we
+	// must observe strictly fewer distinct 3-byte prefixes after the
+	// transformation spread the same bits over more bytes.
+	rng := rand.New(rand.NewSource(4))
+	before := map[string]bool{}
+	after := map[string]bool{}
+	for i := 0; i < 50000; i++ {
+		key := EncodeUint64(rng.Uint64())
+		out := Preprocess(key)
+		before[string(key[:3])] = true
+		after[string(out[:3])] = true
+	}
+	if len(after) >= len(before) {
+		t.Fatalf("pre-processing did not reduce prefix entropy: %d vs %d", len(after), len(before))
+	}
+}
+
+func TestPreprocessedLen(t *testing.T) {
+	for n := 0; n < 20; n++ {
+		key := make([]byte, n)
+		if got, want := PreprocessedLen(n), len(Preprocess(key)); got != want {
+			t.Fatalf("PreprocessedLen(%d) = %d, actual %d", n, got, want)
+		}
+	}
+}
+
+func TestPreprocessShortKeysUnchanged(t *testing.T) {
+	for _, key := range [][]byte{nil, {}, {1}, {1, 2}, {1, 2, 3}} {
+		out := Preprocess(key)
+		if !bytes.Equal(out, key) {
+			t.Fatalf("short key %v changed to %v", key, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package memman
+
+import "fmt"
+
+// Chained extended bins (paper §3.2): eight extended-bin chunks allocated and
+// freed atomically. A single HP, pointing at the first of eight consecutive
+// chunks in an extended bin, owns all eight slots. Vertically split containers
+// use one slot per 32-key T-Node range; slots without a container keep a nil
+// buffer ("void" heap pointers in the paper).
+
+// AllocChained reserves eight consecutive extended-bin chunks and returns the
+// HP of the first one. All slots start out void.
+func (a *Allocator) AllocChained() HP {
+	a.totalAllocs++
+	sb := &a.superbins[extendedSB]
+	// Find a bin with eight consecutive free entries.
+	for mbID := 0; ; mbID++ {
+		if mbID >= MaxMetabins {
+			panic("memman: extended superbin exhausted")
+		}
+		mb := a.ensureMetabin(sb, mbID)
+		for binID := 0; binID < BinsPerMetabin; binID++ {
+			eb := a.ensureExtBin(mb, binID)
+			if eb.usedCount+ChainLen > ChunksPerBin {
+				continue
+			}
+			start := -1
+			run := 0
+			for i := range eb.entries {
+				if eb.entries[i].inUse {
+					run = 0
+					continue
+				}
+				run++
+				if run == ChainLen {
+					start = i - ChainLen + 1
+					break
+				}
+			}
+			if start < 0 {
+				// No run among the existing records: extend the table.
+				if len(eb.entries)+ChainLen > ChunksPerBin {
+					continue
+				}
+				start = len(eb.entries)
+				a.growExtBin(eb, ChainLen)
+			}
+			for j := start; j < start+ChainLen; j++ {
+				eb.entries[j] = extEntry{inUse: true, chainSlot: j != start}
+			}
+			eb.entries[start].chainHead = true
+			eb.usedCount += ChainLen
+			if eb.isFull() {
+				mb.markNonFull(binID, false)
+			}
+			a.allocatedExt += ChainLen
+			return MakeHP(extendedSB, mbID, binID, start)
+		}
+	}
+}
+
+// IsChained reports whether hp is the head of a chained extended bin.
+func (a *Allocator) IsChained(hp HP) bool {
+	if hp.IsNil() || hp.Superbin() != extendedSB {
+		return false
+	}
+	_, mb, binID := a.locate(hp)
+	eb := mb.extBin(binID)
+	if eb == nil || hp.Chunk() >= len(eb.entries) {
+		return false
+	}
+	e := &eb.entries[hp.Chunk()]
+	return e.inUse && e.chainHead
+}
+
+func (a *Allocator) chainEntry(hp HP, slot int) *extEntry {
+	if slot < 0 || slot >= ChainLen {
+		panic(fmt.Sprintf("memman: chained slot %d out of range", slot))
+	}
+	_, mb, binID := a.locate(hp)
+	eb := mb.extBin(binID)
+	e := eb.at(hp.Chunk() + slot)
+	if !e.inUse {
+		panic(fmt.Sprintf("memman: dangling chained %v slot %d", hp, slot))
+	}
+	return e
+}
+
+// ChainedSlot returns the buffer of the given slot, or nil if the slot is
+// void.
+func (a *Allocator) ChainedSlot(hp HP, slot int) []byte {
+	return a.chainEntry(hp, slot).buf
+}
+
+// SetChainedSlot (re)allocates the buffer of the given slot to hold at least
+// size bytes and returns it. Existing content is preserved.
+func (a *Allocator) SetChainedSlot(hp HP, slot int, size int) []byte {
+	e := a.chainEntry(hp, slot)
+	granted := roundExtended(size)
+	if granted <= len(e.buf) {
+		a.requestedExt += int64(size) - int64(e.requested)
+		e.requested = int32(size)
+		return e.buf
+	}
+	nb := make([]byte, granted)
+	copy(nb, e.buf)
+	a.extBytes += int64(granted - len(e.buf))
+	a.requestedExt += int64(size) - int64(e.requested)
+	e.buf = nb
+	e.requested = int32(size)
+	return nb
+}
+
+// ClearChainedSlot releases the buffer of the given slot, making it void
+// again. The chain itself remains allocated.
+func (a *Allocator) ClearChainedSlot(hp HP, slot int) {
+	e := a.chainEntry(hp, slot)
+	a.extBytes -= int64(len(e.buf))
+	a.requestedExt -= int64(e.requested)
+	e.buf = nil
+	e.requested = 0
+}
+
+// ResolveChained maps a T-Node key byte onto the split container responsible
+// for it (paper §3.3): the candidate slot is key/32, and void slots are
+// skipped downwards until a populated one is found. It returns the buffer and
+// the slot index that answered.
+func (a *Allocator) ResolveChained(hp HP, key byte) ([]byte, int) {
+	start := int(key) / 32
+	for slot := start; slot >= 0; slot-- {
+		if buf := a.ChainedSlot(hp, slot); buf != nil {
+			return buf, slot
+		}
+	}
+	panic(fmt.Sprintf("memman: chained %v has no container for key %d", hp, key))
+}
+
+// FreeChained releases all eight slots and the chain itself.
+func (a *Allocator) FreeChained(hp HP) {
+	a.totalFrees++
+	_, mb, binID := a.locate(hp)
+	eb := mb.extBin(binID)
+	start := hp.Chunk()
+	if !eb.entries[start].chainHead {
+		panic(fmt.Sprintf("memman: FreeChained on non-chain %v", hp))
+	}
+	for i := 0; i < ChainLen; i++ {
+		e := &eb.entries[start+i]
+		a.extBytes -= int64(len(e.buf))
+		a.requestedExt -= int64(e.requested)
+		*e = extEntry{}
+	}
+	eb.usedCount -= ChainLen
+	a.allocatedExt -= ChainLen
+	mb.markNonFull(binID, true)
+}

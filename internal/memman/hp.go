@@ -1,0 +1,121 @@
+// Package memman implements Hyperion's custom memory manager (paper §3.2).
+//
+// The manager is a middleware between the trie and Go's memory system. Small
+// allocations (up to 2,016 bytes) are grouped by size class and carved out of
+// large slab allocations; larger allocations ("extended bins") are individual
+// heap allocations that grow in coarse increments. Instead of 8-byte machine
+// pointers the manager hands out 5-byte Hyperion Pointers (HP) which encode a
+// position in the superbin → metabin → bin → chunk hierarchy. The trie stores
+// only HPs, which fully decouples the data structure from its memory location.
+package memman
+
+import "fmt"
+
+// HP is a 40-bit Hyperion Pointer. It encodes the location of a chunk inside
+// the allocator hierarchy:
+//
+//	bits  0..5   superbin index (6 bits)
+//	bits  6..19  metabin index  (14 bits)
+//	bits 20..27  bin index      (8 bits)
+//	bits 28..39  chunk index    (12 bits)
+//
+// The all-zero value is reserved as the nil pointer; the allocator never hands
+// out the chunk that would encode to zero.
+type HP uint64
+
+// HPSize is the number of bytes an HP occupies when serialised into a
+// container byte stream.
+const HPSize = 5
+
+// Field widths of the HP encoding.
+const (
+	superbinBits = 6
+	metabinBits  = 14
+	binBits      = 8
+	chunkBits    = 12
+
+	superbinShift = 0
+	metabinShift  = superbinShift + superbinBits
+	binShift      = metabinShift + metabinBits
+	chunkShift    = binShift + binBits
+
+	superbinMask = (1 << superbinBits) - 1
+	metabinMask  = (1 << metabinBits) - 1
+	binMask      = (1 << binBits) - 1
+	chunkMask    = (1 << chunkBits) - 1
+)
+
+// Capacity limits implied by the field widths.
+const (
+	// NumSuperbins is the number of superbins (size classes plus the
+	// extended-bin superbin).
+	NumSuperbins = 1 << superbinBits // 64
+	// MaxMetabins is the maximum number of metabins per superbin.
+	MaxMetabins = 1 << metabinBits // 16384
+	// BinsPerMetabin is the number of bins per metabin.
+	BinsPerMetabin = 1 << binBits // 256
+	// ChunksPerBin is the number of chunks per bin.
+	ChunksPerBin = 1 << chunkBits // 4096
+)
+
+// NilHP is the reserved nil Hyperion Pointer.
+const NilHP HP = 0
+
+// MakeHP assembles an HP from its components. Components must be within their
+// field ranges; MakeHP panics otherwise (programming error).
+func MakeHP(superbin, metabin, bin, chunk int) HP {
+	if superbin < 0 || superbin > superbinMask ||
+		metabin < 0 || metabin > metabinMask ||
+		bin < 0 || bin > binMask ||
+		chunk < 0 || chunk > chunkMask {
+		panic(fmt.Sprintf("memman: HP component out of range (%d,%d,%d,%d)", superbin, metabin, bin, chunk))
+	}
+	return HP(uint64(superbin)<<superbinShift |
+		uint64(metabin)<<metabinShift |
+		uint64(bin)<<binShift |
+		uint64(chunk)<<chunkShift)
+}
+
+// Superbin returns the superbin index component.
+func (hp HP) Superbin() int { return int(hp>>superbinShift) & superbinMask }
+
+// Metabin returns the metabin index component.
+func (hp HP) Metabin() int { return int(hp>>metabinShift) & metabinMask }
+
+// Bin returns the bin index component.
+func (hp HP) Bin() int { return int(hp>>binShift) & binMask }
+
+// Chunk returns the chunk index component.
+func (hp HP) Chunk() int { return int(hp>>chunkShift) & chunkMask }
+
+// IsNil reports whether hp is the reserved nil pointer.
+func (hp HP) IsNil() bool { return hp == NilHP }
+
+// String renders the HP for debugging.
+func (hp HP) String() string {
+	if hp.IsNil() {
+		return "HP(nil)"
+	}
+	return fmt.Sprintf("HP(sb=%d mb=%d bin=%d chunk=%d)", hp.Superbin(), hp.Metabin(), hp.Bin(), hp.Chunk())
+}
+
+// PutHP serialises hp into the first HPSize bytes of dst (little endian).
+func PutHP(dst []byte, hp HP) {
+	_ = dst[HPSize-1]
+	v := uint64(hp)
+	dst[0] = byte(v)
+	dst[1] = byte(v >> 8)
+	dst[2] = byte(v >> 16)
+	dst[3] = byte(v >> 24)
+	dst[4] = byte(v >> 32)
+}
+
+// GetHP deserialises an HP from the first HPSize bytes of src.
+func GetHP(src []byte) HP {
+	_ = src[HPSize-1]
+	return HP(uint64(src[0]) |
+		uint64(src[1])<<8 |
+		uint64(src[2])<<16 |
+		uint64(src[3])<<24 |
+		uint64(src[4])<<32)
+}

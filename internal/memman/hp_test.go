@@ -1,0 +1,93 @@
+package memman
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakeHPFields(t *testing.T) {
+	cases := []struct{ sb, mb, bin, chunk int }{
+		{0, 0, 0, 0},
+		{63, 0, 0, 0},
+		{0, 16383, 0, 0},
+		{0, 0, 255, 0},
+		{0, 0, 0, 4095},
+		{63, 16383, 255, 4095},
+		{12, 345, 67, 890},
+	}
+	for _, c := range cases {
+		hp := MakeHP(c.sb, c.mb, c.bin, c.chunk)
+		if hp.Superbin() != c.sb || hp.Metabin() != c.mb || hp.Bin() != c.bin || hp.Chunk() != c.chunk {
+			t.Errorf("MakeHP(%v) round trip = (%d,%d,%d,%d)", c, hp.Superbin(), hp.Metabin(), hp.Bin(), hp.Chunk())
+		}
+	}
+}
+
+func TestMakeHPOutOfRangePanics(t *testing.T) {
+	cases := [][4]int{
+		{64, 0, 0, 0},
+		{0, 16384, 0, 0},
+		{0, 0, 256, 0},
+		{0, 0, 0, 4096},
+		{-1, 0, 0, 0},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MakeHP(%v) did not panic", c)
+				}
+			}()
+			MakeHP(c[0], c[1], c[2], c[3])
+		}()
+	}
+}
+
+func TestHPNil(t *testing.T) {
+	if !NilHP.IsNil() {
+		t.Fatal("NilHP must report IsNil")
+	}
+	if MakeHP(1, 0, 0, 0).IsNil() {
+		t.Fatal("non-zero HP reported nil")
+	}
+	if MakeHP(0, 0, 0, 0) != NilHP {
+		t.Fatal("all-zero components must encode to NilHP")
+	}
+}
+
+func TestHPSerialisationRoundTrip(t *testing.T) {
+	f := func(sb uint8, mb uint16, bin uint8, chunk uint16) bool {
+		hp := MakeHP(int(sb)&superbinMask, int(mb)&metabinMask, int(bin)&binMask, int(chunk)&chunkMask)
+		var buf [HPSize]byte
+		PutHP(buf[:], hp)
+		return GetHP(buf[:]) == hp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHPSerialisationUses40Bits(t *testing.T) {
+	hp := MakeHP(63, 16383, 255, 4095)
+	var buf [HPSize]byte
+	PutHP(buf[:], hp)
+	for i, b := range buf {
+		if b != 0xff {
+			t.Fatalf("byte %d of max HP = %#x, want 0xff", i, b)
+		}
+	}
+	if got := GetHP(buf[:]); got != hp {
+		t.Fatalf("GetHP of max = %v, want %v", got, hp)
+	}
+}
+
+func TestHPString(t *testing.T) {
+	if NilHP.String() != "HP(nil)" {
+		t.Errorf("nil String = %q", NilHP.String())
+	}
+	got := MakeHP(3, 2, 1, 9).String()
+	want := "HP(sb=3 mb=2 bin=1 chunk=9)"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}

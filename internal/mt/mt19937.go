@@ -1,0 +1,74 @@
+// Package mt implements the 64-bit Mersenne Twister (MT19937-64) of
+// Matsumoto & Nishimura. The paper generates its random integer keys with the
+// SIMD-oriented Fast Mersenne Twister (SFMT); MT19937-64 is the portable
+// member of the same generator family and provides the identical statistical
+// properties the workloads rely on (uniform, 64-bit, reproducible by seed).
+package mt
+
+const (
+	nn      = 312
+	mm      = 156
+	matrixA = 0xB5026F5AA96619E9
+	upper   = 0xFFFFFFFF80000000
+	lower   = 0x7FFFFFFF
+)
+
+// Source is a deterministic 64-bit Mersenne Twister. It is not safe for
+// concurrent use. It implements rand.Source64.
+type Source struct {
+	state [nn]uint64
+	index int
+}
+
+// New creates a generator seeded with seed.
+func New(seed uint64) *Source {
+	s := &Source{}
+	s.Seed64(seed)
+	return s
+}
+
+// Seed64 reinitialises the generator.
+func (s *Source) Seed64(seed uint64) {
+	s.state[0] = seed
+	for i := 1; i < nn; i++ {
+		s.state[i] = 6364136223846793005*(s.state[i-1]^(s.state[i-1]>>62)) + uint64(i)
+	}
+	s.index = nn
+}
+
+// Seed implements rand.Source (the seed is reinterpreted as unsigned).
+func (s *Source) Seed(seed int64) { s.Seed64(uint64(seed)) }
+
+// Uint64 returns the next 64-bit random number.
+func (s *Source) Uint64() uint64 {
+	if s.index >= nn {
+		s.generate()
+	}
+	x := s.state[s.index]
+	s.index++
+
+	x ^= (x >> 29) & 0x5555555555555555
+	x ^= (x << 17) & 0x71D67FFFEDA60000
+	x ^= (x << 37) & 0xFFF7EEE000000000
+	x ^= x >> 43
+	return x
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *Source) generate() {
+	var mag = [2]uint64{0, matrixA}
+	var i int
+	for i = 0; i < nn-mm; i++ {
+		x := (s.state[i] & upper) | (s.state[i+1] & lower)
+		s.state[i] = s.state[i+mm] ^ (x >> 1) ^ mag[x&1]
+	}
+	for ; i < nn-1; i++ {
+		x := (s.state[i] & upper) | (s.state[i+1] & lower)
+		s.state[i] = s.state[i+mm-nn] ^ (x >> 1) ^ mag[x&1]
+	}
+	x := (s.state[nn-1] & upper) | (s.state[0] & lower)
+	s.state[nn-1] = s.state[mm-1] ^ (x >> 1) ^ mag[x&1]
+	s.index = 0
+}

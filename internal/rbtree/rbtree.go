@@ -1,0 +1,351 @@
+// Package rbtree implements a red-black tree mapping byte-string keys to
+// 64-bit values. It reproduces the std::map baseline of the paper's
+// evaluation (§4): every node stores a full copy of its key, giving the
+// expected high memory footprint and logarithmic, cache-unfriendly accesses.
+package rbtree
+
+import "bytes"
+
+type color bool
+
+const (
+	red   color = true
+	black color = false
+)
+
+type node struct {
+	key         []byte
+	value       uint64
+	left, right *node
+	parent      *node
+	color       color
+}
+
+// Tree is a red-black tree. It is not safe for concurrent use.
+type Tree struct {
+	root  *node
+	count int
+	bytes int64
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Len returns the number of stored keys.
+func (t *Tree) Len() int { return t.count }
+
+// Name identifies the structure in benchmark reports.
+func (t *Tree) Name() string { return "RB-Tree" }
+
+// MemoryFootprint estimates the heap bytes held by the tree: per-node
+// overhead (five machine words plus slice header) plus the copied keys.
+func (t *Tree) MemoryFootprint() int64 {
+	const nodeOverhead = 8*4 + 24 + 8 + 1 + 7 // pointers, slice header, value, color, padding
+	return int64(t.count)*nodeOverhead + t.bytes
+}
+
+// Get returns the value stored for key.
+func (t *Tree) Get(key []byte) (uint64, bool) {
+	n := t.root
+	for n != nil {
+		switch cmp := bytes.Compare(key, n.key); {
+		case cmp < 0:
+			n = n.left
+		case cmp > 0:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	return 0, false
+}
+
+// Put stores key with value, overwriting any existing value.
+func (t *Tree) Put(key []byte, value uint64) {
+	var parent *node
+	n := t.root
+	for n != nil {
+		parent = n
+		switch cmp := bytes.Compare(key, n.key); {
+		case cmp < 0:
+			n = n.left
+		case cmp > 0:
+			n = n.right
+		default:
+			n.value = value
+			return
+		}
+	}
+	kcopy := make([]byte, len(key))
+	copy(kcopy, key)
+	nn := &node{key: kcopy, value: value, parent: parent, color: red}
+	t.count++
+	t.bytes += int64(len(key))
+	if parent == nil {
+		t.root = nn
+	} else if bytes.Compare(key, parent.key) < 0 {
+		parent.left = nn
+	} else {
+		parent.right = nn
+	}
+	t.fixInsert(nn)
+}
+
+func (t *Tree) rotateLeft(x *node) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree) rotateRight(x *node) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree) fixInsert(z *node) {
+	for z.parent != nil && z.parent.color == red {
+		gp := z.parent.parent
+		if z.parent == gp.left {
+			uncle := gp.right
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.right {
+				z = z.parent
+				t.rotateLeft(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateRight(gp)
+		} else {
+			uncle := gp.left
+			if uncle != nil && uncle.color == red {
+				z.parent.color = black
+				uncle.color = black
+				gp.color = red
+				z = gp
+				continue
+			}
+			if z == z.parent.left {
+				z = z.parent
+				t.rotateRight(z)
+			}
+			z.parent.color = black
+			gp.color = red
+			t.rotateLeft(gp)
+		}
+	}
+	t.root.color = black
+}
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key []byte) bool {
+	z := t.root
+	for z != nil {
+		switch cmp := bytes.Compare(key, z.key); {
+		case cmp < 0:
+			z = z.left
+		case cmp > 0:
+			z = z.right
+		default:
+			t.bytes -= int64(len(z.key))
+			t.deleteNode(z)
+			t.count--
+			return true
+		}
+	}
+	return false
+}
+
+func (t *Tree) minimum(n *node) *node {
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+func (t *Tree) transplant(u, v *node) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree) deleteNode(z *node) {
+	y := z
+	yColor := y.color
+	var x, xParent *node
+	switch {
+	case z.left == nil:
+		x, xParent = z.right, z.parent
+		t.transplant(z, z.right)
+	case z.right == nil:
+		x, xParent = z.left, z.parent
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yColor = y.color
+		x = y.right
+		if y.parent == z {
+			xParent = y
+		} else {
+			xParent = y.parent
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yColor == black {
+		t.fixDelete(x, xParent)
+	}
+}
+
+func (t *Tree) fixDelete(x, parent *node) {
+	for x != t.root && (x == nil || x.color == black) {
+		if parent == nil {
+			break
+		}
+		if x == parent.left {
+			w := parent.right
+			if w == nil {
+				x, parent = parent, parent.parent
+				continue
+			}
+			if w.color == red {
+				w.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				w = parent.right
+			}
+			if w == nil || ((w.left == nil || w.left.color == black) && (w.right == nil || w.right.color == black)) {
+				if w != nil {
+					w.color = red
+				}
+				x, parent = parent, parent.parent
+				continue
+			}
+			if w.right == nil || w.right.color == black {
+				if w.left != nil {
+					w.left.color = black
+				}
+				w.color = red
+				t.rotateRight(w)
+				w = parent.right
+			}
+			w.color = parent.color
+			parent.color = black
+			if w.right != nil {
+				w.right.color = black
+			}
+			t.rotateLeft(parent)
+			x = t.root
+			break
+		}
+		w := parent.left
+		if w == nil {
+			x, parent = parent, parent.parent
+			continue
+		}
+		if w.color == red {
+			w.color = black
+			parent.color = red
+			t.rotateRight(parent)
+			w = parent.left
+		}
+		if w == nil || ((w.left == nil || w.left.color == black) && (w.right == nil || w.right.color == black)) {
+			if w != nil {
+				w.color = red
+			}
+			x, parent = parent, parent.parent
+			continue
+		}
+		if w.left == nil || w.left.color == black {
+			if w.right != nil {
+				w.right.color = black
+			}
+			w.color = red
+			t.rotateLeft(w)
+			w = parent.left
+		}
+		w.color = parent.color
+		parent.color = black
+		if w.left != nil {
+			w.left.color = black
+		}
+		t.rotateRight(parent)
+		x = t.root
+		break
+	}
+	if x != nil {
+		x.color = black
+	}
+}
+
+// Range calls fn for every key >= start in order until fn returns false.
+func (t *Tree) Range(start []byte, fn func(key []byte, value uint64) bool) {
+	t.ranged(t.root, start, fn)
+}
+
+// Each iterates all keys in order.
+func (t *Tree) Each(fn func(key []byte, value uint64) bool) { t.Range(nil, fn) }
+
+func (t *Tree) ranged(n *node, start []byte, fn func([]byte, uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	cmp := 1
+	if len(start) > 0 {
+		cmp = bytes.Compare(n.key, start)
+	}
+	if cmp >= 0 {
+		if !t.ranged(n.left, start, fn) {
+			return false
+		}
+		if !fn(n.key, n.value) {
+			return false
+		}
+	}
+	return t.ranged(n.right, start, fn)
+}

@@ -1,0 +1,113 @@
+package rbtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// validate checks the red-black tree invariants: root is black, no red node
+// has a red child, and every root-to-leaf path has the same black height.
+func validate(t *testing.T, tr *Tree) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	if tr.root.color != black {
+		t.Fatal("root must be black")
+	}
+	var walk func(n *node) int
+	walk = func(n *node) int {
+		if n == nil {
+			return 1
+		}
+		if n.color == red {
+			if (n.left != nil && n.left.color == red) || (n.right != nil && n.right.color == red) {
+				t.Fatal("red node with a red child")
+			}
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			t.Fatalf("black height mismatch: %d vs %d", lh, rh)
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	walk(tr.root)
+}
+
+func TestInsertKeepsInvariants(t *testing.T) {
+	tr := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		tr.Put([]byte(fmt.Sprintf("%08d", rng.Intn(100000))), uint64(i))
+		if i%500 == 0 {
+			validate(t, tr)
+		}
+	}
+	validate(t, tr)
+}
+
+func TestDeleteKeepsInvariants(t *testing.T) {
+	tr := New()
+	var keys []string
+	for i := 0; i < 3000; i++ {
+		k := fmt.Sprintf("%08d", i*37%100000)
+		keys = append(keys, k)
+		tr.Put([]byte(k), uint64(i))
+	}
+	rng := rand.New(rand.NewSource(2))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	deleted := map[string]bool{}
+	for i, k := range keys {
+		if deleted[k] {
+			continue
+		}
+		if !tr.Delete([]byte(k)) {
+			t.Fatalf("Delete(%q) failed", k)
+		}
+		deleted[k] = true
+		if i%250 == 0 {
+			validate(t, tr)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+}
+
+func TestOrderedRange(t *testing.T) {
+	tr := New()
+	var want []string
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("k%05d", i*3)
+		want = append(want, k)
+		tr.Put([]byte(k), uint64(i))
+	}
+	sort.Strings(want)
+	var got []string
+	tr.Each(func(k []byte, _ uint64) bool { got = append(got, string(k)); return true })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order mismatch at %d", i)
+		}
+	}
+	// Bounded range.
+	var bounded []string
+	tr.Range([]byte("k03000"), func(k []byte, _ uint64) bool { bounded = append(bounded, string(k)); return true })
+	if len(bounded) != 1000 || bounded[0] != "k03000" {
+		t.Fatalf("bounded range wrong: %d keys, first %q", len(bounded), bounded[0])
+	}
+}
+
+func TestMemoryFootprintCountsKeys(t *testing.T) {
+	tr := New()
+	tr.Put([]byte("0123456789"), 1)
+	if tr.MemoryFootprint() < 10 {
+		t.Fatal("footprint must include key bytes")
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mt"
+)
+
+// vocabulary is the word list from which synthetic n-grams are drawn. The
+// Zipf-like selection below concentrates probability mass on the first words,
+// which recreates the shared-prefix structure that makes the Google Books
+// corpus compressible by tries.
+var vocabulary = []string{
+	"the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+	"as", "was", "with", "be", "by", "on", "not", "he", "i", "this",
+	"are", "or", "his", "from", "at", "which", "but", "have", "an", "had",
+	"they", "you", "were", "their", "one", "all", "we", "can", "her", "has",
+	"there", "been", "if", "more", "when", "will", "would", "who", "so", "no",
+	"analysis", "ancient", "battery", "because", "between", "biology", "boston", "bridge", "brown", "building",
+	"cambridge", "capital", "carbon", "century", "chapter", "chemical", "children", "church", "citizen", "climate",
+	"college", "company", "computer", "concept", "council", "country", "culture", "current", "database", "decision",
+	"democracy", "density", "design", "development", "digital", "discovery", "distance", "doctor", "dynamic", "economy",
+	"education", "electric", "element", "empire", "energy", "engine", "england", "equation", "europe", "evidence",
+	"evolution", "example", "experiment", "factor", "family", "federal", "fiction", "figure", "foreign", "forest",
+	"fortune", "frequency", "function", "general", "genetic", "geography", "germany", "government", "gravity", "growth",
+	"harvard", "history", "hungary", "hydrogen", "hyperion", "identity", "industry", "information", "instrument", "interest",
+	"journal", "judgment", "justice", "kingdom", "knowledge", "laboratory", "language", "leader", "liberty", "library",
+	"literature", "logic", "london", "machine", "magnitude", "majority", "material", "mathematics", "measure", "medicine",
+	"memory", "message", "method", "military", "mineral", "minister", "modern", "molecule", "moment", "motion",
+	"mountain", "museum", "nation", "natural", "network", "neutron", "notion", "number", "object", "observation",
+	"ocean", "office", "opinion", "organic", "origin", "oxford", "oxygen", "particle", "pattern", "people",
+	"period", "philosophy", "physics", "picture", "planet", "policy", "politics", "population", "position", "power",
+	"practice", "pressure", "principle", "probability", "problem", "process", "product", "professor", "program", "progress",
+	"property", "protein", "province", "public", "quality", "quantity", "question", "radiation", "reaction", "reason",
+	"record", "region", "relation", "religion", "report", "research", "resource", "result", "revolution", "river",
+	"science", "season", "section", "sequence", "service", "society", "solution", "species", "spectrum", "spirit",
+	"standard", "station", "statute", "structure", "student", "subject", "surface", "symbol", "system", "teacher",
+	"technology", "temperature", "theory", "tradition", "transfer", "treatment", "twitter", "university", "value", "variable",
+	"velocity", "village", "violence", "voltage", "volume", "weather", "window", "winter", "witness", "zurich",
+}
+
+// NGramOptions parameterise the synthetic Google-Books-style corpus.
+type NGramOptions struct {
+	// N is the number of n-grams to generate.
+	N int
+	// MaxWords is the largest n-gram size (the paper uses 1- to 5-grams).
+	MaxWords int
+	// Seed makes the corpus reproducible.
+	Seed uint64
+}
+
+// DefaultNGramOptions mirror the paper's corpus structure.
+func DefaultNGramOptions(n int) NGramOptions {
+	return NGramOptions{N: n, MaxWords: 5, Seed: 0x9e3779b97f4a7c15}
+}
+
+// NGrams generates a synthetic Google-Books-style data set: each key is an
+// n-gram of one to MaxWords words followed by a publication year, each value
+// packs the number of books (upper 32 bits) and the number of occurrences
+// (lower 32 bits) — the same key/value convention the paper uses (§4.1). Keys
+// are returned in generation order; use Sorted or Shuffled for the
+// sequential/randomized variants of the experiments.
+func NGrams(opts NGramOptions) *Dataset {
+	if opts.MaxWords <= 0 {
+		opts.MaxWords = 5
+	}
+	d := newDataset("ngram", opts.N)
+	rng := mt.New(opts.Seed)
+	var sb strings.Builder
+	for i := 0; i < opts.N; i++ {
+		sb.Reset()
+		words := 1 + int(rng.Uint64()%uint64(opts.MaxWords))
+		for w := 0; w < words; w++ {
+			if w > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(vocabulary[zipf(rng, len(vocabulary))])
+		}
+		year := 1800 + int(rng.Uint64()%220)
+		fmt.Fprintf(&sb, "\t%d", year)
+		books := rng.Uint64()%10000 + 1
+		occurrences := books * (1 + rng.Uint64()%50)
+		d.append([]byte(sb.String()), books<<32|occurrences&0xffffffff)
+	}
+	return d
+}
+
+// zipf draws an index in [0, n) with a Zipf-like distribution (rank-skewed,
+// exponent ~1) by inverting the continuous approximation of the Zipf CDF,
+// H(k)/H(n) with H(x) ~ ln(x+1). Low ranks (frequent words) dominate, which
+// gives the corpus its shared-prefix structure.
+func zipf(rng *mt.Source, n int) int {
+	u := float64(rng.Uint64()%1_000_000_007+1) / 1_000_000_008.0
+	idx := int(math.Pow(float64(n)+1.0, u) - 1.0)
+	if idx >= n {
+		idx = n - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return idx
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/mt"
+)
+
+// IoTOptions parameterise the network-monitoring time-series workload
+// (paper §1: traffic time series for network monitoring on edge devices).
+type IoTOptions struct {
+	// Devices is the number of monitored devices.
+	Devices int
+	// SamplesPerDevice is the number of measurements per device.
+	SamplesPerDevice int
+	// StartUnix is the timestamp of the first sample (seconds).
+	StartUnix uint64
+	// IntervalSeconds is the sampling interval.
+	IntervalSeconds uint64
+	// Seed makes the measurement values reproducible.
+	Seed uint64
+}
+
+// DefaultIoTOptions returns a small but structurally representative
+// configuration.
+func DefaultIoTOptions(devices, samples int) IoTOptions {
+	return IoTOptions{
+		Devices:          devices,
+		SamplesPerDevice: samples,
+		StartUnix:        1_700_000_000,
+		IntervalSeconds:  30,
+		Seed:             99,
+	}
+}
+
+// IoTTimeSeries generates keys of the form "dev/<device-id>/<timestamp>"
+// (zero padded so lexicographic order equals chronological order per device)
+// mapping to the measured byte counter. Per-device prefix sharing and
+// monotonically increasing timestamps are exactly the structure Hyperion's
+// containers and delta encoding exploit.
+func IoTTimeSeries(opts IoTOptions) *Dataset {
+	d := newDataset("iot-timeseries", opts.Devices*opts.SamplesPerDevice)
+	rng := mt.New(opts.Seed)
+	for dev := 0; dev < opts.Devices; dev++ {
+		traffic := uint64(0)
+		for s := 0; s < opts.SamplesPerDevice; s++ {
+			ts := opts.StartUnix + uint64(s)*opts.IntervalSeconds
+			key := fmt.Sprintf("dev/%06d/%012d", dev, ts)
+			traffic += rng.Uint64() % 1500
+			d.append([]byte(key), traffic)
+		}
+	}
+	return d
+}
+
+// DNAOptions parameterise the k-mer counting workload (paper §1: storing
+// potentially arbitrarily long keys from DNA sequencing).
+type DNAOptions struct {
+	// Reads is the number of simulated reads.
+	Reads int
+	// ReadLength is the length of each read in bases.
+	ReadLength int
+	// K is the k-mer length extracted from the reads.
+	K int
+	// Seed makes the sequence reproducible.
+	Seed uint64
+}
+
+// DefaultDNAOptions returns a configuration producing roughly reads*(len-k+1)
+// k-mers (with duplicates, as in real counting workloads).
+func DefaultDNAOptions(reads, readLen, k int) DNAOptions {
+	return DNAOptions{Reads: reads, ReadLength: readLen, K: k, Seed: 7}
+}
+
+// DNAKmers generates k-mer keys (strings over the ACGT alphabet) with their
+// occurrence counts as values. Duplicate k-mers are pre-aggregated so the
+// data set maps each distinct k-mer to its count.
+func DNAKmers(opts DNAOptions) *Dataset {
+	bases := []byte("ACGT")
+	rng := mt.New(opts.Seed)
+	counts := map[string]uint64{}
+	order := make([]string, 0, opts.Reads*4)
+	read := make([]byte, opts.ReadLength)
+	for r := 0; r < opts.Reads; r++ {
+		for i := range read {
+			read[i] = bases[rng.Uint64()%4]
+		}
+		for i := 0; i+opts.K <= len(read); i++ {
+			kmer := string(read[i : i+opts.K])
+			if _, seen := counts[kmer]; !seen {
+				order = append(order, kmer)
+			}
+			counts[kmer]++
+		}
+	}
+	d := newDataset("dna-kmer", len(order))
+	for _, kmer := range order {
+		d.append([]byte(kmer), counts[kmer])
+	}
+	return d
+}

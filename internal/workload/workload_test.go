@@ -1,0 +1,172 @@
+package workload
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestSequentialIntegers(t *testing.T) {
+	d := SequentialIntegers(1000)
+	if d.Len() != 1000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i := 0; i < 999; i++ {
+		if bytes.Compare(d.Key(i), d.Key(i+1)) >= 0 {
+			t.Fatalf("keys not strictly increasing at %d", i)
+		}
+		if d.Value(i) != uint64(i) {
+			t.Fatalf("value %d = %d", i, d.Value(i))
+		}
+	}
+	if len(d.Key(0)) != 8 {
+		t.Fatalf("key width = %d", len(d.Key(0)))
+	}
+}
+
+func TestRandomIntegersDeterministic(t *testing.T) {
+	a := RandomIntegers(500, 42)
+	b := RandomIntegers(500, 42)
+	c := RandomIntegers(500, 43)
+	for i := 0; i < 500; i++ {
+		if !bytes.Equal(a.Key(i), b.Key(i)) {
+			t.Fatal("same seed must give the same keys")
+		}
+	}
+	diff := 0
+	for i := 0; i < 500; i++ {
+		if !bytes.Equal(a.Key(i), c.Key(i)) {
+			diff++
+		}
+	}
+	if diff < 450 {
+		t.Fatalf("different seeds should differ almost everywhere, only %d differ", diff)
+	}
+}
+
+func TestShuffledAndSorted(t *testing.T) {
+	d := SequentialIntegers(2000)
+	sh := d.Shuffled(7)
+	if sh.Len() != d.Len() {
+		t.Fatal("shuffle changed the length")
+	}
+	misplaced := 0
+	for i := 0; i < d.Len(); i++ {
+		if !bytes.Equal(sh.Key(i), d.Key(i)) {
+			misplaced++
+		}
+	}
+	if misplaced < d.Len()/2 {
+		t.Fatalf("shuffle barely moved anything: %d", misplaced)
+	}
+	// Values must follow their keys through the permutation.
+	for i := 0; i < sh.Len(); i++ {
+		want := uint64(0)
+		for b := 0; b < 8; b++ {
+			want = want<<8 | uint64(sh.Key(i)[b])
+		}
+		if sh.Value(i) != want {
+			t.Fatalf("value did not travel with its key at %d", i)
+		}
+	}
+	back := sh.Sorted()
+	for i := 0; i < back.Len(); i++ {
+		if !bytes.Equal(back.Key(i), d.Key(i)) {
+			t.Fatalf("sort did not restore sequential order at %d", i)
+		}
+	}
+}
+
+func TestNGramsStructure(t *testing.T) {
+	d := NGrams(DefaultNGramOptions(5000))
+	if d.Len() != 5000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if avg := d.AverageKeySize(); avg < 10 || avg > 45 {
+		t.Fatalf("average n-gram key size %.1f outside the Google-Books-like band", avg)
+	}
+	for i := 0; i < d.Len(); i += 97 {
+		key := string(d.Key(i))
+		if !strings.Contains(key, "\t") {
+			t.Fatalf("n-gram key %q lacks the year field", key)
+		}
+		words := strings.Fields(strings.Split(key, "\t")[0])
+		if len(words) < 1 || len(words) > 5 {
+			t.Fatalf("n-gram %q has %d words", key, len(words))
+		}
+		if d.Value(i) == 0 {
+			t.Fatalf("n-gram value must encode books/occurrences")
+		}
+	}
+	// Determinism.
+	d2 := NGrams(DefaultNGramOptions(5000))
+	for i := 0; i < d.Len(); i += 513 {
+		if !bytes.Equal(d.Key(i), d2.Key(i)) {
+			t.Fatal("n-gram generation is not deterministic")
+		}
+	}
+	// Prefix sharing: sorted adjacent keys should share prefixes on average.
+	s := d.Sorted()
+	shared := 0
+	for i := 1; i < s.Len(); i++ {
+		a, b := s.Key(i-1), s.Key(i)
+		j := 0
+		for j < len(a) && j < len(b) && a[j] == b[j] {
+			j++
+		}
+		shared += j
+	}
+	if avgShared := float64(shared) / float64(s.Len()-1); avgShared < 3 {
+		t.Fatalf("average shared prefix %.1f is too low for a Zipf-distributed corpus", avgShared)
+	}
+}
+
+func TestIoTTimeSeries(t *testing.T) {
+	d := IoTTimeSeries(DefaultIoTOptions(10, 100))
+	if d.Len() != 1000 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	// Keys are generated per device in chronological order, which is also
+	// lexicographic order.
+	for i := 1; i < d.Len(); i++ {
+		if bytes.Compare(d.Key(i-1), d.Key(i)) >= 0 {
+			t.Fatalf("IoT keys not strictly increasing at %d: %q vs %q", i, d.Key(i-1), d.Key(i))
+		}
+	}
+}
+
+func TestDNAKmers(t *testing.T) {
+	d := DNAKmers(DefaultDNAOptions(50, 100, 21))
+	if d.Len() == 0 {
+		t.Fatal("no k-mers generated")
+	}
+	seen := map[string]bool{}
+	for i := 0; i < d.Len(); i++ {
+		k := string(d.Key(i))
+		if len(k) != 21 {
+			t.Fatalf("k-mer %q has length %d", k, len(k))
+		}
+		for _, c := range k {
+			if !strings.ContainsRune("ACGT", c) {
+				t.Fatalf("k-mer %q contains invalid base %q", k, c)
+			}
+		}
+		if seen[k] {
+			t.Fatalf("duplicate k-mer %q in the aggregated data set", k)
+		}
+		seen[k] = true
+		if d.Value(i) == 0 {
+			t.Fatal("k-mer count must be positive")
+		}
+	}
+}
+
+func TestSortedIsSorted(t *testing.T) {
+	d := NGrams(DefaultNGramOptions(2000)).Sorted()
+	if !sort.SliceIsSorted(make([]struct{}, d.Len()), func(a, b int) bool {
+		return bytes.Compare(d.Key(a), d.Key(b)) < 0
+	}) {
+		t.Fatal("Sorted() result is not sorted")
+	}
+}
