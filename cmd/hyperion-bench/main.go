@@ -1,5 +1,6 @@
 // Command hyperion-bench regenerates the tables and figures of the paper's
-// evaluation section (§4) at a configurable scale.
+// evaluation section (§4) at a configurable scale, plus the concurrent
+// throughput experiment of the sharded/batched execution layer.
 //
 // Usage:
 //
@@ -7,31 +8,59 @@
 //	hyperion-bench -experiment table1 -strings 2000000
 //	hyperion-bench -experiment fig15 -ints 4000000 -structures Hyperion,ART,Judy
 //	hyperion-bench -experiment ablation -dataset random-int
+//	hyperion-bench -experiment concurrency -scale medium -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// all. See DESIGN.md for the mapping of each experiment to the paper.
+// concurrency, all. See DESIGN.md for the mapping of each experiment to the
+// paper.
+//
+// With -json DIR every selected experiment additionally writes a
+// machine-readable BENCH_<experiment>.json file (ops/s, footprint per
+// structure, host parallelism) so successive PRs can compare performance
+// trajectories.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/bench"
 )
 
+// parseIntList parses a comma separated list of positive integers or exits
+// with a usage error naming the offending flag.
+func parseIntList(flagName, s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "-%s: %q is not a positive integer\n", flagName, part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|all")
-		scale      = flag.String("scale", "medium", "preset scale: small|medium|large")
-		strKeys    = flag.Int("strings", 0, "override: number of string keys")
-		intKeys    = flag.Int("ints", 0, "override: number of integer keys")
-		budget     = flag.Int64("budget-mib", 0, "override: figure 13 memory budget in MiB")
-		structures = flag.String("structures", "", "comma separated subset of structures (default: all)")
-		dataset    = flag.String("dataset", "random-int", "ablation data set: random-int|sequential-int|ngram")
-		seed       = flag.Uint64("seed", 42, "workload seed")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|all")
+		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
+		strKeys     = flag.Int("strings", 0, "override: number of string keys")
+		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
+		budget      = flag.Int64("budget-mib", 0, "override: figure 13 memory budget in MiB")
+		structures  = flag.String("structures", "", "comma separated subset of structures (default: all)")
+		dataset     = flag.String("dataset", "random-int", "ablation data set: random-int|sequential-int|ngram")
+		seed        = flag.Uint64("seed", 42, "workload seed")
+		concKeys    = flag.Int("conc-keys", 0, "override: concurrency experiment data-set size")
+		concBatch   = flag.Int("conc-batch", 0, "override: concurrency experiment batch size")
+		concArenas  = flag.String("conc-arenas", "", "override: comma separated arena counts of the concurrency grid (e.g. 1,8,64)")
+		concWorkers = flag.String("conc-workers", "", "override: comma separated worker counts of the concurrency grid (e.g. 1,4,16)")
+		jsonDir     = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json output")
 	)
 	flag.Parse()
 
@@ -54,6 +83,18 @@ func main() {
 	if *budget > 0 {
 		cfg.Fig13Budget = *budget << 20
 	}
+	if *concKeys > 0 {
+		cfg.ConcKeys = *concKeys
+	}
+	if *concBatch > 0 {
+		cfg.ConcBatch = *concBatch
+	}
+	if *concArenas != "" {
+		cfg.ConcArenas = parseIntList("conc-arenas", *concArenas)
+	}
+	if *concWorkers != "" {
+		cfg.ConcWorkers = parseIntList("conc-workers", *concWorkers)
+	}
 	if *structures != "" {
 		cfg.Structures = map[string]bool{}
 		for _, s := range strings.Split(*structures, ",") {
@@ -62,6 +103,17 @@ func main() {
 	}
 
 	out := os.Stdout
+	emit := func(id string, result any) {
+		if *jsonDir == "" {
+			return
+		}
+		path, err := bench.WriteJSONFile(*jsonDir, id, cfg, result)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s JSON: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
 	run := func(name string, fn func()) {
 		start := time.Now()
 		fmt.Fprintf(out, "\n===== %s =====\n", name)
@@ -74,35 +126,75 @@ func main() {
 	ran := false
 	if want("table1") {
 		ran = true
-		run("Table 1: string data set KPIs", func() { bench.WriteTable(out, bench.RunTable1(cfg)) })
+		run("Table 1: string data set KPIs", func() {
+			res := bench.RunTable1(cfg)
+			bench.WriteTable(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("table2") {
 		ran = true
-		run("Table 2: integer data set KPIs", func() { bench.WriteTable(out, bench.RunTable2(cfg)) })
+		run("Table 2: integer data set KPIs", func() {
+			res := bench.RunTable2(cfg)
+			bench.WriteTable(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("table3") {
 		ran = true
-		run("Table 3: range query durations", func() { bench.WriteRangeTable(out, bench.RunTable3(cfg)) })
+		run("Table 3: range query durations", func() {
+			res := bench.RunTable3(cfg)
+			bench.WriteRangeTable(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("fig13") {
 		ran = true
-		run("Figure 13: unlimited inserts", func() { bench.WriteFigure13(out, bench.RunFigure13(cfg)) })
+		run("Figure 13: unlimited inserts", func() {
+			res := bench.RunFigure13(cfg)
+			bench.WriteFigure13(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("fig14") {
 		ran = true
-		run("Figure 14: memory characteristics (strings)", func() { bench.WriteMemoryFigure(out, bench.RunFigure14(cfg)) })
+		run("Figure 14: memory characteristics (strings)", func() {
+			res := bench.RunFigure14(cfg)
+			bench.WriteMemoryFigure(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("fig15") {
 		ran = true
-		run("Figure 15: throughput over index size", func() { bench.WriteFigure15(out, bench.RunFigure15(cfg)) })
+		run("Figure 15: throughput over index size", func() {
+			res := bench.RunFigure15(cfg)
+			bench.WriteFigure15(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("fig16") {
 		ran = true
-		run("Figure 16: Hyperion vs Hyperion_p memory", func() { bench.WriteMemoryFigure(out, bench.RunFigure16(cfg)) })
+		run("Figure 16: Hyperion vs Hyperion_p memory", func() {
+			res := bench.RunFigure16(cfg)
+			bench.WriteMemoryFigure(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if want("ablation") {
 		ran = true
-		run("Ablation: Hyperion feature contributions", func() { bench.WriteAblation(out, bench.RunAblation(cfg, *dataset)) })
+		run("Ablation: Hyperion feature contributions", func() {
+			res := bench.RunAblation(cfg, *dataset)
+			bench.WriteAblation(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("concurrency") {
+		ran = true
+		run("Concurrency: batched parallel throughput over arenas × workers", func() {
+			res := bench.RunConcurrency(cfg)
+			bench.WriteConcurrency(out, res)
+			emit(res.ID, res)
+		})
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)

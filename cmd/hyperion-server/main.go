@@ -6,14 +6,21 @@
 //
 // Protocol (newline terminated, space separated, values are uint64):
 //
-//	PUT <key> <value>   -> +OK
-//	GET <key>           -> +<value> | -NOTFOUND
-//	DEL <key>           -> +1 | +0
-//	HAS <key>           -> +1 | +0
-//	RANGE <start> <n>   -> +<k> lines "<key> <value>", terminated by "."
-//	LEN                 -> +<count>
-//	STATS               -> one line of engine counters
-//	QUIT                -> closes the connection
+//	PUT <key> <value>            -> +OK
+//	GET <key>                    -> +<value> | -NOTFOUND
+//	DEL <key>                    -> +1 | +0
+//	HAS <key>                    -> +1 | +0
+//	MPUT <k> <v> [<k> <v> ...]   -> +<n pairs stored>
+//	MGET <k> [<k> ...]           -> one line per key: +<value> | -NOTFOUND
+//	RANGE <start> <n>            -> +<k> lines "<key> <value>", terminated by "."
+//	LEN                          -> +<count>
+//	STATS                        -> one line of engine counters
+//	QUIT                         -> closes the connection
+//
+// MPUT and MGET are the pipelined batch commands: the whole batch is handed
+// to the store's batched execution layer (hyperion.ApplyBatch /
+// hyperion.GetBatch), which acquires each arena lock once per batch and
+// executes arena groups in parallel on a bounded worker pool.
 package main
 
 import (
@@ -117,6 +124,43 @@ func (s *server) handle(conn net.Conn) {
 				fmt.Fprintln(w, "+1")
 			} else {
 				fmt.Fprintln(w, "+0")
+			}
+		case "MPUT":
+			if len(args) == 0 || len(args)%2 != 0 {
+				fmt.Fprintln(w, "-ERR usage: MPUT key value [key value ...]")
+				break
+			}
+			ops := make([]hyperion.Op, 0, len(args)/2)
+			bad := false
+			for i := 0; i < len(args); i += 2 {
+				v, err := strconv.ParseUint(args[i+1], 10, 64)
+				if err != nil {
+					fmt.Fprintf(w, "-ERR bad value %q\n", args[i+1])
+					bad = true
+					break
+				}
+				ops = append(ops, hyperion.Op{Kind: hyperion.OpPut, Key: []byte(args[i]), Value: v})
+			}
+			if bad {
+				break
+			}
+			s.store.ApplyBatch(ops)
+			fmt.Fprintf(w, "+%d\n", len(ops))
+		case "MGET":
+			if len(args) == 0 {
+				fmt.Fprintln(w, "-ERR usage: MGET key [key ...]")
+				break
+			}
+			keys := make([][]byte, len(args))
+			for i, a := range args {
+				keys[i] = []byte(a)
+			}
+			for _, res := range s.store.GetBatch(keys) {
+				if res.Ok {
+					fmt.Fprintf(w, "+%d\n", res.Value)
+				} else {
+					fmt.Fprintln(w, "-NOTFOUND")
+				}
 			}
 		case "RANGE":
 			if len(args) != 2 {

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"repro/hyperion"
+)
+
+// dialTestServer wires a server instance to an in-memory connection and
+// returns a client-side line reader/writer pair.
+func dialTestServer(t *testing.T, arenas int) (*bufio.Scanner, *bufio.Writer) {
+	t.Helper()
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = arenas
+	s := &server{store: hyperion.New(opts)}
+	serverSide, clientSide := net.Pipe()
+	go s.handle(serverSide)
+	t.Cleanup(func() { clientSide.Close() })
+	return bufio.NewScanner(clientSide), bufio.NewWriter(clientSide)
+}
+
+func send(t *testing.T, w *bufio.Writer, line string) {
+	t.Helper()
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func recv(t *testing.T, r *bufio.Scanner) string {
+	t.Helper()
+	if !r.Scan() {
+		t.Fatalf("connection closed early: %v", r.Err())
+	}
+	return r.Text()
+}
+
+func TestServerSingleOpProtocol(t *testing.T) {
+	r, w := dialTestServer(t, 4)
+	send(t, w, "PUT alpha 41")
+	if got := recv(t, r); got != "+OK" {
+		t.Fatalf("PUT: %q", got)
+	}
+	send(t, w, "GET alpha")
+	if got := recv(t, r); got != "+41" {
+		t.Fatalf("GET: %q", got)
+	}
+	send(t, w, "GET missing")
+	if got := recv(t, r); got != "-NOTFOUND" {
+		t.Fatalf("GET missing: %q", got)
+	}
+	send(t, w, "DEL alpha")
+	if got := recv(t, r); got != "+1" {
+		t.Fatalf("DEL: %q", got)
+	}
+	send(t, w, "LEN")
+	if got := recv(t, r); got != "+0" {
+		t.Fatalf("LEN: %q", got)
+	}
+}
+
+func TestServerBatchProtocol(t *testing.T) {
+	r, w := dialTestServer(t, 16)
+
+	// Pipelined batch write: 64 pairs in one MPUT.
+	var sb strings.Builder
+	sb.WriteString("MPUT")
+	for i := 0; i < 64; i++ {
+		fmt.Fprintf(&sb, " key-%02d %d", i, i*10)
+	}
+	send(t, w, sb.String())
+	if got := recv(t, r); got != "+64" {
+		t.Fatalf("MPUT: %q", got)
+	}
+	send(t, w, "LEN")
+	if got := recv(t, r); got != "+64" {
+		t.Fatalf("LEN after MPUT: %q", got)
+	}
+
+	// Pipelined batch read: hits and a miss, responses in request order.
+	send(t, w, "MGET key-03 key-00 nope key-63")
+	for i, want := range []string{"+30", "+0", "-NOTFOUND", "+630"} {
+		if got := recv(t, r); got != want {
+			t.Fatalf("MGET line %d: got %q, want %q", i, got, want)
+		}
+	}
+
+	// Errors keep the connection usable.
+	send(t, w, "MPUT key-without-value")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("odd MPUT args: %q", got)
+	}
+	send(t, w, "MPUT k notanumber")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("bad MPUT value: %q", got)
+	}
+	send(t, w, "MGET")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("empty MGET: %q", got)
+	}
+	send(t, w, "GET key-05")
+	if got := recv(t, r); got != "+50" {
+		t.Fatalf("GET after errors: %q", got)
+	}
+
+	send(t, w, "QUIT")
+	if got := recv(t, r); got != "+BYE" {
+		t.Fatalf("QUIT: %q", got)
+	}
+}
+
+func TestServerRangeAfterBatch(t *testing.T) {
+	r, w := dialTestServer(t, 8)
+	send(t, w, "MPUT b 2 a 1 c 3")
+	if got := recv(t, r); got != "+3" {
+		t.Fatalf("MPUT: %q", got)
+	}
+	send(t, w, "RANGE a 2")
+	if got := recv(t, r); got != "a 1" {
+		t.Fatalf("RANGE line 1: %q", got)
+	}
+	if got := recv(t, r); got != "b 2" {
+		t.Fatalf("RANGE line 2: %q", got)
+	}
+	if got := recv(t, r); got != "." {
+		t.Fatalf("RANGE terminator: %q", got)
+	}
+}

@@ -1,0 +1,371 @@
+package hyperion
+
+// This file implements the batched, parallel execution paths. A batch is
+// grouped by destination arena, each arena lock is taken exactly once per
+// batch, and arena groups execute concurrently across a bounded worker pool
+// (Options.BatchWorkers). This removes the per-operation lock round-trip of
+// the single-key API and turns the arena partitioning into usable multi-core
+// parallelism, the same partition-then-process-in-parallel structure the
+// paper's target deployment (a distributed KV store node, §1) needs to
+// sustain millions of ops/s.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// OpKind selects the operation a batch entry performs.
+type OpKind uint8
+
+const (
+	// OpPut stores Key with Value.
+	OpPut OpKind = iota
+	// OpPutKey stores Key without a value (set semantics).
+	OpPutKey
+	// OpGet looks Key up.
+	OpGet
+	// OpHas tests Key for presence.
+	OpHas
+	// OpDelete removes Key.
+	OpDelete
+)
+
+// String names the operation kind for logs and reports.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "PUT"
+	case OpPutKey:
+		return "PUTKEY"
+	case OpGet:
+		return "GET"
+	case OpHas:
+		return "HAS"
+	case OpDelete:
+		return "DEL"
+	}
+	return "UNKNOWN"
+}
+
+// writes reports whether the operation mutates the store.
+func (k OpKind) writes() bool {
+	return k == OpPut || k == OpPutKey || k == OpDelete
+}
+
+// Op is one operation of a batch.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value uint64 // used by OpPut only
+}
+
+// Result is the outcome of one batch operation, at the same index as its Op.
+// For OpPut and OpPutKey, Ok is true and Value echoes the stored value. For
+// OpGet, Value/Ok mirror Store.Get. For OpHas and OpDelete, Ok mirrors
+// Store.Has and Store.Delete respectively and Value is 0.
+type Result struct {
+	Value uint64
+	Ok    bool
+}
+
+// ApplyBatch executes ops and returns one Result per op.
+//
+// Operations are grouped by destination arena; each arena lock is acquired
+// once per batch (a write lock if the group contains any mutation, a read
+// lock otherwise) and the groups run concurrently on up to
+// Options.BatchWorkers goroutines. Two ops of the same batch that route to
+// the same arena execute in batch order, so read-your-write within a batch
+// holds per key. The batch is NOT atomic across arenas: operations of other
+// goroutines may interleave between arena groups, and no global snapshot is
+// implied.
+func (s *Store) ApplyBatch(ops []Op) []Result {
+	if len(ops) == 0 {
+		return nil
+	}
+	results := make([]Result, len(ops))
+	// Transform outside any lock (like the single-op paths do) so the
+	// per-key pre-processing allocation never extends a critical section.
+	tkey := func(i int) []byte { return ops[i].Key }
+	if s.opts.KeyPreprocessing {
+		tkeys := make([][]byte, len(ops))
+		for i := range ops {
+			tkeys[i] = s.transform(ops[i].Key)
+		}
+		tkey = func(i int) []byte { return tkeys[i] }
+	}
+	anyWrites := func(opIdx []int32) bool {
+		for _, i := range opIdx {
+			if ops[i].Kind.writes() {
+				return true
+			}
+		}
+		return false
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		write := false
+		for i := range ops {
+			if ops[i].Kind.writes() {
+				write = true
+				break
+			}
+		}
+		if write {
+			sh.mu.Lock()
+		} else {
+			sh.mu.RLock()
+		}
+		for i, op := range ops {
+			results[i] = applyOp(sh.tree, op, tkey(i))
+		}
+		if write {
+			sh.mu.Unlock()
+		} else {
+			sh.mu.RUnlock()
+		}
+		return results
+	}
+	g := s.groupByShard(len(ops), func(i int) int { return s.arenaIndex(ops[i].Key) })
+	s.runGroups(g, func(shardID int, opIdx []int32) {
+		sh := s.shards[shardID]
+		write := anyWrites(opIdx)
+		if write {
+			sh.mu.Lock()
+		} else {
+			sh.mu.RLock()
+		}
+		for _, i := range opIdx {
+			results[i] = applyOp(sh.tree, ops[i], tkey(int(i)))
+		}
+		if write {
+			sh.mu.Unlock()
+		} else {
+			sh.mu.RUnlock()
+		}
+	})
+	return results
+}
+
+// GetBatch looks up every key and returns one Result per key, in input
+// order. Keys are grouped by arena, each arena read lock is acquired once,
+// and arena groups run concurrently like in ApplyBatch.
+func (s *Store) GetBatch(keys [][]byte) []Result {
+	if len(keys) == 0 {
+		return nil
+	}
+	results := make([]Result, len(keys))
+	// As in ApplyBatch, pre-processing happens outside the locks.
+	tkey := func(i int) []byte { return keys[i] }
+	if s.opts.KeyPreprocessing {
+		tkeys := make([][]byte, len(keys))
+		for i := range keys {
+			tkeys[i] = s.transform(keys[i])
+		}
+		tkey = func(i int) []byte { return tkeys[i] }
+	}
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.mu.RLock()
+		for i := range keys {
+			results[i].Value, results[i].Ok = sh.tree.Get(tkey(i))
+		}
+		sh.mu.RUnlock()
+		return results
+	}
+	g := s.groupByShard(len(keys), func(i int) int { return s.arenaIndex(keys[i]) })
+	s.runGroups(g, func(shardID int, opIdx []int32) {
+		sh := s.shards[shardID]
+		sh.mu.RLock()
+		for _, i := range opIdx {
+			results[i].Value, results[i].Ok = sh.tree.Get(tkey(int(i)))
+		}
+		sh.mu.RUnlock()
+	})
+	return results
+}
+
+// applyOp executes one operation against a shard tree. The caller holds the
+// appropriate shard lock; k is the already-transformed key.
+func applyOp(t *core.Tree, op Op, k []byte) Result {
+	switch op.Kind {
+	case OpPut:
+		t.Put(k, op.Value)
+		return Result{Value: op.Value, Ok: true}
+	case OpPutKey:
+		t.PutKey(k)
+		return Result{Ok: true}
+	case OpGet:
+		v, ok := t.Get(k)
+		return Result{Value: v, Ok: ok}
+	case OpHas:
+		return Result{Ok: t.Has(k)}
+	case OpDelete:
+		return Result{Ok: t.Delete(k)}
+	}
+	return Result{}
+}
+
+// batchGroups is a stable counting-sort of batch indices by destination
+// shard: group i owns order[starts[i]:starts[i+1]], in batch order.
+type batchGroups struct {
+	order  []int32
+	starts []int32
+	active []int32 // shard ids with at least one operation
+}
+
+// groupByShard buckets n batch indices by shardOf without allocating one
+// slice per shard.
+func (s *Store) groupByShard(n int, shardOf func(i int) int) batchGroups {
+	nsh := len(s.shards)
+	g := batchGroups{
+		order:  make([]int32, n),
+		starts: make([]int32, nsh+1),
+	}
+	dest := make([]int32, n)
+	for i := 0; i < n; i++ {
+		d := int32(shardOf(i))
+		dest[i] = d
+		g.starts[d+1]++
+	}
+	for i := 0; i < nsh; i++ {
+		if g.starts[i+1] > 0 {
+			g.active = append(g.active, int32(i))
+		}
+		g.starts[i+1] += g.starts[i]
+	}
+	next := make([]int32, nsh)
+	copy(next, g.starts[:nsh])
+	for i := 0; i < n; i++ {
+		d := dest[i]
+		g.order[next[d]] = int32(i)
+		next[d]++
+	}
+	return g
+}
+
+// runGroups executes fn once per active shard group, concurrently on up to
+// Workers() goroutines. Groups are handed out in ascending shard order; fn
+// receives the shard id and the batch indices routed to it.
+func (s *Store) runGroups(g batchGroups, fn func(shardID int, opIdx []int32)) {
+	run := func(a int32) {
+		fn(int(a), g.order[g.starts[a]:g.starts[a+1]])
+	}
+	workers := min(s.workers, len(g.active))
+	if workers <= 1 {
+		for _, a := range g.active {
+			run(a)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(g.active) {
+					return
+				}
+				run(g.active[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// kvPair is one key/value of a parallel scan; the key is a private copy.
+type kvPair struct {
+	key   []byte
+	value uint64
+}
+
+// parallelScanChunk bounds how many pairs a scanning worker buffers before
+// handing them to the consumer.
+const parallelScanChunk = 512
+
+// ParallelEach iterates every stored key in global lexicographic order, like
+// Each, but scans arenas concurrently on up to Options.BatchWorkers
+// goroutines and merges the per-arena streams in arena order (arenas hold
+// contiguous, disjoint key ranges, so concatenation preserves the global
+// order). fn runs on the calling goroutine. The key slice passed to fn is
+// only valid for the duration of the call; copy it if it must be retained.
+// Keys stored via PutKey are reported with value 0.
+//
+// Like Each, ParallelEach holds each arena's read lock while that arena is
+// scanned; it does not observe a single global snapshot across arenas.
+func (s *Store) ParallelEach(fn func(key []byte, value uint64) bool) {
+	nsh := len(s.shards)
+	if nsh == 1 || s.workers <= 1 {
+		s.Each(fn)
+		return
+	}
+	chans := make([]chan []kvPair, nsh)
+	for i := range chans {
+		chans[i] = make(chan []kvPair, 4)
+	}
+	var stop atomic.Bool
+	var next atomic.Int64
+	// Workers claim shards in ascending order, so the shard the consumer is
+	// waiting on is always claimed before any later shard and the bounded
+	// pool cannot deadlock behind full channels of later shards.
+	workers := min(s.workers, nsh)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= nsh {
+					return
+				}
+				s.scanShard(i, chans[i], &stop)
+			}
+		}()
+	}
+	for i := 0; i < nsh; i++ {
+		// Even after an early stop, every channel is drained so that no
+		// producer stays blocked on a full buffer.
+		for chunk := range chans[i] {
+			for _, kv := range chunk {
+				if stop.Load() {
+					break
+				}
+				if !fn(kv.key, kv.value) {
+					stop.Store(true)
+					break
+				}
+			}
+		}
+	}
+}
+
+// scanShard streams one shard's pairs into out in chunks, aborting early
+// when stop is set, and closes out when done. Keys are copied (or
+// un-preprocessed, which copies) because the tree reuses its key buffer.
+func (s *Store) scanShard(i int, out chan<- []kvPair, stop *atomic.Bool) {
+	defer close(out)
+	sh := s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	buf := make([]kvPair, 0, parallelScanChunk)
+	sh.tree.Range(nil, func(k []byte, v uint64, _ bool) bool {
+		if stop.Load() {
+			return false
+		}
+		key := s.untransform(k)
+		if !s.opts.KeyPreprocessing {
+			key = append([]byte(nil), k...)
+		}
+		buf = append(buf, kvPair{key: key, value: v})
+		if len(buf) == parallelScanChunk {
+			out <- buf
+			buf = make([]kvPair, 0, parallelScanChunk)
+		}
+		return true
+	})
+	if len(buf) > 0 {
+		out <- buf
+	}
+}

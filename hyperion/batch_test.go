@@ -1,0 +1,347 @@
+package hyperion
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestApplyBatchBasic(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			ops := []Op{
+				{Kind: OpPut, Key: []byte("alpha"), Value: 1},
+				{Kind: OpPut, Key: []byte("beta"), Value: 2},
+				{Kind: OpPutKey, Key: []byte("gamma")},
+				{Kind: OpGet, Key: []byte("alpha")},
+				{Kind: OpHas, Key: []byte("gamma")},
+				{Kind: OpHas, Key: []byte("missing")},
+				{Kind: OpDelete, Key: []byte("beta")},
+				{Kind: OpGet, Key: []byte("beta")},
+			}
+			res := s.ApplyBatch(ops)
+			if len(res) != len(ops) {
+				t.Fatalf("got %d results for %d ops", len(res), len(ops))
+			}
+			want := []Result{
+				{Value: 1, Ok: true},
+				{Value: 2, Ok: true},
+				{Ok: true},
+				{Value: 1, Ok: true},
+				{Ok: true},
+				{Ok: false},
+				{Ok: true},
+				{Ok: false},
+			}
+			for i := range want {
+				if res[i] != want[i] {
+					t.Fatalf("op %d (%s %q): got %+v, want %+v", i, ops[i].Kind, ops[i].Key, res[i], want[i])
+				}
+			}
+			if s.Len() != 2 {
+				t.Fatalf("Len = %d after batch, want 2", s.Len())
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestApplyBatchEmpty(t *testing.T) {
+	s := New(DefaultOptions())
+	if res := s.ApplyBatch(nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	if res := s.GetBatch(nil); len(res) != 0 {
+		t.Fatalf("empty GetBatch returned %d results", len(res))
+	}
+}
+
+// TestApplyBatchReadYourWrite: two ops of one batch that hit the same key
+// (and hence the same arena) execute in batch order.
+func TestApplyBatchReadYourWrite(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			key := []byte("rw-key")
+			res := s.ApplyBatch([]Op{
+				{Kind: OpGet, Key: key},
+				{Kind: OpPut, Key: key, Value: 7},
+				{Kind: OpGet, Key: key},
+				{Kind: OpPut, Key: key, Value: 9},
+				{Kind: OpGet, Key: key},
+				{Kind: OpDelete, Key: key},
+				{Kind: OpGet, Key: key},
+			})
+			want := []Result{
+				{Ok: false},
+				{Value: 7, Ok: true},
+				{Value: 7, Ok: true},
+				{Value: 9, Ok: true},
+				{Value: 9, Ok: true},
+				{Ok: true},
+				{Ok: false},
+			}
+			for i := range want {
+				if res[i] != want[i] {
+					t.Fatalf("op %d: got %+v, want %+v", i, res[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestGetBatch(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			s := New(opts)
+			rng := rand.New(rand.NewSource(7))
+			keySet := make([][]byte, 4000)
+			for i := range keySet {
+				keySet[i] = make([]byte, 8)
+				rng.Read(keySet[i])
+				s.Put(keySet[i], uint64(i))
+			}
+			lookups := make([][]byte, 0, len(keySet)+500)
+			lookups = append(lookups, keySet...)
+			for i := 0; i < 500; i++ {
+				miss := make([]byte, 9) // longer than any stored key
+				rng.Read(miss)
+				lookups = append(lookups, miss)
+			}
+			res := s.GetBatch(lookups)
+			if len(res) != len(lookups) {
+				t.Fatalf("got %d results for %d keys", len(res), len(lookups))
+			}
+			for i, k := range lookups {
+				v, ok := s.Get(k)
+				if res[i].Ok != ok || res[i].Value != v {
+					t.Fatalf("key %d: GetBatch (%d,%v) vs Get (%d,%v)", i, res[i].Value, res[i].Ok, v, ok)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchDifferentialRandomized drives one store through random batches
+// and a second store through the same operations one at a time; both must
+// converge to identical contents and identical per-op results.
+func TestBatchDifferentialRandomized(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			batched := New(opts)
+			sequential := New(opts)
+			rng := rand.New(rand.NewSource(2024))
+			randomKey := func() []byte {
+				// Small keyspace so puts, gets and deletes collide often.
+				if rng.Intn(2) == 0 {
+					return []byte(fmt.Sprintf("k/%04d", rng.Intn(3000)))
+				}
+				k := make([]byte, 8)
+				rng.Read(k)
+				k[0] = byte(rng.Intn(8) * 32) // hit several arenas and boundaries
+				return k
+			}
+			for round := 0; round < 40; round++ {
+				ops := make([]Op, rng.Intn(400)+1)
+				for i := range ops {
+					ops[i] = Op{Kind: OpKind(rng.Intn(5)), Key: randomKey(), Value: rng.Uint64()}
+				}
+				got := batched.ApplyBatch(ops)
+				for i, op := range ops {
+					var want Result
+					switch op.Kind {
+					case OpPut:
+						sequential.Put(op.Key, op.Value)
+						want = Result{Value: op.Value, Ok: true}
+					case OpPutKey:
+						sequential.PutKey(op.Key)
+						want = Result{Ok: true}
+					case OpGet:
+						want.Value, want.Ok = sequential.Get(op.Key)
+					case OpHas:
+						want = Result{Ok: sequential.Has(op.Key)}
+					case OpDelete:
+						want = Result{Ok: sequential.Delete(op.Key)}
+					}
+					if got[i] != want {
+						t.Fatalf("round %d op %d (%s %q): batched %+v, sequential %+v",
+							round, i, op.Kind, op.Key, got[i], want)
+					}
+				}
+			}
+			if batched.Len() != sequential.Len() {
+				t.Fatalf("Len diverged: batched %d, sequential %d", batched.Len(), sequential.Len())
+			}
+			type pair struct {
+				k string
+				v uint64
+			}
+			var a, b []pair
+			batched.Each(func(k []byte, v uint64) bool { a = append(a, pair{string(k), v}); return true })
+			sequential.Each(func(k []byte, v uint64) bool { b = append(b, pair{string(k), v}); return true })
+			if len(a) != len(b) {
+				t.Fatalf("iteration lengths diverged: %d vs %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("contents diverged at %d: %q=%d vs %q=%d", i, a[i].k, a[i].v, b[i].k, b[i].v)
+				}
+			}
+			if err := batched.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestParallelEachMatchesEach(t *testing.T) {
+	for name, opts := range allOptionVariants() {
+		t.Run(name, func(t *testing.T) {
+			opts.BatchWorkers = 4
+			s := New(opts)
+			rng := rand.New(rand.NewSource(5))
+			for i := 0; i < 20000; i++ {
+				k := make([]byte, 4+rng.Intn(8)*4)
+				rng.Read(k)
+				s.Put(k, uint64(i))
+			}
+			type pair struct {
+				k string
+				v uint64
+			}
+			var seq, par []pair
+			s.Each(func(k []byte, v uint64) bool { seq = append(seq, pair{string(k), v}); return true })
+			s.ParallelEach(func(k []byte, v uint64) bool { par = append(par, pair{string(k), v}); return true })
+			if len(seq) != len(par) {
+				t.Fatalf("ParallelEach visited %d pairs, Each %d", len(par), len(seq))
+			}
+			for i := range seq {
+				if seq[i] != par[i] {
+					t.Fatalf("order mismatch at %d: %x vs %x", i, seq[i].k, par[i].k)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelEachEarlyStop(t *testing.T) {
+	s := New(Options{Arenas: 16, BatchWorkers: 8, EmbeddedEjectThreshold: 16 * 1024})
+	for i := 0; i < 50000; i++ {
+		s.PutUint64(uint64(i)<<48, uint64(i)) // spread the leading byte over all arenas
+	}
+	n := 0
+	s.ParallelEach(func([]byte, uint64) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d pairs, want 7", n)
+	}
+}
+
+func TestParallelEachKeyCopies(t *testing.T) {
+	s := New(Options{Arenas: 8, BatchWorkers: 4, EmbeddedEjectThreshold: 16 * 1024})
+	want := map[string]uint64{}
+	for i := 0; i < 5000; i++ {
+		k := []byte(fmt.Sprintf("%02x/key/%05d", (i*7)%256, i))
+		s.Put(k, uint64(i))
+		want[string(k)] = uint64(i)
+	}
+	// Retain the raw slices; they must still be intact afterwards because the
+	// parallel scan hands out private copies.
+	var kept [][]byte
+	var vals []uint64
+	s.ParallelEach(func(k []byte, v uint64) bool {
+		kept = append(kept, k)
+		vals = append(vals, v)
+		return true
+	})
+	if len(kept) != len(want) {
+		t.Fatalf("visited %d keys, want %d", len(kept), len(want))
+	}
+	for i, k := range kept {
+		if want[string(k)] != vals[i] {
+			t.Fatalf("retained key %q has value %d, want %d", k, vals[i], want[string(k)])
+		}
+	}
+}
+
+// TestBatchConcurrentStress hammers the batched paths from many goroutines
+// while single-key readers and writers run alongside; it exists to fail
+// under the race detector if any batch path breaks the locking protocol.
+func TestBatchConcurrentStress(t *testing.T) {
+	for _, opts := range []Options{
+		{Arenas: 16, BatchWorkers: 4, EmbeddedEjectThreshold: 8 * 1024},
+		{Arenas: 64, BatchWorkers: 8, KeyPreprocessing: true, EmbeddedEjectThreshold: 8 * 1024},
+	} {
+		s := New(opts)
+		var wg sync.WaitGroup
+		writers, readers, scanners := 4, 3, 2
+		rounds := 60
+		batch := 200
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(w)))
+				for r := 0; r < rounds; r++ {
+					ops := make([]Op, batch)
+					for i := range ops {
+						k := make([]byte, 8)
+						rng.Read(k)
+						kind := OpPut
+						if i%10 == 9 {
+							kind = OpDelete
+						}
+						ops[i] = Op{Kind: kind, Key: k, Value: rng.Uint64()}
+					}
+					s.ApplyBatch(ops)
+				}
+			}(w)
+		}
+		for g := 0; g < readers; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(100 + g)))
+				for r := 0; r < rounds; r++ {
+					lookups := make([][]byte, batch)
+					for i := range lookups {
+						lookups[i] = make([]byte, 8)
+						rng.Read(lookups[i])
+					}
+					res := s.GetBatch(lookups)
+					if len(res) != len(lookups) {
+						panic("GetBatch result length mismatch")
+					}
+					// Single-key ops interleaved with the batches.
+					s.Put(lookups[0], 1)
+					s.Get(lookups[1])
+					s.Has(lookups[2])
+				}
+			}(g)
+		}
+		for p := 0; p < scanners; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds/10; r++ {
+					prev := []byte(nil)
+					s.ParallelEach(func(k []byte, _ uint64) bool {
+						if prev != nil && bytes.Compare(prev, k) > 0 {
+							panic("ParallelEach order violation under concurrency")
+						}
+						prev = append(prev[:0], k...)
+						return true
+					})
+				}
+			}()
+		}
+		wg.Wait()
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

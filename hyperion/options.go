@@ -42,6 +42,12 @@ type Options struct {
 	// variable-length string keys and 8 KiB for integer keys.
 	EmbeddedEjectThreshold int
 
+	// BatchWorkers bounds the number of goroutines the batched execution
+	// paths (ApplyBatch, GetBatch, ParallelEach) fan out to. Zero or
+	// negative means GOMAXPROCS at store-construction time. A bound of 1
+	// makes every batched path run on the calling goroutine.
+	BatchWorkers int
+
 	// Feature toggles for ablation studies. All features are enabled by
 	// default; disabling them reproduces the paper's design discussion.
 	DisableDeltaEncoding   bool

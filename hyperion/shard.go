@@ -1,0 +1,63 @@
+package hyperion
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+)
+
+// shard is one independently locked arena: a core trie guarded by a
+// read-write mutex. Readers of the same shard proceed concurrently, writers
+// are exclusive; operations on different shards never contend.
+type shard struct {
+	mu   sync.RWMutex
+	tree *core.Tree
+}
+
+// arenaIndex routes a key to its arena by leading byte, keeping contiguous
+// key ranges together so cross-arena iteration stays ordered: arena i holds
+// exactly the keys whose leading byte falls into [i*256/n, (i+1)*256/n).
+//
+// Routing invariant: the arena is chosen from the RAW leading byte while the
+// trees store transformed keys, and this is safe because the key
+// pre-processing transformation (keys.Preprocess, paper §3.4) copies the
+// leading byte verbatim and preserves binary-comparable order. Routing on the
+// raw key is therefore identical to routing on the transformed key, each
+// arena still covers a contiguous transformed-key range, and concatenating
+// per-arena iterations in arena order yields the global lexicographic order.
+// TestShardRoutingInvariantUnderPreprocessing locks this property in.
+func (s *Store) arenaIndex(key []byte) int {
+	if len(s.shards) == 1 || len(key) == 0 {
+		return 0
+	}
+	return int(key[0]) * len(s.shards) / 256
+}
+
+// shardFor returns the shard that stores key.
+func (s *Store) shardFor(key []byte) *shard {
+	return s.shards[s.arenaIndex(key)]
+}
+
+// transform applies the optional key pre-processing to a raw key.
+func (s *Store) transform(key []byte) []byte {
+	if s.opts.KeyPreprocessing {
+		return keys.Preprocess(key)
+	}
+	return key
+}
+
+// untransform maps a stored key back to the raw key handed to callers.
+func (s *Store) untransform(key []byte) []byte {
+	if s.opts.KeyPreprocessing {
+		return keys.Unpreprocess(key)
+	}
+	return key
+}
+
+// NumArenas returns the number of independently locked arenas.
+func (s *Store) NumArenas() int { return len(s.shards) }
+
+// Workers returns the bound on goroutines the batched execution paths
+// (ApplyBatch, GetBatch, ParallelEach) use.
+func (s *Store) Workers() int { return s.workers }

@@ -1,0 +1,113 @@
+package hyperion
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestPreprocessPreservesLeadingByte is the foundation of the arena-routing
+// invariant: arenaFor routes by the RAW leading byte while the trees store
+// transformed keys, which is only sound because the pre-processing
+// transformation copies the leading byte verbatim for every possible value.
+func TestPreprocessPreservesLeadingByte(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		for _, tail := range [][]byte{nil, {0x01}, {0xaa, 0xbb, 0xcc}, {1, 2, 3, 4, 5, 6, 7}} {
+			key := append([]byte{byte(b)}, tail...)
+			p := keys.Preprocess(key)
+			if len(p) == 0 || p[0] != byte(b) {
+				t.Fatalf("Preprocess(%x) = %x: leading byte not preserved", key, p)
+			}
+		}
+	}
+}
+
+// TestShardRoutingInvariantUnderPreprocessing proves that with key
+// pre-processing enabled, routing the raw key and routing the transformed
+// key select the same arena — so every arena really covers a contiguous
+// transformed-key range and cross-arena iteration order is sound.
+func TestShardRoutingInvariantUnderPreprocessing(t *testing.T) {
+	for _, arenas := range []int{2, 3, 7, 16, 256} {
+		s := New(Options{Arenas: arenas, KeyPreprocessing: true, EmbeddedEjectThreshold: 8 * 1024})
+		rng := rand.New(rand.NewSource(int64(arenas)))
+		for i := 0; i < 4096; i++ {
+			key := make([]byte, 8)
+			rng.Read(key)
+			key[0] = byte(i) // cover every leading byte, hence every boundary
+			if got, want := s.arenaIndex(keys.Preprocess(key)), s.arenaIndex(key); got != want {
+				t.Fatalf("arenas=%d key=%x: raw routes to %d, transformed to %d", arenas, key, want, got)
+			}
+		}
+	}
+}
+
+// TestRangeOrderAcrossArenaBoundariesPreprocessed is the end-to-end
+// regression test: keys dense around every arena boundary, stored with
+// KeyPreprocessing in many arenas, must come back from Range/Each/ParallelEach
+// in exact global lexicographic order of the RAW keys.
+func TestRangeOrderAcrossArenaBoundariesPreprocessed(t *testing.T) {
+	for _, arenas := range []int{4, 16, 256} {
+		s := New(Options{Arenas: arenas, KeyPreprocessing: true, BatchWorkers: 4, EmbeddedEjectThreshold: 8 * 1024})
+		rng := rand.New(rand.NewSource(31))
+		seen := map[string]bool{}
+		var want []string
+		insert := func(key []byte) {
+			s.Put(key, uint64(len(want)))
+			if !seen[string(key)] {
+				seen[string(key)] = true
+				want = append(want, string(key))
+			}
+		}
+		// Every leading byte (so every arena boundary is crossed), with
+		// random 7-byte tails; all keys >= 4 bytes, as the pre-processing
+		// ordering contract requires.
+		for lead := 0; lead < 256; lead++ {
+			for j := 0; j < 8; j++ {
+				key := make([]byte, 8)
+				rng.Read(key)
+				key[0] = byte(lead)
+				insert(key)
+			}
+			// Extremal tails right at the boundary byte.
+			insert([]byte{byte(lead), 0, 0, 0})
+			insert([]byte{byte(lead), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+		}
+		sort.Strings(want)
+
+		collect := func(iter func(fn func([]byte, uint64) bool)) []string {
+			var got []string
+			iter(func(k []byte, _ uint64) bool {
+				got = append(got, string(k))
+				return true
+			})
+			return got
+		}
+		for name, got := range map[string][]string{
+			"Each":         collect(s.Each),
+			"ParallelEach": collect(s.ParallelEach),
+		} {
+			if len(got) != len(want) {
+				t.Fatalf("arenas=%d %s: visited %d keys, want %d", arenas, name, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("arenas=%d %s: order mismatch at %d: %x, want %x", arenas, name, i, got[i], want[i])
+				}
+			}
+		}
+		// Bounded range starting exactly at an arena boundary key.
+		start := want[len(want)/3]
+		var bounded []string
+		s.Range([]byte(start), func(k []byte, _ uint64) bool {
+			bounded = append(bounded, string(k))
+			return len(bounded) < 1000
+		})
+		for i := range bounded {
+			if bounded[i] != want[len(want)/3+i] {
+				t.Fatalf("arenas=%d bounded range mismatch at %d: %x, want %x", arenas, i, bounded[i], want[len(want)/3+i])
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package hyperion
+
+import "repro/internal/memman"
+
+// Stats are the structural counters of the engine, aggregated over all
+// arenas. They back the paper's §4.3 breakdown (delta-encoded nodes, embedded
+// containers, path-compressed bytes) and the ablation experiments.
+type Stats struct {
+	Keys               int64
+	Containers         int64
+	EmbeddedContainers int64
+	PathCompressed     int64
+	PathCompressedLen  int64
+	DeltaEncodedNodes  int64
+	Ejections          int64
+	Splits             int64
+	SplitAborts        int64
+	JumpSuccessors     int64
+	TNodeJumpTables    int64
+	ContainerJTUpdates int64
+}
+
+// Stats aggregates the engine counters across arenas.
+func (s *Store) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st := sh.tree.Stats()
+		sh.mu.RUnlock()
+		out.Keys += st.Keys
+		out.Containers += st.Containers
+		out.EmbeddedContainers += st.EmbeddedContainers
+		out.PathCompressed += st.PathCompressed
+		out.PathCompressedLen += st.PathCompressedLen
+		out.DeltaEncodedNodes += st.DeltaEncodedNodes
+		out.Ejections += st.Ejections
+		out.Splits += st.Splits
+		out.SplitAborts += st.SplitAborts
+		out.JumpSuccessors += st.JumpSuccessors
+		out.TNodeJumpTables += st.TNodeJumpTables
+		out.ContainerJTUpdates += st.ContainerJTUpdates
+	}
+	return out
+}
+
+// SuperbinStats describes one size class of the memory manager, aggregated
+// over all arenas (paper Figures 14 and 16). Superbin 0 is the extended-bin
+// class, superbin i>=1 serves chunks of 32*i bytes.
+type SuperbinStats struct {
+	ID              int
+	ChunkSize       int
+	AllocatedChunks int64
+	EmptyChunks     int64
+	AllocatedBytes  int64
+	EmptyBytes      int64
+}
+
+// MemoryStats summarises the memory manager state across all arenas.
+type MemoryStats struct {
+	Superbins       []SuperbinStats
+	AllocatedChunks int64
+	EmptyChunks     int64
+	AllocatedBytes  int64
+	EmptyBytes      int64
+	MetadataBytes   int64
+	Footprint       int64
+}
+
+// MemoryStats aggregates the allocator statistics of every arena.
+func (s *Store) MemoryStats() MemoryStats {
+	var agg memman.Stats
+	first := true
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		st := sh.tree.Allocator().Stats()
+		sh.mu.RUnlock()
+		if first {
+			agg = st
+			first = false
+		} else {
+			agg.Merge(st)
+		}
+	}
+	out := MemoryStats{
+		AllocatedChunks: agg.AllocatedChunks,
+		EmptyChunks:     agg.EmptyChunks,
+		AllocatedBytes:  agg.AllocatedBytes,
+		EmptyBytes:      agg.EmptyBytes,
+		MetadataBytes:   agg.MetadataBytes,
+		Footprint:       agg.Footprint,
+	}
+	out.Superbins = make([]SuperbinStats, len(agg.Superbins))
+	for i, sb := range agg.Superbins {
+		out.Superbins[i] = SuperbinStats{
+			ID:              sb.ID,
+			ChunkSize:       sb.ChunkSize,
+			AllocatedChunks: sb.AllocatedChunks,
+			EmptyChunks:     sb.EmptyChunks,
+			AllocatedBytes:  sb.AllocatedBytes,
+			EmptyBytes:      sb.EmptyBytes,
+		}
+	}
+	return out
+}
+
+// MemoryFootprint returns the total bytes the store's allocators hold from
+// the Go runtime.
+func (s *Store) MemoryFootprint() int64 {
+	total := int64(0)
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.tree.MemoryFootprint()
+		sh.mu.RUnlock()
+	}
+	return total
+}

@@ -1,25 +1,26 @@
 package hyperion
 
 import (
-	"sync"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/keys"
-	"repro/internal/memman"
 )
 
 // Store is a thread-safe Hyperion key-value store. Keys are arbitrary byte
 // strings (including the empty key), values are 64-bit integers. Keys routed
 // to different arenas can be accessed concurrently; within an arena, readers
 // proceed concurrently and writers are exclusive.
+//
+// The store is layered over a sharding subsystem (shard.go): every key is
+// routed to one of Options.Arenas independently locked shards by its leading
+// byte. Single-key operations below pay one lock round-trip per call; the
+// batched execution paths in batch.go (ApplyBatch, GetBatch, ParallelEach)
+// amortise locking per shard group and run shard groups concurrently.
 type Store struct {
-	opts   Options
-	arenas []*arena
-}
-
-type arena struct {
-	mu   sync.RWMutex
-	tree *core.Tree
+	opts    Options
+	shards  []*shard
+	workers int
 }
 
 // New creates an empty store.
@@ -27,85 +28,73 @@ func New(opts Options) *Store {
 	opts = opts.normalized()
 	s := &Store{opts: opts}
 	cfg := opts.coreConfig()
-	s.arenas = make([]*arena, opts.Arenas)
-	for i := range s.arenas {
-		s.arenas[i] = &arena{tree: core.New(cfg)}
+	s.shards = make([]*shard, opts.Arenas)
+	for i := range s.shards {
+		s.shards[i] = &shard{tree: core.New(cfg)}
+	}
+	s.workers = opts.BatchWorkers
+	if s.workers <= 0 {
+		s.workers = runtime.GOMAXPROCS(0)
 	}
 	return s
 }
 
-// arenaFor routes a key to its arena by leading byte, keeping contiguous key
-// ranges together so cross-arena iteration stays ordered.
-func (s *Store) arenaFor(key []byte) *arena {
-	if len(s.arenas) == 1 || len(key) == 0 {
-		return s.arenas[0]
-	}
-	return s.arenas[int(key[0])*len(s.arenas)/256]
-}
-
-func (s *Store) transform(key []byte) []byte {
-	if s.opts.KeyPreprocessing {
-		return keys.Preprocess(key)
-	}
-	return key
-}
-
 // Put stores key with value, overwriting any existing value.
 func (s *Store) Put(key []byte, value uint64) {
-	a := s.arenaFor(key)
+	sh := s.shardFor(key)
 	k := s.transform(key)
-	a.mu.Lock()
-	a.tree.Put(k, value)
-	a.mu.Unlock()
+	sh.mu.Lock()
+	sh.tree.Put(k, value)
+	sh.mu.Unlock()
 }
 
 // PutKey stores key without a value (set semantics).
 func (s *Store) PutKey(key []byte) {
-	a := s.arenaFor(key)
+	sh := s.shardFor(key)
 	k := s.transform(key)
-	a.mu.Lock()
-	a.tree.PutKey(k)
-	a.mu.Unlock()
+	sh.mu.Lock()
+	sh.tree.PutKey(k)
+	sh.mu.Unlock()
 }
 
 // Get returns the value stored for key; ok is false if the key is absent or
 // has no value attached.
 func (s *Store) Get(key []byte) (value uint64, ok bool) {
-	a := s.arenaFor(key)
+	sh := s.shardFor(key)
 	k := s.transform(key)
-	a.mu.RLock()
-	value, ok = a.tree.Get(k)
-	a.mu.RUnlock()
+	sh.mu.RLock()
+	value, ok = sh.tree.Get(k)
+	sh.mu.RUnlock()
 	return value, ok
 }
 
 // Has reports whether key is stored (with or without a value).
 func (s *Store) Has(key []byte) bool {
-	a := s.arenaFor(key)
+	sh := s.shardFor(key)
 	k := s.transform(key)
-	a.mu.RLock()
-	ok := a.tree.Has(k)
-	a.mu.RUnlock()
+	sh.mu.RLock()
+	ok := sh.tree.Has(k)
+	sh.mu.RUnlock()
 	return ok
 }
 
 // Delete removes key and reports whether it was present.
 func (s *Store) Delete(key []byte) bool {
-	a := s.arenaFor(key)
+	sh := s.shardFor(key)
 	k := s.transform(key)
-	a.mu.Lock()
-	ok := a.tree.Delete(k)
-	a.mu.Unlock()
+	sh.mu.Lock()
+	ok := sh.tree.Delete(k)
+	sh.mu.Unlock()
 	return ok
 }
 
 // Len returns the number of stored keys.
 func (s *Store) Len() int {
 	total := int64(0)
-	for _, a := range s.arenas {
-		a.mu.RLock()
-		total += a.tree.Len()
-		a.mu.RUnlock()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += sh.tree.Len()
+		sh.mu.RUnlock()
 	}
 	return int(total)
 }
@@ -117,23 +106,19 @@ func (s *Store) Len() int {
 func (s *Store) Range(start []byte, fn func(key []byte, value uint64) bool) {
 	tstart := s.transform(start)
 	stopped := false
-	for _, a := range s.arenas {
+	for _, sh := range s.shards {
 		if stopped {
 			return
 		}
-		a.mu.RLock()
-		a.tree.Range(tstart, func(k []byte, v uint64, _ bool) bool {
-			out := k
-			if s.opts.KeyPreprocessing {
-				out = keys.Unpreprocess(k)
-			}
-			if !fn(out, v) {
+		sh.mu.RLock()
+		sh.tree.Range(tstart, func(k []byte, v uint64, _ bool) bool {
+			if !fn(s.untransform(k), v) {
 				stopped = true
 				return false
 			}
 			return true
 		})
-		a.mu.RUnlock()
+		sh.mu.RUnlock()
 	}
 }
 
@@ -163,135 +148,22 @@ func (s *Store) DeleteUint64(key uint64) bool {
 	return s.Delete(buf[:])
 }
 
-// Stats are the structural counters of the engine, aggregated over all
-// arenas. They back the paper's §4.3 breakdown (delta-encoded nodes, embedded
-// containers, path-compressed bytes) and the ablation experiments.
-type Stats struct {
-	Keys               int64
-	Containers         int64
-	EmbeddedContainers int64
-	PathCompressed     int64
-	PathCompressedLen  int64
-	DeltaEncodedNodes  int64
-	Ejections          int64
-	Splits             int64
-	SplitAborts        int64
-	JumpSuccessors     int64
-	TNodeJumpTables    int64
-	ContainerJTUpdates int64
-}
-
-// Stats aggregates the engine counters across arenas.
-func (s *Store) Stats() Stats {
-	var out Stats
-	for _, a := range s.arenas {
-		a.mu.RLock()
-		st := a.tree.Stats()
-		a.mu.RUnlock()
-		out.Keys += st.Keys
-		out.Containers += st.Containers
-		out.EmbeddedContainers += st.EmbeddedContainers
-		out.PathCompressed += st.PathCompressed
-		out.PathCompressedLen += st.PathCompressedLen
-		out.DeltaEncodedNodes += st.DeltaEncodedNodes
-		out.Ejections += st.Ejections
-		out.Splits += st.Splits
-		out.SplitAborts += st.SplitAborts
-		out.JumpSuccessors += st.JumpSuccessors
-		out.TNodeJumpTables += st.TNodeJumpTables
-		out.ContainerJTUpdates += st.ContainerJTUpdates
-	}
-	return out
-}
-
-// SuperbinStats describes one size class of the memory manager, aggregated
-// over all arenas (paper Figures 14 and 16). Superbin 0 is the extended-bin
-// class, superbin i>=1 serves chunks of 32*i bytes.
-type SuperbinStats struct {
-	ID              int
-	ChunkSize       int
-	AllocatedChunks int64
-	EmptyChunks     int64
-	AllocatedBytes  int64
-	EmptyBytes      int64
-}
-
-// MemoryStats summarises the memory manager state across all arenas.
-type MemoryStats struct {
-	Superbins       []SuperbinStats
-	AllocatedChunks int64
-	EmptyChunks     int64
-	AllocatedBytes  int64
-	EmptyBytes      int64
-	MetadataBytes   int64
-	Footprint       int64
-}
-
-// MemoryStats aggregates the allocator statistics of every arena.
-func (s *Store) MemoryStats() MemoryStats {
-	var agg memman.Stats
-	first := true
-	for _, a := range s.arenas {
-		a.mu.RLock()
-		st := a.tree.Allocator().Stats()
-		a.mu.RUnlock()
-		if first {
-			agg = st
-			first = false
-		} else {
-			agg.Merge(st)
-		}
-	}
-	out := MemoryStats{
-		AllocatedChunks: agg.AllocatedChunks,
-		EmptyChunks:     agg.EmptyChunks,
-		AllocatedBytes:  agg.AllocatedBytes,
-		EmptyBytes:      agg.EmptyBytes,
-		MetadataBytes:   agg.MetadataBytes,
-		Footprint:       agg.Footprint,
-	}
-	out.Superbins = make([]SuperbinStats, len(agg.Superbins))
-	for i, sb := range agg.Superbins {
-		out.Superbins[i] = SuperbinStats{
-			ID:              sb.ID,
-			ChunkSize:       sb.ChunkSize,
-			AllocatedChunks: sb.AllocatedChunks,
-			EmptyChunks:     sb.EmptyChunks,
-			AllocatedBytes:  sb.AllocatedBytes,
-			EmptyBytes:      sb.EmptyBytes,
-		}
-	}
-	return out
-}
-
-// MemoryFootprint returns the total bytes the store's allocators hold from
-// the Go runtime.
-func (s *Store) MemoryFootprint() int64 {
-	total := int64(0)
-	for _, a := range s.arenas {
-		a.mu.RLock()
-		total += a.tree.MemoryFootprint()
-		a.mu.RUnlock()
-	}
-	return total
-}
-
 // Clear removes every key from the store.
 func (s *Store) Clear() {
-	for _, a := range s.arenas {
-		a.mu.Lock()
-		a.tree.Clear()
-		a.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		sh.tree.Clear()
+		sh.mu.Unlock()
 	}
 }
 
 // CheckInvariants validates the structural invariants of every arena's trie.
 // It is exposed for tests and debugging; the walk is expensive.
 func (s *Store) CheckInvariants() error {
-	for _, a := range s.arenas {
-		a.mu.RLock()
-		err := a.tree.CheckInvariants()
-		a.mu.RUnlock()
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		err := sh.tree.CheckInvariants()
+		sh.mu.RUnlock()
 		if err != nil {
 			return err
 		}

@@ -297,12 +297,15 @@ func TestStoreEmptyAndBinaryKeys(t *testing.T) {
 
 func TestOptionsNormalization(t *testing.T) {
 	s := New(Options{Arenas: -5})
-	if len(s.arenas) != 1 {
-		t.Fatalf("negative arenas normalised to %d", len(s.arenas))
+	if s.NumArenas() != 1 {
+		t.Fatalf("negative arenas normalised to %d", s.NumArenas())
 	}
 	s = New(Options{Arenas: 1000})
-	if len(s.arenas) != 256 {
-		t.Fatalf("oversized arenas normalised to %d", len(s.arenas))
+	if s.NumArenas() != 256 {
+		t.Fatalf("oversized arenas normalised to %d", s.NumArenas())
+	}
+	if New(Options{Arenas: 8, BatchWorkers: -3}).Workers() < 1 {
+		t.Fatal("negative BatchWorkers must normalise to at least 1")
 	}
 }
 

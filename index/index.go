@@ -45,9 +45,33 @@ type Ordered interface {
 	Each(fn func(key []byte, value uint64) bool)
 }
 
+// Batcher is the optional batched execution interface. Structures that
+// implement it can group many operations into one call, amortise their
+// internal locking across the batch and execute independent partitions in
+// parallel (Hyperion groups by arena; see hyperion/batch.go). The benchmark
+// harness dispatches the batched half of the concurrency experiment through
+// this interface; cmd/hyperion-server holds a concrete *hyperion.Store and
+// calls its batch methods directly. The batch op/result types are Hyperion's
+// own — today it is the only batched structure, and a second implementation
+// would motivate hoisting them here.
+type Batcher interface {
+	KV
+	// ApplyBatch executes a mixed batch and returns one result per op.
+	ApplyBatch(ops []hyperion.Op) []hyperion.Result
+	// GetBatch looks up every key and returns one result per key.
+	GetBatch(keys [][]byte) []hyperion.Result
+}
+
+// AsBatcher returns kv's batched execution interface, if it has one.
+func AsBatcher(kv KV) (Batcher, bool) {
+	b, ok := kv.(Batcher)
+	return b, ok
+}
+
 // Compile-time interface checks.
 var (
 	_ Ordered = (*hyperion.Store)(nil)
+	_ Batcher = (*hyperion.Store)(nil)
 	_ Ordered = (*art.Tree)(nil)
 	_ Ordered = (*judy.Tree)(nil)
 	_ Ordered = (*hot.Tree)(nil)
@@ -99,6 +123,9 @@ type Factory struct {
 	New func() KV
 	// Ordered reports whether the structure supports range queries.
 	Ordered bool
+	// Batched reports whether instances implement Batcher, i.e. support the
+	// grouped parallel execution path of the concurrency experiment.
+	Batched bool
 	// IntegerTuned creates the variant used for the integer experiments (may
 	// be nil when it does not differ from New).
 	IntegerTuned func() KV
@@ -108,9 +135,9 @@ type Factory struct {
 // in the order the paper's tables list them.
 func All() []Factory {
 	return []Factory{
-		{Name: "Hyperion", New: func() KV { return NewHyperion() }, Ordered: true,
+		{Name: "Hyperion", New: func() KV { return NewHyperion() }, Ordered: true, Batched: true,
 			IntegerTuned: func() KV { return NewHyperionInteger() }},
-		{Name: "Hyperion_p", New: func() KV { return NewHyperionP() }, Ordered: true},
+		{Name: "Hyperion_p", New: func() KV { return NewHyperionP() }, Ordered: true, Batched: true},
 		{Name: "Judy", New: func() KV { return NewJudy() }, Ordered: true},
 		{Name: "HAT", New: func() KV { return NewHAT() }, Ordered: true},
 		{Name: "ART_C", New: func() KV { return NewARTC() }, Ordered: true},

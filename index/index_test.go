@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"repro/hyperion"
 )
 
 // The conformance suite drives every registered structure through the same
@@ -317,6 +319,43 @@ func TestFactoryRegistry(t *testing.T) {
 	}
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("ByName of unknown structure succeeded")
+	}
+}
+
+func TestBatcherRegistry(t *testing.T) {
+	for _, f := range All() {
+		kv := f.New()
+		b, ok := AsBatcher(kv)
+		if ok != f.Batched {
+			t.Fatalf("%s: factory reports Batched=%v but instance batcher=%v", f.Name, f.Batched, ok)
+		}
+		if !ok {
+			continue
+		}
+		// The batched path must agree with the single-op path.
+		ops := []hyperion.Op{
+			{Kind: hyperion.OpPut, Key: []byte("batch/a"), Value: 10},
+			{Kind: hyperion.OpPut, Key: []byte("batch/b"), Value: 20},
+			{Kind: hyperion.OpGet, Key: []byte("batch/a")},
+			{Kind: hyperion.OpDelete, Key: []byte("batch/b")},
+		}
+		res := b.ApplyBatch(ops)
+		if len(res) != len(ops) || !res[2].Ok || res[2].Value != 10 || !res[3].Ok {
+			t.Fatalf("%s: unexpected batch results %+v", f.Name, res)
+		}
+		got := b.GetBatch([][]byte{[]byte("batch/a"), []byte("batch/b")})
+		if !got[0].Ok || got[0].Value != 10 || got[1].Ok {
+			t.Fatalf("%s: unexpected GetBatch results %+v", f.Name, got)
+		}
+		if v, ok := kv.Get([]byte("batch/a")); !ok || v != 10 {
+			t.Fatalf("%s: single-op Get disagrees with batch state: %d,%v", f.Name, v, ok)
+		}
+	}
+	if !func() bool { f, _ := ByName("Hyperion"); return f.Batched }() {
+		t.Fatal("registry must report Hyperion as batched")
+	}
+	if func() bool { f, _ := ByName("RB-Tree"); return f.Batched }() {
+		t.Fatal("registry must not report RB-Tree as batched")
 	}
 }
 

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/hyperion"
+	"repro/index"
+	"repro/internal/workload"
+)
+
+// This file implements the concurrent-throughput experiment: put/get ops/s
+// over a grid of arenas × workers, comparing the single-op API (one lock
+// round-trip per operation, parallelised by running callers concurrently)
+// against the batched API (ApplyBatch/GetBatch: one lock acquisition per
+// arena group per batch, arena groups executed on the store's worker pool).
+// It extends the paper's single-threaded evaluation (§4) towards the
+// deployment it motivates: a KV-store node sustaining millions of ops/s (§1).
+
+// ConcurrencyPoint is one cell of the arenas × workers grid. All throughput
+// numbers are operations per second over the full data set.
+type ConcurrencyPoint struct {
+	Arenas  int `json:"arenas"`
+	Workers int `json:"workers"`
+	// PutSingleOps: Workers goroutines issuing single-op Puts concurrently.
+	// At Workers == 1 this is the sequential put loop the batched path is
+	// compared against.
+	PutSingleOps float64 `json:"put_single_ops_per_sec"`
+	// PutBatchOps: one caller issuing ApplyBatch batches; the store fans the
+	// arena groups out to its internal worker pool (BatchWorkers = Workers).
+	PutBatchOps float64 `json:"put_batch_ops_per_sec"`
+	// GetSingleOps / GetBatchOps: the same pair for lookups.
+	GetSingleOps float64 `json:"get_single_ops_per_sec"`
+	GetBatchOps  float64 `json:"get_batch_ops_per_sec"`
+}
+
+// ConcurrencyResult is the full grid of the concurrent-throughput experiment.
+type ConcurrencyResult struct {
+	ID        string             `json:"id"`
+	Title     string             `json:"title"`
+	Keys      int                `json:"keys"`
+	BatchSize int                `json:"batch_size"`
+	Points    []ConcurrencyPoint `json:"points"`
+}
+
+// concurrencyDefaults fills the zero-valued concurrency knobs of cfg.
+func concurrencyDefaults(cfg Config) Config {
+	if cfg.ConcKeys <= 0 {
+		cfg.ConcKeys = 500_000
+	}
+	if cfg.ConcBatch <= 0 {
+		cfg.ConcBatch = 1024
+	}
+	if len(cfg.ConcArenas) == 0 {
+		cfg.ConcArenas = []int{1, 4, 8, 16}
+	}
+	if len(cfg.ConcWorkers) == 0 {
+		cfg.ConcWorkers = []int{1, 2, 4, 8}
+	}
+	return cfg
+}
+
+// parallelFor runs fn(i) for i in [0, n) striped over the given number of
+// goroutines, blocking until all stripes finish. With workers <= 1 it runs
+// inline.
+func parallelFor(workers, n int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func opsPerSec(n int, fn func()) float64 {
+	start := time.Now()
+	fn()
+	return float64(n) / time.Since(start).Seconds()
+}
+
+// RunConcurrency measures the arenas × workers grid on the randomized
+// integer data set.
+func RunConcurrency(cfg Config) ConcurrencyResult {
+	cfg = concurrencyDefaults(cfg)
+	n := cfg.ConcKeys
+	batch := cfg.ConcBatch
+	ds := workload.RandomIntegers(n, cfg.Seed)
+
+	ops := make([]hyperion.Op, n)
+	lookups := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		ops[i] = hyperion.Op{Kind: hyperion.OpPut, Key: ds.Key(i), Value: ds.Value(i)}
+		lookups[i] = ds.Key(i)
+	}
+
+	res := ConcurrencyResult{
+		ID:        "concurrency",
+		Title:     fmt.Sprintf("Concurrency: ops/s over arenas × workers, single-op vs batched (%d random integer keys, batch %d)", n, batch),
+		Keys:      n,
+		BatchSize: batch,
+	}
+	for _, arenas := range cfg.ConcArenas {
+		for _, workers := range cfg.ConcWorkers {
+			newStore := func() *hyperion.Store {
+				o := hyperion.IntegerOptions()
+				o.Arenas = arenas
+				o.BatchWorkers = workers
+				return hyperion.New(o)
+			}
+			p := ConcurrencyPoint{Arenas: arenas, Workers: workers}
+
+			single := newStore()
+			p.PutSingleOps = opsPerSec(n, func() {
+				parallelFor(workers, n, func(i int) { single.Put(ds.Key(i), ds.Value(i)) })
+			})
+			p.GetSingleOps = opsPerSec(n, func() {
+				parallelFor(workers, n, func(i int) { single.Get(ds.Key(i)) })
+			})
+
+			// The batched half goes through the registry's optional interface,
+			// the same dispatch any non-Hyperion batcher would get.
+			batched, ok := index.AsBatcher(newStore())
+			if !ok {
+				panic("bench: hyperion store does not implement index.Batcher")
+			}
+			p.PutBatchOps = opsPerSec(n, func() {
+				for lo := 0; lo < n; lo += batch {
+					batched.ApplyBatch(ops[lo:min(lo+batch, n)])
+				}
+			})
+			p.GetBatchOps = opsPerSec(n, func() {
+				for lo := 0; lo < n; lo += batch {
+					batched.GetBatch(lookups[lo:min(lo+batch, n)])
+				}
+			})
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunConcurrencyGrid(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ConcKeys = 20000
+	cfg.ConcBatch = 256
+	cfg.ConcArenas = []int{1, 8}
+	cfg.ConcWorkers = []int{1, 4}
+	res := RunConcurrency(cfg)
+	if want := len(cfg.ConcArenas) * len(cfg.ConcWorkers); len(res.Points) != want {
+		t.Fatalf("expected %d grid points, got %d", want, len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.PutSingleOps <= 0 || p.PutBatchOps <= 0 || p.GetSingleOps <= 0 || p.GetBatchOps <= 0 {
+			t.Fatalf("cell arenas=%d workers=%d has non-positive throughput: %+v", p.Arenas, p.Workers, p)
+		}
+	}
+	var buf bytes.Buffer
+	WriteConcurrency(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"arenas", "workers", "puts/s batch", "batch×"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered concurrency grid misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunConcurrencyDefaultsFilled(t *testing.T) {
+	cfg := concurrencyDefaults(Config{})
+	if cfg.ConcKeys <= 0 || cfg.ConcBatch <= 0 || len(cfg.ConcArenas) == 0 || len(cfg.ConcWorkers) == 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestWriteJSONFile(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ConcKeys = 5000
+	cfg.ConcBatch = 128
+	cfg.ConcArenas = []int{4}
+	cfg.ConcWorkers = []int{2}
+	res := RunConcurrency(cfg)
+	dir := t.TempDir()
+	path, err := WriteJSONFile(dir, res.ID, cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_concurrency.json") {
+		t.Fatalf("unexpected path %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Experiment string `json:"experiment"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Result     struct {
+			Keys   int `json:"keys"`
+			Points []struct {
+				PutBatchOps float64 `json:"put_batch_ops_per_sec"`
+			} `json:"points"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if env.Experiment != "concurrency" || env.GOMAXPROCS <= 0 {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	if env.Result.Keys != cfg.ConcKeys || len(env.Result.Points) != 1 || env.Result.Points[0].PutBatchOps <= 0 {
+		t.Fatalf("bad result payload: %+v", env.Result)
+	}
+}

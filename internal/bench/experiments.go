@@ -29,6 +29,13 @@ type Config struct {
 	Structures map[string]bool
 	// Seed drives every workload generator.
 	Seed uint64
+	// ConcKeys is the data-set size of the concurrent-throughput experiment.
+	ConcKeys int
+	// ConcBatch is the ApplyBatch/GetBatch batch size of that experiment.
+	ConcBatch int
+	// ConcArenas and ConcWorkers span its grid (zero values pick defaults).
+	ConcArenas  []int
+	ConcWorkers []int
 }
 
 // SmallConfig finishes in well under a minute and is used by the `go test`
@@ -41,6 +48,10 @@ func SmallConfig() Config {
 		Fig13MaxKeys: 400_000,
 		Fig15Samples: 10,
 		Seed:         42,
+		ConcKeys:     100_000,
+		ConcBatch:    512,
+		ConcArenas:   []int{1, 8},
+		ConcWorkers:  []int{1, 4},
 	}
 }
 
@@ -53,6 +64,10 @@ func MediumConfig() Config {
 		Fig13MaxKeys: 4_000_000,
 		Fig15Samples: 20,
 		Seed:         42,
+		ConcKeys:     1_000_000,
+		ConcBatch:    1024,
+		ConcArenas:   []int{1, 4, 8, 16},
+		ConcWorkers:  []int{1, 2, 4, 8},
 	}
 }
 
@@ -65,6 +80,10 @@ func LargeConfig() Config {
 		Fig13MaxKeys: 32_000_000,
 		Fig15Samples: 25,
 		Seed:         42,
+		ConcKeys:     4_000_000,
+		ConcBatch:    2048,
+		ConcArenas:   []int{1, 8, 16, 64, 256},
+		ConcWorkers:  []int{1, 2, 4, 8, 16},
 	}
 }
 

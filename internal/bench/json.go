@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// jsonEnvelope wraps every machine-readable result with enough context to
+// compare runs across PRs and hosts.
+type jsonEnvelope struct {
+	Experiment    string `json:"experiment"`
+	GeneratedUnix int64  `json:"generated_unix"`
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	Config        Config `json:"config"`
+	Result        any    `json:"result"`
+}
+
+// WriteJSONFile writes one experiment result as indented JSON to
+// <dir>/BENCH_<id>.json and returns the path. The payload embeds the scaled
+// configuration and host parallelism so future PRs can track the performance
+// trajectory (ops/s, footprint per structure) against comparable runs.
+func WriteJSONFile(dir, id string, cfg Config, result any) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(jsonEnvelope{
+		Experiment:    id,
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Config:        cfg,
+		Result:        result,
+	}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	path := filepath.Join(dir, "BENCH_"+id+".json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -3,7 +3,9 @@
 // (Tables 1 and 2), the range-query table (Table 3), the unlimited-insert
 // figure (Figure 13), the per-superbin fragmentation figures (Figures 14 and
 // 16), the throughput-over-index-size figure (Figure 15) and the ablation
-// studies discussed in §3.3/§4.4.
+// studies discussed in §3.3/§4.4. Beyond the paper, the concurrency
+// experiment (concurrency.go) measures the sharded/batched execution layer:
+// ops/s over an arenas × workers grid, single-op vs batched.
 //
 // Absolute numbers depend on the host and on the reproduction scale; the
 // harness is built to reproduce the paper's *shape*: who wins, by roughly

@@ -102,6 +102,37 @@ func WriteFigure15(w io.Writer, f Figure15Result) {
 	write("Randomized integer keys", f.Randomized)
 }
 
+// WriteConcurrency renders the arenas × workers throughput grid. The
+// "batch×" columns relate the batched throughput of a cell to the sequential
+// (workers=1) single-op loop over the same number of arenas — the speedup
+// the batched execution layer buys.
+func WriteConcurrency(w io.Writer, c ConcurrencyResult) {
+	fmt.Fprintf(w, "\n%s\n", c.Title)
+	seqPut := map[int]float64{}
+	seqGet := map[int]float64{}
+	for _, p := range c.Points {
+		if p.Workers == 1 {
+			seqPut[p.Arenas] = p.PutSingleOps
+			seqGet[p.Arenas] = p.GetSingleOps
+		}
+	}
+	speedup := func(base map[int]float64, arenas int, ops float64) string {
+		if base[arenas] <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f", ops/base[arenas])
+	}
+	fmt.Fprintf(w, "  %6s %7s %14s %14s %7s %14s %14s %7s\n",
+		"arenas", "workers", "puts/s single", "puts/s batch", "batch×", "gets/s single", "gets/s batch", "batch×")
+	for _, p := range c.Points {
+		fmt.Fprintf(w, "  %6d %7d %14.0f %14.0f %7s %14.0f %14.0f %7s\n",
+			p.Arenas, p.Workers,
+			p.PutSingleOps, p.PutBatchOps, speedup(seqPut, p.Arenas, p.PutBatchOps),
+			p.GetSingleOps, p.GetBatchOps, speedup(seqGet, p.Arenas, p.GetBatchOps))
+	}
+	fmt.Fprintf(w, "  (batch× = batched ops/s over the sequential workers=1 single-op loop, same arenas)\n")
+}
+
 // WriteAblation renders the feature-ablation study.
 func WriteAblation(w io.Writer, a AblationResult) {
 	fmt.Fprintf(w, "\n%s (data set: %s)\n", a.Title, a.Dataset)
