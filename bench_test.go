@@ -20,6 +20,7 @@ func smallCfg() bench.Config { return bench.SmallConfig() }
 // BenchmarkTable1_StringKPIs regenerates Table 1 (string data set KPIs,
 // sequential and randomized n-grams, all structures).
 func BenchmarkTable1_StringKPIs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunTable1(smallCfg())
 		bench.WriteTable(io.Discard, res)
@@ -28,6 +29,7 @@ func BenchmarkTable1_StringKPIs(b *testing.B) {
 
 // BenchmarkTable2_IntegerKPIs regenerates Table 2 (integer data set KPIs).
 func BenchmarkTable2_IntegerKPIs(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunTable2(smallCfg())
 		bench.WriteTable(io.Discard, res)
@@ -36,6 +38,7 @@ func BenchmarkTable2_IntegerKPIs(b *testing.B) {
 
 // BenchmarkTable3_RangeQueries regenerates Table 3 (full-index range scans).
 func BenchmarkTable3_RangeQueries(b *testing.B) {
+	b.ReportAllocs()
 	cfg := smallCfg()
 	cfg.Structures = map[string]bool{
 		"Hyperion": true, "Hyperion_p": true, "Judy": true, "HAT": true,
@@ -50,6 +53,7 @@ func BenchmarkTable3_RangeQueries(b *testing.B) {
 // BenchmarkFigure13_UnlimitedInserts regenerates Figure 13 (keys indexable
 // within a fixed memory budget).
 func BenchmarkFigure13_UnlimitedInserts(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunFigure13(smallCfg())
 		bench.WriteFigure13(io.Discard, res)
@@ -59,6 +63,7 @@ func BenchmarkFigure13_UnlimitedInserts(b *testing.B) {
 // BenchmarkFigure14_StringMemoryCharacteristics regenerates Figure 14
 // (Hyperion per-superbin memory for the ordered and randomized string sets).
 func BenchmarkFigure14_StringMemoryCharacteristics(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunFigure14(smallCfg())
 		bench.WriteMemoryFigure(io.Discard, res)
@@ -68,6 +73,7 @@ func BenchmarkFigure14_StringMemoryCharacteristics(b *testing.B) {
 // BenchmarkFigure15_ThroughputOverIndexSize regenerates Figure 15 (put/get
 // throughput as a function of index size plus memory footprint bars).
 func BenchmarkFigure15_ThroughputOverIndexSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunFigure15(smallCfg())
 		bench.WriteFigure15(io.Discard, res)
@@ -77,6 +83,7 @@ func BenchmarkFigure15_ThroughputOverIndexSize(b *testing.B) {
 // BenchmarkFigure16_KeyPreprocessingMemory regenerates Figure 16 (Hyperion vs
 // Hyperion_p allocator state after random-integer inserts).
 func BenchmarkFigure16_KeyPreprocessingMemory(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunFigure16(smallCfg())
 		bench.WriteMemoryFigure(io.Discard, res)
@@ -87,9 +94,21 @@ func BenchmarkFigure16_KeyPreprocessingMemory(b *testing.B) {
 // ablations of §3.3/§4.4 (delta encoding, PC nodes, embedded containers,
 // jumps, container splitting, key pre-processing).
 func BenchmarkAblation_FeatureContributions(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := bench.RunAblation(smallCfg(), "random-int")
 		bench.WriteAblation(io.Discard, res)
+	}
+}
+
+// BenchmarkLatency_PerOpProfiles regenerates the latency experiment: per-op
+// latency percentiles (p50/p90/p99) and allocs/op for every structure, the
+// regression target of the zero-allocation hot-path work.
+func BenchmarkLatency_PerOpProfiles(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := bench.RunLatency(smallCfg())
+		bench.WriteLatency(io.Discard, res)
 	}
 }
 
@@ -116,34 +135,42 @@ func benchGet(b *testing.B, kv index.KV, ds *workload.Dataset) {
 }
 
 func BenchmarkHyperionPut_SequentialIntegers(b *testing.B) {
+	b.ReportAllocs()
 	benchPut(b, hyperion.New(hyperion.IntegerOptions()), workload.SequentialIntegers(1_000_000))
 }
 
 func BenchmarkHyperionPut_RandomIntegers(b *testing.B) {
+	b.ReportAllocs()
 	benchPut(b, hyperion.New(hyperion.IntegerOptions()), workload.RandomIntegers(1_000_000, 1))
 }
 
 func BenchmarkHyperionPut_NGrams(b *testing.B) {
+	b.ReportAllocs()
 	benchPut(b, hyperion.New(hyperion.DefaultOptions()), workload.NGrams(workload.DefaultNGramOptions(500_000)))
 }
 
 func BenchmarkHyperionGet_RandomIntegers(b *testing.B) {
+	b.ReportAllocs()
 	benchGet(b, hyperion.New(hyperion.IntegerOptions()), workload.RandomIntegers(1_000_000, 1))
 }
 
 func BenchmarkHyperionGet_NGrams(b *testing.B) {
+	b.ReportAllocs()
 	benchGet(b, hyperion.New(hyperion.DefaultOptions()), workload.NGrams(workload.DefaultNGramOptions(500_000)))
 }
 
 func BenchmarkARTGet_RandomIntegers(b *testing.B) {
+	b.ReportAllocs()
 	benchGet(b, index.NewART(), workload.RandomIntegers(1_000_000, 1))
 }
 
 func BenchmarkJudyGet_RandomIntegers(b *testing.B) {
+	b.ReportAllocs()
 	benchGet(b, index.NewJudy(), workload.RandomIntegers(1_000_000, 1))
 }
 
 func BenchmarkHyperionRangeScan_NGrams(b *testing.B) {
+	b.ReportAllocs()
 	store := hyperion.New(hyperion.DefaultOptions())
 	ds := workload.NGrams(workload.DefaultNGramOptions(300_000))
 	for i := 0; i < ds.Len(); i++ {

@@ -9,10 +9,11 @@
 //	hyperion-bench -experiment fig15 -ints 4000000 -structures Hyperion,ART,Judy
 //	hyperion-bench -experiment ablation -dataset random-int
 //	hyperion-bench -experiment concurrency -scale medium -json results/
+//	hyperion-bench -experiment latency -scale small -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// concurrency, all. See DESIGN.md for the mapping of each experiment to the
-// paper.
+// concurrency, latency, all. See DESIGN.md for the mapping of each
+// experiment to the paper.
 //
 // With -json DIR every selected experiment additionally writes a
 // machine-readable BENCH_<experiment>.json file (ops/s, footprint per
@@ -48,7 +49,7 @@ func parseIntList(flagName, s string) []int {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|all")
 		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
 		strKeys     = flag.Int("strings", 0, "override: number of string keys")
 		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
@@ -58,6 +59,8 @@ func main() {
 		seed        = flag.Uint64("seed", 42, "workload seed")
 		concKeys    = flag.Int("conc-keys", 0, "override: concurrency experiment data-set size")
 		concBatch   = flag.Int("conc-batch", 0, "override: concurrency experiment batch size")
+		latKeys     = flag.Int("lat-keys", 0, "override: latency experiment index size")
+		latOps      = flag.Int("lat-ops", 0, "override: latency experiment timed operations per structure")
 		concArenas  = flag.String("conc-arenas", "", "override: comma separated arena counts of the concurrency grid (e.g. 1,8,64)")
 		concWorkers = flag.String("conc-workers", "", "override: comma separated worker counts of the concurrency grid (e.g. 1,4,16)")
 		jsonDir     = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json output")
@@ -88,6 +91,12 @@ func main() {
 	}
 	if *concBatch > 0 {
 		cfg.ConcBatch = *concBatch
+	}
+	if *latKeys > 0 {
+		cfg.LatKeys = *latKeys
+	}
+	if *latOps > 0 {
+		cfg.LatOps = *latOps
 	}
 	if *concArenas != "" {
 		cfg.ConcArenas = parseIntList("conc-arenas", *concArenas)
@@ -193,6 +202,14 @@ func main() {
 		run("Concurrency: batched parallel throughput over arenas × workers", func() {
 			res := bench.RunConcurrency(cfg)
 			bench.WriteConcurrency(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("latency") {
+		ran = true
+		run("Latency: per-op percentiles and allocs/op", func() {
+			res := bench.RunLatency(cfg)
+			bench.WriteLatency(out, res)
 			emit(res.ID, res)
 		})
 	}

@@ -1,0 +1,132 @@
+package hyperion
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// These tests pin the zero-allocation contract of the hot paths: steady-state
+// Get/Has/Put (and the single-arena batched lookup with a reused result
+// buffer) must not touch the heap, including with KeyPreprocessing enabled,
+// where the transformed key lives in a fixed stack scratch. A regression here
+// usually means something made the key or a descent structure escape again —
+// check `go build -gcflags=-m` before reaching for sync.Pool.
+
+// loadedStore builds a store with n random integer keys and returns one of
+// the stored keys.
+func loadedStore(opts Options, n int) (*Store, []byte) {
+	s := New(opts)
+	var buf [keys.Uint64Size]byte
+	for i := uint64(0); i < uint64(n); i++ {
+		keys.PutUint64(buf[:], i*2654435761)
+		s.Put(buf[:], i)
+	}
+	probe := make([]byte, keys.Uint64Size)
+	keys.PutUint64(probe, 42*2654435761)
+	return s, probe
+}
+
+func TestZeroAllocSingleOps(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"integer", IntegerOptions()},
+		{"preprocessed", PreprocessedIntegerOptions()},
+		{"preprocessed-arenas-8", Options{Arenas: 8, KeyPreprocessing: true, EmbeddedEjectThreshold: 8 * 1024}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s, probe := loadedStore(tc.opts, 50_000)
+			// One warm call per op: the very first touch of a container can
+			// still add jump metadata, which is legitimate one-time
+			// structural work.
+			s.Get(probe)
+			s.Has(probe)
+			s.Put(probe, 7)
+			if n := testing.AllocsPerRun(500, func() { s.Get(probe) }); n != 0 {
+				t.Errorf("Get allocates %v allocs/op, want 0", n)
+			}
+			if n := testing.AllocsPerRun(500, func() { s.Has(probe) }); n != 0 {
+				t.Errorf("Has allocates %v allocs/op, want 0", n)
+			}
+			if n := testing.AllocsPerRun(500, func() { s.Put(probe, 7) }); n != 0 {
+				t.Errorf("steady-state Put allocates %v allocs/op, want 0", n)
+			}
+		})
+	}
+}
+
+func TestZeroAllocGetBatchInto(t *testing.T) {
+	s, _ := loadedStore(PreprocessedIntegerOptions(), 50_000)
+	lookups := make([][]byte, 64)
+	for i := range lookups {
+		k := make([]byte, keys.Uint64Size)
+		keys.PutUint64(k, uint64(i)*2654435761)
+		lookups[i] = k
+	}
+	var results []Result
+	results = s.GetBatchInto(results, lookups)
+	if n := testing.AllocsPerRun(200, func() { results = s.GetBatchInto(results, lookups) }); n != 0 {
+		t.Errorf("GetBatchInto with reused buffer allocates %v allocs/batch, want 0", n)
+	}
+	for i, r := range results {
+		if !r.Ok || r.Value != uint64(i) {
+			t.Fatalf("lookup %d returned %+v", i, r)
+		}
+	}
+}
+
+func TestZeroAllocApplyBatchInto(t *testing.T) {
+	s, _ := loadedStore(PreprocessedIntegerOptions(), 50_000)
+	ops := make([]Op, 64)
+	for i := range ops {
+		k := make([]byte, keys.Uint64Size)
+		keys.PutUint64(k, uint64(i)*2654435761)
+		ops[i] = Op{Kind: OpPut, Key: k, Value: uint64(i)}
+	}
+	var results []Result
+	results = s.ApplyBatchInto(results, ops)
+	if n := testing.AllocsPerRun(200, func() { results = s.ApplyBatchInto(results, ops) }); n != 0 {
+		t.Errorf("steady-state ApplyBatchInto with reused buffer allocates %v allocs/batch, want 0", n)
+	}
+	if len(results) != len(ops) {
+		t.Fatalf("got %d results for %d ops", len(results), len(ops))
+	}
+}
+
+// TestOversizedKeysFallBack documents the scratch-overflow path: keys whose
+// transformed form exceeds the stack scratch still work (they just pay a
+// heap allocation).
+func TestOversizedKeysFallBack(t *testing.T) {
+	s := New(PreprocessedIntegerOptions())
+	long := make([]byte, opScratchSize*3)
+	for i := range long {
+		long[i] = byte(i * 7)
+	}
+	s.Put(long, 99)
+	if v, ok := s.Get(long); !ok || v != 99 {
+		t.Fatalf("oversized key lost: %v %v", v, ok)
+	}
+	if !s.Delete(long) {
+		t.Fatal("oversized key not deleted")
+	}
+}
+
+func ExampleStore_GetBatchInto() {
+	s := New(DefaultOptions())
+	s.Put([]byte("a"), 1)
+	s.Put([]byte("b"), 2)
+	// Reusing the result buffer across batches keeps the lookup path free of
+	// heap allocations.
+	var results []Result
+	results = s.GetBatchInto(results, [][]byte{[]byte("a"), []byte("b"), []byte("c")})
+	for _, r := range results {
+		fmt.Println(r.Value, r.Ok)
+	}
+	// Output:
+	// 1 true
+	// 2 true
+	// 0 false
+}

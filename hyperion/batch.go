@@ -84,25 +84,22 @@ func (s *Store) ApplyBatch(ops []Op) []Result {
 	if len(ops) == 0 {
 		return nil
 	}
-	results := make([]Result, len(ops))
-	// Transform outside any lock (like the single-op paths do) so the
-	// per-key pre-processing allocation never extends a critical section.
-	tkey := func(i int) []byte { return ops[i].Key }
-	if s.opts.KeyPreprocessing {
-		tkeys := make([][]byte, len(ops))
-		for i := range ops {
-			tkeys[i] = s.transform(ops[i].Key)
-		}
-		tkey = func(i int) []byte { return tkeys[i] }
+	return s.ApplyBatchInto(nil, ops)
+}
+
+// ApplyBatchInto is ApplyBatch with a caller-provided result buffer: dst is
+// grown (or allocated) to len(ops) and returned. Callers that reuse dst
+// across batches keep the single-arena batch path at zero heap allocations
+// per batch; with several arenas the grouping index still allocates.
+func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
+	if len(ops) == 0 {
+		return dst[:0]
 	}
-	anyWrites := func(opIdx []int32) bool {
-		for _, i := range opIdx {
-			if ops[i].Kind.writes() {
-				return true
-			}
-		}
-		return false
-	}
+	results := resizeResults(dst, len(ops))
+	// Key pre-processing runs inside the shard critical section, one op at a
+	// time through a per-group stack scratch: a few extra ns under the lock
+	// buy zero per-op heap allocations (the PR 1 design transformed all keys
+	// up front into one slice per batch).
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
 		write := false
@@ -112,13 +109,14 @@ func (s *Store) ApplyBatch(ops []Op) []Result {
 				break
 			}
 		}
+		var scratch [opScratchSize]byte
 		if write {
 			sh.mu.Lock()
 		} else {
 			sh.mu.RLock()
 		}
 		for i, op := range ops {
-			results[i] = applyOp(sh.tree, op, tkey(i))
+			results[i] = applyOp(sh.tree, op, s.transformAppend(scratch[:0], op.Key))
 		}
 		if write {
 			sh.mu.Unlock()
@@ -127,17 +125,26 @@ func (s *Store) ApplyBatch(ops []Op) []Result {
 		}
 		return results
 	}
+	anyWrites := func(opIdx []int32) bool {
+		for _, i := range opIdx {
+			if ops[i].Kind.writes() {
+				return true
+			}
+		}
+		return false
+	}
 	g := s.groupByShard(len(ops), func(i int) int { return s.arenaIndex(ops[i].Key) })
 	s.runGroups(g, func(shardID int, opIdx []int32) {
 		sh := s.shards[shardID]
 		write := anyWrites(opIdx)
+		var scratch [opScratchSize]byte
 		if write {
 			sh.mu.Lock()
 		} else {
 			sh.mu.RLock()
 		}
 		for _, i := range opIdx {
-			results[i] = applyOp(sh.tree, ops[i], tkey(int(i)))
+			results[i] = applyOp(sh.tree, ops[i], s.transformAppend(scratch[:0], ops[i].Key))
 		}
 		if write {
 			sh.mu.Unlock()
@@ -151,39 +158,52 @@ func (s *Store) ApplyBatch(ops []Op) []Result {
 // GetBatch looks up every key and returns one Result per key, in input
 // order. Keys are grouped by arena, each arena read lock is acquired once,
 // and arena groups run concurrently like in ApplyBatch.
-func (s *Store) GetBatch(keys [][]byte) []Result {
-	if len(keys) == 0 {
+func (s *Store) GetBatch(lookups [][]byte) []Result {
+	if len(lookups) == 0 {
 		return nil
 	}
-	results := make([]Result, len(keys))
-	// As in ApplyBatch, pre-processing happens outside the locks.
-	tkey := func(i int) []byte { return keys[i] }
-	if s.opts.KeyPreprocessing {
-		tkeys := make([][]byte, len(keys))
-		for i := range keys {
-			tkeys[i] = s.transform(keys[i])
-		}
-		tkey = func(i int) []byte { return tkeys[i] }
+	return s.GetBatchInto(nil, lookups)
+}
+
+// GetBatchInto is GetBatch with a caller-provided result buffer: dst is
+// grown (or allocated) to len(lookups) and returned. With a reused dst and a
+// single arena the whole batch lookup performs no heap allocation.
+func (s *Store) GetBatchInto(dst []Result, lookups [][]byte) []Result {
+	if len(lookups) == 0 {
+		return dst[:0]
 	}
+	results := resizeResults(dst, len(lookups))
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
+		var scratch [opScratchSize]byte
 		sh.mu.RLock()
-		for i := range keys {
-			results[i].Value, results[i].Ok = sh.tree.Get(tkey(i))
+		for i := range lookups {
+			results[i].Value, results[i].Ok = sh.tree.Get(s.transformAppend(scratch[:0], lookups[i]))
 		}
 		sh.mu.RUnlock()
 		return results
 	}
-	g := s.groupByShard(len(keys), func(i int) int { return s.arenaIndex(keys[i]) })
+	g := s.groupByShard(len(lookups), func(i int) int { return s.arenaIndex(lookups[i]) })
 	s.runGroups(g, func(shardID int, opIdx []int32) {
 		sh := s.shards[shardID]
+		var scratch [opScratchSize]byte
 		sh.mu.RLock()
 		for _, i := range opIdx {
-			results[i].Value, results[i].Ok = sh.tree.Get(tkey(int(i)))
+			results[i].Value, results[i].Ok = sh.tree.Get(s.transformAppend(scratch[:0], lookups[i]))
 		}
 		sh.mu.RUnlock()
 	})
 	return results
+}
+
+// resizeResults returns dst resized to n entries, reusing its backing array
+// when the capacity suffices. Stale content is not cleared: every caller
+// assigns all n entries.
+func resizeResults(dst []Result, n int) []Result {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]Result, n)
 }
 
 // applyOp executes one operation against a shard tree. The caller holds the
@@ -277,12 +297,6 @@ func (s *Store) runGroups(g batchGroups, fn func(shardID int, opIdx []int32)) {
 	wg.Wait()
 }
 
-// kvPair is one key/value of a parallel scan; the key is a private copy.
-type kvPair struct {
-	key   []byte
-	value uint64
-}
-
 // parallelScanChunk bounds how many pairs a scanning worker buffers before
 // handing them to the consumer.
 const parallelScanChunk = 512
@@ -295,17 +309,20 @@ const parallelScanChunk = 512
 // only valid for the duration of the call; copy it if it must be retained.
 // Keys stored via PutKey are reported with value 0.
 //
-// Like Each, ParallelEach holds each arena's read lock while that arena is
-// scanned; it does not observe a single global snapshot across arenas.
+// Like Range, ParallelEach never holds a shard lock while fn runs or while a
+// chunk waits for the consumer: scanning workers snapshot chunks under the
+// shard read lock and release it before sending, resuming behind the last
+// snapshotted key. fn may therefore write to the store, and no atomic
+// snapshot is implied — see the Range contract.
 func (s *Store) ParallelEach(fn func(key []byte, value uint64) bool) {
 	nsh := len(s.shards)
 	if nsh == 1 || s.workers <= 1 {
 		s.Each(fn)
 		return
 	}
-	chans := make([]chan []kvPair, nsh)
+	chans := make([]chan *kvChunk, nsh)
 	for i := range chans {
-		chans[i] = make(chan []kvPair, 4)
+		chans[i] = make(chan *kvChunk, 4)
 	}
 	var stop atomic.Bool
 	var next atomic.Int64
@@ -328,11 +345,11 @@ func (s *Store) ParallelEach(fn func(key []byte, value uint64) bool) {
 		// Even after an early stop, every channel is drained so that no
 		// producer stays blocked on a full buffer.
 		for chunk := range chans[i] {
-			for _, kv := range chunk {
+			for j := 0; j < chunk.len(); j++ {
 				if stop.Load() {
 					break
 				}
-				if !fn(kv.key, kv.value) {
+				if !fn(chunk.key(j), chunk.value(j)) {
 					stop.Store(true)
 					break
 				}
@@ -341,31 +358,16 @@ func (s *Store) ParallelEach(fn func(key []byte, value uint64) bool) {
 	}
 }
 
-// scanShard streams one shard's pairs into out in chunks, aborting early
-// when stop is set, and closes out when done. Keys are copied (or
-// un-preprocessed, which copies) because the tree reuses its key buffer.
-func (s *Store) scanShard(i int, out chan<- []kvPair, stop *atomic.Bool) {
+// scanShard streams one shard's pairs into out in chunks (scanShardChunks in
+// scan.go: each chunk is snapshotted under the shard read lock and sent with
+// the lock released) and closes out when done. Chunks are freshly allocated
+// per send — they are in flight on the channel while the next one is built.
+func (s *Store) scanShard(i int, out chan<- *kvChunk, stop *atomic.Bool) {
 	defer close(out)
-	sh := s.shards[i]
-	sh.mu.RLock()
-	defer sh.mu.RUnlock()
-	buf := make([]kvPair, 0, parallelScanChunk)
-	sh.tree.Range(nil, func(k []byte, v uint64, _ bool) bool {
-		if stop.Load() {
-			return false
-		}
-		key := s.untransform(k)
-		if !s.opts.KeyPreprocessing {
-			key = append([]byte(nil), k...)
-		}
-		buf = append(buf, kvPair{key: key, value: v})
-		if len(buf) == parallelScanChunk {
-			out <- buf
-			buf = make([]kvPair, 0, parallelScanChunk)
-		}
-		return true
-	})
-	if len(buf) > 0 {
-		out <- buf
-	}
+	s.scanShardChunks(s.shards[i], nil, parallelScanChunk, stop.Load,
+		func() *kvChunk { return newKVChunk(parallelScanChunk) },
+		func(c *kvChunk) bool {
+			out <- c
+			return true
+		})
 }

@@ -1,0 +1,91 @@
+package hyperion
+
+// This file implements the chunked-snapshot shard scan shared by Range
+// (store.go) and ParallelEach (batch.go). The one invariant both iterators
+// rely on lives here, in a single place: a chunk of pairs is snapshotted
+// under the shard read lock, the lock is released BEFORE the chunk is handed
+// on (so user callbacks may write to the store without self-deadlocking),
+// and the scan resumes at the immediate lexicographic successor of the last
+// snapshotted key (its stored form plus one 0x00 byte), which can neither
+// skip nor repeat keys that are not mutated during the iteration.
+
+// kvChunk is one snapshot of up to chunkSize pairs. Keys are the raw
+// (un-preprocessed) bytes of all pairs concatenated into one flat buffer
+// addressed by offs, so a freshly built chunk costs four allocations (the
+// struct plus three buffers) instead of one per key — and zero when the
+// buffers are reused via reset.
+type kvChunk struct {
+	keys []byte
+	offs []int32 // pair i's key is keys[offs[i]:offs[i+1]]
+	vals []uint64
+}
+
+// newKVChunk allocates chunk buffers sized for n pairs of small keys.
+func newKVChunk(n int) *kvChunk {
+	c := &kvChunk{
+		keys: make([]byte, 0, n*8),
+		offs: make([]int32, 1, n+1),
+		vals: make([]uint64, 0, n),
+	}
+	return c
+}
+
+// reset empties the chunk, keeping its buffers.
+func (c *kvChunk) reset() {
+	c.keys = c.keys[:0]
+	c.offs = append(c.offs[:0], 0)
+	c.vals = c.vals[:0]
+}
+
+func (c *kvChunk) len() int { return len(c.vals) }
+
+// key returns pair i's key. The capacity is capped at the key's end so a
+// callback appending to the slice it receives reallocates instead of
+// overwriting the next pair's bytes in the shared flat buffer.
+func (c *kvChunk) key(i int) []byte { return c.keys[c.offs[i]:c.offs[i+1]:c.offs[i+1]] }
+
+func (c *kvChunk) value(i int) uint64 { return c.vals[i] }
+
+// scanShardChunks streams sh's stored pairs with keys >= tstart (stored-key
+// space) in chunks of up to chunkSize pairs. Every chunk is filled under the
+// shard read lock and passed to emit with the lock RELEASED; emit returning
+// false stops the scan. nextChunk supplies the chunk to fill: return a reset
+// chunk to reuse buffers (Range), or a fresh one when emit retains the chunk
+// beyond the call (ParallelEach's channel). abort, if non-nil, is polled
+// per pair and per chunk for cheap early termination from the outside.
+func (s *Store) scanShardChunks(sh *shard, tstart []byte, chunkSize int, abort func() bool, nextChunk func() *kvChunk, emit func(*kvChunk) bool) {
+	var resume []byte
+	resume = append(resume, tstart...)
+	for {
+		if abort != nil && abort() {
+			return
+		}
+		chunk := nextChunk()
+		full := false
+		sh.mu.RLock()
+		sh.tree.Range(resume, func(k []byte, v uint64, _ bool) bool {
+			if abort != nil && abort() {
+				return false
+			}
+			chunk.keys = s.untransformAppend(chunk.keys, k)
+			chunk.offs = append(chunk.offs, int32(len(chunk.keys)))
+			chunk.vals = append(chunk.vals, v)
+			if len(chunk.vals) == chunkSize {
+				// Remember the stored-form successor of this key before the
+				// lock is dropped.
+				resume = append(resume[:0], k...)
+				resume = append(resume, 0)
+				full = true
+				return false
+			}
+			return true
+		})
+		sh.mu.RUnlock()
+		if chunk.len() > 0 && !emit(chunk) {
+			return
+		}
+		if !full {
+			return
+		}
+	}
+}

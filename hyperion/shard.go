@@ -39,12 +39,31 @@ func (s *Store) shardFor(key []byte) *shard {
 	return s.shards[s.arenaIndex(key)]
 }
 
-// transform applies the optional key pre-processing to a raw key.
+// opScratchSize is the size of the fixed stack scratch the per-operation
+// paths pass to transformAppend. It covers the pre-processed form of keys up
+// to opScratchSize-1 raw bytes (pre-processing adds at most one byte); longer
+// keys transparently fall back to one heap allocation inside append.
+const opScratchSize = 128
+
+// transform applies the optional key pre-processing to a raw key. It
+// allocates when pre-processing is on; hot paths use transformAppend with a
+// stack scratch instead.
 func (s *Store) transform(key []byte) []byte {
 	if s.opts.KeyPreprocessing {
 		return keys.Preprocess(key)
 	}
 	return key
+}
+
+// transformAppend returns the stored form of key: key itself when
+// pre-processing is off, otherwise the pre-processed form appended to dst
+// (usually the empty head of a caller's stack scratch, making the transform
+// allocation-free for keys that fit).
+func (s *Store) transformAppend(dst, key []byte) []byte {
+	if !s.opts.KeyPreprocessing {
+		return key
+	}
+	return keys.PreprocessAppend(dst, key)
 }
 
 // untransform maps a stored key back to the raw key handed to callers.
@@ -53,6 +72,16 @@ func (s *Store) untransform(key []byte) []byte {
 		return keys.Unpreprocess(key)
 	}
 	return key
+}
+
+// untransformAppend is the append-style inverse of transformAppend. Unlike
+// it, the fallback also copies: iteration paths hand the result to user
+// callbacks, which must never alias the tree's internal key buffer.
+func (s *Store) untransformAppend(dst, key []byte) []byte {
+	if !s.opts.KeyPreprocessing {
+		return append(dst, key...)
+	}
+	return keys.UnpreprocessAppend(dst, key)
 }
 
 // NumArenas returns the number of independently locked arenas.

@@ -39,10 +39,14 @@ func New(opts Options) *Store {
 	return s
 }
 
-// Put stores key with value, overwriting any existing value.
+// Put stores key with value, overwriting any existing value. The key is
+// copied; the caller keeps ownership of the slice. With KeyPreprocessing the
+// transformed key is built in a fixed stack scratch, so steady-state Put
+// performs no heap allocation.
 func (s *Store) Put(key []byte, value uint64) {
 	sh := s.shardFor(key)
-	k := s.transform(key)
+	var scratch [opScratchSize]byte
+	k := s.transformAppend(scratch[:0], key)
 	sh.mu.Lock()
 	sh.tree.Put(k, value)
 	sh.mu.Unlock()
@@ -51,17 +55,21 @@ func (s *Store) Put(key []byte, value uint64) {
 // PutKey stores key without a value (set semantics).
 func (s *Store) PutKey(key []byte) {
 	sh := s.shardFor(key)
-	k := s.transform(key)
+	var scratch [opScratchSize]byte
+	k := s.transformAppend(scratch[:0], key)
 	sh.mu.Lock()
 	sh.tree.PutKey(k)
 	sh.mu.Unlock()
 }
 
 // Get returns the value stored for key; ok is false if the key is absent or
-// has no value attached.
+// has no value attached. Get performs no heap allocation for keys whose
+// transformed form fits the stack scratch (raw keys under opScratchSize-1
+// bytes); longer keys pay one allocation.
 func (s *Store) Get(key []byte) (value uint64, ok bool) {
 	sh := s.shardFor(key)
-	k := s.transform(key)
+	var scratch [opScratchSize]byte
+	k := s.transformAppend(scratch[:0], key)
 	sh.mu.RLock()
 	value, ok = sh.tree.Get(k)
 	sh.mu.RUnlock()
@@ -71,7 +79,8 @@ func (s *Store) Get(key []byte) (value uint64, ok bool) {
 // Has reports whether key is stored (with or without a value).
 func (s *Store) Has(key []byte) bool {
 	sh := s.shardFor(key)
-	k := s.transform(key)
+	var scratch [opScratchSize]byte
+	k := s.transformAppend(scratch[:0], key)
 	sh.mu.RLock()
 	ok := sh.tree.Has(k)
 	sh.mu.RUnlock()
@@ -81,7 +90,8 @@ func (s *Store) Has(key []byte) bool {
 // Delete removes key and reports whether it was present.
 func (s *Store) Delete(key []byte) bool {
 	sh := s.shardFor(key)
-	k := s.transform(key)
+	var scratch [opScratchSize]byte
+	k := s.transformAppend(scratch[:0], key)
 	sh.mu.Lock()
 	ok := sh.tree.Delete(k)
 	sh.mu.Unlock()
@@ -99,26 +109,47 @@ func (s *Store) Len() int {
 	return int(total)
 }
 
+// rangeChunkSize bounds how many pairs Range copies out of a shard per lock
+// acquisition.
+const rangeChunkSize = 256
+
 // Range calls fn for every stored key greater than or equal to start, in
 // lexicographic order, until fn returns false. The key slice passed to fn is
 // only valid for the duration of the call; copy it if it must be retained.
 // Keys stored via PutKey are reported with value 0.
+//
+// REENTRANCY: fn may call any method of the same store, including writes.
+// Range does not hold a shard lock while fn runs: it snapshots chunks of
+// rangeChunkSize pairs under the shard read lock, releases the lock, invokes
+// fn for the snapshotted pairs, and resumes the scan behind the last
+// delivered key (scanShardChunks in scan.go). The flip side is that Range
+// does not observe an atomic snapshot — keys inserted or deleted while an
+// iteration is in progress (by fn itself or by other goroutines) may or may
+// not be reported, but keys untouched during the iteration are reported
+// exactly once.
 func (s *Store) Range(start []byte, fn func(key []byte, value uint64) bool) {
+	// One chunk's buffers are reused across all chunks and shards, so a
+	// Range over n keys costs O(1) allocations, not O(n); the chunk's flat
+	// key buffer doubles as the untransform buffer shared by all callback
+	// invocations (its content is only valid during the call, per contract).
+	var chunk kvChunk
 	tstart := s.transform(start)
 	stopped := false
 	for _, sh := range s.shards {
 		if stopped {
 			return
 		}
-		sh.mu.RLock()
-		sh.tree.Range(tstart, func(k []byte, v uint64, _ bool) bool {
-			if !fn(s.untransform(k), v) {
-				stopped = true
-				return false
-			}
-			return true
-		})
-		sh.mu.RUnlock()
+		s.scanShardChunks(sh, tstart, rangeChunkSize, nil,
+			func() *kvChunk { chunk.reset(); return &chunk },
+			func(c *kvChunk) bool {
+				for i := 0; i < c.len(); i++ {
+					if !fn(c.key(i), c.value(i)) {
+						stopped = true
+						return false
+					}
+				}
+				return true
+			})
 	}
 }
 

@@ -36,6 +36,10 @@ type Config struct {
 	// ConcArenas and ConcWorkers span its grid (zero values pick defaults).
 	ConcArenas  []int
 	ConcWorkers []int
+	// LatKeys is the index size of the latency experiment; LatOps the number
+	// of individually timed operations per structure and op kind.
+	LatKeys int
+	LatOps  int
 }
 
 // SmallConfig finishes in well under a minute and is used by the `go test`
@@ -52,6 +56,8 @@ func SmallConfig() Config {
 		ConcBatch:    512,
 		ConcArenas:   []int{1, 8},
 		ConcWorkers:  []int{1, 4},
+		LatKeys:      100_000,
+		LatOps:       20_000,
 	}
 }
 
@@ -68,6 +74,8 @@ func MediumConfig() Config {
 		ConcBatch:    1024,
 		ConcArenas:   []int{1, 4, 8, 16},
 		ConcWorkers:  []int{1, 2, 4, 8},
+		LatKeys:      1_000_000,
+		LatOps:       200_000,
 	}
 }
 
@@ -84,6 +92,8 @@ func LargeConfig() Config {
 		ConcBatch:    2048,
 		ConcArenas:   []int{1, 8, 16, 64, 256},
 		ConcWorkers:  []int{1, 2, 4, 8, 16},
+		LatKeys:      4_000_000,
+		LatOps:       500_000,
 	}
 }
 

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// This file implements the per-operation latency experiment: instead of the
+// aggregate throughput the paper reports (§4), it times individual Put and
+// Get calls, reports latency percentiles (p50/p90/p99/max) and — the
+// regression target of the zero-allocation hot-path work — the number of
+// heap allocations and bytes per operation, for every registered structure.
+// The JSON output (BENCH_latency.json) gives successive PRs a per-op
+// trajectory to regress-check against: a structure whose allocs/op regresses
+// from 0 shows up immediately, long before it costs visible throughput.
+
+// LatencyRow is the latency/allocation profile of one structure × operation.
+type LatencyRow struct {
+	Structure string `json:"structure"`
+	Op        string `json:"op"`   // "put" (steady-state overwrite) or "get"
+	Keys      int    `json:"keys"` // index size while sampling
+	Ops       int    `json:"ops"`  // timed operations
+	// Latency percentiles over the individually timed operations, in
+	// nanoseconds, with the measured clock overhead subtracted.
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P90Ns  float64 `json:"p90_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+	MaxNs  float64 `json:"max_ns"`
+	// Heap allocation profile over the whole timed loop.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// LatencyResult is the full latency experiment.
+type LatencyResult struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Keys  int    `json:"keys"`
+	Ops   int    `json:"ops"`
+	// ClockOverheadNs is the per-sample timer cost subtracted from every
+	// latency sample (two monotonic clock readings).
+	ClockOverheadNs float64      `json:"clock_overhead_ns"`
+	Rows            []LatencyRow `json:"rows"`
+}
+
+// latencyDefaults fills the zero-valued latency knobs of cfg.
+func latencyDefaults(cfg Config) Config {
+	if cfg.LatKeys <= 0 {
+		cfg.LatKeys = 200_000
+	}
+	if cfg.LatOps <= 0 {
+		cfg.LatOps = 50_000
+	}
+	return cfg
+}
+
+// clockOverheadNs estimates the cost of one empty time.Now/time.Since pair,
+// the fixed instrumentation cost baked into every individually timed
+// operation.
+func clockOverheadNs() float64 {
+	const probes = 50_000
+	samples := make([]int64, probes)
+	for i := range samples {
+		start := time.Now()
+		samples[i] = time.Since(start).Nanoseconds()
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	return float64(samples[probes/2])
+}
+
+// percentile returns the p-quantile (0..1) of the ascending-sorted samples.
+func percentile(sorted []int64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return float64(sorted[i])
+}
+
+// timeOps runs fn(i) for i in [0, ops), timing every call individually, and
+// builds the latency row from the samples. The allocation figures come from
+// the runtime's cumulative malloc counters around the whole loop, so they
+// include every allocation fn performs, not just surviving objects.
+func timeOps(structure, op string, keys, ops int, clockNs float64, fn func(i int)) LatencyRow {
+	samples := make([]int64, ops)
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
+	var total int64
+	for i := 0; i < ops; i++ {
+		start := time.Now()
+		fn(i)
+		d := time.Since(start).Nanoseconds()
+		samples[i] = d
+		total += d
+	}
+	runtime.ReadMemStats(&msAfter)
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	sub := func(ns float64) float64 { return max(ns-clockNs, 0) }
+	return LatencyRow{
+		Structure:   structure,
+		Op:          op,
+		Keys:        keys,
+		Ops:         ops,
+		MeanNs:      sub(float64(total) / float64(ops)),
+		P50Ns:       sub(percentile(samples, 0.50)),
+		P90Ns:       sub(percentile(samples, 0.90)),
+		P99Ns:       sub(percentile(samples, 0.99)),
+		MaxNs:       sub(float64(samples[ops-1])),
+		AllocsPerOp: float64(msAfter.Mallocs-msBefore.Mallocs) / float64(ops),
+		BytesPerOp:  float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(ops),
+	}
+}
+
+// RunLatency measures per-op latency percentiles and allocs/op for every
+// registered structure on the randomized integer data set. Puts are measured
+// in steady state (overwriting keys that are already present), matching the
+// zero-allocation contract of the hot paths; gets hit existing keys in a
+// shuffled order.
+func RunLatency(cfg Config) LatencyResult {
+	cfg = latencyDefaults(cfg)
+	n, ops := cfg.LatKeys, cfg.LatOps
+	ds := workload.RandomIntegers(n, cfg.Seed)
+	probe := ds.Shuffled(cfg.Seed + 3)
+
+	res := LatencyResult{
+		ID:              "latency",
+		Title:           fmt.Sprintf("Latency: per-op percentiles and allocs/op (%d random integer keys, %d timed ops)", n, ops),
+		Keys:            n,
+		Ops:             ops,
+		ClockOverheadNs: clockOverheadNs(),
+	}
+	for _, f := range integerFactories(true) {
+		if !cfg.wants(f.Name) {
+			continue
+		}
+		kv := f.New()
+		for i := 0; i < ds.Len(); i++ {
+			kv.Put(ds.Key(i), ds.Value(i))
+		}
+		res.Rows = append(res.Rows,
+			timeOps(f.Name, "get", n, ops, res.ClockOverheadNs, func(i int) {
+				kv.Get(probe.Key(i % n))
+			}),
+			timeOps(f.Name, "put", n, ops, res.ClockOverheadNs, func(i int) {
+				kv.Put(probe.Key(i%n), uint64(i))
+			}),
+		)
+	}
+	return res
+}

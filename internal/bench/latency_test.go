@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunLatency(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.LatKeys = 20000
+	cfg.LatOps = 2000
+	cfg.Structures = map[string]bool{"Hyperion": true, "Hyperion_p": true, "Hash": true}
+	res := RunLatency(cfg)
+	if want := 3 * 2; len(res.Rows) != want {
+		t.Fatalf("expected %d rows (3 structures x get/put), got %d", want, len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Ops != cfg.LatOps || r.Keys != cfg.LatKeys {
+			t.Fatalf("row %s/%s has wrong dimensions: %+v", r.Structure, r.Op, r)
+		}
+		if r.P50Ns < 0 || r.P90Ns < r.P50Ns || r.P99Ns < r.P90Ns || r.MaxNs < r.P99Ns {
+			t.Fatalf("row %s/%s has non-monotonic percentiles: %+v", r.Structure, r.Op, r)
+		}
+		if r.MaxNs <= 0 {
+			t.Fatalf("row %s/%s measured nothing: %+v", r.Structure, r.Op, r)
+		}
+		if r.AllocsPerOp < 0 {
+			t.Fatalf("row %s/%s has negative allocs/op: %+v", r.Structure, r.Op, r)
+		}
+	}
+	// The regression target of the zero-allocation work: Hyperion's Get must
+	// not allocate, with or without key pre-processing. (Puts overwrite
+	// existing keys, but background GC assists make a hard 0.0 assertion on
+	// the malloc counters flaky; the AllocsPerRun tests in package hyperion
+	// pin puts exactly.)
+	for _, r := range res.Rows {
+		if (r.Structure == "Hyperion" || r.Structure == "Hyperion_p") && r.Op == "get" && r.AllocsPerOp > 0.01 {
+			t.Fatalf("%s get allocates %.3f allocs/op, want 0", r.Structure, r.AllocsPerOp)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteLatency(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"p50 ns", "p99 ns", "allocs/op", "Hyperion_p"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered latency table misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunLatencyDefaultsFilled(t *testing.T) {
+	cfg := latencyDefaults(Config{})
+	if cfg.LatKeys <= 0 || cfg.LatOps <= 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestLatencyJSONRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.LatKeys = 5000
+	cfg.LatOps = 500
+	cfg.Structures = map[string]bool{"Hyperion_p": true}
+	res := RunLatency(cfg)
+	dir := t.TempDir()
+	path, err := WriteJSONFile(dir, res.ID, cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(path, "BENCH_latency.json") {
+		t.Fatalf("unexpected path %q", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Experiment string `json:"experiment"`
+		Result     struct {
+			Keys int `json:"keys"`
+			Rows []struct {
+				Structure   string  `json:"structure"`
+				Op          string  `json:"op"`
+				P50Ns       float64 `json:"p50_ns"`
+				P99Ns       float64 `json:"p99_ns"`
+				AllocsPerOp float64 `json:"allocs_per_op"`
+			} `json:"rows"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if env.Experiment != "latency" || env.Result.Keys != cfg.LatKeys {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	if len(env.Result.Rows) != 2 || env.Result.Rows[0].Structure != "Hyperion_p" {
+		t.Fatalf("bad rows: %+v", env.Result.Rows)
+	}
+}

@@ -133,6 +133,22 @@ func WriteConcurrency(w io.Writer, c ConcurrencyResult) {
 	fmt.Fprintf(w, "  (batch× = batched ops/s over the sequential workers=1 single-op loop, same arenas)\n")
 }
 
+// WriteLatency renders the per-op latency/allocation profiles. Reading the
+// output: p50 is the steady-state cost of one operation, p99/max expose tail
+// work (container growth, rehashing, GC assists), and allocs/op is the
+// hot-path memory-discipline regression signal — 0.0 for Hyperion's Get and
+// (steady-state) Put, including the Hyperion_p pre-processing variant.
+func WriteLatency(w io.Writer, l LatencyResult) {
+	fmt.Fprintf(w, "\n%s\n", l.Title)
+	fmt.Fprintf(w, "  (clock overhead of %.0f ns per sample already subtracted)\n", l.ClockOverheadNs)
+	fmt.Fprintf(w, "  %-12s %-4s %10s %10s %10s %10s %12s %12s %12s\n",
+		"Structure", "op", "mean ns", "p50 ns", "p90 ns", "p99 ns", "max ns", "allocs/op", "B/op")
+	for _, r := range l.Rows {
+		fmt.Fprintf(w, "  %-12s %-4s %10.0f %10.0f %10.0f %10.0f %12.0f %12.2f %12.1f\n",
+			r.Structure, r.Op, r.MeanNs, r.P50Ns, r.P90Ns, r.P99Ns, r.MaxNs, r.AllocsPerOp, r.BytesPerOp)
+	}
+}
+
 // WriteAblation renders the feature-ablation study.
 func WriteAblation(w io.Writer, a AblationResult) {
 	fmt.Fprintf(w, "\n%s (data set: %s)\n", a.Title, a.Dataset)

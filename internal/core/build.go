@@ -28,6 +28,24 @@ func appendValueBytes(enc []byte, value uint64) []byte {
 	return append(enc, v[:]...)
 }
 
+// appendSingleChild appends the child data holding the single continuing
+// suffix rest (non-empty) below the S-Node at hdrIdx — a PC node when it
+// fits, otherwise a reference to a freshly created child container — and
+// sets the S-Node's child kind. The node's key-ending type is left alone.
+func (t *Tree) appendSingleChild(enc []byte, hdrIdx int, rest []byte, value uint64, hasValue bool) []byte {
+	if t.cfg.PathCompression && len(rest) <= pcMaxSuffix {
+		setSChildKind(enc[hdrIdx:], 0, childPC)
+		t.stats.PathCompressed++
+		t.stats.PathCompressedLen += int64(len(rest))
+		return appendPC(enc, rest, value, hasValue)
+	}
+	hp := t.freshFillContainer(rest, value, hasValue)
+	setSChildKind(enc[hdrIdx:], 0, childHP)
+	var hpb [hpSize]byte
+	memman.PutHP(hpb[:], hp)
+	return append(enc, hpb[:]...)
+}
+
 // appendLeafTail appends the encoding of everything below an S-Node for the
 // remaining key bytes rest: nothing (key ends at the S-Node), a PC node, or a
 // reference to a freshly created child container. It fixes up the S-Node
@@ -42,18 +60,7 @@ func (t *Tree) appendLeafTail(enc []byte, hdrIdx int, rest []byte, value uint64,
 		return enc
 	}
 	setNodeType(enc[hdrIdx:], 0, typeInner)
-	if t.cfg.PathCompression && len(rest) <= pcMaxSuffix {
-		setSChildKind(enc[hdrIdx:], 0, childPC)
-		t.stats.PathCompressed++
-		t.stats.PathCompressedLen += int64(len(rest))
-		return appendPC(enc, rest, value, hasValue)
-	}
-	// Too long for a PC node: the remainder goes into its own container.
-	hp := t.freshFillContainer(rest, value, hasValue)
-	setSChildKind(enc[hdrIdx:], 0, childHP)
-	var hpb [hpSize]byte
-	memman.PutHP(hpb[:], hp)
-	return append(enc, hpb[:]...)
+	return t.appendSingleChild(enc, hdrIdx, rest, value, hasValue)
 }
 
 // freshSubtree encodes a new T-Node (and, for keys longer than one byte, its
@@ -61,7 +68,11 @@ func (t *Tree) appendLeafTail(enc []byte, hdrIdx int, rest []byte, value uint64,
 // is the key of the sibling T-Node that will precede the new node (-1 if
 // none), used for delta encoding.
 func (t *Tree) freshSubtree(key []byte, value uint64, hasValue bool, prevTKey int) []byte {
-	enc := make([]byte, 0, 16+len(key))
+	return t.appendFreshSubtree(make([]byte, 0, 16+len(key)), key, value, hasValue, prevTKey)
+}
+
+// appendFreshSubtree is freshSubtree appending to a caller-provided slice.
+func (t *Tree) appendFreshSubtree(enc []byte, key []byte, value uint64, hasValue bool, prevTKey int) []byte {
 	var tIdx int
 	enc, tIdx = t.appendNodeHead(enc, typeInner, false, key[0], prevTKey)
 	if len(key) == 1 {
@@ -91,12 +102,89 @@ func (t *Tree) freshSNode(skey []byte, value uint64, hasValue bool, prevSKey int
 // the key `key` (relative to the new container's key space) and returns its
 // HP. The key counter is not touched; callers account for new keys.
 func (t *Tree) freshFillContainer(key []byte, value uint64, hasValue bool) memman.HP {
-	enc := t.freshSubtree(key, value, hasValue, -1)
-	need := containerHeaderSize + len(enc)
+	return t.containerFromContent(t.freshSubtree(key, value, hasValue, -1))
+}
+
+// containerFromContent allocates a standalone container holding the given
+// node stream.
+func (t *Tree) containerFromContent(content []byte) memman.HP {
+	need := containerHeaderSize + len(content)
 	size := roundUp32(need)
 	hp, buf := t.alloc.Alloc(size)
-	initContainer(buf, size, len(enc))
-	copy(buf[containerHeaderSize:], enc)
+	initContainer(buf, size, len(content))
+	copy(buf[containerHeaderSize:], content)
 	t.stats.Containers++
 	return hp
+}
+
+// twoKeyStreamContent encodes a node stream holding exactly the two distinct
+// keys a < b (lexicographic, relative to the stream's key space) with their
+// values. It reproduces the structure the put machinery builds when a path-
+// compressed suffix diverges — two sibling paths from the shared prefix,
+// nested children embedded when they fit — but WITHOUT re-entering the put
+// path: putAtPC previously called putIntoHP here, and that made the whole
+// put call graph one mutually recursive SCC, which Go's escape analysis
+// treats conservatively (every put key escaped, costing one heap allocation
+// per Put). Key counters are not touched; the caller accounts for the new
+// key.
+func (t *Tree) twoKeyStreamContent(a []byte, aVal uint64, aHas bool, b []byte, bVal uint64, bHas bool) []byte {
+	enc := make([]byte, 0, 32+len(a)+len(b))
+	if a[0] != b[0] {
+		// The keys diverge at the T level: two sibling T subtrees.
+		enc = t.appendFreshSubtree(enc, a, aVal, aHas, -1)
+		return t.appendFreshSubtree(enc, b, bVal, bHas, int(a[0]))
+	}
+	if len(a) == 1 {
+		// a ends at the shared T-Node; b continues below it (len(b) >= 2
+		// because a < b shares the first byte).
+		var tIdx int
+		enc, tIdx = t.appendNodeHead(enc, typeInner, false, a[0], -1)
+		if aHas {
+			setNodeType(enc[tIdx:], 0, typeKeyVal)
+			enc = appendValueBytes(enc, aVal)
+		} else {
+			setNodeType(enc[tIdx:], 0, typeKey)
+		}
+		var sIdx int
+		enc, sIdx = t.appendNodeHead(enc, typeInner, true, b[1], -1)
+		return t.appendLeafTail(enc, sIdx, b[2:], bVal, bHas)
+	}
+	enc, _ = t.appendNodeHead(enc, typeInner, false, a[0], -1)
+	if a[1] != b[1] {
+		// Divergence at the S level: two sibling S subtrees.
+		var sIdx int
+		enc, sIdx = t.appendNodeHead(enc, typeInner, true, a[1], -1)
+		enc = t.appendLeafTail(enc, sIdx, a[2:], aVal, aHas)
+		enc, sIdx = t.appendNodeHead(enc, typeInner, true, b[1], int(a[1]))
+		return t.appendLeafTail(enc, sIdx, b[2:], bVal, bHas)
+	}
+	// The keys share the full 16 bits of this level.
+	var sIdx int
+	enc, sIdx = t.appendNodeHead(enc, typeInner, true, a[1], -1)
+	if len(a) == 2 {
+		// a ends at the shared S-Node; b continues below it.
+		if aHas {
+			setNodeType(enc[sIdx:], 0, typeKeyVal)
+			enc = appendValueBytes(enc, aVal)
+		} else {
+			setNodeType(enc[sIdx:], 0, typeKey)
+		}
+		return t.appendSingleChild(enc, sIdx, b[2:], bVal, bHas)
+	}
+	// Both keys continue below the shared S-Node: recurse on the suffix
+	// pair, embedding the child when it fits (fresh streams carry no jump
+	// metadata, so embeddability is purely a size question).
+	setNodeType(enc[sIdx:], 0, typeInner)
+	child := t.twoKeyStreamContent(a[2:], aVal, aHas, b[2:], bVal, bHas)
+	if t.cfg.Embedded && len(child)+1 <= embMaxSize {
+		setSChildKind(enc[sIdx:], 0, childEmbedded)
+		t.stats.EmbeddedContainers++
+		enc = append(enc, byte(len(child)+1))
+		return append(enc, child...)
+	}
+	hp := t.containerFromContent(child)
+	setSChildKind(enc[sIdx:], 0, childHP)
+	var hpb [hpSize]byte
+	memman.PutHP(hpb[:], hp)
+	return append(enc, hpb[:]...)
 }

@@ -22,7 +22,7 @@ func (t *Tree) Delete(key []byte) bool {
 	if t.rootHP.IsNil() {
 		return false
 	}
-	found, removed := t.deleteFromHP(t.rootHP, key, func(hp memman.HP) { t.rootHP = hp })
+	found, removed := t.deleteFromSlot(t.rootSlot(key[0]), key)
 	if found {
 		t.stats.Keys--
 		if removed {
@@ -32,47 +32,44 @@ func (t *Tree) Delete(key []byte) bool {
 	return found
 }
 
-// deleteFromHP deletes key from the container (tree) behind hp. removed
+// deleteFromSlot deletes key from the container (tree) behind slot. removed
 // reports that the whole container is gone and the parent must drop its
-// reference.
-func (t *Tree) deleteFromHP(hp memman.HP, key []byte, writeback func(memman.HP)) (found, removed bool) {
-	if t.alloc.IsChained(hp) {
-		_, idx := t.alloc.ResolveChained(hp, key[0])
-		slot := &containerSlot{chain: hp, chainIdx: idx}
-		e := newEditCtx(t, slot, slot.resolve(t))
-		found, empty := t.deleteInStream(e, key)
-		if found && empty {
-			// Keep the slot resolvable (lower key ranges fall back onto it)
-			// but reset it to an empty container. The chain is released only
-			// once every populated slot is empty.
-			t.writeChainSlot(hp, idx, nil)
-			removed = true
-			for s := 0; s < memman.ChainLen; s++ {
-				if b := t.alloc.ChainedSlot(hp, s); b != nil && ctrContentEnd(b) > ctrStreamStart(b) {
-					removed = false
-					break
-				}
-			}
-			if removed {
-				for s := 0; s < memman.ChainLen; s++ {
-					if t.alloc.ChainedSlot(hp, s) != nil {
-						t.stats.Containers--
-					}
-				}
-				t.alloc.FreeChained(hp)
+// reference. The slot is taken by value: like the put path, the delete
+// descent keeps its per-container state on the stack.
+func (t *Tree) deleteFromSlot(slot containerSlot, key []byte) (found, removed bool) {
+	var e editCtx
+	e.init(t, slot, slot.resolve(t))
+	found, empty := t.deleteInStream(&e, key)
+	if !found || !empty {
+		return found, false
+	}
+	// e.slot, not slot: the edit may have moved the container.
+	if e.slot.isChained() {
+		// Keep the slot resolvable (lower key ranges fall back onto it)
+		// but reset it to an empty container. The chain is released only
+		// once every populated slot is empty.
+		hp := e.slot.chain
+		t.writeChainSlot(hp, e.slot.chainIdx, nil)
+		removed = true
+		for s := 0; s < memman.ChainLen; s++ {
+			if b := t.alloc.ChainedSlot(hp, s); b != nil && ctrContentEnd(b) > ctrStreamStart(b) {
+				removed = false
+				break
 			}
 		}
-		return found, removed
+		if removed {
+			for s := 0; s < memman.ChainLen; s++ {
+				if t.alloc.ChainedSlot(hp, s) != nil {
+					t.stats.Containers--
+				}
+			}
+			t.alloc.FreeChained(hp)
+		}
+		return true, removed
 	}
-	slot := &containerSlot{hp: hp, writeback: writeback}
-	e := newEditCtx(t, slot, slot.resolve(t))
-	found, empty := t.deleteInStream(e, key)
-	if found && empty {
-		t.alloc.Free(slot.hp)
-		t.stats.Containers--
-		return true, true
-	}
-	return found, false
+	t.alloc.Free(e.slot.hp)
+	t.stats.Containers--
+	return true, true
 }
 
 // deleteInStream removes key from the node stream the edit context points at.
@@ -146,8 +143,7 @@ func (t *Tree) deleteInStream(e *editCtx, key []byte) (found, empty bool) {
 
 	case childHP:
 		hp := memman.GetHP(buf[childOff:])
-		parent := buf
-		f, removed := t.deleteFromHP(hp, rest, func(n memman.HP) { memman.PutHP(parent[childOff:], n) })
+		f, removed := t.deleteFromSlot(t.childSlot(buf, childOff, hp, rest[0]), rest)
 		if !f {
 			return false, false
 		}
@@ -159,9 +155,9 @@ func (t *Tree) deleteInStream(e *editCtx, key []byte) (found, empty bool) {
 		return true, false
 
 	case childEmbedded:
-		e.embStack = append(e.embStack, embInfo{sNodePos: sPos, sizePos: childOff})
+		e.pushEmb(embInfo{sNodePos: sPos, sizePos: childOff})
 		f, childEmpty := t.deleteInStream(e, rest)
-		e.embStack = e.embStack[:len(e.embStack)-1]
+		e.truncEmb(e.embLen - 1)
 		if !f {
 			return false, false
 		}

@@ -10,14 +10,41 @@ import (
 // wherever the parent stored it: the tree root field, an HP inside the parent
 // container's byte stream, or nowhere for chained split containers (their HP
 // never changes, only the chain slot's buffer).
+//
+// The write-back target is encoded as plain fields rather than a closure so
+// that slots can live on the stack: the descent loops of Put and Delete
+// create one slot per visited container, and a closure per level would put
+// two heap allocations on the per-operation hot path.
 type containerSlot struct {
-	hp        memman.HP
-	chain     memman.HP // chain head; when set, hp is unused
-	chainIdx  int
-	writeback func(memman.HP)
+	hp       memman.HP
+	chain    memman.HP // chain head; when set, hp is unused
+	chainIdx int
+	// Write-back target for a moved HP; at most one of root/parent/out is
+	// set. All nil means no parent references the HP yet.
+	root      *Tree  // new HP goes to root.rootHP
+	parent    []byte // new HP is serialised at parent[parentOff:]
+	parentOff int
+	out       *memman.HP // new HP goes to *out (temporary containers)
 }
 
 func (s *containerSlot) isChained() bool { return !s.chain.IsNil() }
+
+// valid reports whether the slot references a container at all. The zero
+// containerSlot is the "no descent" sentinel of the put machinery.
+func (s *containerSlot) valid() bool { return !s.hp.IsNil() || !s.chain.IsNil() }
+
+// writeback records hp at the slot's write-back target (a no-op for slots
+// nobody references).
+func (s *containerSlot) writeback(hp memman.HP) {
+	switch {
+	case s.root != nil:
+		s.root.rootHP = hp
+	case s.parent != nil:
+		memman.PutHP(s.parent[s.parentOff:], hp)
+	case s.out != nil:
+		*s.out = hp
+	}
+}
 
 func (s *containerSlot) resolve(t *Tree) []byte {
 	if s.isChained() {
@@ -42,9 +69,7 @@ func (s *containerSlot) grow(t *Tree, newSize int) []byte {
 	newHP, buf := t.alloc.Realloc(s.hp, newSize)
 	if newHP != s.hp {
 		s.hp = newHP
-		if s.writeback != nil {
-			s.writeback(newHP)
-		}
+		s.writeback(newHP)
 	}
 	return buf
 }
@@ -56,34 +81,78 @@ type embInfo struct {
 	sizePos  int
 }
 
+// embStackDepth is the embedded-container nesting depth an editCtx tracks in
+// its inline array. Embedded containers are at most embMaxSize (255) bytes
+// and every nesting level costs a handful of bytes, so real nesting rarely
+// exceeds a few levels; deeper stacks spill into a heap-grown slice.
+const embStackDepth = 8
+
 // editCtx carries the state needed to modify one top-level container,
 // including the stack of embedded containers the operation descended into and
 // the enclosing top-level T-Node whose jump metadata must be kept consistent.
+// An editCtx is reused via init and designed to stay on the caller's stack:
+// it must never be retained beyond the edit.
+//
+// Layout note: the slot is held BY VALUE and the embedded stack lives in an
+// inline array. Go's escape analysis treats a pointer stored through another
+// pointer parameter as escaping, so an editCtx holding *containerSlot or a
+// slice of a caller's array would drag both onto the heap — exactly the
+// per-operation allocations this design removes. Callers that need the
+// slot's post-edit state (a grown container's moved HP) read e.slot back
+// after the edit.
 type editCtx struct {
 	t    *Tree
-	slot *containerSlot
+	slot containerSlot
 	buf  []byte
-	// embStack lists the embedded containers enclosing the current edit
-	// position, outermost first.
-	embStack []embInfo
 	// topT is the position of the enclosing T-Node in the top-level stream
 	// (-1 if the edit happens at T-Node level itself). Only top-level
 	// T-Nodes carry jump successors and jump tables.
 	topT int
+	// The embedded containers enclosing the current edit position, outermost
+	// first: entries [0, embLen), in embArr below embStackDepth and in
+	// embSpill beyond. Entries are immutable once pushed.
+	embLen   int
+	embArr   [embStackDepth]embInfo
+	embSpill []embInfo
 }
 
-func newEditCtx(t *Tree, slot *containerSlot, buf []byte) *editCtx {
-	return &editCtx{t: t, slot: slot, buf: buf, topT: -1}
+// init (re)binds the edit context to a container. The embedded stack is
+// reset; embSpill's backing array (if any) is kept for reuse.
+func (e *editCtx) init(t *Tree, slot containerSlot, buf []byte) {
+	e.t, e.slot, e.buf = t, slot, buf
+	e.embLen = 0
+	e.topT = -1
 }
 
-func (e *editCtx) inEmbedded() bool { return len(e.embStack) > 0 }
+func (e *editCtx) inEmbedded() bool { return e.embLen > 0 }
+
+// embAt returns the i-th enclosing embedded container (outermost first).
+func (e *editCtx) embAt(i int) embInfo {
+	if i < embStackDepth {
+		return e.embArr[i]
+	}
+	return e.embSpill[i-embStackDepth]
+}
+
+// pushEmb records descending into one more embedded container.
+func (e *editCtx) pushEmb(info embInfo) {
+	if e.embLen < embStackDepth {
+		e.embArr[e.embLen] = info
+	} else {
+		e.embSpill = append(e.embSpill[:e.embLen-embStackDepth], info)
+	}
+	e.embLen++
+}
+
+// truncEmb drops every embedded container at depth n and beyond.
+func (e *editCtx) truncEmb(n int) { e.embLen = n }
 
 // streamRegion returns the node-stream region the edit currently operates on.
 func (e *editCtx) streamRegion() region {
-	if len(e.embStack) == 0 {
+	if e.embLen == 0 {
 		return topRegion(e.buf)
 	}
-	return embRegion(e.buf, e.embStack[len(e.embStack)-1].sizePos)
+	return embRegion(e.buf, e.embAt(e.embLen-1).sizePos)
 }
 
 func roundUp32(n int) int { return (n + 31) &^ 31 }
@@ -120,11 +189,11 @@ func (e *editCtx) makeRoom(n int) {
 	setCtrFree(buf, newSize-content)
 }
 
-// wouldOverflowEmbedded returns the index (into embStack) of the outermost
-// embedded container that cannot absorb n more bytes, or -1 if all fit.
+// wouldOverflowEmbedded returns the depth of the outermost embedded
+// container that cannot absorb n more bytes, or -1 if all fit.
 func (e *editCtx) wouldOverflowEmbedded(n int) int {
-	for i, emb := range e.embStack {
-		if embSize(e.buf, emb.sizePos)+n > embMaxSize {
+	for i := 0; i < e.embLen; i++ {
+		if embSize(e.buf, e.embAt(i).sizePos)+n > embMaxSize {
 			return i
 		}
 	}
@@ -148,8 +217,8 @@ func (e *editCtx) insertBytes(p int, data []byte) {
 	copy(buf[p+n:end+n], buf[p:end])
 	copy(buf[p:p+n], data)
 	setCtrFree(buf, ctrFree(buf)-n)
-	for _, emb := range e.embStack {
-		buf[emb.sizePos] += byte(n)
+	for i := 0; i < e.embLen; i++ {
+		buf[e.embAt(i).sizePos] += byte(n)
 	}
 	e.fixupInsert(p, n)
 }
@@ -200,8 +269,8 @@ func (e *editCtx) deleteBytes(p, n int) {
 		buf[i] = 0
 	}
 	newFree := ctrFree(buf) + n
-	for _, emb := range e.embStack {
-		buf[emb.sizePos] -= byte(n)
+	for i := 0; i < e.embLen; i++ {
+		buf[e.embAt(i).sizePos] -= byte(n)
 	}
 	// Container jump table.
 	steps := ctrJTSteps(buf)
@@ -270,9 +339,7 @@ func (e *editCtx) shrink(newFree int) {
 		newHP, nb := e.t.alloc.Realloc(e.slot.hp, newSize)
 		if newHP != e.slot.hp {
 			e.slot.hp = newHP
-			if e.slot.writeback != nil {
-				e.slot.writeback(newHP)
-			}
+			e.slot.writeback(newHP)
 		}
 		e.buf = nb
 	}

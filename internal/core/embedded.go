@@ -2,14 +2,14 @@ package core
 
 import "repro/internal/memman"
 
-// eject converts the embedded container at e.embStack[depth] into a
-// standalone container referenced by a Hyperion Pointer (paper Figure 8).
+// eject converts the embedded container at depth on e's embedded stack into
+// a standalone container referenced by a Hyperion Pointer (paper Figure 8).
 // Everything nested inside it (deeper embedded containers, PC nodes, HPs)
 // moves verbatim, since the encoding is position independent. The caller must
 // restart its operation afterwards: every position derived from the previous
 // scan is invalid.
 func (t *Tree) eject(e *editCtx, depth int) {
-	emb := e.embStack[depth]
+	emb := e.embAt(depth)
 	buf := e.buf
 	sizePos := emb.sizePos
 	total := embSize(buf, sizePos)
@@ -18,7 +18,7 @@ func (t *Tree) eject(e *editCtx, depth int) {
 	// eject an outer one first (the caller restarts either way).
 	if grow := hpSize - total; grow > 0 {
 		for i := 0; i < depth; i++ {
-			if embSize(buf, e.embStack[i].sizePos)+grow > embMaxSize {
+			if embSize(buf, e.embAt(i).sizePos)+grow > embMaxSize {
 				t.eject(e, i)
 				return
 			}
@@ -38,7 +38,7 @@ func (t *Tree) eject(e *editCtx, depth int) {
 
 	// From here on the edit operates on the parent of the ejected container,
 	// so only the remaining enclosing embedded sizes get adjusted.
-	e.embStack = e.embStack[:depth]
+	e.truncEmb(depth)
 
 	var hpb [hpSize]byte
 	memman.PutHP(hpb[:], hp)

@@ -6,56 +6,65 @@ import (
 	"repro/internal/memman"
 )
 
-// findInStream locates key in the given node stream. If the key continues in
-// a standalone child container, the child's HP and the remaining key bytes
-// are returned so the caller can continue without recursion.
+// findInStream locates key in the given node stream, descending through
+// nested embedded containers iteratively (an embedded child is just another
+// region of the same buffer, so the descent is a loop over (region, key)
+// rather than a recursive call). If the key continues in a standalone child
+// container, the child's HP and the remaining key bytes are returned so the
+// caller can continue without recursion. The whole walk performs no heap
+// allocation.
 func (t *Tree) findInStream(buf []byte, reg region, key []byte, topLevel bool) (value uint64, hasValue, exists bool, nextHP memman.HP, nextKey []byte) {
-	ts := scanT(buf, reg, key[0], topLevel && t.cfg.ContainerJumpTable)
-	if !ts.found {
-		return
-	}
-	tPos := ts.pos
-	if len(key) == 1 {
-		switch hdr := buf[tPos]; nodeType(hdr) {
-		case typeKeyVal:
-			return getValue(buf, tPos+nodeValueOffset(hdr)), true, true, memman.NilHP, nil
-		case typeKey:
-			return 0, false, true, memman.NilHP, nil
+	for {
+		ts := scanT(buf, reg, key[0], topLevel && t.cfg.ContainerJumpTable)
+		if !ts.found {
+			return
 		}
-		return
-	}
-	ss := scanS(buf, reg, tPos, key[1])
-	if !ss.found {
-		return
-	}
-	sPos := ss.pos
-	hdr := buf[sPos]
-	if len(key) == 2 {
-		switch nodeType(hdr) {
-		case typeKeyVal:
-			return getValue(buf, sPos+nodeValueOffset(hdr)), true, true, memman.NilHP, nil
-		case typeKey:
-			return 0, false, true, memman.NilHP, nil
-		}
-		return
-	}
-	rest := key[2:]
-	childOff := sPos + sNodeChildOffset(hdr)
-	switch sChildKind(hdr) {
-	case childNone:
-		return
-	case childHP:
-		return 0, false, false, memman.GetHP(buf[childOff:]), rest
-	case childEmbedded:
-		return t.findInStream(buf, embRegion(buf, childOff), rest, false)
-	case childPC:
-		if bytes.Equal(pcSuffix(buf, childOff), rest) {
-			if pcHasValue(buf, childOff) {
-				return pcValue(buf, childOff), true, true, memman.NilHP, nil
+		tPos := ts.pos
+		if len(key) == 1 {
+			switch hdr := buf[tPos]; nodeType(hdr) {
+			case typeKeyVal:
+				return getValue(buf, tPos+nodeValueOffset(hdr)), true, true, memman.NilHP, nil
+			case typeKey:
+				return 0, false, true, memman.NilHP, nil
 			}
-			return 0, false, true, memman.NilHP, nil
+			return
+		}
+		ss := scanS(buf, reg, tPos, key[1])
+		if !ss.found {
+			return
+		}
+		sPos := ss.pos
+		hdr := buf[sPos]
+		if len(key) == 2 {
+			switch nodeType(hdr) {
+			case typeKeyVal:
+				return getValue(buf, sPos+nodeValueOffset(hdr)), true, true, memman.NilHP, nil
+			case typeKey:
+				return 0, false, true, memman.NilHP, nil
+			}
+			return
+		}
+		rest := key[2:]
+		childOff := sPos + sNodeChildOffset(hdr)
+		switch sChildKind(hdr) {
+		case childNone:
+			return
+		case childHP:
+			return 0, false, false, memman.GetHP(buf[childOff:]), rest
+		case childEmbedded:
+			reg = embRegion(buf, childOff)
+			key = rest
+			topLevel = false
+			continue
+		case childPC:
+			if bytes.Equal(pcSuffix(buf, childOff), rest) {
+				if pcHasValue(buf, childOff) {
+					return pcValue(buf, childOff), true, true, memman.NilHP, nil
+				}
+				return 0, false, true, memman.NilHP, nil
+			}
+			return
 		}
 		return
 	}
-	return
 }

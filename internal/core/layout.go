@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // This file defines the exact byte/bit layout of containers and nodes
 // (paper Figures 3, 5, 6, 7) and the accessors used by every other file.
@@ -219,17 +222,11 @@ func nodeKey(buf []byte, pos int, prevKey int) byte {
 func nodeValueOffset(hdr byte) int { return 1 + nodeKeyLen(hdr) }
 
 func getValue(buf []byte, pos int) uint64 {
-	v := uint64(0)
-	for i := 0; i < valueSize; i++ {
-		v |= uint64(buf[pos+i]) << (8 * uint(i))
-	}
-	return v
+	return binary.LittleEndian.Uint64(buf[pos:])
 }
 
 func putValue(buf []byte, pos int, v uint64) {
-	for i := 0; i < valueSize; i++ {
-		buf[pos+i] = byte(v >> (8 * uint(i)))
-	}
+	binary.LittleEndian.PutUint64(buf[pos:], v)
 }
 
 // ---- T-Node geometry -------------------------------------------------------

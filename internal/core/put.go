@@ -11,79 +11,91 @@ import (
 // payload). It returns a slot to descend into when the key continues in
 // another top-level container, or restart=true when structural maintenance
 // (ejection, jump table growth) invalidated the scan and the caller must
-// retry against the same container.
-func (t *Tree) putInStream(e *editCtx, key []byte, value uint64, hasValue bool) (descend *containerSlot, rest []byte, restart bool) {
-	buf := e.buf
-	reg := e.streamRegion()
-	k0 := key[0]
-	topLevel := !e.inEmbedded()
+// retry against the same container. Descents into embedded containers loop
+// here instead of recursing: keeping the put call graph free of cycles is
+// what lets escape analysis keep the callers' key scratch buffers on the
+// stack.
+func (t *Tree) putInStream(e *editCtx, key []byte, value uint64, hasValue bool) (descend containerSlot, rest []byte, restart bool) {
+	for {
+		buf := e.buf
+		reg := e.streamRegion()
+		k0 := key[0]
+		topLevel := !e.inEmbedded()
 
-	useCtrJT := topLevel && t.cfg.ContainerJumpTable && !t.suppressJumps
-	ts := scanT(buf, reg, k0, useCtrJT)
-	if useCtrJT && ts.traversed >= t.cfg.ContainerJumpTableThreshold {
-		if t.growContainerJT(e) {
-			return nil, nil, true
-		}
-	}
-
-	if !ts.found {
-		// New 16-bit partial key: insert a fresh T (+S) path. One extra byte
-		// of headroom covers a possible key materialisation of the successor.
-		enc := t.freshSubtree(key, value, hasValue, ts.prevKey)
-		if over := e.wouldOverflowEmbedded(len(enc) + 1); over >= 0 {
-			t.eject(e, over)
-			return nil, nil, true
-		}
-		e.insertBytes(ts.pos, enc)
-		if ts.succKey >= 0 {
-			e.rebaseSibling(ts.pos+len(enc), ts.succKey, int(k0))
-		}
-		t.stats.Keys++
-		return nil, nil, false
-	}
-	tPos := ts.pos
-	if topLevel {
-		e.topT = tPos
-	}
-
-	if len(key) == 1 {
-		restart = t.setTerminal(e, tPos, value, hasValue)
-		return nil, nil, restart
-	}
-
-	k1 := key[1]
-	ss := scanS(buf, reg, tPos, k1)
-	if topLevel && t.cfg.TNodeJumpTable && !t.suppressJumps && ss.traversed >= t.cfg.TNodeJumpTableThreshold && !tHasJT(buf[tPos]) {
-		if t.addTNodeJT(e, tPos) {
-			return nil, nil, true
-		}
-	}
-
-	if !ss.found {
-		if topLevel && t.cfg.JumpSuccessor && !t.suppressJumps && !tHasJS(buf[tPos]) && ss.sawS {
-			if t.addJS(e, tPos) {
-				return nil, nil, true
+		useCtrJT := topLevel && t.cfg.ContainerJumpTable
+		ts := scanT(buf, reg, k0, useCtrJT)
+		if useCtrJT && ts.traversed >= t.cfg.ContainerJumpTableThreshold {
+			if t.growContainerJT(e) {
+				return containerSlot{}, nil, true
 			}
 		}
-		enc := t.freshSNode(key[1:], value, hasValue, ss.prevKey)
-		if over := e.wouldOverflowEmbedded(len(enc) + 1); over >= 0 {
-			t.eject(e, over)
-			return nil, nil, true
-		}
-		e.insertBytes(ss.pos, enc)
-		if ss.succKey >= 0 {
-			e.rebaseSibling(ss.pos+len(enc), ss.succKey, int(k1))
-		}
-		t.stats.Keys++
-		return nil, nil, false
-	}
-	sPos := ss.pos
 
-	if len(key) == 2 {
-		restart = t.setTerminal(e, sPos, value, hasValue)
-		return nil, nil, restart
+		if !ts.found {
+			// New 16-bit partial key: insert a fresh T (+S) path. One extra
+			// byte of headroom covers a possible key materialisation of the
+			// successor.
+			enc := t.freshSubtree(key, value, hasValue, ts.prevKey)
+			if over := e.wouldOverflowEmbedded(len(enc) + 1); over >= 0 {
+				t.eject(e, over)
+				return containerSlot{}, nil, true
+			}
+			e.insertBytes(ts.pos, enc)
+			if ts.succKey >= 0 {
+				e.rebaseSibling(ts.pos+len(enc), ts.succKey, int(k0))
+			}
+			t.stats.Keys++
+			return containerSlot{}, nil, false
+		}
+		tPos := ts.pos
+		if topLevel {
+			e.topT = tPos
+		}
+
+		if len(key) == 1 {
+			restart = t.setTerminal(e, tPos, value, hasValue)
+			return containerSlot{}, nil, restart
+		}
+
+		k1 := key[1]
+		ss := scanS(buf, reg, tPos, k1)
+		if topLevel && t.cfg.TNodeJumpTable && ss.traversed >= t.cfg.TNodeJumpTableThreshold && !tHasJT(buf[tPos]) {
+			if t.addTNodeJT(e, tPos) {
+				return containerSlot{}, nil, true
+			}
+		}
+
+		if !ss.found {
+			if topLevel && t.cfg.JumpSuccessor && !tHasJS(buf[tPos]) && ss.sawS {
+				if t.addJS(e, tPos) {
+					return containerSlot{}, nil, true
+				}
+			}
+			enc := t.freshSNode(key[1:], value, hasValue, ss.prevKey)
+			if over := e.wouldOverflowEmbedded(len(enc) + 1); over >= 0 {
+				t.eject(e, over)
+				return containerSlot{}, nil, true
+			}
+			e.insertBytes(ss.pos, enc)
+			if ss.succKey >= 0 {
+				e.rebaseSibling(ss.pos+len(enc), ss.succKey, int(k1))
+			}
+			t.stats.Keys++
+			return containerSlot{}, nil, false
+		}
+		sPos := ss.pos
+
+		if len(key) == 2 {
+			restart = t.setTerminal(e, sPos, value, hasValue)
+			return containerSlot{}, nil, restart
+		}
+		var embCont bool
+		descend, rest, restart, embCont = t.putBelowSNode(e, sPos, key[2:], value, hasValue)
+		if embCont {
+			key = rest
+			continue
+		}
+		return descend, rest, restart
 	}
-	return t.putBelowSNode(e, sPos, key[2:], value, hasValue)
 }
 
 // setTerminal marks the node at pos as a key ending and stores the value (if
@@ -130,8 +142,10 @@ func (t *Tree) setTerminal(e *editCtx, pos int, value uint64, hasValue bool) (re
 
 // putBelowSNode handles the part of the key that extends beyond the 16 bits
 // covered by the current container: path-compressed suffixes, embedded
-// children, standalone child containers.
-func (t *Tree) putBelowSNode(e *editCtx, sPos int, rest []byte, value uint64, hasValue bool) (*containerSlot, []byte, bool) {
+// children, standalone child containers. When embCont is true the caller
+// must continue its stream insertion with key `rest` in the embedded region
+// just pushed (the iterative replacement for recursing into putInStream).
+func (t *Tree) putBelowSNode(e *editCtx, sPos int, rest []byte, value uint64, hasValue bool) (descend containerSlot, rrest []byte, restart, embCont bool) {
 	buf := e.buf
 	sHdr := buf[sPos]
 	childOff := sPos + sNodeChildOffset(sHdr)
@@ -142,18 +156,18 @@ func (t *Tree) putBelowSNode(e *editCtx, sPos int, rest []byte, value uint64, ha
 			pc := appendPC(nil, rest, value, hasValue)
 			if over := e.wouldOverflowEmbedded(len(pc)); over >= 0 {
 				t.eject(e, over)
-				return nil, nil, true
+				return containerSlot{}, nil, true, false
 			}
 			setSChildKind(buf, sPos, childPC)
 			e.insertBytes(childOff, pc)
 			t.stats.PathCompressed++
 			t.stats.PathCompressedLen += int64(len(rest))
 			t.stats.Keys++
-			return nil, nil, false
+			return containerSlot{}, nil, false, false
 		}
 		if over := e.wouldOverflowEmbedded(hpSize); over >= 0 {
 			t.eject(e, over)
-			return nil, nil, true
+			return containerSlot{}, nil, true, false
 		}
 		hp := t.freshFillContainer(rest, value, hasValue)
 		var hpb [hpSize]byte
@@ -161,112 +175,127 @@ func (t *Tree) putBelowSNode(e *editCtx, sPos int, rest []byte, value uint64, ha
 		setSChildKind(buf, sPos, childHP)
 		e.insertBytes(childOff, hpb[:])
 		t.stats.Keys++
-		return nil, nil, false
+		return containerSlot{}, nil, false, false
 
 	case childHP:
 		hp := memman.GetHP(buf[childOff:])
-		return t.childSlot(e, childOff, hp, rest), rest, false
+		return t.childSlot(e.buf, childOff, hp, rest[0]), rest, false, false
 
 	case childEmbedded:
-		e.embStack = append(e.embStack, embInfo{sNodePos: sPos, sizePos: childOff})
+		e.pushEmb(embInfo{sNodePos: sPos, sizePos: childOff})
 		// Lazily eject embedded children once the top-level container has
 		// outgrown the threshold (paper §4.1).
 		if ctrSize(buf)-ctrFree(buf) > t.cfg.EmbeddedEjectThreshold {
 			t.eject(e, 0)
-			return nil, nil, true
+			return containerSlot{}, nil, true, false
 		}
-		return t.putInStream(e, rest, value, hasValue)
+		return containerSlot{}, rest, false, true
 
 	case childPC:
-		return t.putAtPC(e, sPos, childOff, rest, value, hasValue)
+		descend, rrest, restart = t.putAtPC(e, sPos, childOff, rest, value, hasValue)
+		return descend, rrest, restart, false
 	}
 	panic("core: corrupt S-Node child kind")
 }
 
 // childSlot builds the slot used to descend into a standalone child
-// container, wiring HP write-back into the parent's byte stream.
-func (t *Tree) childSlot(e *editCtx, hpOff int, hp memman.HP, rest []byte) *containerSlot {
+// container, wiring HP write-back into the parent's byte stream. k0 selects
+// the chain part when the child has been split.
+func (t *Tree) childSlot(parent []byte, hpOff int, hp memman.HP, k0 byte) containerSlot {
 	if t.alloc.IsChained(hp) {
-		_, idx := t.alloc.ResolveChained(hp, rest[0])
-		return &containerSlot{chain: hp, chainIdx: idx}
+		_, idx := t.alloc.ResolveChained(hp, k0)
+		return containerSlot{chain: hp, chainIdx: idx}
 	}
-	parent := e.buf
-	return &containerSlot{hp: hp, writeback: func(n memman.HP) { memman.PutHP(parent[hpOff:], n) }}
+	return containerSlot{hp: hp, parent: parent, parentOff: hpOff}
 }
 
 // putAtPC inserts a key that reaches an existing path-compressed node: either
 // the suffix matches (value update) or the formerly unique suffix must be
 // pushed down into a child container holding both keys (paper §3.1).
-func (t *Tree) putAtPC(e *editCtx, sPos, pcPos int, rest []byte, value uint64, hasValue bool) (*containerSlot, []byte, bool) {
+func (t *Tree) putAtPC(e *editCtx, sPos, pcPos int, rest []byte, value uint64, hasValue bool) (containerSlot, []byte, bool) {
 	buf := e.buf
 	suffix := pcSuffix(buf, pcPos)
 	if bytes.Equal(suffix, rest) {
 		if !hasValue {
-			return nil, nil, false
+			return containerSlot{}, nil, false
 		}
 		if pcHasValue(buf, pcPos) {
 			putValue(buf, pcPos+1, value)
-			return nil, nil, false
+			return containerSlot{}, nil, false
 		}
 		if over := e.wouldOverflowEmbedded(valueSize); over >= 0 {
 			t.eject(e, over)
-			return nil, nil, true
+			return containerSlot{}, nil, true
 		}
 		var v [valueSize]byte
 		putValue(v[:], 0, value)
 		buf[pcPos] |= 0x80
 		e.insertBytes(pcPos+1, v[:])
-		return nil, nil, false
+		return containerSlot{}, nil, false
 	}
 
-	// Diverging suffixes: move both keys into a child container.
-	oldSuffix := append([]byte(nil), suffix...)
+	// Diverging suffixes: move both keys into a child container, built
+	// directly as a two-key stream. (Re-entering the put machinery here
+	// would make the whole put path mutually recursive; see
+	// twoKeyStreamContent.)
 	oldHas := pcHasValue(buf, pcPos)
 	var oldVal uint64
 	if oldHas {
 		oldVal = pcValue(buf, pcPos)
 	}
+	oldSuffixLen := len(suffix)
 	oldLen := pcSize(buf, pcPos)
 
-	// Build the replacement child with jump structures suppressed: its content
-	// may be embedded verbatim, and embedded containers carry no jump
-	// metadata.
-	prevSuppress := t.suppressJumps
-	t.suppressJumps = true
-	childHPv := t.freshFillContainer(oldSuffix, oldVal, oldHas)
-	childHPv = t.putIntoHP(childHPv, rest, value, hasValue)
-	t.suppressJumps = prevSuppress
+	// Copy rest before it enters the (self-recursive, hence conservatively
+	// analysed) builder: passing the original would make every put key
+	// escape, heap-allocating the callers' stack scratch on each Put.
+	a, aVal, aHas := suffix, oldVal, oldHas
+	b, bVal, bHas := append([]byte(nil), rest...), value, hasValue
+	if bytes.Compare(a, b) > 0 {
+		a, b = b, a
+		aVal, bVal = bVal, aVal
+		aHas, bHas = bHas, aHas
+	}
+	statsBefore := t.stats // rollback point for the build's counter changes
+	content := t.twoKeyStreamContent(a, aVal, aHas, b, bVal, bHas)
 
-	cbuf := t.alloc.Resolve(childHPv)
-	content := ctrContentEnd(cbuf) - ctrStreamStart(cbuf)
 	parentContent := ctrSize(buf) - ctrFree(buf)
 	embed := t.cfg.Embedded &&
-		content+1 <= embMaxSize &&
-		parentContent <= t.cfg.EmbeddedEjectThreshold &&
-		ctrJTSteps(cbuf) == 0
+		len(content)+1 <= embMaxSize &&
+		parentContent <= t.cfg.EmbeddedEjectThreshold
 
 	var repl []byte
+	var childHPv memman.HP
 	if embed {
-		repl = make([]byte, 0, content+1)
-		repl = append(repl, byte(content+1))
-		repl = append(repl, cbuf[ctrStreamStart(cbuf):ctrContentEnd(cbuf)]...)
+		repl = make([]byte, 0, len(content)+1)
+		repl = append(repl, byte(len(content)+1))
+		repl = append(repl, content...)
 	} else {
+		childHPv = t.containerFromContent(content)
 		repl = make([]byte, hpSize)
 		memman.PutHP(repl, childHPv)
 	}
 
 	if delta := len(repl) - oldLen; delta > 0 {
 		if over := e.wouldOverflowEmbedded(delta); over >= 0 {
-			// Undo the temporary child and retry after ejecting.
-			t.freeSubtree(childHPv)
-			t.stats.Keys-- // putIntoHP counted the new key
+			// Undo the freshly built child and retry after ejecting: free
+			// the containers the content references, then restore every
+			// counter the build touched (PC, embedded, delta, container
+			// counts) so the retry does not double-count. The new key has
+			// not been counted yet.
+			if embed {
+				t.freeStreamChildren(content, region{0, len(content)})
+			} else {
+				t.freeSubtree(childHPv)
+			}
+			t.stats = statsBefore
 			t.eject(e, over)
-			return nil, nil, true
+			return containerSlot{}, nil, true
 		}
 	}
 
 	t.stats.PathCompressed--
-	t.stats.PathCompressedLen -= int64(len(oldSuffix))
+	t.stats.PathCompressedLen -= int64(oldSuffixLen)
 	if len(repl) > oldLen {
 		e.insertBytes(pcPos+oldLen, make([]byte, len(repl)-oldLen))
 	} else if len(repl) < oldLen {
@@ -276,12 +305,9 @@ func (t *Tree) putAtPC(e *editCtx, sPos, pcPos int, rest []byte, value uint64, h
 	if embed {
 		setSChildKind(e.buf, sPos, childEmbedded)
 		t.stats.EmbeddedContainers++
-		// The standalone child's payload now lives inline; release the chunk
-		// without touching the grandchildren it may reference.
-		t.alloc.Free(childHPv)
-		t.stats.Containers--
 	} else {
 		setSChildKind(e.buf, sPos, childHP)
 	}
-	return nil, nil, false
+	t.stats.Keys++
+	return containerSlot{}, nil, false
 }

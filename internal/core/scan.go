@@ -74,7 +74,11 @@ func scanT(buf []byte, reg region, k0 byte, useCtrJT bool) tScan {
 		}
 	}
 
-	for pos < reg.end {
+	// The loop decodes the node key inline (instead of via nodeKey) so the
+	// header byte is loaded exactly once per node, and hoists the region end
+	// into a local the compiler can keep in a register.
+	end := reg.end
+	for pos < end {
 		hdr := buf[pos]
 		if nodeType(hdr) == typeInvalid {
 			break
@@ -88,8 +92,10 @@ func scanT(buf []byte, reg region, k0 byte, useCtrJT bool) tScan {
 		if knownKey >= 0 {
 			key = byte(knownKey)
 			knownKey = -1
+		} else if d := nodeDelta(hdr); d != 0 {
+			key = byte(prevKey + d)
 		} else {
-			key = nodeKey(buf, pos, prevKey)
+			key = buf[pos+1]
 		}
 		res.traversed++
 		switch {
@@ -109,17 +115,15 @@ func scanT(buf []byte, reg region, k0 byte, useCtrJT bool) tScan {
 		res.prevKey = int(key)
 		prevKey = int(key)
 		// Skip to the next sibling T-Node, via the jump successor if valid.
-		if js := tNodeJS(buf, pos); js > 0 && pos+js <= reg.end {
-			pos += js
-		} else {
-			pos += tNodeHeadSize(hdr)
+		if tHasJS(hdr) {
+			if js := tNodeJS(buf, pos); js > 0 && pos+js <= end {
+				pos += js
+				continue
+			}
 		}
+		pos += tNodeHeadSize(hdr)
 	}
-	res.pos = reg.end
-	if pos > reg.end {
-		// A corrupt jump landed us past the end; report insertion at end.
-		res.pos = reg.end
-	}
+	res.pos = end
 	res.prevKey = prevKey
 	if prevKey >= 0 && res.prevPos < 0 {
 		res.prevPos = -1
@@ -172,7 +176,9 @@ func scanS(buf []byte, reg region, tPos int, k1 byte) sScan {
 		}
 	}
 
-	for pos < reg.end {
+	// Same inline key decode and hoisted bound as scanT.
+	end := reg.end
+	for pos < end {
 		hdr := buf[pos]
 		if nodeType(hdr) == typeInvalid || !nodeIsS(hdr) {
 			break
@@ -182,8 +188,10 @@ func scanS(buf []byte, reg region, tPos int, k1 byte) sScan {
 		if knownKey >= 0 {
 			key = byte(knownKey)
 			knownKey = -1
+		} else if d := nodeDelta(hdr); d != 0 {
+			key = byte(prevKey + d)
 		} else {
-			key = nodeKey(buf, pos, prevKey)
+			key = buf[pos+1]
 		}
 		res.traversed++
 		switch {

@@ -114,9 +114,7 @@ func (t *Tree) splitContainer(slot *containerSlot, k0 byte, buf []byte, force bo
 	// therefore occupies the first chained chunk (paper Figure 11).
 	t.writeChainSlot(chain, 0, leftContent)
 	t.writeChainSlot(chain, bestCut/32, rightContent)
-	if slot.writeback != nil {
-		slot.writeback(chain)
-	}
+	slot.writeback(chain)
 	t.alloc.Free(slot.hp)
 	t.stats.Containers++ // net: one freed, two created
 	t.stats.Splits++

@@ -19,11 +19,6 @@ type Tree struct {
 	emptyExists bool
 	emptyHas    bool
 	emptyValue  uint64
-
-	// suppressJumps disables the creation of jump successors and jump tables
-	// while building temporary containers whose content may be embedded into
-	// a parent (embedded containers carry no jump metadata).
-	suppressJumps bool
 }
 
 // New creates an empty tree with its own memory manager.
@@ -110,46 +105,42 @@ func (t *Tree) put(key []byte, value uint64, hasValue bool) {
 
 // rootSlot builds the container slot for the root container, taking a split
 // root (chained HP) into account.
-func (t *Tree) rootSlot(k0 byte) *containerSlot {
+func (t *Tree) rootSlot(k0 byte) containerSlot {
 	if t.alloc.IsChained(t.rootHP) {
 		_, idx := t.alloc.ResolveChained(t.rootHP, k0)
-		return &containerSlot{chain: t.rootHP, chainIdx: idx}
+		return containerSlot{chain: t.rootHP, chainIdx: idx}
 	}
-	return &containerSlot{hp: t.rootHP, writeback: func(hp memman.HP) { t.rootHP = hp }}
+	return containerSlot{hp: t.rootHP, root: t}
 }
 
 // putLoop descends through top-level containers, two key bytes per container.
-func (t *Tree) putLoop(slot *containerSlot, key []byte, value uint64, hasValue bool) {
+// Slots are plain values living in this frame, so the whole descent performs
+// no per-level heap allocation.
+func (t *Tree) putLoop(slot containerSlot, key []byte, value uint64, hasValue bool) {
 	for {
-		descend, rest := t.putInContainer(slot, key, value, hasValue)
-		if descend == nil {
+		descend, rest := t.putInContainer(&slot, key, value, hasValue)
+		if !descend.valid() {
 			return
 		}
 		slot, key = descend, rest
 	}
 }
 
-// putIntoHP runs the put machinery against a container that is not referenced
-// by any parent yet and returns its (possibly moved) HP.
-func (t *Tree) putIntoHP(hp memman.HP, key []byte, value uint64, hasValue bool) memman.HP {
-	cur := hp
-	slot := &containerSlot{hp: hp, writeback: func(n memman.HP) { cur = n }}
-	t.putLoop(slot, key, value, hasValue)
-	return cur
-}
-
 // putInContainer performs the insertion steps local to one top-level
 // container. Structural maintenance (ejections, jump table growth, container
 // splits) may require restarting the scan; the loop converges because every
 // restart strictly reduces the remaining maintenance work.
-func (t *Tree) putInContainer(slot *containerSlot, key []byte, value uint64, hasValue bool) (*containerSlot, []byte) {
+func (t *Tree) putInContainer(slot *containerSlot, key []byte, value uint64, hasValue bool) (containerSlot, []byte) {
+	var e editCtx
 	for {
 		if t.maybeSplit(slot, key[0]) {
 			continue
 		}
-		buf := slot.resolve(t)
-		e := newEditCtx(t, slot, buf)
-		descend, rest, restart := t.putInStream(e, key, value, hasValue)
+		e.init(t, *slot, slot.resolve(t))
+		descend, rest, restart := t.putInStream(&e, key, value, hasValue)
+		// The edit may have moved the container (growth, shrink); sync the
+		// caller's slot with the authoritative post-edit state.
+		*slot = e.slot
 		if restart {
 			continue
 		}

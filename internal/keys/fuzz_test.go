@@ -1,0 +1,63 @@
+package keys
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPreprocessRoundtrip asserts, for arbitrary key pairs, the two
+// properties the store relies on: Unpreprocess(Preprocess(k)) == k
+// (injectivity/invertibility), and order preservation under the
+// transformation for keys of the target class (at least four bytes, paper
+// §3.4). It also pins the append-style variants to the allocating ones.
+func FuzzPreprocessRoundtrip(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{1}, []byte{1, 2})
+	f.Add([]byte{1, 2, 3}, []byte{0xff, 0xfe, 0xfd})
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 2, 3, 5})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{1, 2, 3, 4, 5, 6, 7, 9})
+	f.Add([]byte{0, 0, 0, 0}, []byte{0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{0xaa}, 40), bytes.Repeat([]byte{0xab}, 3))
+	f.Fuzz(func(t *testing.T, a, b []byte) {
+		for _, k := range [][]byte{a, b} {
+			p := Preprocess(k)
+			if got := Unpreprocess(p); !bytes.Equal(got, k) {
+				t.Fatalf("round trip failed for %x: Unpreprocess(%x) = %x", k, p, got)
+			}
+			if len(p) != PreprocessedLen(len(k)) {
+				t.Fatalf("PreprocessedLen(%d) = %d, Preprocess produced %d bytes", len(k), PreprocessedLen(len(k)), len(p))
+			}
+			// The append variants must agree with the allocating ones and
+			// leave the destination prefix untouched.
+			prefix := []byte("dst")
+			pa := PreprocessAppend(append([]byte(nil), prefix...), k)
+			if !bytes.Equal(pa[:len(prefix)], prefix) || !bytes.Equal(pa[len(prefix):], p) {
+				t.Fatalf("PreprocessAppend diverges for %x: %x vs %x", k, pa, p)
+			}
+			ua := UnpreprocessAppend(append([]byte(nil), prefix...), p)
+			if !bytes.Equal(ua[:len(prefix)], prefix) || !bytes.Equal(ua[len(prefix):], k) {
+				t.Fatalf("UnpreprocessAppend diverges for %x: %x vs %x", p, ua, k)
+			}
+		}
+		// Order preservation on the target key class.
+		if len(a) >= 4 && len(b) >= 4 {
+			want := bytes.Compare(a, b)
+			if got := bytes.Compare(Preprocess(a), Preprocess(b)); got != want {
+				t.Fatalf("order not preserved: Compare(%x, %x) = %d, transformed %d", a, b, want, got)
+			}
+		}
+	})
+}
+
+// TestPreprocessAppendZeroAlloc pins the allocation-free contract of the
+// append variants when the destination has enough capacity.
+func TestPreprocessAppendZeroAlloc(t *testing.T) {
+	key := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	var fwd, back [16]byte
+	if n := testing.AllocsPerRun(200, func() {
+		out := PreprocessAppend(fwd[:0], key)
+		_ = UnpreprocessAppend(back[:0], out)
+	}); n != 0 {
+		t.Fatalf("append-style transforms allocate %v allocs/op with sufficient capacity, want 0", n)
+	}
+}

@@ -66,34 +66,54 @@ func PreprocessedLen(n int) int {
 //
 // Keys shorter than four bytes are returned as a copy without transformation;
 // the heuristic targets fixed-size keys such as 64-bit integers or hashes.
+//
+// Preprocess allocates a fresh slice per call. Hot paths should use
+// PreprocessAppend with a caller-owned (typically stack) buffer instead.
 func Preprocess(key []byte) []byte {
+	return PreprocessAppend(make([]byte, 0, PreprocessedLen(len(key))), key)
+}
+
+// PreprocessAppend appends the pre-processed form of key to dst and returns
+// the extended slice. It never retains key and writes nothing but the
+// appended bytes, so callers can reuse one scratch buffer across calls:
+//
+//	k := keys.PreprocessAppend(scratch[:0], key)
+//
+// The append stays allocation-free whenever cap(dst) - len(dst) >=
+// PreprocessedLen(len(key)).
+func PreprocessAppend(dst, key []byte) []byte {
 	if len(key) < 4 {
-		out := make([]byte, len(key))
-		copy(out, key)
-		return out
+		return append(dst, key...)
 	}
-	out := make([]byte, 0, len(key)+1)
-	out = append(out, key[0])
 	bits := uint32(key[1])<<16 | uint32(key[2])<<8 | uint32(key[3])
-	out = append(out,
+	dst = append(dst,
+		key[0],
 		byte(bits>>18&0x3f)<<2,
 		byte(bits>>12&0x3f)<<2,
 		byte(bits>>6&0x3f)<<2,
 		byte(bits&0x3f)<<2,
 	)
-	return append(out, key[4:]...)
+	return append(dst, key[4:]...)
 }
 
-// Unpreprocess is the inverse of Preprocess.
+// Unpreprocess is the inverse of Preprocess. Like Preprocess it allocates a
+// fresh slice per call; hot paths should use UnpreprocessAppend.
 func Unpreprocess(key []byte) []byte {
+	n := len(key) - 1
 	if len(key) < 5 {
-		out := make([]byte, len(key))
-		copy(out, key)
-		return out
+		n = len(key)
 	}
-	out := make([]byte, 0, len(key)-1)
-	out = append(out, key[0])
+	return UnpreprocessAppend(make([]byte, 0, n), key)
+}
+
+// UnpreprocessAppend appends the original form of the pre-processed key to
+// dst and returns the extended slice. It is the append-style inverse of
+// PreprocessAppend and follows the same buffer-ownership contract.
+func UnpreprocessAppend(dst, key []byte) []byte {
+	if len(key) < 5 {
+		return append(dst, key...)
+	}
 	bits := uint32(key[1]>>2)<<18 | uint32(key[2]>>2)<<12 | uint32(key[3]>>2)<<6 | uint32(key[4]>>2)
-	out = append(out, byte(bits>>16), byte(bits>>8), byte(bits))
-	return append(out, key[5:]...)
+	dst = append(dst, key[0], byte(bits>>16), byte(bits>>8), byte(bits))
+	return append(dst, key[5:]...)
 }

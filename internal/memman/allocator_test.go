@@ -330,6 +330,7 @@ func BenchmarkAllocFree32(b *testing.B) {
 	a := New()
 	hps := make([]HP, 0, 1024)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hp, _ := a.Alloc(32)
 		hps = append(hps, hp)
@@ -349,6 +350,7 @@ func BenchmarkResolve(b *testing.B) {
 		hps[i], _ = a.Alloc(64)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = a.Resolve(hps[i%len(hps)])
 	}
