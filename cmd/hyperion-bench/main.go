@@ -10,9 +10,10 @@
 //	hyperion-bench -experiment ablation -dataset random-int
 //	hyperion-bench -experiment concurrency -scale medium -json results/
 //	hyperion-bench -experiment latency -scale small -json results/
+//	hyperion-bench -experiment bulkload -scale medium -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// concurrency, latency, all. See DESIGN.md for the mapping of each
+// concurrency, latency, bulkload, all. See DESIGN.md for the mapping of each
 // experiment to the paper.
 //
 // With -json DIR every selected experiment additionally writes a
@@ -49,7 +50,7 @@ func parseIntList(flagName, s string) []int {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|all")
 		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
 		strKeys     = flag.Int("strings", 0, "override: number of string keys")
 		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
@@ -210,6 +211,14 @@ func main() {
 		run("Latency: per-op percentiles and allocs/op", func() {
 			res := bench.RunLatency(cfg)
 			bench.WriteLatency(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("bulkload") {
+		ran = true
+		run("Bulk ingestion: per-key Put vs BulkLoad on sorted runs", func() {
+			res := bench.RunBulkload(cfg)
+			bench.WriteBulkload(out, res)
 			emit(res.ID, res)
 		})
 	}

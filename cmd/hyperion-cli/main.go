@@ -11,6 +11,8 @@
 //	has <key>             test membership
 //	range <start> [n]     list up to n keys >= start (default 20)
 //	prefix <p> [n]        list up to n keys with prefix p
+//	load <file>           bulk-ingest "key value" (or bare "key") lines; the
+//	                      run is sorted and fed to the append-only bulk path
 //	len                   number of stored keys
 //	stats                 engine counters (containers, deltas, PC nodes, ...)
 //	mem                   allocator summary and per-superbin usage
@@ -24,11 +26,44 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/hyperion"
 )
+
+// readPairs parses a bulk-load file: one pair per line, "key value" with an
+// unsigned 64-bit value, or a bare "key" (stored with value 0). Blank lines
+// and #-comments are skipped.
+func readPairs(path string) ([]hyperion.Pair, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var pairs []hyperion.Pair
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 || strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		var v uint64
+		if len(fields) > 1 {
+			v, err = strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad value %q", line, fields[1])
+			}
+		}
+		pairs = append(pairs, hyperion.Pair{Key: []byte(fields[0]), Value: v})
+	}
+	return pairs, sc.Err()
+}
 
 func main() {
 	var (
@@ -65,7 +100,7 @@ func main() {
 			return
 		case "help":
 			fmt.Println("put <key> <value> | putkey <key> | get <key> | del <key> | has <key> |")
-			fmt.Println("range <start> [n] | prefix <p> [n] | len | stats | mem | quit")
+			fmt.Println("range <start> [n] | prefix <p> [n] | load <file> | len | stats | mem | quit")
 		case "put":
 			if len(args) != 2 {
 				fmt.Println("usage: put <key> <value>")
@@ -131,6 +166,24 @@ func main() {
 			if count == 0 {
 				fmt.Println("  (no keys)")
 			}
+		case "load":
+			if len(args) != 1 {
+				fmt.Println("usage: load <file>   (lines of \"key value\" or bare \"key\")")
+				continue
+			}
+			pairs, err := readPairs(args[0])
+			if err != nil {
+				fmt.Println("load:", err)
+				continue
+			}
+			// Sorting up front routes the whole run through the append-only
+			// bulk-ingestion path instead of the per-key fallback.
+			sort.SliceStable(pairs, func(a, b int) bool {
+				return bytes.Compare(pairs[a].Key, pairs[b].Key) < 0
+			})
+			start := time.Now()
+			store.BulkLoad(pairs)
+			fmt.Printf("loaded %d pairs in %v (%d keys stored)\n", len(pairs), time.Since(start).Round(time.Microsecond), store.Len())
 		case "len":
 			fmt.Println(store.Len())
 		case "stats":

@@ -11,6 +11,7 @@
 //	DEL <key>                    -> +1 | +0
 //	HAS <key>                    -> +1 | +0
 //	MPUT <k> <v> [<k> <v> ...]   -> +<n pairs stored>
+//	MLOAD <k> <v> [<k> <v> ...]  -> +<n pairs stored>
 //	MGET <k> [<k> ...]           -> one line per key: +<value> | -NOTFOUND
 //	RANGE <start> <n>            -> +<k> lines "<key> <value>", terminated by "."
 //	LEN                          -> +<count>
@@ -20,7 +21,11 @@
 // MPUT and MGET are the pipelined batch commands: the whole batch is handed
 // to the store's batched execution layer (hyperion.ApplyBatch /
 // hyperion.GetBatch), which acquires each arena lock once per batch and
-// executes arena groups in parallel on a bounded worker pool.
+// executes arena groups in parallel on a bounded worker pool. MLOAD is the
+// pipelined bulk-ingestion command: a sorted pair run goes straight to
+// hyperion.BulkLoad's append-only fast path (unsorted input transparently
+// falls back to per-key puts), the right command for restoring dumps and
+// loading pre-sorted data sets.
 package main
 
 import (
@@ -146,6 +151,27 @@ func (s *server) handle(conn net.Conn) {
 			}
 			s.store.ApplyBatch(ops)
 			fmt.Fprintf(w, "+%d\n", len(ops))
+		case "MLOAD":
+			if len(args) == 0 || len(args)%2 != 0 {
+				fmt.Fprintln(w, "-ERR usage: MLOAD key value [key value ...]")
+				break
+			}
+			pairs := make([]hyperion.Pair, 0, len(args)/2)
+			bad := false
+			for i := 0; i < len(args); i += 2 {
+				v, err := strconv.ParseUint(args[i+1], 10, 64)
+				if err != nil {
+					fmt.Fprintf(w, "-ERR bad value %q\n", args[i+1])
+					bad = true
+					break
+				}
+				pairs = append(pairs, hyperion.Pair{Key: []byte(args[i]), Value: v})
+			}
+			if bad {
+				break
+			}
+			s.store.BulkLoad(pairs)
+			fmt.Fprintf(w, "+%d\n", len(pairs))
 		case "MGET":
 			if len(args) == 0 {
 				fmt.Fprintln(w, "-ERR usage: MGET key [key ...]")

@@ -132,3 +132,62 @@ func TestServerRangeAfterBatch(t *testing.T) {
 		t.Fatalf("RANGE terminator: %q", got)
 	}
 }
+
+func TestServerBulkLoadProtocol(t *testing.T) {
+	r, w := dialTestServer(t, 8)
+
+	// Pipelined bulk ingest: a sorted run of 96 pairs in one MLOAD.
+	var sb strings.Builder
+	sb.WriteString("MLOAD")
+	for i := 0; i < 96; i++ {
+		fmt.Fprintf(&sb, " bulk-%03d %d", i, i*7)
+	}
+	send(t, w, sb.String())
+	if got := recv(t, r); got != "+96" {
+		t.Fatalf("MLOAD: %q", got)
+	}
+	send(t, w, "LEN")
+	if got := recv(t, r); got != "+96" {
+		t.Fatalf("LEN after MLOAD: %q", got)
+	}
+	send(t, w, "GET bulk-042")
+	if got := recv(t, r); got != "+294" {
+		t.Fatalf("GET after MLOAD: %q", got)
+	}
+
+	// Unsorted input still loads (per-key fallback) and stays readable.
+	send(t, w, "MLOAD zz 1 aa 2")
+	if got := recv(t, r); got != "+2" {
+		t.Fatalf("unsorted MLOAD: %q", got)
+	}
+	send(t, w, "GET aa")
+	if got := recv(t, r); got != "+2" {
+		t.Fatalf("GET aa: %q", got)
+	}
+
+	// Ordered iteration crosses the bulk-loaded range.
+	send(t, w, "RANGE bulk-000 2")
+	if got := recv(t, r); got != "bulk-000 0" {
+		t.Fatalf("RANGE line 1: %q", got)
+	}
+	if got := recv(t, r); got != "bulk-001 7" {
+		t.Fatalf("RANGE line 2: %q", got)
+	}
+	if got := recv(t, r); got != "." {
+		t.Fatalf("RANGE terminator: %q", got)
+	}
+
+	// Errors keep the connection usable.
+	send(t, w, "MLOAD key-without-value")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("odd MLOAD args: %q", got)
+	}
+	send(t, w, "MLOAD k notanumber")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("bad MLOAD value: %q", got)
+	}
+	send(t, w, "QUIT")
+	if got := recv(t, r); got != "+BYE" {
+		t.Fatalf("QUIT: %q", got)
+	}
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"time"
 
 	"repro/hyperion"
 	"repro/index"
@@ -20,11 +21,17 @@ func main() {
 	corpus := workload.NGrams(workload.DefaultNGramOptions(n)).Sorted()
 	fmt.Printf("average key size: %.1f bytes\n\n", corpus.AverageKeySize())
 
-	// Index the corpus with Hyperion.
+	// Index the corpus with Hyperion. The corpus is sorted, so BulkLoad
+	// takes the append-only bulk-ingestion path: containers are laid out at
+	// their exact final size in one pass instead of growing node by node.
 	store := hyperion.New(hyperion.DefaultOptions())
-	for i := 0; i < corpus.Len(); i++ {
-		store.Put(corpus.Key(i), corpus.Value(i))
+	pairs := make([]hyperion.Pair, corpus.Len())
+	for i := range pairs {
+		pairs[i] = hyperion.Pair{Key: corpus.Key(i), Value: corpus.Value(i)}
 	}
+	loadStart := time.Now()
+	store.BulkLoad(pairs)
+	fmt.Printf("bulk-loaded %d pairs in %v\n", len(pairs), time.Since(loadStart).Round(time.Millisecond))
 
 	// And with two comparison structures through the common interface.
 	art := index.NewART()

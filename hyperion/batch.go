@@ -10,6 +10,7 @@ package hyperion
 // sustain millions of ops/s.
 
 import (
+	"bytes"
 	"sync"
 	"sync/atomic"
 
@@ -102,6 +103,9 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 	// up front into one slice per batch).
 	if len(s.shards) == 1 {
 		sh := s.shards[0]
+		if s.bulkApplyGroup(sh, ops, nil, results) {
+			return results
+		}
 		write := false
 		for i := range ops {
 			if ops[i].Kind.writes() {
@@ -136,6 +140,9 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 	g := s.groupByShard(len(ops), func(i int) int { return s.arenaIndex(ops[i].Key) })
 	s.runGroups(g, func(shardID int, opIdx []int32) {
 		sh := s.shards[shardID]
+		if s.bulkApplyGroup(sh, ops, opIdx, results) {
+			return
+		}
 		write := anyWrites(opIdx)
 		var scratch [opScratchSize]byte
 		if write {
@@ -194,6 +201,82 @@ func (s *Store) GetBatchInto(dst []Result, lookups [][]byte) []Result {
 		sh.mu.RUnlock()
 	})
 	return results
+}
+
+// bulkDivertMinRun is the shard-group size from which ApplyBatch diverts a
+// sorted all-Put group to the bulk-ingestion path. Below it, the per-op path
+// (with its zero-allocation stack-scratch key transform) wins — the bulk
+// path has to materialise the group's transformed keys up front.
+const bulkDivertMinRun = 128
+
+// bulkDivertible reports whether the shard group opIdx (nil = the whole
+// batch) is a strictly increasing all-Put run of non-empty keys — the shape
+// the bulk-ingestion fast path accepts.
+func bulkDivertible(ops []Op, opIdx []int32) bool {
+	n := len(opIdx)
+	if opIdx == nil {
+		n = len(ops)
+	}
+	if n < bulkDivertMinRun {
+		return false
+	}
+	at := func(k int) *Op {
+		if opIdx == nil {
+			return &ops[k]
+		}
+		return &ops[opIdx[k]]
+	}
+	prev := at(0)
+	if prev.Kind != OpPut || len(prev.Key) == 0 {
+		return false
+	}
+	for k := 1; k < n; k++ {
+		op := at(k)
+		if op.Kind != OpPut || len(op.Key) == 0 {
+			return false
+		}
+		if bytes.Compare(prev.Key, op.Key) >= 0 {
+			return false
+		}
+		prev = op
+	}
+	return true
+}
+
+// bulkApplyGroup diverts one shard group through the bulk-ingestion path
+// when it is a large sorted all-Put run. It fills the group's results and
+// reports whether it handled the group.
+func (s *Store) bulkApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Result) bool {
+	if !bulkDivertible(ops, opIdx) {
+		return false
+	}
+	n := len(opIdx)
+	if opIdx == nil {
+		n = len(ops)
+	}
+	pairs := make([]Pair, n)
+	for k := 0; k < n; k++ {
+		i := k
+		if opIdx != nil {
+			i = int(opIdx[k])
+		}
+		pairs[k] = Pair{Key: ops[i].Key, Value: ops[i].Value}
+	}
+	tkeys, vals, ok := s.transformRun(pairs)
+	if !ok {
+		return false
+	}
+	sh.mu.Lock()
+	sh.tree.BulkLoad(tkeys, vals)
+	sh.mu.Unlock()
+	for k := 0; k < n; k++ {
+		i := k
+		if opIdx != nil {
+			i = int(opIdx[k])
+		}
+		results[i] = Result{Value: ops[i].Value, Ok: true}
+	}
+	return true
 }
 
 // resizeResults returns dst resized to n entries, reusing its backing array
@@ -269,13 +352,20 @@ func (s *Store) groupByShard(n int, shardOf func(i int) int) batchGroups {
 // Workers() goroutines. Groups are handed out in ascending shard order; fn
 // receives the shard id and the batch indices routed to it.
 func (s *Store) runGroups(g batchGroups, fn func(shardID int, opIdx []int32)) {
-	run := func(a int32) {
+	s.runIndexed(len(g.active), func(i int) {
+		a := g.active[i]
 		fn(int(a), g.order[g.starts[a]:g.starts[a+1]])
-	}
-	workers := min(s.workers, len(g.active))
+	})
+}
+
+// runIndexed runs run(0..n-1), concurrently on up to Workers() goroutines,
+// handing indices out in ascending order via an atomic counter. It is the
+// shared dispatch scaffolding of runGroups and BulkLoad's per-arena loads.
+func (s *Store) runIndexed(n int, run func(i int)) {
+	workers := min(s.workers, n)
 	if workers <= 1 {
-		for _, a := range g.active {
-			run(a)
+		for i := 0; i < n; i++ {
+			run(i)
 		}
 		return
 	}
@@ -287,10 +377,10 @@ func (s *Store) runGroups(g batchGroups, fn func(shardID int, opIdx []int32)) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= len(g.active) {
+				if i >= n {
 					return
 				}
-				run(g.active[i])
+				run(i)
 			}
 		}()
 	}

@@ -1,0 +1,268 @@
+package hyperion
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// randomSortedPairs generates n distinct random keys (mixed lengths and a
+// small alphabet, so runs share prefixes and exercise path compression,
+// embedded containers and child-container descents) in sorted order.
+func randomSortedPairs(rng *rand.Rand, n, maxLen, alphabet int) []Pair {
+	seen := make(map[string]bool, n)
+	pairs := make([]Pair, 0, n)
+	for len(pairs) < n {
+		l := 1 + rng.Intn(maxLen)
+		k := make([]byte, l)
+		for i := range k {
+			k[i] = byte(rng.Intn(alphabet))
+		}
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		pairs = append(pairs, Pair{Key: k, Value: rng.Uint64()})
+	}
+	sortPairs(pairs)
+	return pairs
+}
+
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(a, b int) bool { return bytes.Compare(pairs[a].Key, pairs[b].Key) < 0 })
+}
+
+// collectRange snapshots the full Range output of a store.
+func collectRange(s *Store) (ks [][]byte, vs []uint64) {
+	s.Each(func(key []byte, value uint64) bool {
+		ks = append(ks, append([]byte(nil), key...))
+		vs = append(vs, value)
+		return true
+	})
+	return ks, vs
+}
+
+// requireSameContent asserts byte-identical Range output and passing
+// invariants for the bulk-loaded store vs the per-key reference.
+func requireSameContent(t *testing.T, bulk, ref *Store) {
+	t.Helper()
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("bulk store invariants: %v", err)
+	}
+	if bulk.Len() != ref.Len() {
+		t.Fatalf("Len: bulk %d, per-key %d", bulk.Len(), ref.Len())
+	}
+	bk, bv := collectRange(bulk)
+	rk, rv := collectRange(ref)
+	if len(bk) != len(rk) {
+		t.Fatalf("range yielded %d keys bulk, %d per-key", len(bk), len(rk))
+	}
+	for i := range bk {
+		if !bytes.Equal(bk[i], rk[i]) {
+			t.Fatalf("range key %d: bulk %q, per-key %q", i, bk[i], rk[i])
+		}
+		if bv[i] != rv[i] {
+			t.Fatalf("range value %d (key %q): bulk %d, per-key %d", i, bk[i], bv[i], rv[i])
+		}
+	}
+}
+
+// TestBulkLoadDifferential is the randomized differential test of the bulk
+// ingestion path: for every configuration axis the issue names (1 and 8
+// arenas, with and without KeyPreprocessing, empty and pre-populated
+// stores), BulkLoad over a randomized sorted run must yield byte-identical
+// Range output to a per-key Put loop and pass CheckInvariants.
+func TestBulkLoadDifferential(t *testing.T) {
+	for _, arenas := range []int{1, 8} {
+		for _, prep := range []bool{false, true} {
+			for _, prePopulated := range []bool{false, true} {
+				name := fmt.Sprintf("arenas=%d/prep=%v/prepop=%v", arenas, prep, prePopulated)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(arenas*100 + len(name))))
+					opts := Options{Arenas: arenas, KeyPreprocessing: prep, EmbeddedEjectThreshold: 4 * 1024}
+					bulk, ref := New(opts), New(opts)
+					if prePopulated {
+						base := randomSortedPairs(rng, 4000, 12, 6)
+						for _, p := range base {
+							bulk.Put(p.Key, p.Value)
+							ref.Put(p.Key, p.Value)
+						}
+					}
+					run := randomSortedPairs(rng, 6000, 16, 5)
+					bulk.BulkLoad(run)
+					for _, p := range run {
+						ref.Put(p.Key, p.Value)
+					}
+					requireSameContent(t, bulk, ref)
+					// Spot-check point lookups through the public API.
+					for i := 0; i < len(run); i += 101 {
+						if v, ok := bulk.Get(run[i].Key); !ok || v != run[i].Value {
+							t.Fatalf("Get(%q) = %d,%v want %d", run[i].Key, v, ok, run[i].Value)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBulkLoadIntegerRuns drives the preprocessing path with realistic
+// fixed-size integer keys across arenas.
+func TestBulkLoadIntegerRuns(t *testing.T) {
+	for _, opts := range []Options{IntegerOptions(), PreprocessedIntegerOptions(), {Arenas: 8, KeyPreprocessing: true, EmbeddedEjectThreshold: 8 * 1024}} {
+		bulk, ref := New(opts), New(opts)
+		const n = 30_000
+		pairs := make([]Pair, n)
+		for i := 0; i < n; i++ {
+			k := make([]byte, keys.Uint64Size)
+			keys.PutUint64(k, uint64(i)*7)
+			pairs[i] = Pair{Key: k, Value: uint64(i)}
+		}
+		bulk.BulkLoad(pairs)
+		for _, p := range pairs {
+			ref.Put(p.Key, p.Value)
+		}
+		requireSameContent(t, bulk, ref)
+	}
+}
+
+// TestBulkLoadFallbacks pins the transparent fallbacks: unsorted input,
+// duplicate keys (last value wins) and the empty key all behave exactly like
+// a per-key Put loop.
+func TestBulkLoadFallbacks(t *testing.T) {
+	t.Run("unsorted", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(3))
+		pairs := randomSortedPairs(rng, 2000, 10, 8)
+		rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+		bulk, ref := New(DefaultOptions()), New(DefaultOptions())
+		bulk.BulkLoad(pairs)
+		for _, p := range pairs {
+			ref.Put(p.Key, p.Value)
+		}
+		requireSameContent(t, bulk, ref)
+	})
+	t.Run("duplicates-last-wins", func(t *testing.T) {
+		pairs := []Pair{
+			{Key: []byte("a"), Value: 1},
+			{Key: []byte("b"), Value: 2},
+			{Key: []byte("b"), Value: 3},
+			{Key: []byte("c"), Value: 4},
+		}
+		s := New(DefaultOptions())
+		s.BulkLoad(pairs)
+		if v, _ := s.Get([]byte("b")); v != 3 {
+			t.Fatalf("duplicate key kept value %d, want 3", v)
+		}
+		if s.Len() != 3 {
+			t.Fatalf("Len = %d, want 3", s.Len())
+		}
+	})
+	t.Run("empty-key", func(t *testing.T) {
+		s := New(DefaultOptions())
+		s.BulkLoad([]Pair{{Key: []byte{}, Value: 7}, {Key: []byte("x"), Value: 8}})
+		if v, ok := s.Get(nil); !ok || v != 7 {
+			t.Fatalf("empty key: %d %v", v, ok)
+		}
+		if v, ok := s.Get([]byte("x")); !ok || v != 8 {
+			t.Fatalf("x: %d %v", v, ok)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("short-and-long-keys-preprocessed", func(t *testing.T) {
+		// Pre-processing only preserves order among keys of >= 4 bytes;
+		// mixing lengths across that boundary may break the transformed
+		// order, which BulkLoad must detect and survive via the per-key
+		// fallback.
+		opts := PreprocessedIntegerOptions()
+		bulk, ref := New(opts), New(opts)
+		var pairs []Pair
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 3000; i++ {
+			l := 1 + rng.Intn(9)
+			k := make([]byte, l)
+			for j := range k {
+				k[j] = byte(rng.Intn(4))
+			}
+			pairs = append(pairs, Pair{Key: k, Value: rng.Uint64()})
+		}
+		sortPairs(pairs)
+		bulk.BulkLoad(pairs)
+		for _, p := range pairs {
+			ref.Put(p.Key, p.Value)
+		}
+		if err := bulk.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if bulk.Len() != ref.Len() {
+			t.Fatalf("Len: bulk %d per-key %d", bulk.Len(), ref.Len())
+		}
+		for _, p := range pairs {
+			bv, bok := bulk.Get(p.Key)
+			rv, rok := ref.Get(p.Key)
+			if bv != rv || bok != rok {
+				t.Fatalf("Get(%q): bulk %d,%v per-key %d,%v", p.Key, bv, bok, rv, rok)
+			}
+		}
+	})
+}
+
+// TestApplyBatchDivertsSortedPutRuns verifies that a large sorted all-Put
+// shard group takes the bulk path and produces the same store state and
+// results as the per-op path.
+func TestApplyBatchDivertsSortedPutRuns(t *testing.T) {
+	for _, arenas := range []int{1, 8} {
+		opts := Options{Arenas: arenas, KeyPreprocessing: true, EmbeddedEjectThreshold: 8 * 1024}
+		batched, ref := New(opts), New(opts)
+		n := bulkDivertMinRun * 4
+		ops := make([]Op, n)
+		for i := 0; i < n; i++ {
+			k := make([]byte, keys.Uint64Size)
+			keys.PutUint64(k, uint64(i)*13)
+			ops[i] = Op{Kind: OpPut, Key: k, Value: uint64(i)}
+		}
+		if !bulkDivertible(ops, nil) {
+			t.Fatal("expected the batch to be divertible")
+		}
+		results := batched.ApplyBatch(ops)
+		for i, op := range ops {
+			ref.Put(op.Key, op.Value)
+			if !results[i].Ok || results[i].Value != op.Value {
+				t.Fatalf("result %d = %+v", i, results[i])
+			}
+		}
+		requireSameContent(t, batched, ref)
+	}
+}
+
+// TestBulkLoadParallelArenas loads a run spanning all arenas with several
+// workers and cross-checks ordered iteration across arena boundaries.
+func TestBulkLoadParallelArenas(t *testing.T) {
+	opts := Options{Arenas: 16, BatchWorkers: 4, EmbeddedEjectThreshold: 16 * 1024}
+	bulk, ref := New(opts), New(opts)
+	rng := rand.New(rand.NewSource(21))
+	pairs := make([]Pair, 0, 20_000)
+	seen := make(map[string]bool)
+	for len(pairs) < 20_000 {
+		k := make([]byte, 3+rng.Intn(6))
+		for j := range k {
+			k[j] = byte(rng.Intn(256))
+		}
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		pairs = append(pairs, Pair{Key: k, Value: rng.Uint64()})
+	}
+	sortPairs(pairs)
+	bulk.BulkLoad(pairs)
+	for _, p := range pairs {
+		ref.Put(p.Key, p.Value)
+	}
+	requireSameContent(t, bulk, ref)
+}

@@ -60,6 +60,11 @@ type Batcher interface {
 	ApplyBatch(ops []hyperion.Op) []hyperion.Result
 	// GetBatch looks up every key and returns one result per key.
 	GetBatch(keys [][]byte) []hyperion.Result
+	// BulkLoad ingests a run of pairs with Put semantics. Sorted runs take
+	// the append-only bulk-ingestion fast path (one pass per container,
+	// single-memmove block inserts, exact-size allocations, parallel across
+	// partitions); unsorted input transparently falls back to per-key puts.
+	BulkLoad(pairs []hyperion.Pair)
 }
 
 // AsBatcher returns kv's batched execution interface, if it has one.

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/hyperion"
+	"repro/internal/workload"
+)
+
+// This file implements the bulk-ingestion experiment: the paper's headline
+// data sets arrive sorted (sequential integers, the sorted n-gram corpus),
+// and the bulk path exploits that by building container streams append-only
+// instead of editing them per key. The experiment measures the same ingest
+// three ways per data set — a sequential per-key Put loop, BulkLoad into an
+// empty store, and BulkLoad merging into a half-populated store — and
+// reports ops/s plus bytes/key (right-sized containers should not cost
+// memory; Figure 14's footprint metric must stay flat or improve).
+
+// BulkloadRow is one (data set, mode) measurement.
+type BulkloadRow struct {
+	Dataset string `json:"dataset"`
+	// Mode is "perkey" (sequential Put loop), "bulk" (BulkLoad into an
+	// empty store) or "bulk-merge" (store pre-populated with every second
+	// key per-key — untimed — then the other half bulk-merged).
+	Mode        string  `json:"mode"`
+	Keys        int     `json:"keys"` // keys ingested during the timed phase
+	Seconds     float64 `json:"seconds"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	BytesPerKey float64 `json:"bytes_per_key"` // final footprint / total keys
+	// SpeedupVsPerKey compares this row's ops/s against the same data set's
+	// per-key row (1.0 for the per-key row itself).
+	SpeedupVsPerKey float64 `json:"speedup_vs_perkey"`
+}
+
+// BulkloadResult is the full bulk-ingestion experiment.
+type BulkloadResult struct {
+	ID    string        `json:"id"`
+	Title string        `json:"title"`
+	Rows  []BulkloadRow `json:"rows"`
+}
+
+// RunBulkload measures sorted-run ingestion throughput: per-key puts vs the
+// append-only bulk path, per data set, single store (one arena) so the
+// comparison isolates the ingestion machinery rather than parallelism.
+func RunBulkload(cfg Config) BulkloadResult {
+	res := BulkloadResult{
+		ID:    "bulkload",
+		Title: fmt.Sprintf("Bulk ingestion: sorted-run ops/s, per-key Put vs BulkLoad (%d string / %d integer keys)", cfg.StringKeys, cfg.IntKeys),
+	}
+	datasets := []struct {
+		name string
+		ds   *workload.Dataset
+		opts hyperion.Options
+	}{
+		{"sorted-ngram", workload.NGrams(workload.NGramOptions{N: cfg.StringKeys, MaxWords: 5, Seed: cfg.Seed}).Sorted(), hyperion.DefaultOptions()},
+		{"sequential-int", workload.SequentialIntegers(cfg.IntKeys), hyperion.IntegerOptions()},
+	}
+	for _, d := range datasets {
+		n := d.ds.Len()
+		pairs := make([]hyperion.Pair, n)
+		for i := range pairs {
+			pairs[i] = hyperion.Pair{Key: d.ds.Key(i), Value: d.ds.Value(i)}
+		}
+
+		// Per-key baseline: the sequential Put loop every experiment used
+		// before the bulk path existed.
+		perkey := hyperion.New(d.opts)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			perkey.Put(d.ds.Key(i), d.ds.Value(i))
+		}
+		perkeySec := time.Since(start).Seconds()
+		stored := perkey.Len()
+		res.Rows = append(res.Rows, bulkloadRow(d.name, "perkey", n, perkeySec, perkey, stored, perkeySec))
+
+		// Bulk into an empty store.
+		bulk := hyperion.New(d.opts)
+		start = time.Now()
+		bulk.BulkLoad(pairs)
+		bulkSec := time.Since(start).Seconds()
+		if bulk.Len() != stored {
+			panic(fmt.Sprintf("bench: bulk load stored %d keys, per-key stored %d", bulk.Len(), stored))
+		}
+		res.Rows = append(res.Rows, bulkloadRow(d.name, "bulk", n, bulkSec, bulk, stored, perkeySec))
+
+		// Bulk merge into a half-populated store: every second pair is
+		// pre-loaded per-key (untimed), the other half bulk-merges.
+		merge := hyperion.New(d.opts)
+		var half []hyperion.Pair
+		for i := 0; i < n; i++ {
+			if i%2 == 0 {
+				merge.Put(d.ds.Key(i), d.ds.Value(i))
+			} else {
+				half = append(half, pairs[i])
+			}
+		}
+		start = time.Now()
+		merge.BulkLoad(half)
+		mergeSec := time.Since(start).Seconds()
+		if merge.Len() != stored {
+			panic(fmt.Sprintf("bench: bulk merge stored %d keys, per-key stored %d", merge.Len(), stored))
+		}
+		// The merge row's speedup compares per-key time scaled to the merged
+		// half against the merge time.
+		res.Rows = append(res.Rows, bulkloadRow(d.name, "bulk-merge", len(half), mergeSec, merge, stored, perkeySec*float64(len(half))/float64(n)))
+	}
+	return res
+}
+
+func bulkloadRow(dataset, mode string, keys int, sec float64, store *hyperion.Store, stored int, baselineSec float64) BulkloadRow {
+	row := BulkloadRow{
+		Dataset: dataset,
+		Mode:    mode,
+		Keys:    keys,
+		Seconds: sec,
+	}
+	if sec > 0 {
+		row.OpsPerSec = float64(keys) / sec
+		row.SpeedupVsPerKey = baselineSec / sec
+	}
+	if stored > 0 {
+		row.BytesPerKey = float64(store.MemoryFootprint()) / float64(stored)
+	}
+	return row
+}

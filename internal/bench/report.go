@@ -159,3 +159,19 @@ func WriteAblation(w io.Writer, a AblationResult) {
 			r.Variant, r.KPI.PutsMOPS, r.KPI.GetsMOPS, r.KPI.RangeSeconds, mib(r.KPI.SelfMemory), r.KPI.BytesPerKey, r.Stats.Splits, r.Stats.DeltaEncodedNodes)
 	}
 }
+
+// WriteBulkload renders the bulk-ingestion comparison. Reading the output:
+// the "bulk" row's speedup is the headline (append-only container building
+// vs the per-key edit machinery on the same sorted run), "bulk-merge" shows
+// what remains of it when the run merges into an existing tree, and B/key
+// must stay at or below the per-key row — right-sized containers should
+// tighten the Figure 14 footprint, never inflate it.
+func WriteBulkload(w io.Writer, b BulkloadResult) {
+	fmt.Fprintf(w, "\n%s\n", b.Title)
+	fmt.Fprintf(w, "  %-16s %-12s %12s %10s %14s %10s %10s\n",
+		"Dataset", "mode", "keys", "seconds", "ops/s", "B/key", "speedup")
+	for _, r := range b.Rows {
+		fmt.Fprintf(w, "  %-16s %-12s %12d %10.3f %14.0f %10.1f %9.2fx\n",
+			r.Dataset, r.Mode, r.Keys, r.Seconds, r.OpsPerSec, r.BytesPerKey, r.SpeedupVsPerKey)
+	}
+}

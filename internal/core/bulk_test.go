@@ -1,0 +1,285 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// sortedRun generates n distinct random keys in sorted order, with lengths
+// and alphabets chosen to exercise shared prefixes, path compression,
+// embedded containers and (at larger n) container splits.
+func sortedRun(rng *rand.Rand, n, maxLen, alphabet int) ([][]byte, []uint64) {
+	seen := make(map[string]bool, n)
+	out := make([][]byte, 0, n)
+	for len(out) < n {
+		l := 1 + rng.Intn(maxLen)
+		k := make([]byte, l)
+		for i := range k {
+			k[i] = byte(rng.Intn(alphabet))
+		}
+		if seen[string(k)] {
+			continue
+		}
+		seen[string(k)] = true
+		out = append(out, k)
+	}
+	sort.Slice(out, func(a, b int) bool { return bytes.Compare(out[a], out[b]) < 0 })
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+	}
+	return out, vals
+}
+
+// collect gathers every (key, value) pair of the tree in Range order.
+func collect(t *Tree) (ks [][]byte, vs []uint64) {
+	t.Each(func(key []byte, value uint64, hasValue bool) bool {
+		ks = append(ks, append([]byte(nil), key...))
+		vs = append(vs, value)
+		return true
+	})
+	return ks, vs
+}
+
+// checkEqualTrees asserts that bulk and ref hold identical content.
+func checkEqualTrees(t *testing.T, bulk, ref *Tree) {
+	t.Helper()
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("bulk tree invariants: %v", err)
+	}
+	if bulk.Len() != ref.Len() {
+		t.Fatalf("key count: bulk %d, per-key %d", bulk.Len(), ref.Len())
+	}
+	bk, bv := collect(bulk)
+	rk, rv := collect(ref)
+	if len(bk) != len(rk) {
+		t.Fatalf("range count: bulk %d, per-key %d", len(bk), len(rk))
+	}
+	for i := range bk {
+		if !bytes.Equal(bk[i], rk[i]) {
+			t.Fatalf("range key %d: bulk %q, per-key %q", i, bk[i], rk[i])
+		}
+		if bv[i] != rv[i] {
+			t.Fatalf("range value %d (key %q): bulk %d, per-key %d", i, bk[i], bv[i], rv[i])
+		}
+	}
+}
+
+func TestBulkLoadMatchesPerKeyPut(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		cfg      Config
+		n        int
+		maxLen   int
+		alphabet int
+	}{
+		{"default-shallow", DefaultConfig(), 3000, 6, 4},
+		{"default-deep", DefaultConfig(), 2000, 24, 3},
+		{"default-wide", DefaultConfig(), 4000, 4, 200},
+		{"integer-tuned", IntegerConfig(), 3000, 9, 6},
+		{"minimal", MinimalConfig(), 1500, 8, 5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			ks, vs := sortedRun(rng, tc.n, tc.maxLen, tc.alphabet)
+
+			bulk := New(tc.cfg)
+			bulk.BulkLoad(ks, vs)
+			ref := New(tc.cfg)
+			for i := range ks {
+				ref.Put(ks[i], vs[i])
+			}
+			checkEqualTrees(t, bulk, ref)
+			for i := range ks {
+				if v, ok := bulk.Get(ks[i]); !ok || v != vs[i] {
+					t.Fatalf("Get(%q) = %d,%v, want %d", ks[i], v, ok, vs[i])
+				}
+			}
+		})
+	}
+}
+
+func TestBulkLoadMergesIntoExistingTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 8; round++ {
+		cfg := DefaultConfig()
+		if round%2 == 1 {
+			cfg = IntegerConfig()
+		}
+		base, baseVals := sortedRun(rng, 1200, 10, 3+round)
+		run, runVals := sortedRun(rng, 1500, 12, 3+round)
+		// Overlap a third of the run with existing keys (new values) to
+		// exercise the overwrite path.
+		for i := 0; i < len(run); i += 3 {
+			run[i] = base[rng.Intn(len(base))]
+		}
+		run, runVals = dedupSorted(run, runVals)
+
+		bulk := New(cfg)
+		ref := New(cfg)
+		for i := range base {
+			bulk.Put(base[i], baseVals[i])
+			ref.Put(base[i], baseVals[i])
+		}
+		bulk.BulkLoad(run, runVals)
+		for i := range run {
+			ref.Put(run[i], runVals[i])
+		}
+		checkEqualTrees(t, bulk, ref)
+	}
+}
+
+// dedupSorted re-sorts the run and drops duplicate keys (keeping the last
+// value, matching put-overwrite semantics).
+func dedupSorted(ks [][]byte, vs []uint64) ([][]byte, []uint64) {
+	idx := make([]int, len(ks))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return bytes.Compare(ks[idx[a]], ks[idx[b]]) < 0 })
+	var outK [][]byte
+	var outV []uint64
+	for _, i := range idx {
+		if len(outK) > 0 && bytes.Equal(outK[len(outK)-1], ks[i]) {
+			outV[len(outV)-1] = vs[i]
+			continue
+		}
+		outK = append(outK, ks[i])
+		outV = append(outV, vs[i])
+	}
+	return outK, outV
+}
+
+func TestBulkLoadSequentialIntegersSplits(t *testing.T) {
+	const n = 200_000
+	cfg := IntegerConfig()
+	bulk := New(cfg)
+	ks := make([][]byte, n)
+	vs := make([]uint64, n)
+	blob := make([]byte, n*keys.Uint64Size)
+	for i := 0; i < n; i++ {
+		b := blob[i*keys.Uint64Size : (i+1)*keys.Uint64Size]
+		keys.PutUint64(b, uint64(i))
+		ks[i] = b
+		vs[i] = uint64(i)
+	}
+	bulk.BulkLoad(ks, vs)
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after sequential bulk load: %v", err)
+	}
+	if got := bulk.Len(); got != n {
+		t.Fatalf("Len = %d, want %d", got, n)
+	}
+	for i := 0; i < n; i += 97 {
+		if v, ok := bulk.Get(ks[i]); !ok || v != uint64(i) {
+			t.Fatalf("Get(key %d) = %d,%v", i, v, ok)
+		}
+	}
+	// A second bulk load of the same run must be a pure overwrite.
+	for i := range vs {
+		vs[i] = uint64(i) * 3
+	}
+	bulk.BulkLoad(ks, vs)
+	if got := bulk.Len(); got != n {
+		t.Fatalf("Len after overwrite = %d, want %d", got, n)
+	}
+	if v, ok := bulk.Get(ks[12345]); !ok || v != 12345*3 {
+		t.Fatalf("overwritten value = %d,%v", v, ok)
+	}
+	if err := bulk.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after overwrite bulk load: %v", err)
+	}
+}
+
+func TestBulkLoadLongKeysAndSingleKeyRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	bulk := New(cfg)
+	ref := New(cfg)
+	var ks [][]byte
+	var vs []uint64
+	// Keys far beyond the 127-byte PC limit force chained child containers.
+	for i := 0; i < 40; i++ {
+		k := bytes.Repeat([]byte{byte('a' + i%3)}, 200+i)
+		k = append(k, byte(i))
+		ks = append(ks, k)
+		vs = append(vs, uint64(i))
+	}
+	ks, vs = dedupSorted(ks, vs)
+	bulk.BulkLoad(ks, vs)
+	for i := range ks {
+		ref.Put(ks[i], vs[i])
+	}
+	checkEqualTrees(t, bulk, ref)
+
+	// Single-key run on an empty and then a populated tree.
+	one := New(cfg)
+	one.BulkLoad([][]byte{[]byte("solo")}, []uint64{9})
+	if v, ok := one.Get([]byte("solo")); !ok || v != 9 {
+		t.Fatalf("single bulk key: %d %v", v, ok)
+	}
+	one.BulkLoad([][]byte{[]byte("solo2")}, []uint64{10})
+	if v, ok := one.Get([]byte("solo2")); !ok || v != 10 {
+		t.Fatalf("merged single bulk key: %d %v", v, ok)
+	}
+	if err := one.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadStatsKeysConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	ks, vs := sortedRun(rng, 5000, 14, 8)
+	tr := New(DefaultConfig())
+	half := len(ks) / 2
+	tr.BulkLoad(ks[:half], vs[:half])
+	tr.BulkLoad(ks[half:], vs[half:])
+	if got := tr.Len(); got != int64(len(ks)) {
+		t.Fatalf("Len = %d, want %d", got, len(ks))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBulkLoadSequential(b *testing.B) {
+	const n = 100_000
+	ks := make([][]byte, n)
+	vs := make([]uint64, n)
+	blob := make([]byte, n*keys.Uint64Size)
+	for i := 0; i < n; i++ {
+		kb := blob[i*keys.Uint64Size : (i+1)*keys.Uint64Size]
+		keys.PutUint64(kb, uint64(i))
+		ks[i] = kb
+		vs[i] = uint64(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for it := 0; it < b.N; it++ {
+		tr := New(IntegerConfig())
+		tr.BulkLoad(ks, vs)
+		if tr.Len() != n {
+			b.Fatal("short load")
+		}
+	}
+}
+
+func ExampleTree_BulkLoad() {
+	tr := New(DefaultConfig())
+	tr.BulkLoad(
+		[][]byte{[]byte("alpha"), []byte("beta"), []byte("gamma")},
+		[]uint64{1, 2, 3},
+	)
+	tr.Each(func(key []byte, value uint64, hasValue bool) bool {
+		fmt.Printf("%s=%d\n", key, value)
+		return true
+	})
+	// Output:
+	// alpha=1
+	// beta=2
+	// gamma=3
+}

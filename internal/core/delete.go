@@ -231,7 +231,7 @@ func (t *Tree) pruneTNode(e *editCtx, tPos int) (empty bool) {
 // keyOfTNode decodes the absolute key of the T-Node at tPos by scanning the
 // stream from the start (only used on the cold delete path).
 func (t *Tree) keyOfTNode(buf []byte, reg region, tPos int) byte {
-	positions, keys := countTNodes(buf, reg)
+	positions, keys := t.tNodes(buf, reg)
 	for i, p := range positions {
 		if p == tPos {
 			return keys[i]
@@ -242,7 +242,7 @@ func (t *Tree) keyOfTNode(buf []byte, reg region, tPos int) byte {
 
 // keyOfNode decodes the absolute key of the S-Node at sPos below tPos.
 func (t *Tree) keyOfNode(buf []byte, reg region, tPos, sPos int) byte {
-	positions, keys := countSNodes(buf, reg, tPos)
+	positions, keys := t.sNodes(buf, reg, tPos)
 	for i, p := range positions {
 		if p == sPos {
 			return keys[i]

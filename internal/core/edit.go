@@ -158,12 +158,17 @@ func (e *editCtx) streamRegion() region {
 func roundUp32(n int) int { return (n + 31) &^ 31 }
 
 // makeRoom grows the top-level container until at least n free bytes are
-// available. Containers grow in 32-byte increments (paper §3.2).
-func (e *editCtx) makeRoom(n int) {
+// available and returns the resulting free-byte count WITHOUT writing it to
+// the header: the free field is 8 bits, and for bulk-sized insertions the
+// transient "grown but not yet filled" state (up to n+31 free bytes) cannot
+// be represented. The caller (insertBytes) stores the post-insertion value,
+// which is always back in range. Containers grow in 32-byte increments
+// (paper §3.2) straight to the final size — one reallocation, not a ladder.
+func (e *editCtx) makeRoom(n int) int {
 	buf := e.buf
 	free := ctrFree(buf)
 	if free >= n {
-		return
+		return free
 	}
 	size := ctrSize(buf)
 	content := size - free
@@ -171,22 +176,15 @@ func (e *editCtx) makeRoom(n int) {
 	if newSize > maxContainerSize {
 		panic("core: container exceeds the 19-bit size limit; splitting must be enabled for such workloads")
 	}
-	if newSize <= e.slot.capacity(e.t) {
-		// The granted capacity already covers the new logical size.
-		for i := size; i < newSize; i++ {
-			buf[i] = 0
-		}
-		setCtrSize(buf, newSize)
-		setCtrFree(buf, newSize-content)
-		return
+	if newSize > e.slot.capacity(e.t) {
+		buf = e.slot.grow(e.t, newSize)
+		e.buf = buf
 	}
-	buf = e.slot.grow(e.t, newSize)
 	for i := size; i < newSize && i < len(buf); i++ {
 		buf[i] = 0
 	}
-	e.buf = buf
 	setCtrSize(buf, newSize)
-	setCtrFree(buf, newSize-content)
+	return newSize - content
 }
 
 // wouldOverflowEmbedded returns the depth of the outermost embedded
@@ -211,12 +209,12 @@ func (e *editCtx) insertBytes(p int, data []byte) {
 	if n == 0 {
 		return
 	}
-	e.makeRoom(n)
+	free := e.makeRoom(n)
 	buf := e.buf
-	end := ctrContentEnd(buf)
+	end := ctrSize(buf) - free
 	copy(buf[p+n:end+n], buf[p:end])
 	copy(buf[p:p+n], data)
-	setCtrFree(buf, ctrFree(buf)-n)
+	setCtrFree(buf, free-n)
 	for i := 0; i < e.embLen; i++ {
 		buf[e.embAt(i).sizePos] += byte(n)
 	}

@@ -38,7 +38,7 @@ func (t *Tree) rebuildTNodeJT(buf []byte, reg region, tPos int) {
 	if !tHasJT(buf[tPos]) {
 		return
 	}
-	positions, keys := countSNodes(buf, reg, tPos)
+	positions, keys := t.sNodes(buf, reg, tPos)
 	for i := 0; i < tJTEntries; i++ {
 		setTNodeJTEntry(buf, tPos, i, 0, 0)
 	}
@@ -86,7 +86,7 @@ func (t *Tree) rebuildContainerJT(buf []byte) {
 	if entries == 0 {
 		return
 	}
-	positions, keys := countTNodes(buf, topRegion(buf))
+	positions, keys := t.tNodes(buf, topRegion(buf))
 	for i := 0; i < entries; i++ {
 		setCtrJTEntry(buf, i, 0, 0)
 	}

@@ -59,14 +59,19 @@ func scanT(buf []byte, reg region, k0 byte, useCtrJT bool) tScan {
 		steps := ctrJTSteps(buf)
 		best := -1
 		bestKey := byte(0)
+		// Valid entries are stored in ascending key order (the table is only
+		// ever written by rebuildContainerJT; deletions punch zero holes but
+		// never reorder), so the probe stops at the first key beyond k0
+		// instead of scanning all steps*7 entries.
 		for i := 0; i < steps*ctrJTStep; i++ {
 			key, off := ctrJTEntry(buf, i)
 			if off == 0 {
 				continue
 			}
-			if key <= k0 && (best < 0 || key >= bestKey) {
-				best, bestKey = off, key
+			if key > k0 {
+				break
 			}
+			best, bestKey = off, key
 		}
 		if best > 0 && best >= reg.start && best < reg.end {
 			pos = best
@@ -160,14 +165,18 @@ func scanS(buf []byte, reg region, tPos int, k1 byte) sScan {
 	if tHasJT(tHdr) {
 		best := -1
 		bestKey := byte(0)
+		// Like the container jump table, T-Node jump table entries are
+		// key-ordered (written only by rebuildTNodeJT), so the probe
+		// early-exits once key > k1.
 		for i := 0; i < tJTEntries; i++ {
 			key, off := tNodeJTEntry(buf, tPos, i)
 			if off == 0 {
 				continue
 			}
-			if key <= k1 && (best < 0 || key >= bestKey) {
-				best, bestKey = off, key
+			if key > k1 {
+				break
 			}
+			best, bestKey = off, key
 		}
 		if best > 0 && tPos+best < reg.end {
 			pos = tPos + best
@@ -217,9 +226,11 @@ func scanS(buf []byte, reg region, tPos int, k1 byte) sScan {
 	return res
 }
 
-// countTNodes walks the whole stream and returns the positions and keys of
-// every T-Node. It is used to (re)build jump tables and to split containers.
-func countTNodes(buf []byte, reg region) (positions []int, keys []byte) {
+// countTNodes walks the whole stream and appends the positions and keys of
+// every T-Node to the given slices. It is used to (re)build jump tables and
+// to split containers; hot callers pass a per-Tree scratch (Tree.tNodes) so
+// every jump-table rebuild does not heap-allocate two fresh slices.
+func countTNodes(buf []byte, reg region, positions []int, keys []byte) ([]int, []byte) {
 	pos := reg.start
 	prevKey := -1
 	for pos < reg.end {
@@ -240,9 +251,9 @@ func countTNodes(buf []byte, reg region) (positions []int, keys []byte) {
 	return positions, keys
 }
 
-// countSNodes returns the positions and keys of every S-Node child of the
-// T-Node at tPos.
-func countSNodes(buf []byte, reg region, tPos int) (positions []int, keys []byte) {
+// countSNodes appends the positions and keys of every S-Node child of the
+// T-Node at tPos (same scratch convention as countTNodes; Tree.sNodes).
+func countSNodes(buf []byte, reg region, tPos int, positions []int, keys []byte) ([]int, []byte) {
 	pos := tPos + tNodeHeadSize(buf[tPos])
 	prevKey := -1
 	for pos < reg.end {
@@ -257,4 +268,19 @@ func countSNodes(buf []byte, reg region, tPos int) (positions []int, keys []byte
 		pos += sNodeSize(buf, pos)
 	}
 	return positions, keys
+}
+
+// tNodes is the scratch-reusing form of countTNodes: the returned slices are
+// owned by the tree and valid until the next tNodes call. Callers must not
+// hold them across another tNodes-using operation.
+func (t *Tree) tNodes(buf []byte, reg region) ([]int, []byte) {
+	t.tPosScratch, t.tKeyScratch = countTNodes(buf, reg, t.tPosScratch[:0], t.tKeyScratch[:0])
+	return t.tPosScratch, t.tKeyScratch
+}
+
+// sNodes is the scratch-reusing form of countSNodes (separate scratch from
+// tNodes, so a caller may hold a tNodes result across an sNodes call).
+func (t *Tree) sNodes(buf []byte, reg region, tPos int) ([]int, []byte) {
+	t.sPosScratch, t.sKeyScratch = countSNodes(buf, reg, tPos, t.sPosScratch[:0], t.sKeyScratch[:0])
+	return t.sPosScratch, t.sKeyScratch
 }

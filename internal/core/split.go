@@ -42,7 +42,7 @@ func (t *Tree) abortSplit(buf []byte) {
 // boundary into two parts stored in a chained extended bin.
 func (t *Tree) splitContainer(slot *containerSlot, k0 byte, buf []byte, force bool) bool {
 	reg := topRegion(buf)
-	positions, keys := countTNodes(buf, reg)
+	positions, keys := t.tNodes(buf, reg)
 	if len(positions) < 2 {
 		t.abortSplit(buf)
 		return false
@@ -169,11 +169,14 @@ func extractStream(t *Tree, buf []byte, from, to int, firstKey int) []byte {
 }
 
 // writeChainSlot (re)initialises one chained chunk with a fresh container
-// holding the given node stream.
+// holding the given node stream. The slot is allocated at its exact final
+// size with the old content discarded (ReplaceChainedSlot): the container is
+// rewritten wholesale, so neither a copy of the old bytes nor a grow ladder
+// towards the target size would do any work.
 func (t *Tree) writeChainSlot(chain memman.HP, idx int, content []byte) {
 	need := containerHeaderSize + len(content)
 	size := roundUp32(need)
-	buf := t.alloc.SetChainedSlot(chain, idx, size)
+	buf := t.alloc.ReplaceChainedSlot(chain, idx, size)
 	initContainer(buf, size, len(content))
 	copy(buf[containerHeaderSize:], content)
 }

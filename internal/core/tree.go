@@ -19,6 +19,20 @@ type Tree struct {
 	emptyExists bool
 	emptyHas    bool
 	emptyValue  uint64
+
+	// Reused node-census scratch (tNodes/sNodes in scan.go): jump-table
+	// rebuilds and container splits walk whole streams and used to allocate
+	// fresh positions/keys slices on every rebuild. The slices stay on the
+	// tree (which is heap-resident anyway), so steady-state rebuilds are
+	// allocation-free once the scratch has grown to the working-set size.
+	tPosScratch []int
+	tKeyScratch []byte
+	sPosScratch []int
+	sKeyScratch []byte
+
+	// bulkScratch is the reusable stream-assembly buffer of the bulk
+	// ingestion path (bulk.go).
+	bulkScratch []byte
 }
 
 // New creates an empty tree with its own memory manager.

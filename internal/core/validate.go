@@ -70,12 +70,18 @@ func (t *Tree) checkContainer(buf []byte, keys *int64) error {
 		return err
 	}
 	// Container jump table entries must reference existing T-Nodes with the
-	// recorded key.
+	// recorded key, and valid entries must be in ascending key order (the
+	// scan probes early-exit on the first key beyond the target).
+	prevJTKey := -1
 	for i := 0; i < ctrJTSteps(buf)*ctrJTStep; i++ {
 		key, off := ctrJTEntry(buf, i)
 		if off == 0 {
 			continue
 		}
+		if int(key) <= prevJTKey {
+			return fmt.Errorf("container JT entry %d: key %d not above predecessor %d", i, key, prevJTKey)
+		}
+		prevJTKey = int(key)
 		found := false
 		for j, p := range tPositions {
 			if p == off {
@@ -198,12 +204,20 @@ func (t *Tree) checkStream(buf []byte, reg region, topLevel bool, keys *int64) (
 		if !tHasJT(buf[tPos]) {
 			continue
 		}
-		sPositions, sKeys := countSNodes(buf, reg, tPos)
+		// The validator allocates its own slices instead of the tree scratch:
+		// it runs concurrently with nothing, but must not clobber scratch a
+		// caller may still hold.
+		sPositions, sKeys := countSNodes(buf, reg, tPos, nil, nil)
+		prevJTKey := -1
 		for j := 0; j < tJTEntries; j++ {
 			key, off := tNodeJTEntry(buf, tPos, j)
 			if off == 0 {
 				continue
 			}
+			if int(key) <= prevJTKey {
+				return nil, nil, fmt.Errorf("T-Node %d: JT entry %d key %d not above predecessor %d", tPos, j, key, prevJTKey)
+			}
+			prevJTKey = int(key)
 			target := tPos + off
 			ok := false
 			for k, sp := range sPositions {

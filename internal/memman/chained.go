@@ -111,6 +111,24 @@ func (a *Allocator) SetChainedSlot(hp HP, slot int, size int) []byte {
 	return nb
 }
 
+// ReplaceChainedSlot allocates the slot's buffer for exactly size bytes
+// WITHOUT preserving its previous content. It is the size-hint path of the
+// split and bulk-ingestion writers: both overwrite the slot wholesale
+// immediately afterwards, so SetChainedSlot's copy of the old content (and
+// any grow ladder towards the final size) would be pure waste. One chunk
+// request at the known final size replaces it.
+func (a *Allocator) ReplaceChainedSlot(hp HP, slot, size int) []byte {
+	e := a.chainEntry(hp, slot)
+	granted := roundExtended(size)
+	if granted != len(e.buf) {
+		a.extBytes += int64(granted - len(e.buf))
+		e.buf = make([]byte, granted)
+	}
+	a.requestedExt += int64(size) - int64(e.requested)
+	e.requested = int32(size)
+	return e.buf
+}
+
 // ClearChainedSlot releases the buffer of the given slot, making it void
 // again. The chain itself remains allocated.
 func (a *Allocator) ClearChainedSlot(hp HP, slot int) {
