@@ -11,10 +11,11 @@
 //	hyperion-bench -experiment concurrency -scale medium -json results/
 //	hyperion-bench -experiment latency -scale small -json results/
 //	hyperion-bench -experiment bulkload -scale medium -json results/
+//	hyperion-bench -experiment recovery -scale medium -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// concurrency, latency, bulkload, all. See DESIGN.md for the mapping of each
-// experiment to the paper.
+// concurrency, latency, bulkload, recovery, all. See DESIGN.md for the
+// mapping of each experiment to the paper.
 //
 // With -json DIR every selected experiment additionally writes a
 // machine-readable BENCH_<experiment>.json file (ops/s, footprint per
@@ -50,7 +51,7 @@ func parseIntList(flagName, s string) []int {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|all")
 		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
 		strKeys     = flag.Int("strings", 0, "override: number of string keys")
 		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
@@ -219,6 +220,14 @@ func main() {
 		run("Bulk ingestion: per-key Put vs BulkLoad on sorted runs", func() {
 			res := bench.RunBulkload(cfg)
 			bench.WriteBulkload(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("recovery") {
+		ran = true
+		run("Recovery: snapshot save/restore vs per-key re-ingestion", func() {
+			res := bench.RunRecovery(cfg)
+			bench.WriteRecovery(out, res)
 			emit(res.ID, res)
 		})
 	}

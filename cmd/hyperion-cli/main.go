@@ -13,6 +13,9 @@
 //	prefix <p> [n]        list up to n keys with prefix p
 //	load <file>           bulk-ingest "key value" (or bare "key") lines; the
 //	                      run is sorted and fed to the append-only bulk path
+//	save <file>           write a durable snapshot (atomic temp file + rename)
+//	restore <file>        replace the store with a snapshot's content; the
+//	                      sorted sections restore at bulk-ingest speed
 //	len                   number of stored keys
 //	stats                 engine counters (containers, deltas, PC nodes, ...)
 //	mem                   allocator summary and per-superbin usage
@@ -100,7 +103,8 @@ func main() {
 			return
 		case "help":
 			fmt.Println("put <key> <value> | putkey <key> | get <key> | del <key> | has <key> |")
-			fmt.Println("range <start> [n] | prefix <p> [n] | load <file> | len | stats | mem | quit")
+			fmt.Println("range <start> [n] | prefix <p> [n] | load <file> | save <file> |")
+			fmt.Println("restore <file> | len | stats | mem | quit")
 		case "put":
 			if len(args) != 2 {
 				fmt.Println("usage: put <key> <value>")
@@ -184,6 +188,35 @@ func main() {
 			start := time.Now()
 			store.BulkLoad(pairs)
 			fmt.Printf("loaded %d pairs in %v (%d keys stored)\n", len(pairs), time.Since(start).Round(time.Microsecond), store.Len())
+		case "save":
+			if len(args) != 1 {
+				fmt.Println("usage: save <file>")
+				continue
+			}
+			start := time.Now()
+			saved, err := store.SaveFile(args[0])
+			if err != nil {
+				fmt.Println("save:", err)
+				continue
+			}
+			size := int64(0)
+			if fi, err := os.Stat(args[0]); err == nil {
+				size = fi.Size()
+			}
+			fmt.Printf("saved %d keys (%d bytes) in %v\n", saved, size, time.Since(start).Round(time.Microsecond))
+		case "restore":
+			if len(args) != 1 {
+				fmt.Println("usage: restore <file>")
+				continue
+			}
+			start := time.Now()
+			restored, err := hyperion.LoadFile(args[0], opts)
+			if err != nil {
+				fmt.Println("restore:", err)
+				continue
+			}
+			store = restored
+			fmt.Printf("restored %d keys in %v\n", store.Len(), time.Since(start).Round(time.Microsecond))
 		case "len":
 			fmt.Println(store.Len())
 		case "stats":
@@ -208,5 +241,11 @@ func main() {
 		default:
 			fmt.Println("unknown command; type 'help'")
 		}
+	}
+	// A false Scan is clean EOF only when Err is nil: an over-long input line
+	// (bufio.ErrTooLong) or a read failure must not exit silently.
+	if err := scanner.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "read stdin:", err)
+		os.Exit(1)
 	}
 }

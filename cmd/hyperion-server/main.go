@@ -16,6 +16,8 @@
 //	RANGE <start> <n>            -> +<k> lines "<key> <value>", terminated by "."
 //	LEN                          -> +<count>
 //	STATS                        -> one line of engine counters
+//	SAVE <path>                  -> +<n keys saved> | -ERR ...
+//	RESTORE <path>               -> +<n keys restored> | -ERR ...
 //	QUIT                         -> closes the connection
 //
 // MPUT and MGET are the pipelined batch commands: the whole batch is handed
@@ -26,34 +28,77 @@
 // hyperion.BulkLoad's append-only fast path (unsorted input transparently
 // falls back to per-key puts), the right command for restoring dumps and
 // loading pre-sorted data sets.
+//
+// SAVE writes a durable snapshot to a server-local path (atomic temp file +
+// rename; safe while other connections keep writing, see hyperion.Save).
+// RESTORE rebuilds the store from such a snapshot through the bulk-ingestion
+// fast path and atomically swaps it in; in-flight commands on other
+// connections finish against the store they started with. Both are operator
+// commands that touch the server's filesystem: with -snapshot-dir set,
+// client-supplied paths are confined to that directory (path-escaping
+// arguments are rejected); without it, any server-local path is accepted —
+// keep the listener on loopback or front it with auth in that mode.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/hyperion"
 )
 
 type server struct {
+	opts hyperion.Options
+
+	// snapDir, when non-empty, confines SAVE/RESTORE to one directory.
+	snapDir string
+
+	// mu guards the store pointer, not the store: commands snapshot the
+	// pointer once per line, RESTORE swaps it.
+	mu    sync.RWMutex
 	store *hyperion.Store
+}
+
+// current returns the store the next command should run against.
+func (s *server) current() *hyperion.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
+// snapshotPath validates a client-supplied SAVE/RESTORE argument. With a
+// configured snapshot directory the argument must be a local, non-escaping
+// relative path (no "..", no absolute or rooted form) and resolves inside
+// that directory; without one, the argument is trusted as-is.
+func (s *server) snapshotPath(arg string) (string, error) {
+	if s.snapDir == "" {
+		return arg, nil
+	}
+	if !filepath.IsLocal(arg) {
+		return "", fmt.Errorf("path %q escapes the snapshot directory", arg)
+	}
+	return filepath.Join(s.snapDir, arg), nil
 }
 
 func main() {
 	var (
-		addr   = flag.String("addr", "127.0.0.1:7411", "listen address")
-		arenas = flag.Int("arenas", 16, "number of arenas (coarse-grained parallelism)")
+		addr    = flag.String("addr", "127.0.0.1:7411", "listen address")
+		arenas  = flag.Int("arenas", 16, "number of arenas (coarse-grained parallelism)")
+		snapDir = flag.String("snapshot-dir", "", "confine SAVE/RESTORE paths to this directory (empty: any server-local path)")
 	)
 	flag.Parse()
 
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = *arenas
-	s := &server{store: hyperion.New(opts)}
+	s := &server{opts: opts, snapDir: *snapDir, store: hyperion.New(opts)}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -83,6 +128,7 @@ func (s *server) handle(conn net.Conn) {
 		}
 		cmd := strings.ToUpper(fields[0])
 		args := fields[1:]
+		store := s.current()
 		switch cmd {
 		case "QUIT":
 			fmt.Fprintln(w, "+BYE")
@@ -98,14 +144,14 @@ func (s *server) handle(conn net.Conn) {
 				fmt.Fprintln(w, "-ERR bad value")
 				break
 			}
-			s.store.Put([]byte(args[0]), v)
+			store.Put([]byte(args[0]), v)
 			fmt.Fprintln(w, "+OK")
 		case "GET":
 			if len(args) != 1 {
 				fmt.Fprintln(w, "-ERR usage: GET key")
 				break
 			}
-			if v, ok := s.store.Get([]byte(args[0])); ok {
+			if v, ok := store.Get([]byte(args[0])); ok {
 				fmt.Fprintf(w, "+%d\n", v)
 			} else {
 				fmt.Fprintln(w, "-NOTFOUND")
@@ -115,7 +161,7 @@ func (s *server) handle(conn net.Conn) {
 				fmt.Fprintln(w, "-ERR usage: DEL key")
 				break
 			}
-			if s.store.Delete([]byte(args[0])) {
+			if store.Delete([]byte(args[0])) {
 				fmt.Fprintln(w, "+1")
 			} else {
 				fmt.Fprintln(w, "+0")
@@ -125,7 +171,7 @@ func (s *server) handle(conn net.Conn) {
 				fmt.Fprintln(w, "-ERR usage: HAS key")
 				break
 			}
-			if s.store.Has([]byte(args[0])) {
+			if store.Has([]byte(args[0])) {
 				fmt.Fprintln(w, "+1")
 			} else {
 				fmt.Fprintln(w, "+0")
@@ -149,7 +195,7 @@ func (s *server) handle(conn net.Conn) {
 			if bad {
 				break
 			}
-			s.store.ApplyBatch(ops)
+			store.ApplyBatch(ops)
 			fmt.Fprintf(w, "+%d\n", len(ops))
 		case "MLOAD":
 			if len(args) == 0 || len(args)%2 != 0 {
@@ -170,7 +216,7 @@ func (s *server) handle(conn net.Conn) {
 			if bad {
 				break
 			}
-			s.store.BulkLoad(pairs)
+			store.BulkLoad(pairs)
 			fmt.Fprintf(w, "+%d\n", len(pairs))
 		case "MGET":
 			if len(args) == 0 {
@@ -181,7 +227,7 @@ func (s *server) handle(conn net.Conn) {
 			for i, a := range args {
 				keys[i] = []byte(a)
 			}
-			for _, res := range s.store.GetBatch(keys) {
+			for _, res := range store.GetBatch(keys) {
 				if res.Ok {
 					fmt.Fprintf(w, "+%d\n", res.Value)
 				} else {
@@ -199,21 +245,71 @@ func (s *server) handle(conn net.Conn) {
 				break
 			}
 			count := 0
-			s.store.Range([]byte(args[0]), func(key []byte, value uint64) bool {
+			store.Range([]byte(args[0]), func(key []byte, value uint64) bool {
 				fmt.Fprintf(w, "%s %d\n", key, value)
 				count++
 				return count < limit
 			})
 			fmt.Fprintln(w, ".")
+		case "SAVE":
+			if len(args) != 1 {
+				fmt.Fprintln(w, "-ERR usage: SAVE path")
+				break
+			}
+			path, err := s.snapshotPath(args[0])
+			if err != nil {
+				fmt.Fprintf(w, "-ERR save: %v\n", err)
+				break
+			}
+			saved, err := store.SaveFile(path)
+			if err != nil {
+				fmt.Fprintf(w, "-ERR save: %v\n", err)
+				break
+			}
+			fmt.Fprintf(w, "+%d\n", saved)
+		case "RESTORE":
+			if len(args) != 1 {
+				fmt.Fprintln(w, "-ERR usage: RESTORE path")
+				break
+			}
+			path, err := s.snapshotPath(args[0])
+			if err != nil {
+				fmt.Fprintf(w, "-ERR restore: %v\n", err)
+				break
+			}
+			restored, err := hyperion.LoadFile(path, s.opts)
+			if err != nil {
+				fmt.Fprintf(w, "-ERR restore: %v\n", err)
+				break
+			}
+			// Count before publishing the store: other connections may
+			// mutate it the moment the pointer is swapped.
+			n := restored.Len()
+			s.mu.Lock()
+			s.store = restored
+			s.mu.Unlock()
+			fmt.Fprintf(w, "+%d\n", n)
 		case "LEN":
-			fmt.Fprintf(w, "+%d\n", s.store.Len())
+			fmt.Fprintf(w, "+%d\n", store.Len())
 		case "STATS":
-			st := s.store.Stats()
-			ms := s.store.MemoryStats()
+			st := store.Stats()
+			ms := store.MemoryStats()
 			fmt.Fprintf(w, "+keys=%d containers=%d embedded=%d pc=%d deltas=%d footprint_bytes=%d\n",
 				st.Keys, st.Containers, st.EmbeddedContainers, st.PathCompressed, st.DeltaEncodedNodes, ms.Footprint)
 		default:
 			fmt.Fprintln(w, "-ERR unknown command")
+		}
+		w.Flush()
+	}
+	// Scan returning false is clean EOF only when Err is nil. A protocol
+	// line exceeding the scanner buffer (easy to hit with a large MLOAD)
+	// surfaces as bufio.ErrTooLong — tell the client before closing instead
+	// of silently dropping the connection.
+	if err := r.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			fmt.Fprintln(w, "-ERR line too long")
+		} else {
+			log.Printf("read %v: %v", conn.RemoteAddr(), err)
 		}
 		w.Flush()
 	}

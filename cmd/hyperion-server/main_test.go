@@ -2,8 +2,11 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -16,7 +19,7 @@ func dialTestServer(t *testing.T, arenas int) (*bufio.Scanner, *bufio.Writer) {
 	t.Helper()
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = arenas
-	s := &server{store: hyperion.New(opts)}
+	s := &server{opts: opts, store: hyperion.New(opts)}
 	serverSide, clientSide := net.Pipe()
 	go s.handle(serverSide)
 	t.Cleanup(func() { clientSide.Close() })
@@ -130,6 +133,143 @@ func TestServerRangeAfterBatch(t *testing.T) {
 	}
 	if got := recv(t, r); got != "." {
 		t.Fatalf("RANGE terminator: %q", got)
+	}
+}
+
+// TestServerOversizedLineReportsError is the regression test for the silent
+// Scanner.Err drop: a protocol line over the 1 MiB scanner buffer must be
+// answered with -ERR before the connection closes, not swallowed.
+func TestServerOversizedLineReportsError(t *testing.T) {
+	r, w := dialTestServer(t, 4)
+	go func() {
+		// One 2 MiB MLOAD line. Writes race the server closing the
+		// connection after the scanner overflows, so errors are expected
+		// and ignored; the assertion is on the server's response.
+		w.Write([]byte("MLOAD "))
+		chunk := bytes.Repeat([]byte("k 1 "), 1024)
+		for i := 0; i < 512; i++ {
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+		}
+		w.Write([]byte("\n"))
+		w.Flush()
+	}()
+	if got := recv(t, r); got != "-ERR line too long" {
+		t.Fatalf("oversized line: got %q, want -ERR line too long", got)
+	}
+	if r.Scan() {
+		t.Fatalf("connection should close after the error, got %q", r.Text())
+	}
+}
+
+// TestServerSaveRestoreProtocol drives the durability commands end to end
+// over net.Pipe: SAVE writes a snapshot the same server can RESTORE, and the
+// restore replaces the store's content wholesale.
+func TestServerSaveRestoreProtocol(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.hyp")
+	r, w := dialTestServer(t, 8)
+
+	var sb strings.Builder
+	sb.WriteString("MLOAD")
+	for i := 0; i < 128; i++ {
+		fmt.Fprintf(&sb, " snap-%03d %d", i, i*3)
+	}
+	send(t, w, sb.String())
+	if got := recv(t, r); got != "+128" {
+		t.Fatalf("MLOAD: %q", got)
+	}
+	send(t, w, "SAVE "+path)
+	if got := recv(t, r); got != "+128" {
+		t.Fatalf("SAVE: %q", got)
+	}
+
+	// Mutate after the save; RESTORE must roll both changes back.
+	send(t, w, "DEL snap-042")
+	if got := recv(t, r); got != "+1" {
+		t.Fatalf("DEL: %q", got)
+	}
+	send(t, w, "PUT extra 1")
+	if got := recv(t, r); got != "+OK" {
+		t.Fatalf("PUT: %q", got)
+	}
+	send(t, w, "RESTORE "+path)
+	if got := recv(t, r); got != "+128" {
+		t.Fatalf("RESTORE: %q", got)
+	}
+	send(t, w, "GET snap-042")
+	if got := recv(t, r); got != "+126" {
+		t.Fatalf("GET after RESTORE: %q", got)
+	}
+	send(t, w, "HAS extra")
+	if got := recv(t, r); got != "+0" {
+		t.Fatalf("HAS extra after RESTORE: %q", got)
+	}
+	send(t, w, "LEN")
+	if got := recv(t, r); got != "+128" {
+		t.Fatalf("LEN after RESTORE: %q", got)
+	}
+
+	// Failures answer with -ERR and keep the connection usable.
+	send(t, w, "RESTORE "+filepath.Join(t.TempDir(), "missing.hyp"))
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("RESTORE missing file: %q", got)
+	}
+	send(t, w, "SAVE "+filepath.Join(t.TempDir(), "no-such-dir", "x.hyp"))
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("SAVE into missing dir: %q", got)
+	}
+	send(t, w, "SAVE")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("SAVE without path: %q", got)
+	}
+	send(t, w, "LEN")
+	if got := recv(t, r); got != "+128" {
+		t.Fatalf("LEN after errors: %q", got)
+	}
+	send(t, w, "QUIT")
+	if got := recv(t, r); got != "+BYE" {
+		t.Fatalf("QUIT: %q", got)
+	}
+}
+
+// TestServerSnapshotDirConfinement: with -snapshot-dir set, SAVE/RESTORE
+// arguments are bare names resolved inside the directory, and path-escaping
+// arguments are rejected before touching the filesystem.
+func TestServerSnapshotDirConfinement(t *testing.T) {
+	dir := t.TempDir()
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 4
+	s := &server{opts: opts, snapDir: dir, store: hyperion.New(opts)}
+	serverSide, clientSide := net.Pipe()
+	go s.handle(serverSide)
+	t.Cleanup(func() { clientSide.Close() })
+	r, w := bufio.NewScanner(clientSide), bufio.NewWriter(clientSide)
+
+	send(t, w, "PUT inside 1")
+	if got := recv(t, r); got != "+OK" {
+		t.Fatalf("PUT: %q", got)
+	}
+	for _, bad := range []string{"../escape.hyp", "/abs/path.hyp", "a/../../b.hyp"} {
+		send(t, w, "SAVE "+bad)
+		if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+			t.Fatalf("SAVE %q should be rejected, got %q", bad, got)
+		}
+		send(t, w, "RESTORE "+bad)
+		if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+			t.Fatalf("RESTORE %q should be rejected, got %q", bad, got)
+		}
+	}
+	send(t, w, "SAVE ok.hyp")
+	if got := recv(t, r); got != "+1" {
+		t.Fatalf("confined SAVE: %q", got)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ok.hyp")); err != nil {
+		t.Fatalf("snapshot not in the confined directory: %v", err)
+	}
+	send(t, w, "RESTORE ok.hyp")
+	if got := recv(t, r); got != "+1" {
+		t.Fatalf("confined RESTORE: %q", got)
 	}
 }
 

@@ -11,13 +11,17 @@ package hyperion
 
 // kvChunk is one snapshot of up to chunkSize pairs. Keys are the raw
 // (un-preprocessed) bytes of all pairs concatenated into one flat buffer
-// addressed by offs, so a freshly built chunk costs four allocations (the
-// struct plus three buffers) instead of one per key — and zero when the
-// buffers are reused via reset.
+// addressed by offs, so a freshly built chunk costs a handful of allocations
+// (the struct plus its buffers) instead of one per key — and zero when the
+// buffers are reused via reset. hasv records whether pair i carries a value
+// (Put) or is a bare key (PutKey); Range and ParallelEach report bare keys
+// with value 0 per their contract, while the snapshot writer (snapshot.go)
+// preserves the distinction on disk.
 type kvChunk struct {
 	keys []byte
 	offs []int32 // pair i's key is keys[offs[i]:offs[i+1]]
 	vals []uint64
+	hasv []bool
 }
 
 // newKVChunk allocates chunk buffers sized for n pairs of small keys.
@@ -26,6 +30,7 @@ func newKVChunk(n int) *kvChunk {
 		keys: make([]byte, 0, n*8),
 		offs: make([]int32, 1, n+1),
 		vals: make([]uint64, 0, n),
+		hasv: make([]bool, 0, n),
 	}
 	return c
 }
@@ -35,6 +40,7 @@ func (c *kvChunk) reset() {
 	c.keys = c.keys[:0]
 	c.offs = append(c.offs[:0], 0)
 	c.vals = c.vals[:0]
+	c.hasv = c.hasv[:0]
 }
 
 func (c *kvChunk) len() int { return len(c.vals) }
@@ -45,6 +51,9 @@ func (c *kvChunk) len() int { return len(c.vals) }
 func (c *kvChunk) key(i int) []byte { return c.keys[c.offs[i]:c.offs[i+1]:c.offs[i+1]] }
 
 func (c *kvChunk) value(i int) uint64 { return c.vals[i] }
+
+// hasValue reports whether pair i carries a value (false for PutKey keys).
+func (c *kvChunk) hasValue(i int) bool { return c.hasv[i] }
 
 // scanShardChunks streams sh's stored pairs with keys >= tstart (stored-key
 // space) in chunks of up to chunkSize pairs. Every chunk is filled under the
@@ -63,13 +72,14 @@ func (s *Store) scanShardChunks(sh *shard, tstart []byte, chunkSize int, abort f
 		chunk := nextChunk()
 		full := false
 		sh.mu.RLock()
-		sh.tree.Range(resume, func(k []byte, v uint64, _ bool) bool {
+		sh.tree.Range(resume, func(k []byte, v uint64, hasValue bool) bool {
 			if abort != nil && abort() {
 				return false
 			}
 			chunk.keys = s.untransformAppend(chunk.keys, k)
 			chunk.offs = append(chunk.offs, int32(len(chunk.keys)))
 			chunk.vals = append(chunk.vals, v)
+			chunk.hasv = append(chunk.hasv, hasValue)
 			if len(chunk.vals) == chunkSize {
 				// Remember the stored-form successor of this key before the
 				// lock is dropped.

@@ -1,0 +1,407 @@
+package hyperion
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// snapshotWorkload builds a reference store plus the raw content that went
+// into it: valued pairs, bare (PutKey) keys, and optionally the empty key in
+// either role.
+type snapshotWorkload struct {
+	valued []Pair
+	bare   [][]byte
+}
+
+func buildSnapshotWorkload(rng *rand.Rand, n int, emptyKeyBare bool) snapshotWorkload {
+	pairs := randomSortedPairs(rng, n, 24, 8)
+	var w snapshotWorkload
+	for i, p := range pairs {
+		if i%7 == 3 {
+			w.bare = append(w.bare, p.Key)
+		} else {
+			w.valued = append(w.valued, p)
+		}
+	}
+	if emptyKeyBare {
+		w.bare = append(w.bare, []byte{})
+	} else {
+		w.valued = append(w.valued, Pair{Key: []byte{}, Value: rng.Uint64()})
+	}
+	return w
+}
+
+func (w snapshotWorkload) populate(s *Store) {
+	for _, p := range w.valued {
+		s.Put(p.Key, p.Value)
+	}
+	for _, k := range w.bare {
+		s.PutKey(k)
+	}
+}
+
+// requireValueSemantics asserts that the valued/bare distinction survived:
+// Range reports both, but only valued keys answer Get with ok=true.
+func requireValueSemantics(t *testing.T, s *Store, w snapshotWorkload) {
+	t.Helper()
+	for _, p := range w.valued {
+		if v, ok := s.Get(p.Key); !ok || v != p.Value {
+			t.Fatalf("valued key %q: got (%d, %v), want (%d, true)", p.Key, v, ok, p.Value)
+		}
+	}
+	for _, k := range w.bare {
+		if !s.Has(k) {
+			t.Fatalf("bare key %q missing", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatalf("bare key %q unexpectedly has a value", k)
+		}
+	}
+}
+
+// TestSnapshotRoundTripDifferential is the randomized save/load differential
+// test across the configuration grid the issue names: arenas × key
+// pre-processing × valued/bare keys including the empty key. The loaded
+// store must produce byte-identical Range output to the original, preserve
+// PutKey set semantics, and pass CheckInvariants.
+func TestSnapshotRoundTripDifferential(t *testing.T) {
+	for _, arenas := range []int{1, 8} {
+		for _, prep := range []bool{false, true} {
+			for _, emptyKeyBare := range []bool{false, true} {
+				name := fmt.Sprintf("arenas-%d/prep-%v/emptyBare-%v", arenas, prep, emptyKeyBare)
+				t.Run(name, func(t *testing.T) {
+					rng := rand.New(rand.NewSource(int64(arenas)*100 + 7))
+					opts := DefaultOptions()
+					opts.Arenas = arenas
+					opts.KeyPreprocessing = prep
+					w := buildSnapshotWorkload(rng, 4000, emptyKeyBare)
+					ref := New(opts)
+					w.populate(ref)
+
+					var buf bytes.Buffer
+					if _, err := ref.Save(&buf); err != nil {
+						t.Fatalf("Save: %v", err)
+					}
+					loaded, err := Load(bytes.NewReader(buf.Bytes()), opts)
+					if err != nil {
+						t.Fatalf("Load: %v", err)
+					}
+					requireSameContent(t, loaded, ref)
+					requireValueSemantics(t, loaded, w)
+				})
+			}
+		}
+	}
+}
+
+// TestSnapshotRestoreIntoDifferentArenaCount checks that the arena count is
+// a property of the loading options, not the file: a snapshot saved with
+// many arenas restores into a store with fewer (and vice versa), because
+// sections re-route through the leading-byte mapping.
+func TestSnapshotRestoreIntoDifferentArenaCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := buildSnapshotWorkload(rng, 3000, false)
+	saveOpts := DefaultOptions()
+	saveOpts.Arenas = 16
+	ref := New(saveOpts)
+	w.populate(ref)
+	var buf bytes.Buffer
+	if _, err := ref.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, arenas := range []int{1, 4, 256} {
+		loadOpts := DefaultOptions()
+		loadOpts.Arenas = arenas
+		loaded, err := Load(bytes.NewReader(buf.Bytes()), loadOpts)
+		if err != nil {
+			t.Fatalf("Load into %d arenas: %v", arenas, err)
+		}
+		requireSameContent(t, loaded, ref)
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Arenas = 4
+	var buf bytes.Buffer
+	if _, err := New(opts).Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("empty snapshot loaded %d keys", loaded.Len())
+	}
+}
+
+// TestSnapshotFileRoundTrip exercises the SaveFile/LoadFile path, including
+// overwriting an existing snapshot and the no-temp-file-left-behind side of
+// the atomicity contract.
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.hyp")
+	rng := rand.New(rand.NewSource(3))
+	opts := DefaultOptions()
+	opts.Arenas = 8
+	w := buildSnapshotWorkload(rng, 2500, true)
+	ref := New(opts)
+	w.populate(ref)
+
+	for round := 0; round < 2; round++ { // second round overwrites
+		if _, err := ref.SaveFile(path); err != nil {
+			t.Fatalf("SaveFile round %d: %v", round, err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected exactly the snapshot in %s, found %d entries", dir, len(entries))
+	}
+	loaded, err := LoadFile(path, opts)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	requireSameContent(t, loaded, ref)
+	requireValueSemantics(t, loaded, w)
+
+	if _, err := ref.SaveFile(filepath.Join(dir, "missing-dir", "x.hyp")); err == nil {
+		t.Fatal("SaveFile into a missing directory should fail")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "nope.hyp"), opts); err == nil {
+		t.Fatal("LoadFile of a missing file should fail")
+	}
+}
+
+// TestSnapshotKeyPreprocessingMismatch: the header records the saving
+// store's key transformation and Load rejects options that disagree, in both
+// directions.
+func TestSnapshotKeyPreprocessingMismatch(t *testing.T) {
+	for _, savedPrep := range []bool{false, true} {
+		saveOpts := DefaultOptions()
+		saveOpts.KeyPreprocessing = savedPrep
+		s := New(saveOpts)
+		s.Put([]byte("somekey1"), 1)
+		var buf bytes.Buffer
+		if _, err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loadOpts := DefaultOptions()
+		loadOpts.KeyPreprocessing = !savedPrep
+		_, err := Load(bytes.NewReader(buf.Bytes()), loadOpts)
+		if err == nil {
+			t.Fatalf("saved prep=%v, loaded prep=%v: expected an error", savedPrep, !savedPrep)
+		}
+		if !strings.Contains(err.Error(), "KeyPreprocessing") {
+			t.Fatalf("mismatch error should name the flag, got: %v", err)
+		}
+		if errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("an options mismatch is not corruption: %v", err)
+		}
+	}
+}
+
+// snapshotBytes builds a moderately sized snapshot for the corruption tests.
+func snapshotBytes(t *testing.T) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	opts := DefaultOptions()
+	opts.Arenas = 4
+	s := New(opts)
+	buildSnapshotWorkload(rng, 1500, false).populate(s)
+	var buf bytes.Buffer
+	if _, err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// mustFailCorrupt loads the damaged image and requires a descriptive
+// ErrCorruptSnapshot — never a panic, never a silently (half-)loaded store.
+func mustFailCorrupt(t *testing.T, data []byte, what string) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: Load panicked: %v", what, r)
+		}
+	}()
+	st, err := Load(bytes.NewReader(data), DefaultOptions())
+	if err == nil {
+		t.Fatalf("%s: Load succeeded on a damaged snapshot", what)
+	}
+	if st != nil {
+		t.Fatalf("%s: Load returned a store alongside the error", what)
+	}
+	if !errors.Is(err, ErrCorruptSnapshot) {
+		t.Fatalf("%s: error does not wrap ErrCorruptSnapshot: %v", what, err)
+	}
+}
+
+// TestSnapshotCorruptionByteFlips flips individual bytes — every byte of the
+// header region and a large random sample of the rest — and requires every
+// single flip to be rejected. The format's two checksum kinds (header CRC,
+// per-section CRC over header+payload) cover every byte of the file.
+func TestSnapshotCorruptionByteFlips(t *testing.T) {
+	orig := snapshotBytes(t)
+	flip := func(i int) []byte {
+		d := append([]byte(nil), orig...)
+		d[i] ^= 0x5a
+		return d
+	}
+	for i := 0; i < 96 && i < len(orig); i++ {
+		mustFailCorrupt(t, flip(i), fmt.Sprintf("flip byte %d", i))
+	}
+	rng := rand.New(rand.NewSource(99))
+	for n := 0; n < 400; n++ {
+		i := rng.Intn(len(orig))
+		mustFailCorrupt(t, flip(i), fmt.Sprintf("flip byte %d", i))
+	}
+}
+
+// TestSnapshotTruncation cuts the file at every early offset and a stride of
+// later ones; every truncation must fail cleanly.
+func TestSnapshotTruncation(t *testing.T) {
+	orig := snapshotBytes(t)
+	for cut := 0; cut < 64 && cut < len(orig); cut++ {
+		mustFailCorrupt(t, orig[:cut], fmt.Sprintf("truncate to %d", cut))
+	}
+	step := len(orig)/97 + 1
+	for cut := 64; cut < len(orig); cut += step {
+		mustFailCorrupt(t, orig[:cut], fmt.Sprintf("truncate to %d", cut))
+	}
+}
+
+func TestSnapshotTrailingData(t *testing.T) {
+	orig := snapshotBytes(t)
+	mustFailCorrupt(t, append(append([]byte(nil), orig...), 0x00), "one trailing byte")
+}
+
+// TestSnapshotLoadBatchedFlush exercises the bounded-batch decode path with
+// a maximally delta-compressed snapshot: nested-prefix keys encode to ~2
+// bytes each on disk but reconstruct to megabytes of key material, far past
+// loadFlushBytes, forcing multiple intra-section ingest flushes (and proving
+// a high-amplification file cannot balloon the decoder's buffers — the
+// transient cost is bounded regardless of what the payload expands to).
+func TestSnapshotLoadBatchedFlush(t *testing.T) {
+	const n = 12000 // nested prefixes of an n-byte string: sum of lengths ≈ n²/2 ≈ 72 MB, > 2 flushes
+	rng := rand.New(rand.NewSource(17))
+	base := make([]byte, n)
+	rng.Read(base)
+	opts := DefaultOptions()
+	ref := New(opts)
+	for i := 1; i <= n; i++ {
+		ref.Put(base[:i], uint64(i))
+	}
+	var buf bytes.Buffer
+	saved, err := ref.Save(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved != n {
+		t.Fatalf("saved %d keys, want %d", saved, n)
+	}
+	// ~6 B/key on disk (two-byte lcp varint, head, one suffix byte, value
+	// varint) vs ~4 KiB/key reconstructed: the point of the test.
+	if buf.Len() > 8*n+1024 {
+		t.Fatalf("delta encoding regressed: %d bytes for %d nested-prefix keys", buf.Len(), n)
+	}
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameContent(t, loaded, ref)
+}
+
+// TestSnapshotSaveDuringConcurrentWrites is the -race smoke test of the Save
+// consistency contract: a save racing with writers must produce a loadable
+// snapshot that contains every key untouched during the save exactly once,
+// with its original value.
+func TestSnapshotSaveDuringConcurrentWrites(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Arenas = 8
+	s := New(opts)
+	const stable = 20000
+	for i := 0; i < stable; i++ {
+		s.Put([]byte(fmt.Sprintf("stable-%06d", i)), uint64(i))
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := []byte(fmt.Sprintf("hot-%d-%06d", g, rng.Intn(4096)))
+				if i%3 == 0 {
+					s.Delete(k)
+				} else {
+					s.Put(k, uint64(i))
+				}
+			}
+		}(g)
+	}
+
+	var buf bytes.Buffer
+	if _, err := s.Save(&buf); err != nil {
+		t.Fatalf("Save under concurrent writes: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+
+	loaded, err := Load(bytes.NewReader(buf.Bytes()), opts)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	var prev []byte
+	first := true
+	loaded.Each(func(key []byte, value uint64) bool {
+		if !first && bytes.Compare(prev, key) >= 0 {
+			t.Fatalf("loaded store iterates out of order: %q then %q", prev, key)
+		}
+		prev = append(prev[:0], key...)
+		first = false
+		switch {
+		case bytes.HasPrefix(key, []byte("stable-")):
+			seen++
+			var want int
+			fmt.Sscanf(string(key), "stable-%d", &want)
+			if value != uint64(want) {
+				t.Fatalf("stable key %q: value %d, want %d", key, value, want)
+			}
+		case bytes.HasPrefix(key, []byte("hot-")):
+			// May or may not be present; only shape is guaranteed.
+		default:
+			t.Fatalf("unexpected key %q in snapshot", key)
+		}
+		return true
+	})
+	if seen != stable {
+		t.Fatalf("snapshot carried %d stable keys, want %d", seen, stable)
+	}
+}

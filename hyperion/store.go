@@ -135,7 +135,11 @@ func (s *Store) Range(start []byte, fn func(key []byte, value uint64) bool) {
 	var chunk kvChunk
 	tstart := s.transform(start)
 	stopped := false
-	for _, sh := range s.shards {
+	// Arenas hold contiguous key ranges by raw leading byte, and the arena
+	// routing invariant (shard.go) makes raw and transformed routing agree,
+	// so no key >= start can live in an arena before start's own: begin the
+	// scan there instead of paying a descend-and-miss in every earlier shard.
+	for _, sh := range s.shards[s.arenaIndex(start):] {
 		if stopped {
 			return
 		}

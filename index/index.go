@@ -7,6 +7,8 @@
 package index
 
 import (
+	"io"
+
 	"repro/hyperion"
 	"repro/internal/art"
 	"repro/internal/hashkv"
@@ -73,16 +75,40 @@ func AsBatcher(kv KV) (Batcher, bool) {
 	return b, ok
 }
 
+// Snapshotter is the optional durability interface: structures that
+// implement it can serialize their full content to a stream and write it
+// atomically to a file. The matching load side is constructor-shaped
+// (hyperion.Load / hyperion.LoadFile rebuild a store from the stream at
+// bulk-ingest speed), so it lives with the implementation rather than here;
+// a second persistent structure would motivate a registry-level loader.
+type Snapshotter interface {
+	KV
+	// Save streams a snapshot and returns the number of keys written. It is
+	// safe to run concurrently with reads and writes; see the
+	// implementation's consistency contract.
+	Save(w io.Writer) (int, error)
+	// SaveFile writes a snapshot to path atomically (temp file + rename)
+	// and returns the number of keys written.
+	SaveFile(path string) (int, error)
+}
+
+// AsSnapshotter returns kv's durability interface, if it has one.
+func AsSnapshotter(kv KV) (Snapshotter, bool) {
+	s, ok := kv.(Snapshotter)
+	return s, ok
+}
+
 // Compile-time interface checks.
 var (
-	_ Ordered = (*hyperion.Store)(nil)
-	_ Batcher = (*hyperion.Store)(nil)
-	_ Ordered = (*art.Tree)(nil)
-	_ Ordered = (*judy.Tree)(nil)
-	_ Ordered = (*hot.Tree)(nil)
-	_ Ordered = (*hattrie.Tree)(nil)
-	_ Ordered = (*rbtree.Tree)(nil)
-	_ KV      = (*hashkv.Map)(nil)
+	_ Ordered     = (*hyperion.Store)(nil)
+	_ Batcher     = (*hyperion.Store)(nil)
+	_ Snapshotter = (*hyperion.Store)(nil)
+	_ Ordered     = (*art.Tree)(nil)
+	_ Ordered     = (*judy.Tree)(nil)
+	_ Ordered     = (*hot.Tree)(nil)
+	_ Ordered     = (*hattrie.Tree)(nil)
+	_ Ordered     = (*rbtree.Tree)(nil)
+	_ KV          = (*hashkv.Map)(nil)
 )
 
 // NewHyperion creates a Hyperion store with the paper's string-tuned default

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/hyperion"
+	"repro/internal/workload"
+)
+
+// This file implements the recovery experiment: the paper's headline metric
+// is bytes/key of the live index, but a production deployment also has to
+// come back after a restart without re-ingesting the corpus key by key. The
+// experiment builds a store per-key (that build doubles as the re-ingestion
+// baseline), saves a durable snapshot, restores it through the bulk-ingest
+// recovery path, and reports snapshot bytes/key next to the live footprint,
+// save throughput, and the restore-vs-reingest speedup.
+
+// RecoveryRow is one data set's full save/restore measurement.
+type RecoveryRow struct {
+	Dataset string `json:"dataset"`
+	Keys    int    `json:"keys"`
+	// Snapshot size on disk vs the live in-memory footprint.
+	SnapshotBytes       int64   `json:"snapshot_bytes"`
+	SnapshotBytesPerKey float64 `json:"snapshot_bytes_per_key"`
+	LiveBytesPerKey     float64 `json:"live_bytes_per_key"`
+	// Save: SaveFile wall time (chunked scan + encode + fsync + rename).
+	SaveSeconds    float64 `json:"save_seconds"`
+	SaveKeysPerSec float64 `json:"save_keys_per_sec"`
+	// Restore: LoadFile wall time (checksum validation + parallel section
+	// decode + bulk ingest).
+	RestoreSeconds    float64 `json:"restore_seconds"`
+	RestoreKeysPerSec float64 `json:"restore_keys_per_sec"`
+	// Re-ingestion baseline: the per-key Put loop a restart without
+	// snapshots would have to pay.
+	ReingestPerkeySeconds    float64 `json:"reingest_perkey_seconds"`
+	RestoreSpeedupVsReingest float64 `json:"restore_speedup_vs_reingest"`
+}
+
+// RecoveryResult is the full recovery experiment.
+type RecoveryResult struct {
+	ID    string        `json:"id"`
+	Title string        `json:"title"`
+	Rows  []RecoveryRow `json:"rows"`
+}
+
+// RunRecovery measures snapshot save and restore against per-key
+// re-ingestion for the string corpus and the randomized integer data set
+// (the latter with key pre-processing, exercising the header flag and the
+// preprocessed restore path).
+func RunRecovery(cfg Config) RecoveryResult {
+	res := RecoveryResult{
+		ID:    "recovery",
+		Title: fmt.Sprintf("Recovery: snapshot save/restore vs per-key re-ingestion (%d string / %d integer keys)", cfg.StringKeys, cfg.IntKeys),
+	}
+	dir, err := os.MkdirTemp("", "hyperion-recovery-*")
+	if err != nil {
+		panic(fmt.Sprintf("bench: recovery temp dir: %v", err))
+	}
+	defer os.RemoveAll(dir)
+
+	datasets := []struct {
+		name string
+		ds   *workload.Dataset
+		opts hyperion.Options
+	}{
+		{"sorted-ngram", workload.NGrams(workload.NGramOptions{N: cfg.StringKeys, MaxWords: 5, Seed: cfg.Seed}).Sorted(), hyperion.DefaultOptions()},
+		{"random-int-prep", workload.RandomIntegers(cfg.IntKeys, cfg.Seed), hyperion.PreprocessedIntegerOptions()},
+	}
+	for _, d := range datasets {
+		n := d.ds.Len()
+
+		// Per-key build: the store to snapshot AND the re-ingestion baseline.
+		store := hyperion.New(d.opts)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			store.Put(d.ds.Key(i), d.ds.Value(i))
+		}
+		reingestSec := time.Since(start).Seconds()
+		stored := store.Len()
+
+		path := filepath.Join(dir, d.name+".hyp")
+		start = time.Now()
+		if _, err := store.SaveFile(path); err != nil {
+			panic(fmt.Sprintf("bench: save %s: %v", d.name, err))
+		}
+		saveSec := time.Since(start).Seconds()
+		fi, err := os.Stat(path)
+		if err != nil {
+			panic(fmt.Sprintf("bench: stat %s: %v", d.name, err))
+		}
+
+		start = time.Now()
+		restored, err := hyperion.LoadFile(path, d.opts)
+		if err != nil {
+			panic(fmt.Sprintf("bench: restore %s: %v", d.name, err))
+		}
+		restoreSec := time.Since(start).Seconds()
+		if restored.Len() != stored {
+			panic(fmt.Sprintf("bench: restore %s recovered %d keys, store had %d", d.name, restored.Len(), stored))
+		}
+
+		row := RecoveryRow{
+			Dataset:               d.name,
+			Keys:                  stored,
+			SnapshotBytes:         fi.Size(),
+			SaveSeconds:           saveSec,
+			RestoreSeconds:        restoreSec,
+			ReingestPerkeySeconds: reingestSec,
+		}
+		if stored > 0 {
+			row.SnapshotBytesPerKey = float64(fi.Size()) / float64(stored)
+			row.LiveBytesPerKey = float64(store.MemoryFootprint()) / float64(stored)
+		}
+		if saveSec > 0 {
+			row.SaveKeysPerSec = float64(stored) / saveSec
+		}
+		if restoreSec > 0 {
+			row.RestoreKeysPerSec = float64(stored) / restoreSec
+			row.RestoreSpeedupVsReingest = reingestSec / restoreSec
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRecovery(t *testing.T) {
+	res := RunRecovery(tinyConfig())
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 rows (string + integer data set), got %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Keys <= 0 {
+			t.Fatalf("row %s stored no keys: %+v", r.Dataset, r)
+		}
+		if r.SnapshotBytes <= 0 || r.SnapshotBytesPerKey <= 0 {
+			t.Fatalf("row %s has no snapshot size: %+v", r.Dataset, r)
+		}
+		if r.SaveSeconds <= 0 || r.RestoreSeconds <= 0 || r.ReingestPerkeySeconds <= 0 {
+			t.Fatalf("row %s measured nothing: %+v", r.Dataset, r)
+		}
+		if r.RestoreSpeedupVsReingest <= 0 {
+			t.Fatalf("row %s has no restore speedup: %+v", r.Dataset, r)
+		}
+		// The snapshot's delta encoding should beat the live in-memory
+		// representation comfortably; equality would indicate the encoder
+		// stopped delta-compressing.
+		if r.SnapshotBytesPerKey >= r.LiveBytesPerKey {
+			t.Fatalf("row %s: snapshot %.2f B/key not below live %.2f B/key",
+				r.Dataset, r.SnapshotBytesPerKey, r.LiveBytesPerKey)
+		}
+	}
+	var buf bytes.Buffer
+	WriteRecovery(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"snap B/k", "live B/k", "speedup", "sorted-ngram", "random-int-prep"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered recovery table misses %q:\n%s", want, out)
+		}
+	}
+}

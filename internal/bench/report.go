@@ -175,3 +175,18 @@ func WriteBulkload(w io.Writer, b BulkloadResult) {
 			r.Dataset, r.Mode, r.Keys, r.Seconds, r.OpsPerSec, r.BytesPerKey, r.SpeedupVsPerKey)
 	}
 }
+
+// WriteRecovery renders the snapshot save/restore comparison. The headline
+// is the last column — how much faster a restart recovers from a snapshot
+// than by re-ingesting the corpus per key — next to the durability cost:
+// snapshot bytes/key against the live in-memory footprint.
+func WriteRecovery(w io.Writer, r RecoveryResult) {
+	fmt.Fprintf(w, "\n%s\n", r.Title)
+	fmt.Fprintf(w, "  %-16s %10s %12s %10s %10s %10s %12s %12s %10s\n",
+		"Dataset", "keys", "snap MiB", "snap B/k", "live B/k", "save s", "save k/s", "restore k/s", "speedup")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-16s %10d %12.2f %10.2f %10.2f %10.3f %12.0f %12.0f %9.2fx\n",
+			row.Dataset, row.Keys, mib(row.SnapshotBytes), row.SnapshotBytesPerKey, row.LiveBytesPerKey,
+			row.SaveSeconds, row.SaveKeysPerSec, row.RestoreKeysPerSec, row.RestoreSpeedupVsReingest)
+	}
+}
