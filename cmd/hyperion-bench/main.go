@@ -12,9 +12,10 @@
 //	hyperion-bench -experiment latency -scale small -json results/
 //	hyperion-bench -experiment bulkload -scale medium -json results/
 //	hyperion-bench -experiment recovery -scale medium -json results/
+//	hyperion-bench -experiment scan -scale medium -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// concurrency, latency, bulkload, recovery, all. See DESIGN.md for the
+// concurrency, latency, bulkload, recovery, scan, all. See DESIGN.md for the
 // mapping of each experiment to the paper.
 //
 // With -json DIR every selected experiment additionally writes a
@@ -51,7 +52,7 @@ func parseIntList(flagName, s string) []int {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|scan|all")
 		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
 		strKeys     = flag.Int("strings", 0, "override: number of string keys")
 		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
@@ -228,6 +229,14 @@ func main() {
 		run("Recovery: snapshot save/restore vs per-key re-ingestion", func() {
 			res := bench.RunRecovery(cfg)
 			bench.WriteRecovery(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("scan") {
+		ran = true
+		run("Scan: cursor engine vs linear walk", func() {
+			res := bench.RunScan(cfg)
+			bench.WriteScan(out, res)
 			emit(res.ID, res)
 		})
 	}

@@ -10,7 +10,9 @@
 //	del <key>             delete a key
 //	has <key>             test membership
 //	range <start> [n]     list up to n keys >= start (default 20)
-//	prefix <p> [n]        list up to n keys with prefix p
+//	scan <p> [n]          list up to n keys with prefix p (seek-bounded on
+//	                      both sides; `prefix` is an alias)
+//	count <p>             count the keys with prefix p without listing them
 //	load <file>           bulk-ingest "key value" (or bare "key") lines; the
 //	                      run is sorted and fed to the append-only bulk path
 //	save <file>           write a durable snapshot (atomic temp file + rename)
@@ -103,8 +105,8 @@ func main() {
 			return
 		case "help":
 			fmt.Println("put <key> <value> | putkey <key> | get <key> | del <key> | has <key> |")
-			fmt.Println("range <start> [n] | prefix <p> [n] | load <file> | save <file> |")
-			fmt.Println("restore <file> | len | stats | mem | quit")
+			fmt.Println("range <start> [n] | scan <p> [n] | count <p> | load <file> |")
+			fmt.Println("save <file> | restore <file> | len | stats | mem | quit")
 		case "put":
 			if len(args) != 2 {
 				fmt.Println("usage: put <key> <value>")
@@ -146,9 +148,9 @@ func main() {
 				continue
 			}
 			fmt.Println(store.Delete([]byte(args[0])))
-		case "range", "prefix":
+		case "range":
 			if len(args) < 1 {
-				fmt.Printf("usage: %s <start> [n]\n", cmd)
+				fmt.Println("usage: range <start> [n]")
 				continue
 			}
 			limit := 20
@@ -157,12 +159,8 @@ func main() {
 					limit = n
 				}
 			}
-			start := []byte(args[0])
 			count := 0
-			store.Range(start, func(key []byte, value uint64) bool {
-				if cmd == "prefix" && !bytes.HasPrefix(key, start) {
-					return false
-				}
+			store.Range([]byte(args[0]), func(key []byte, value uint64) bool {
 				fmt.Printf("  %q = %d\n", key, value)
 				count++
 				return count < limit
@@ -170,6 +168,37 @@ func main() {
 			if count == 0 {
 				fmt.Println("  (no keys)")
 			}
+		case "scan", "prefix":
+			// Unlike range, the scan is bounded on both sides: the cursor
+			// seeks to the prefix and stops at its successor instead of
+			// filtering a tail scan.
+			if len(args) < 1 {
+				fmt.Printf("usage: %s <prefix> [n]\n", cmd)
+				continue
+			}
+			limit := 20
+			if len(args) > 1 {
+				if n, err := strconv.Atoi(args[1]); err == nil {
+					limit = n
+				}
+			}
+			count := 0
+			store.ScanPrefix([]byte(args[0]), func(key []byte, value uint64) bool {
+				fmt.Printf("  %q = %d\n", key, value)
+				count++
+				return count < limit
+			})
+			if count == 0 {
+				fmt.Println("  (no keys)")
+			}
+		case "count":
+			if len(args) != 1 {
+				fmt.Println("usage: count <prefix>")
+				continue
+			}
+			start := time.Now()
+			n := store.CountPrefix([]byte(args[0]))
+			fmt.Printf("%d keys under %q (%v)\n", n, args[0], time.Since(start).Round(time.Microsecond))
 		case "load":
 			if len(args) != 1 {
 				fmt.Println("usage: load <file>   (lines of \"key value\" or bare \"key\")")

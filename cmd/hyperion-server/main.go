@@ -14,11 +14,20 @@
 //	MLOAD <k> <v> [<k> <v> ...]  -> +<n pairs stored>
 //	MGET <k> [<k> ...]           -> one line per key: +<value> | -NOTFOUND
 //	RANGE <start> <n>            -> +<k> lines "<key> <value>", terminated by "."
+//	SCAN <prefix> [<n>]          -> keys under prefix, "<key> <value>" lines, "."
+//	COUNT <prefix>               -> +<count of keys under prefix>
 //	LEN                          -> +<count>
 //	STATS                        -> one line of engine counters
 //	SAVE <path>                  -> +<n keys saved> | -ERR ...
 //	RESTORE <path>               -> +<n keys restored> | -ERR ...
 //	QUIT                         -> closes the connection
+//
+// SCAN and COUNT are the prefix-query commands, answered by the store's
+// seek-aware cursor engine: the scan jumps to the prefix through the
+// container and T-Node jump tables and stops at the prefix successor, so the
+// cost is proportional to the answer, not to the key population. SCAN without
+// a limit streams the whole prefix range (pipelined, chunked under the hood);
+// COUNT never materialises the keys at all.
 //
 // MPUT and MGET are the pipelined batch commands: the whole batch is handed
 // to the store's batched execution layer (hyperion.ApplyBatch /
@@ -251,6 +260,33 @@ func (s *server) handle(conn net.Conn) {
 				return count < limit
 			})
 			fmt.Fprintln(w, ".")
+		case "SCAN":
+			if len(args) < 1 || len(args) > 2 {
+				fmt.Fprintln(w, "-ERR usage: SCAN prefix [n]")
+				break
+			}
+			limit := 0
+			if len(args) == 2 {
+				n, err := strconv.Atoi(args[1])
+				if err != nil || n <= 0 {
+					fmt.Fprintln(w, "-ERR bad count")
+					break
+				}
+				limit = n
+			}
+			count := 0
+			store.ScanPrefix([]byte(args[0]), func(key []byte, value uint64) bool {
+				fmt.Fprintf(w, "%s %d\n", key, value)
+				count++
+				return limit == 0 || count < limit
+			})
+			fmt.Fprintln(w, ".")
+		case "COUNT":
+			if len(args) != 1 {
+				fmt.Fprintln(w, "-ERR usage: COUNT prefix")
+				break
+			}
+			fmt.Fprintf(w, "+%d\n", store.CountPrefix([]byte(args[0])))
 		case "SAVE":
 			if len(args) != 1 {
 				fmt.Fprintln(w, "-ERR usage: SAVE path")

@@ -331,3 +331,71 @@ func TestServerBulkLoadProtocol(t *testing.T) {
 		t.Fatalf("QUIT: %q", got)
 	}
 }
+
+// TestServerScanProtocol drives the prefix-query commands over net.Pipe:
+// SCAN streams "key value" lines bounded by the prefix (with an optional
+// limit), COUNT answers without streaming, and malformed arguments keep the
+// connection usable.
+func TestServerScanProtocol(t *testing.T) {
+	r, w := dialTestServer(t, 8)
+	send(t, w, "MPUT user:1 10 user:2 20 user:30 300 admin:1 1 zeta 9")
+	if got := recv(t, r); got != "+5" {
+		t.Fatalf("MPUT: %q", got)
+	}
+
+	send(t, w, "SCAN user:")
+	for i, want := range []string{"user:1 10", "user:2 20", "user:30 300", "."} {
+		if got := recv(t, r); got != want {
+			t.Fatalf("SCAN line %d: got %q, want %q", i, got, want)
+		}
+	}
+
+	// The limit caps the stream; the terminator still arrives.
+	send(t, w, "SCAN user: 2")
+	for i, want := range []string{"user:1 10", "user:2 20", "."} {
+		if got := recv(t, r); got != want {
+			t.Fatalf("SCAN limited line %d: got %q, want %q", i, got, want)
+		}
+	}
+
+	// A prefix without matches answers with just the terminator.
+	send(t, w, "SCAN nobody:")
+	if got := recv(t, r); got != "." {
+		t.Fatalf("empty SCAN: %q", got)
+	}
+
+	send(t, w, "COUNT user:")
+	if got := recv(t, r); got != "+3" {
+		t.Fatalf("COUNT: %q", got)
+	}
+	send(t, w, "COUNT user:3")
+	if got := recv(t, r); got != "+1" {
+		t.Fatalf("COUNT narrow: %q", got)
+	}
+	send(t, w, "COUNT nobody:")
+	if got := recv(t, r); got != "+0" {
+		t.Fatalf("COUNT empty: %q", got)
+	}
+
+	// Errors keep the connection usable.
+	send(t, w, "SCAN")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("SCAN without prefix: %q", got)
+	}
+	send(t, w, "SCAN user: zero")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("SCAN bad limit: %q", got)
+	}
+	send(t, w, "COUNT a b")
+	if got := recv(t, r); !strings.HasPrefix(got, "-ERR") {
+		t.Fatalf("COUNT extra args: %q", got)
+	}
+	send(t, w, "LEN")
+	if got := recv(t, r); got != "+5" {
+		t.Fatalf("LEN after errors: %q", got)
+	}
+	send(t, w, "QUIT")
+	if got := recv(t, r); got != "+BYE" {
+		t.Fatalf("QUIT: %q", got)
+	}
+}

@@ -454,7 +454,7 @@ func (s *Store) ParallelEach(fn func(key []byte, value uint64) bool) {
 // per send — they are in flight on the channel while the next one is built.
 func (s *Store) scanShard(i int, out chan<- *kvChunk, stop *atomic.Bool) {
 	defer close(out)
-	s.scanShardChunks(s.shards[i], nil, parallelScanChunk, stop.Load,
+	s.scanShardChunks(s.shards[i], nil, nil, parallelScanChunk, stop.Load,
 		func() *kvChunk { return newKVChunk(parallelScanChunk) },
 		func(c *kvChunk) bool {
 			out <- c

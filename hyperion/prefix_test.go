@@ -1,0 +1,202 @@
+package hyperion
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// prefixTestOptions sweeps the arena/pre-processing grid the scan subsystem
+// has to translate bounds across.
+func prefixTestOptions() []Options {
+	var out []Options
+	for _, arenas := range []int{1, 8, 256} {
+		for _, prep := range []bool{false, true} {
+			o := DefaultOptions()
+			o.Arenas = arenas
+			o.KeyPreprocessing = prep
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// prefixCorpus builds a mixed corpus: word-like keys with heavy shared
+// prefixes, binary keys (including 0x00/0xff bytes) and fixed-width integers,
+// with lengths straddling the 4-byte pre-processing threshold.
+func prefixCorpus(rng *rand.Rand, n int) [][]byte {
+	words := []string{"a", "ab", "abc", "user:", "user:profile:", "metrics/", "\xff", "\xff\xff"}
+	var keys [][]byte
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			keys = append(keys, []byte(fmt.Sprintf("%s%04d", words[rng.Intn(len(words))], rng.Intn(2000))))
+		case 1:
+			k := make([]byte, 1+rng.Intn(10))
+			for j := range k {
+				k[j] = byte(rng.Intn(256))
+			}
+			keys = append(keys, k)
+		case 2:
+			keys = append(keys, []byte{byte(rng.Intn(4)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+		default:
+			keys = append(keys, []byte(words[rng.Intn(len(words))]))
+		}
+	}
+	return keys
+}
+
+// TestScanPrefixDifferential pins ScanPrefix and CountPrefix against a
+// filtered full scan across arenas × KeyPreprocessing, for randomized
+// prefixes including ones that cross arena boundaries, exceed every key, or
+// are all-0xff (no upper bound). The ordering oracle is the store's own full
+// iteration (Range) filtered by the prefix: with KeyPreprocessing and a
+// mixed-length corpus the stored order deviates from raw lexicographic order
+// at the short/long key-class boundary of the transform, and ScanPrefix's
+// contract is the iteration order. Without pre-processing the oracle is
+// additionally checked to be the raw sorted order.
+func TestScanPrefixDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	keys := prefixCorpus(rng, 4000)
+	for _, opts := range prefixTestOptions() {
+		t.Run(fmt.Sprintf("arenas=%d/prep=%v", opts.Arenas, opts.KeyPreprocessing), func(t *testing.T) {
+			s := New(opts)
+			oracle := map[string]uint64{}
+			for i, k := range keys {
+				s.Put(k, uint64(i))
+				oracle[string(k)] = uint64(i)
+			}
+			var iterated []string
+			s.Range(nil, func(k []byte, _ uint64) bool {
+				iterated = append(iterated, string(k))
+				return true
+			})
+			if !opts.KeyPreprocessing {
+				if !sort.StringsAreSorted(iterated) {
+					t.Fatal("iteration order is not raw lexicographic order")
+				}
+			}
+
+			prefixes := [][]byte{
+				nil, {}, []byte("a"), []byte("ab"), []byte("user:"), []byte("user:profile:"),
+				[]byte("\xff"), []byte("\xff\xff"), []byte("zzzz-absent"), {0}, {0, 0xff},
+			}
+			for trial := 0; trial < 40; trial++ {
+				k := keys[rng.Intn(len(keys))]
+				cut := rng.Intn(len(k)) + 1
+				prefixes = append(prefixes, append([]byte(nil), k[:cut]...))
+			}
+			for _, p := range prefixes {
+				var want []string
+				for _, k := range iterated {
+					if bytes.HasPrefix([]byte(k), p) {
+						want = append(want, k)
+					}
+				}
+				var got []string
+				s.ScanPrefix(p, func(key []byte, value uint64) bool {
+					if value != oracle[string(key)] {
+						t.Fatalf("prefix %q: key %q value %d, oracle %d", p, key, value, oracle[string(key)])
+					}
+					got = append(got, string(key))
+					return true
+				})
+				if len(got) != len(want) {
+					t.Fatalf("prefix %q: ScanPrefix emitted %d keys, want %d", p, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("prefix %q: position %d: got %q want %q", p, i, got[i], want[i])
+					}
+				}
+				if n := s.CountPrefix(p); n != len(want) {
+					t.Fatalf("prefix %q: CountPrefix = %d, want %d", p, n, len(want))
+				}
+			}
+		})
+	}
+}
+
+// TestScanPrefixEarlyStop pins that a false return from fn stops the scan.
+func TestScanPrefixEarlyStop(t *testing.T) {
+	s := New(DefaultOptions())
+	for i := 0; i < 1000; i++ {
+		s.Put([]byte(fmt.Sprintf("k-%04d", i)), uint64(i))
+	}
+	count := 0
+	s.ScanPrefix([]byte("k-"), func([]byte, uint64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d keys, want 7", count)
+	}
+}
+
+// TestScanPrefixEmptyKeyAndSets covers the empty key (matched only by the
+// empty prefix) and PutKey set members (reported with value 0, and counted).
+func TestScanPrefixEmptyKeyAndSets(t *testing.T) {
+	s := New(DefaultOptions())
+	s.Put(nil, 42)
+	s.PutKey([]byte("member"))
+	s.Put([]byte("mellow"), 7)
+	var got []string
+	s.ScanPrefix(nil, func(key []byte, value uint64) bool {
+		got = append(got, fmt.Sprintf("%q=%d", key, value))
+		return true
+	})
+	want := []string{`""=42`, `"mellow"=7`, `"member"=0`}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("full prefix scan = %v, want %v", got, want)
+	}
+	if n := s.CountPrefix(nil); n != 3 {
+		t.Fatalf("CountPrefix(nil) = %d, want 3", n)
+	}
+	if n := s.CountPrefix([]byte("me")); n != 2 {
+		t.Fatalf("CountPrefix(me) = %d, want 2", n)
+	}
+	if n := s.CountPrefix([]byte("member!")); n != 0 {
+		t.Fatalf("CountPrefix(member!) = %d, want 0", n)
+	}
+}
+
+// TestScanPrefixReentrant pins the lock-release contract: fn may write to the
+// store mid-scan without deadlocking.
+func TestScanPrefixReentrant(t *testing.T) {
+	s := New(DefaultOptions())
+	for i := 0; i < 600; i++ {
+		s.Put([]byte(fmt.Sprintf("p-%04d", i)), uint64(i))
+	}
+	visited := 0
+	s.ScanPrefix([]byte("p-"), func(key []byte, _ uint64) bool {
+		visited++
+		s.Put(append([]byte("q-"), key...), 1) // outside the prefix range
+		return true
+	})
+	if visited != 600 {
+		t.Fatalf("reentrant prefix scan visited %d keys, want 600", visited)
+	}
+}
+
+// TestRangeResumePastEveryKey is the hyperion face of the bounded-seek
+// satellite: a Range whose start is beyond every stored key returns without
+// emitting (and, through the cursor, without linear work — pinned at core
+// level by TestCursorSeekPastEnd).
+func TestRangeResumePastEveryKey(t *testing.T) {
+	for _, opts := range prefixTestOptions() {
+		s := New(opts)
+		for i := 0; i < 5000; i++ {
+			s.Put([]byte(fmt.Sprintf("key-%05d", i)), uint64(i))
+		}
+		n := 0
+		s.Range(bytes.Repeat([]byte{0xff}, 12), func([]byte, uint64) bool {
+			n++
+			return true
+		})
+		if n != 0 {
+			t.Fatalf("arenas=%d prep=%v: Range past every key emitted %d pairs", opts.Arenas, opts.KeyPreprocessing, n)
+		}
+	}
+}

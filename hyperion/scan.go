@@ -1,13 +1,26 @@
 package hyperion
 
-// This file implements the chunked-snapshot shard scan shared by Range
-// (store.go) and ParallelEach (batch.go). The one invariant both iterators
-// rely on lives here, in a single place: a chunk of pairs is snapshotted
-// under the shard read lock, the lock is released BEFORE the chunk is handed
-// on (so user callbacks may write to the store without self-deadlocking),
-// and the scan resumes at the immediate lexicographic successor of the last
-// snapshotted key (its stored form plus one 0x00 byte), which can neither
-// skip nor repeat keys that are not mutated during the iteration.
+// This file implements the chunked-snapshot shard scan shared by Range,
+// ScanPrefix, Save (snapshot.go) and ParallelEach (batch.go). The one
+// invariant every iterator relies on lives here, in a single place: a chunk
+// of pairs is snapshotted under the shard read lock, the lock is released
+// BEFORE the chunk is handed on (so user callbacks may write to the store
+// without self-deadlocking), and the scan resumes at the immediate
+// lexicographic successor of the last snapshotted key (its stored form plus
+// one 0x00 byte), which can neither skip nor repeat keys that are not mutated
+// during the iteration.
+//
+// Resuming goes through the core cursor engine: every chunk re-seeks the
+// resume key through the container/T-Node jump tables and jump successors
+// (core.Cursor.Seek), so the per-chunk resume cost is O(depth × jump-probe)
+// instead of the O(position) linear decode the pre-cursor implementation paid
+// — the difference the `scan` bench experiment measures.
+
+import (
+	"bytes"
+
+	"repro/internal/core"
+)
 
 // kvChunk is one snapshot of up to chunkSize pairs. Keys are the raw
 // (un-preprocessed) bytes of all pairs concatenated into one flat buffer
@@ -55,26 +68,41 @@ func (c *kvChunk) value(i int) uint64 { return c.vals[i] }
 // hasValue reports whether pair i carries a value (false for PutKey keys).
 func (c *kvChunk) hasValue(i int) bool { return c.hasv[i] }
 
-// scanShardChunks streams sh's stored pairs with keys >= tstart (stored-key
-// space) in chunks of up to chunkSize pairs. Every chunk is filled under the
-// shard read lock and passed to emit with the lock RELEASED; emit returning
-// false stops the scan. nextChunk supplies the chunk to fill: return a reset
-// chunk to reuse buffers (Range), or a fresh one when emit retains the chunk
-// beyond the call (ParallelEach's channel). abort, if non-nil, is polled
-// per pair and per chunk for cheap early termination from the outside.
-func (s *Store) scanShardChunks(sh *shard, tstart []byte, chunkSize int, abort func() bool, nextChunk func() *kvChunk, emit func(*kvChunk) bool) {
+// scanShardChunks streams sh's stored pairs with keys in [tstart, tend)
+// (stored-key space; a nil tend means unbounded) in chunks of up to chunkSize
+// pairs. Every chunk is filled under the shard read lock by seeking a core
+// cursor to the resume key and passed to emit with the lock RELEASED; emit
+// returning false stops the scan. nextChunk supplies the chunk to fill:
+// return a reset chunk to reuse buffers (Range), or a fresh one when emit
+// retains the chunk beyond the call (ParallelEach's channel). abort, if
+// non-nil, is polled per pair and per chunk for cheap early termination from
+// the outside. The return value reports whether the scan ended because it
+// reached tend — callers walking arenas in order can stop at the first shard
+// that crosses the bound.
+func (s *Store) scanShardChunks(sh *shard, tstart, tend []byte, chunkSize int, abort func() bool, nextChunk func() *kvChunk, emit func(*kvChunk) bool) (reachedEnd bool) {
+	var cur core.Cursor
 	var resume []byte
 	resume = append(resume, tstart...)
 	for {
 		if abort != nil && abort() {
-			return
+			return false
 		}
 		chunk := nextChunk()
 		full := false
 		sh.mu.RLock()
-		sh.tree.Range(resume, func(k []byte, v uint64, hasValue bool) bool {
+		cur.Init(sh.tree)
+		cur.Seek(resume)
+		for {
 			if abort != nil && abort() {
-				return false
+				break
+			}
+			k, v, hasValue, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if tend != nil && bytes.Compare(k, tend) >= 0 {
+				reachedEnd = true
+				break
 			}
 			chunk.keys = s.untransformAppend(chunk.keys, k)
 			chunk.offs = append(chunk.offs, int32(len(chunk.keys)))
@@ -86,16 +114,74 @@ func (s *Store) scanShardChunks(sh *shard, tstart []byte, chunkSize int, abort f
 				resume = append(resume[:0], k...)
 				resume = append(resume, 0)
 				full = true
-				return false
+				break
 			}
-			return true
-		})
+		}
 		sh.mu.RUnlock()
 		if chunk.len() > 0 && !emit(chunk) {
-			return
+			return reachedEnd
 		}
-		if !full {
-			return
+		if !full || reachedEnd {
+			return reachedEnd
+		}
+	}
+}
+
+// countChunkSize bounds how many pairs CountPrefix counts per lock
+// acquisition. Counting neither copies nor untransforms keys, so the
+// per-pair cost under the lock is far below Range's and a larger chunk
+// amortises the re-seek better.
+const countChunkSize = 4096
+
+// countShardRange counts sh's stored pairs with keys in [tstart, tend)
+// (stored-key space; nil tend = unbounded) through the same chunked,
+// lock-releasing cursor scan as scanShardChunks, but without materialising
+// the keys. A non-nil rawPrefix restricts the count to keys whose raw
+// (untransformed) form starts with it — the over-approximation filter of
+// prefixBounds; only then are keys untransformed, into one reused scratch.
+// Returns the count and whether the scan crossed tend.
+func (s *Store) countShardRange(sh *shard, tstart, tend, rawPrefix []byte) (int, bool) {
+	var cur core.Cursor
+	var resume, scratch []byte
+	resume = append(resume, tstart...)
+	total := 0
+	reachedEnd := false
+	for {
+		n := 0
+		steps := 0
+		full := false
+		sh.mu.RLock()
+		cur.Init(sh.tree)
+		cur.Seek(resume)
+		for {
+			k, _, _, ok := cur.Next()
+			if !ok {
+				break
+			}
+			if tend != nil && bytes.Compare(k, tend) >= 0 {
+				reachedEnd = true
+				break
+			}
+			steps++
+			if rawPrefix == nil {
+				n++
+			} else {
+				scratch = s.untransformAppend(scratch[:0], k)
+				if bytes.HasPrefix(scratch, rawPrefix) {
+					n++
+				}
+			}
+			if steps == countChunkSize {
+				resume = append(resume[:0], k...)
+				resume = append(resume, 0)
+				full = true
+				break
+			}
+		}
+		sh.mu.RUnlock()
+		total += n
+		if !full || reachedEnd {
+			return total, reachedEnd
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package hyperion
 
 import (
+	"bytes"
 	"runtime"
 
 	"repro/internal/core"
@@ -128,25 +129,36 @@ const rangeChunkSize = 256
 // not be reported, but keys untouched during the iteration are reported
 // exactly once.
 func (s *Store) Range(start []byte, fn func(key []byte, value uint64) bool) {
-	// One chunk's buffers are reused across all chunks and shards, so a
-	// Range over n keys costs O(1) allocations, not O(n); the chunk's flat
-	// key buffer doubles as the untransform buffer shared by all callback
-	// invocations (its content is only valid during the call, per contract).
+	s.scanRange(s.arenaIndex(start), s.transform(start), nil, nil, fn)
+}
+
+// scanRange streams the stored-key interval [tstart, tend) (nil tend =
+// unbounded) across the shards from startShard on, in order, through one
+// reused chunk — so a scan over n keys costs O(1) allocations, not O(n); the
+// chunk's flat key buffer doubles as the untransform buffer shared by all
+// callback invocations (its content is only valid during the call, per the
+// Range contract). A non-nil rawPrefix restricts emissions to keys carrying
+// it (the over-approximation filter of prefixBounds; chunk keys are already
+// untransformed, so the filter is one prefix compare).
+//
+// Arenas hold contiguous key ranges by raw leading byte, and the arena
+// routing invariant (shard.go) makes raw and transformed routing agree, so
+// no key in the interval can live in an arena before startShard, and the
+// walk stops at the first shard whose scan crosses tend.
+func (s *Store) scanRange(startShard int, tstart, tend, rawPrefix []byte, fn func(key []byte, value uint64) bool) {
 	var chunk kvChunk
-	tstart := s.transform(start)
 	stopped := false
-	// Arenas hold contiguous key ranges by raw leading byte, and the arena
-	// routing invariant (shard.go) makes raw and transformed routing agree,
-	// so no key >= start can live in an arena before start's own: begin the
-	// scan there instead of paying a descend-and-miss in every earlier shard.
-	for _, sh := range s.shards[s.arenaIndex(start):] {
+	for _, sh := range s.shards[startShard:] {
 		if stopped {
 			return
 		}
-		s.scanShardChunks(sh, tstart, rangeChunkSize, nil,
+		reachedEnd := s.scanShardChunks(sh, tstart, tend, rangeChunkSize, nil,
 			func() *kvChunk { chunk.reset(); return &chunk },
 			func(c *kvChunk) bool {
 				for i := 0; i < c.len(); i++ {
+					if rawPrefix != nil && !bytes.HasPrefix(c.key(i), rawPrefix) {
+						continue
+					}
 					if !fn(c.key(i), c.value(i)) {
 						stopped = true
 						return false
@@ -154,12 +166,136 @@ func (s *Store) Range(start []byte, fn func(key []byte, value uint64) bool) {
 				}
 				return true
 			})
+		if reachedEnd {
+			return
+		}
 	}
 }
 
 // Each iterates every stored key in order.
 func (s *Store) Each(fn func(key []byte, value uint64) bool) {
 	s.Range(nil, fn)
+}
+
+// ScanPrefix calls fn for every stored key that starts with prefix, in the
+// store's iteration order, until fn returns false. It shares Range's
+// reentrancy and consistency contract (chunked snapshots, no lock held across
+// fn, no atomic snapshot) but bounds the scan on both sides: the cursor seeks
+// straight to the prefix range and the shard walk stops at its upper bound
+// instead of filtering a full tail scan. An empty prefix iterates everything.
+//
+// With KeyPreprocessing the stored-key bounds are computed per key-length
+// class (prefixBounds): the transform is order-preserving only among keys of
+// at least four bytes, so for short prefixes the stored interval
+// over-approximates and the raw prefix is re-checked per emission. The
+// iteration order is the stored-key order, which matches raw lexicographic
+// order except across the short/long key-class boundary of the transform.
+func (s *Store) ScanPrefix(prefix []byte, fn func(key []byte, value uint64) bool) {
+	tstart, tend, filter := s.prefixBounds(prefix)
+	rawPrefix := prefix
+	if !filter {
+		rawPrefix = nil
+	}
+	s.scanRange(s.arenaIndex(prefix), tstart, tend, rawPrefix, fn)
+}
+
+// CountPrefix returns the number of stored keys that start with prefix. It
+// streams through the same chunked, lock-releasing scan as ScanPrefix but —
+// when the stored bounds are exact — skips materialising (and
+// un-preprocessing) the keys, so counting a prefix population costs a cursor
+// walk over the stored range and nothing else. The consistency contract is
+// Range's: keys mutated while the count is in progress may or may not be
+// included.
+func (s *Store) CountPrefix(prefix []byte) int {
+	tstart, tend, filter := s.prefixBounds(prefix)
+	rawPrefix := prefix
+	if !filter {
+		rawPrefix = nil
+	}
+	total := 0
+	for _, sh := range s.shards[s.arenaIndex(prefix):] {
+		n, reachedEnd := s.countShardRange(sh, tstart, tend, rawPrefix)
+		total += n
+		if reachedEnd {
+			break
+		}
+	}
+	return total
+}
+
+// prefixSuccessor returns the smallest byte string greater than every string
+// with the given prefix, or nil when no such bound exists (empty or all-0xff
+// prefix).
+func prefixSuccessor(p []byte) []byte {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0xff {
+			out := make([]byte, i+1)
+			copy(out, p[:i+1])
+			out[i]++
+			return out
+		}
+	}
+	return nil
+}
+
+// prefixBounds translates a raw-key prefix into a stored-key interval
+// [tstart, tend) containing every stored key whose raw form starts with
+// prefix (nil tend = unbounded above). filter reports whether interval
+// membership over-approximates the prefix set, in which case callers must
+// re-check the raw prefix per key.
+//
+// Without KeyPreprocessing the stored space IS the raw space and the interval
+// is exact. With it, keys of at least four bytes are transformed
+// (keys.Preprocess) and shorter keys are stored verbatim, and the transform
+// is only order-preserving within the long class — so the translation is
+// class-aware:
+//
+//   - len(prefix) <= 1: both classes keep the first byte verbatim, the raw
+//     interval is exact in stored space.
+//   - len(prefix) >= 4: only long keys can match; [T(prefix), T(succ)) is
+//     exact for them, but verbatim-stored short keys can fall inside the
+//     interval, so emissions are filtered.
+//   - len(prefix) 2..3: matching keys straddle both classes. The interval is
+//     the union of the class envelopes — lower bound min(prefix, T(prefix
+//     zero-padded to 4 bytes)), upper bound max(succ(prefix),
+//     strict-successor of T(prefix 0xff-padded to 4 bytes)) — and emissions
+//     are filtered.
+func (s *Store) prefixBounds(prefix []byte) (tstart, tend []byte, filter bool) {
+	succ := prefixSuccessor(prefix)
+	if !s.opts.KeyPreprocessing || len(prefix) <= 1 {
+		return prefix, succ, false
+	}
+	if len(prefix) >= 4 {
+		tstart = keys.Preprocess(prefix)
+		if succ != nil {
+			tend = keys.Preprocess(succ)
+		}
+		return tstart, tend, true
+	}
+	// 2- or 3-byte prefix under pre-processing.
+	lo := make([]byte, 4)
+	copy(lo, prefix)
+	tlo := keys.Preprocess(lo) // minimal transformed head of any long match
+	tstart = prefix
+	if bytes.Compare(tlo, tstart) < 0 {
+		tstart = tlo
+	}
+	hi := []byte{prefix[0], 0xff, 0xff, 0xff}
+	copy(hi[1:], prefix[1:])
+	thi := keys.Preprocess(hi)
+	// Transform payload bytes top out at 0xfc, so the increment cannot carry;
+	// the result strictly bounds every transformed extension of hi's head.
+	thi[len(thi)-1]++
+	tend = succ // nil only for all-0xff prefixes, where thi bounds the longs…
+	if tend == nil {
+		// …but not the verbatim short class, which extends to the top of the
+		// key space: unbounded.
+		return tstart, nil, true
+	}
+	if bytes.Compare(thi, tend) > 0 {
+		tend = thi
+	}
+	return tstart, tend, true
 }
 
 // PutUint64 stores an integer key in its binary-comparable encoding.

@@ -75,6 +75,28 @@ func AsBatcher(kv KV) (Batcher, bool) {
 	return b, ok
 }
 
+// PrefixScanner is the optional prefix-query interface: structures that
+// implement it answer "every key under this prefix" without scanning (or
+// even touching) the rest of the key space. Hyperion backs it with the
+// seek-aware cursor engine: the scan starts at the prefix via the container
+// and T-Node jump tables and stops at the prefix successor, and CountPrefix
+// additionally skips materialising the keys — the right tool for the n-gram
+// prefix-counting workloads the paper's string data sets model.
+type PrefixScanner interface {
+	KV
+	// ScanPrefix calls fn for every stored key that starts with prefix, in
+	// the store's iteration order, until fn returns false.
+	ScanPrefix(prefix []byte, fn func(key []byte, value uint64) bool)
+	// CountPrefix returns the number of stored keys starting with prefix.
+	CountPrefix(prefix []byte) int
+}
+
+// AsPrefixScanner returns kv's prefix-query interface, if it has one.
+func AsPrefixScanner(kv KV) (PrefixScanner, bool) {
+	p, ok := kv.(PrefixScanner)
+	return p, ok
+}
+
 // Snapshotter is the optional durability interface: structures that
 // implement it can serialize their full content to a stream and write it
 // atomically to a file. The matching load side is constructor-shaped
@@ -100,15 +122,16 @@ func AsSnapshotter(kv KV) (Snapshotter, bool) {
 
 // Compile-time interface checks.
 var (
-	_ Ordered     = (*hyperion.Store)(nil)
-	_ Batcher     = (*hyperion.Store)(nil)
-	_ Snapshotter = (*hyperion.Store)(nil)
-	_ Ordered     = (*art.Tree)(nil)
-	_ Ordered     = (*judy.Tree)(nil)
-	_ Ordered     = (*hot.Tree)(nil)
-	_ Ordered     = (*hattrie.Tree)(nil)
-	_ Ordered     = (*rbtree.Tree)(nil)
-	_ KV          = (*hashkv.Map)(nil)
+	_ Ordered       = (*hyperion.Store)(nil)
+	_ Batcher       = (*hyperion.Store)(nil)
+	_ Snapshotter   = (*hyperion.Store)(nil)
+	_ PrefixScanner = (*hyperion.Store)(nil)
+	_ Ordered       = (*art.Tree)(nil)
+	_ Ordered       = (*judy.Tree)(nil)
+	_ Ordered       = (*hot.Tree)(nil)
+	_ Ordered       = (*hattrie.Tree)(nil)
+	_ Ordered       = (*rbtree.Tree)(nil)
+	_ KV            = (*hashkv.Map)(nil)
 )
 
 // NewHyperion creates a Hyperion store with the paper's string-tuned default

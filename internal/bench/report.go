@@ -190,3 +190,24 @@ func WriteRecovery(w io.Writer, r RecoveryResult) {
 			row.SaveSeconds, row.SaveKeysPerSec, row.RestoreKeysPerSec, row.RestoreSpeedupVsReingest)
 	}
 }
+
+// WriteScan renders the scan-engine comparison. Reading the output: the
+// "chunked" cursor row's speedup is the headline (jump-structure re-seek vs
+// the linear O(position) resume of the Save/Range shape), "seek" shows the
+// same effect on point-range queries, "full" must hold roughly even (both
+// engines do the same O(n) decode work — its allocs/op column is the
+// zero-allocation signal CI gates on), and the "store" rows give the
+// end-to-end Range and prefix-count throughput.
+func WriteScan(w io.Writer, s ScanResult) {
+	fmt.Fprintf(w, "\n%s\n", s.Title)
+	fmt.Fprintf(w, "  %-14s %-8s %-8s %10s %12s %14s %10s %10s %10s\n",
+		"Dataset", "shape", "engine", "keys", "pairs", "pairs/s", "MiB/s", "allocs/op", "speedup")
+	for _, r := range s.Rows {
+		speedup := "-"
+		if r.SpeedupVsLinear > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.SpeedupVsLinear)
+		}
+		fmt.Fprintf(w, "  %-14s %-8s %-8s %10d %12d %14.0f %10.1f %10.4f %10s\n",
+			r.Dataset, r.Shape, r.Engine, r.Keys, r.Pairs, r.PairsPerSec, r.MBPerSec, r.AllocsPerOp, speedup)
+	}
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunScan(t *testing.T) {
+	res := RunScan(tinyConfig())
+	by := map[[3]string]ScanRow{}
+	for _, r := range res.Rows {
+		by[[3]string{r.Dataset, r.Shape, r.Engine}] = r
+	}
+	for _, ds := range []string{"sorted-ngram", "random-int"} {
+		for _, shape := range []string{"full", "chunked", "seek"} {
+			lin, ok := by[[3]string{ds, shape, "linear"}]
+			if !ok {
+				t.Fatalf("missing row %s/%s/linear", ds, shape)
+			}
+			cur, ok := by[[3]string{ds, shape, "cursor"}]
+			if !ok {
+				t.Fatalf("missing row %s/%s/cursor", ds, shape)
+			}
+			if cur.Pairs <= 0 || cur.Pairs != lin.Pairs {
+				t.Fatalf("%s/%s: cursor emitted %d pairs, linear %d", ds, shape, cur.Pairs, lin.Pairs)
+			}
+			if cur.Seconds <= 0 || lin.Seconds <= 0 || cur.PairsPerSec <= 0 {
+				t.Fatalf("%s/%s measured nothing: %+v / %+v", ds, shape, cur, lin)
+			}
+			if cur.SpeedupVsLinear <= 0 {
+				t.Fatalf("%s/%s cursor row has no speedup: %+v", ds, shape, cur)
+			}
+		}
+		full, ok := by[[3]string{ds, "full", "store"}]
+		if !ok || full.Pairs <= 0 {
+			t.Fatalf("missing or empty store full-scan row for %s: %+v", ds, full)
+		}
+	}
+	// The resume-shape comparison is the tentpole claim, and it shows on the
+	// dense-container data set (random integers), where the linear resume
+	// re-decodes big streams per chunk: even at the tiny test scale the
+	// cursor's O(depth) re-seek must beat the linear O(position) resume. The
+	// string trie diffuses into many small containers where resume cost is
+	// negligible and the comparison degenerates to raw emission speed (the
+	// cursor trades ~10% there for suspendability — see DESIGN.md), so no
+	// speedup is asserted for it beyond the sanity checks above.
+	if s := by[[3]string{"random-int", "chunked", "cursor"}].SpeedupVsLinear; s <= 1.0 {
+		t.Fatalf("random-int: chunked cursor speedup %.2fx not above the linear resume", s)
+	}
+	if s := by[[3]string{"random-int", "seek", "cursor"}].SpeedupVsLinear; s <= 1.0 {
+		t.Fatalf("random-int: seek cursor speedup %.2fx not above the linear walk", s)
+	}
+	if r, ok := by[[3]string{"sorted-ngram", "prefix", "store"}]; !ok || r.Pairs <= 0 {
+		t.Fatalf("missing or empty prefix-count row: %+v", r)
+	}
+	var buf bytes.Buffer
+	WriteScan(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"chunked", "cursor", "linear", "allocs/op", "speedup", "sorted-ngram", "random-int"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered scan table misses %q:\n%s", want, out)
+		}
+	}
+}

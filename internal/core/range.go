@@ -10,7 +10,35 @@ import (
 // lexicographic (binary-comparable) order, until fn returns false. A nil or
 // empty start iterates the whole tree. hasValue distinguishes keys stored via
 // Put from set members stored via PutKey (paper node types 11 vs 10).
+//
+// Range is a thin wrapper over the cursor engine (cursor.go): the start key
+// is located through the jump structures instead of a linear decode, and the
+// key slices handed to fn are capacity-capped views of one reused buffer —
+// valid only for the duration of the call, and safe to append to.
 func (t *Tree) Range(start []byte, fn func(key []byte, value uint64, hasValue bool) bool) {
+	var c Cursor
+	c.Init(t)
+	c.Seek(start)
+	for {
+		k, v, hv, ok := c.Next()
+		if !ok || !fn(k, v, hv) {
+			return
+		}
+	}
+}
+
+// Each iterates every stored key in order.
+func (t *Tree) Each(fn func(key []byte, value uint64, hasValue bool) bool) {
+	t.Range(nil, fn)
+}
+
+// RangeLinear is the pre-cursor reference implementation of Range: a
+// recursive walk that linearly decodes every node header of every container
+// stream on the way, narrowing the bound byte by byte (narrowBound) instead
+// of seeking. It is retained as the differential-testing oracle for the
+// cursor engine and as the baseline of the scan benchmark; new callers should
+// use Range.
+func (t *Tree) RangeLinear(start []byte, fn func(key []byte, value uint64, hasValue bool) bool) {
 	bounded := len(start) > 0
 	if t.emptyExists && !bounded {
 		if !fn([]byte{}, t.emptyValue, t.emptyHas) {
@@ -22,11 +50,6 @@ func (t *Tree) Range(start []byte, fn func(key []byte, value uint64, hasValue bo
 	}
 	prefix := make([]byte, 0, 64)
 	t.rangeHP(t.rootHP, prefix, start, bounded, fn)
-}
-
-// Each iterates every stored key in order.
-func (t *Tree) Each(fn func(key []byte, value uint64, hasValue bool) bool) {
-	t.Range(nil, fn)
 }
 
 // narrowBound advances the lower bound by one matched key byte.
@@ -71,9 +94,14 @@ func (t *Tree) rangeHP(hp memman.HP, prefix, low []byte, bounded bool, fn func([
 	return t.rangeStream(buf, topRegion(buf), prefix, low, bounded, true, fn)
 }
 
+// capped returns k with its capacity capped at its length, so a callback
+// that appends to the key it received reallocates instead of overwriting the
+// shared prefix buffer the sibling keys are built in.
+func capped(k []byte) []byte { return k[:len(k):len(k)] }
+
 // rangeStream walks one node stream in order, emitting every key ending and
 // descending into children. prefix holds the key bytes accumulated on the
-// path to this stream.
+// path to this stream; keys handed to fn are capacity-capped views of it.
 func (t *Tree) rangeStream(buf []byte, reg region, prefix, low []byte, bounded bool, topLevel bool, fn func([]byte, uint64, bool) bool) bool {
 	_ = topLevel
 	pos := reg.start
@@ -101,7 +129,7 @@ func (t *Tree) rangeStream(buf []byte, reg region, prefix, low []byte, bounded b
 				if hv {
 					v = getValue(buf, pos+nodeValueOffset(hdr))
 				}
-				if !fn(key, v, hv) {
+				if !fn(capped(key), v, hv) {
 					return false
 				}
 			}
@@ -128,7 +156,7 @@ func (t *Tree) rangeStream(buf []byte, reg region, prefix, low []byte, bounded b
 			if hv {
 				v = getValue(buf, pos+nodeValueOffset(hdr))
 			}
-			if !fn(key, v, hv) {
+			if !fn(capped(key), v, hv) {
 				return false
 			}
 		}
@@ -151,7 +179,7 @@ func (t *Tree) rangeStream(buf []byte, reg region, prefix, low []byte, bounded b
 				if hv {
 					v = pcValue(buf, childOff)
 				}
-				if !fn(full, v, hv) {
+				if !fn(capped(full), v, hv) {
 					return false
 				}
 			}
