@@ -202,7 +202,7 @@ func main() {
 	}
 	if want("concurrency") {
 		ran = true
-		run("Concurrency: batched parallel throughput over arenas × workers", func() {
+		run("Concurrency: epoch vs rwmutex read scaling over arenas × workers", func() {
 			res := bench.RunConcurrency(cfg)
 			bench.WriteConcurrency(out, res)
 			emit(res.ID, res)

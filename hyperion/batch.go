@@ -113,20 +113,17 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 				break
 			}
 		}
-		var scratch [opScratchSize]byte
-		if write {
-			sh.mu.Lock()
-		} else {
-			sh.mu.RLock()
+		if !write {
+			// Read-only batch: lock-free group read (lockfree.go).
+			s.readApplyGroup(sh, ops, nil, results)
+			return results
 		}
+		var scratch [opScratchSize]byte
+		g := s.lockShardWrite(sh)
 		for i, op := range ops {
 			results[i] = applyOp(sh.tree, op, s.transformAppend(scratch[:0], op.Key))
 		}
-		if write {
-			sh.mu.Unlock()
-		} else {
-			sh.mu.RUnlock()
-		}
+		s.unlockShardWrite(sh, g)
 		return results
 	}
 	anyWrites := func(opIdx []int32) bool {
@@ -143,21 +140,16 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 		if s.bulkApplyGroup(sh, ops, opIdx, results) {
 			return
 		}
-		write := anyWrites(opIdx)
-		var scratch [opScratchSize]byte
-		if write {
-			sh.mu.Lock()
-		} else {
-			sh.mu.RLock()
+		if !anyWrites(opIdx) {
+			s.readApplyGroup(sh, ops, opIdx, results)
+			return
 		}
+		var scratch [opScratchSize]byte
+		wg := s.lockShardWrite(sh)
 		for _, i := range opIdx {
 			results[i] = applyOp(sh.tree, ops[i], s.transformAppend(scratch[:0], ops[i].Key))
 		}
-		if write {
-			sh.mu.Unlock()
-		} else {
-			sh.mu.RUnlock()
-		}
+		s.unlockShardWrite(sh, wg)
 	})
 	return results
 }
@@ -181,24 +173,14 @@ func (s *Store) GetBatchInto(dst []Result, lookups [][]byte) []Result {
 	}
 	results := resizeResults(dst, len(lookups))
 	if len(s.shards) == 1 {
-		sh := s.shards[0]
-		var scratch [opScratchSize]byte
-		sh.mu.RLock()
-		for i := range lookups {
-			results[i].Value, results[i].Ok = sh.tree.Get(s.transformAppend(scratch[:0], lookups[i]))
-		}
-		sh.mu.RUnlock()
+		// Lock-free group read: one seqlock snapshot covers the whole batch
+		// (lockfree.go), with the shard read lock as write-storm fallback.
+		s.readGetGroup(s.shards[0], lookups, nil, results)
 		return results
 	}
 	g := s.groupByShard(len(lookups), func(i int) int { return s.arenaIndex(lookups[i]) })
 	s.runGroups(g, func(shardID int, opIdx []int32) {
-		sh := s.shards[shardID]
-		var scratch [opScratchSize]byte
-		sh.mu.RLock()
-		for _, i := range opIdx {
-			results[i].Value, results[i].Ok = sh.tree.Get(s.transformAppend(scratch[:0], lookups[i]))
-		}
-		sh.mu.RUnlock()
+		s.readGetGroup(s.shards[shardID], lookups, opIdx, results)
 	})
 	return results
 }
@@ -266,9 +248,9 @@ func (s *Store) bulkApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Res
 	if !ok {
 		return false
 	}
-	sh.mu.Lock()
+	g := s.lockShardWrite(sh)
 	sh.tree.BulkLoad(tkeys, vals)
-	sh.mu.Unlock()
+	s.unlockShardWrite(sh, g)
 	for k := 0; k < n; k++ {
 		i := k
 		if opIdx != nil {

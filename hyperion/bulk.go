@@ -103,17 +103,17 @@ func (s *Store) bulkLoadShard(sh *shard, pairs []Pair) {
 	if !ok {
 		// Pre-processing broke the order (documented only across the
 		// <4-byte / ≥4-byte key-length boundary): per-key fallback.
-		sh.mu.Lock()
+		g := s.lockShardWrite(sh)
 		var scratch [opScratchSize]byte
 		for _, p := range pairs {
 			sh.tree.Put(s.transformAppend(scratch[:0], p.Key), p.Value)
 		}
-		sh.mu.Unlock()
+		s.unlockShardWrite(sh, g)
 		return
 	}
-	sh.mu.Lock()
+	g := s.lockShardWrite(sh)
 	sh.tree.BulkLoad(tkeys, vals)
-	sh.mu.Unlock()
+	s.unlockShardWrite(sh, g)
 }
 
 // transformRun builds the stored-form key and value slices of a run. With

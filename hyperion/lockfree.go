@@ -1,0 +1,409 @@
+package hyperion
+
+// Lock-free read path (epoch + seqlock). This file concentrates the whole
+// protocol so every call site in store.go / batch.go / scan.go / stats.go
+// stays a one-liner:
+//
+//   - Writers serialise per shard on sh.mu as before, but additionally
+//     bracket the mutation between lockShardWrite and unlockShardWrite:
+//     they pin the epoch domain (so frees they retire are tagged with a
+//     still-open epoch), flip the tree's seqlock odd, mutate, drain any
+//     safely-retired memory, flip the seqlock even, unpin, and nudge the
+//     global epoch forward.
+//
+//   - Readers run walks optimistically and validate the tree's seqlock
+//     afterwards. A reader that raced a mutation discards the result,
+//     retries a few times, and finally falls back to the classic shard read
+//     lock — which cannot starve, because writers hold the write half of the
+//     same mutex. Long-window readers (cursor scans, batched shard groups)
+//     additionally pin the epoch domain, which guarantees that no memory
+//     they could have observed is recycled until they unpin; single-op point
+//     reads skip the slot claim entirely (see the comment above shardGet)
+//     and lean on the same epoch machinery indirectly — the write-side grace
+//     period is what keeps a concurrently-retired chunk's bytes intact long
+//     enough that validation, not memory safety, is the only concern.
+//
+// The point-read fast path therefore performs zero mutex acquisitions and
+// zero atomic read-modify-writes: two sequence loads around the walk. The
+// scan/batch fast path adds one slot CAS to pin and one store to unpin per
+// chunk or shard group.
+//
+// Race-enabled builds compile the optimistic path out (lockFreeBuild in
+// lockfree_race.go): the race detector cannot model a seqlock — readers
+// intentionally overlap writers and discard torn results — so under -race
+// every read takes the shard RWMutex and the suite validates the locked
+// paths instead.
+
+import (
+	"repro/internal/core"
+	"repro/internal/epoch"
+	"repro/internal/memman"
+)
+
+// readTries is the number of optimistic attempts a reader makes before
+// falling back to the shard read lock. Under a sustained write storm the
+// fallback keeps readers live; under normal traffic the first attempt wins.
+const readTries = 3
+
+// optimisticMaxFrames bounds the cursor descent depth during optimistic
+// scans: a torn read that manufactures a cyclic HP chain panics out of the
+// walk instead of pushing frames forever. Legitimate descents push roughly
+// one frame per two key bytes, so this admits keys of several KiB; deeper
+// (torn or legitimately huge) walks fall back to the locked scan.
+const optimisticMaxFrames = 4096
+
+// ReadLockMode reports how point reads and scans synchronise with writers:
+// "epoch" (lock-free seqlock-validated reads) or "rwmutex" (the
+// classic shard read lock; race builds and DisableLockFreeReads). Benchmark
+// rows record it so scaling curves are attributable.
+func (s *Store) ReadLockMode() string {
+	if s.lockFreeReads {
+		return "epoch"
+	}
+	return "rwmutex"
+}
+
+// SetLockFreeReads switches the read path between the epoch-based lock-free
+// protocol and the shard RWMutex at runtime. Enabling has no effect on a
+// store built with DisableLockFreeReads or on a race-detector build (the
+// lock-free machinery is absent there). Disabling only reroutes readers:
+// write-side publication and deferred reclamation stay active, so retired
+// memory keeps draining and the store can be flipped back at any time.
+//
+// It must not be called concurrently with any operation on the store. Its
+// main consumer is the concurrency benchmark, which measures both protocols
+// against the same store instance so allocation-layout luck cancels out of
+// the comparison.
+func (s *Store) SetLockFreeReads(enable bool) {
+	s.lockFreeReads = enable && s.lockFree
+}
+
+// lockShardWrite acquires sh's write lock and opens the publication bracket.
+// Every tree mutation in the package goes through this pair; the returned
+// guard must be handed back to unlockShardWrite.
+func (s *Store) lockShardWrite(sh *shard) epoch.Guard {
+	sh.mu.Lock()
+	if !s.lockFree {
+		return epoch.Guard{}
+	}
+	g := s.epochs.Pin()
+	sh.tree.Allocator().SetRetireEpoch(g.Epoch())
+	sh.tree.BeginWrite()
+	return g
+}
+
+// unlockShardWrite closes the bracket opened by lockShardWrite: drain any
+// retired memory whose epoch is already quiescent (inside the seqlock
+// bracket, so optimistic stats readers never observe a half-drained
+// allocator), publish the new tree state, release the pin and try to move
+// the global epoch forward so the next writer can drain what this one
+// retired.
+func (s *Store) unlockShardWrite(sh *shard, g epoch.Guard) {
+	if s.lockFree {
+		a := sh.tree.Allocator()
+		if a.RetiredCount() > 0 {
+			a.DrainRetired(s.epochs.SafeEpoch())
+		}
+		sh.tree.EndWrite()
+		g.Unpin()
+		if a.RetiredCount() > 0 {
+			s.epochs.TryAdvance()
+		}
+	}
+	sh.mu.Unlock()
+}
+
+// Point reads (shardGet/shardHas/shardLen/shardStats and friends) run
+// optimistically WITHOUT claiming a reader slot. They stay safe without the
+// pin because their exposure window is a single bounded walk:
+//
+//   - the walk terminates regardless of what it reads (descent length is
+//     bounded by the key, in-container scans always advance, cursor depth is
+//     capped), and every byte it can reach stays in-bounds memory — in-slab
+//     chunks are recycled in place, ext buffers are kept alive by the GC,
+//     and retired chunks sit in the epoch-deferred free lists for at least a
+//     full grace period before any reuse;
+//   - a walk that does observe recycled bytes produces garbage or a panic,
+//     both of which the seqlock validation / recover barrier convert into a
+//     retry — exactly like any other torn read.
+//
+// Dropping the slot claim removes both reader-side atomic RMWs, which is
+// what lets a point read undercut even an uncontended RLock/RUnlock pair.
+// Cursor scans and batched group reads DO pin: they hold decoded positions
+// (or fill caller-visible result slices) across a much longer window, and
+// one slot CAS amortised over a chunk or a shard group is free.
+
+// shardGet is Store.Get's per-shard read: optimistic first, locked fallback.
+// The seqlock protocol is open-coded here instead of calling
+// core.GetOptimistic: the recover barrier's defer keeps that wrapper from
+// inlining, and on a sub-microsecond walk the extra call frame is a
+// measurable slice of the protocol win. The one armed defer doubles as the
+// panic fallback — a torn walk that panics is recovered and redone under the
+// read lock, so the function still returns a correct result.
+func (s *Store) shardGet(sh *shard, k []byte) (value uint64, ok bool) {
+	if s.lockFreeReads {
+		walking := false
+		defer func() {
+			if walking && recover() != nil {
+				sh.mu.RLock()
+				value, ok = sh.tree.Get(k)
+				sh.mu.RUnlock()
+			}
+		}()
+		for t := 0; t < readTries; t++ {
+			s0, stable := sh.tree.ReadSeq()
+			if !stable {
+				continue
+			}
+			walking = true
+			v, vok := sh.tree.Get(k)
+			walking = false
+			if sh.tree.SeqValid(s0) {
+				return v, vok
+			}
+		}
+	}
+	sh.mu.RLock()
+	value, ok = sh.tree.Get(k)
+	sh.mu.RUnlock()
+	return value, ok
+}
+
+// shardHas is Store.Has's per-shard read; same open-coded protocol as
+// shardGet.
+func (s *Store) shardHas(sh *shard, k []byte) (ok bool) {
+	if s.lockFreeReads {
+		walking := false
+		defer func() {
+			if walking && recover() != nil {
+				sh.mu.RLock()
+				ok = sh.tree.Has(k)
+				sh.mu.RUnlock()
+			}
+		}()
+		for t := 0; t < readTries; t++ {
+			s0, stable := sh.tree.ReadSeq()
+			if !stable {
+				continue
+			}
+			walking = true
+			v := sh.tree.Has(k)
+			walking = false
+			if sh.tree.SeqValid(s0) {
+				return v
+			}
+		}
+	}
+	sh.mu.RLock()
+	ok = sh.tree.Has(k)
+	sh.mu.RUnlock()
+	return ok
+}
+
+// shardLen reads one shard's key count.
+func (s *Store) shardLen(sh *shard) int64 {
+	if s.lockFreeReads {
+		for t := 0; t < readTries; t++ {
+			if n, valid := sh.tree.LenOptimistic(); valid {
+				return n
+			}
+		}
+	}
+	sh.mu.RLock()
+	n := sh.tree.Len()
+	sh.mu.RUnlock()
+	return n
+}
+
+// shardStats reads one shard's structural counters.
+func (s *Store) shardStats(sh *shard) core.Stats {
+	if s.lockFreeReads {
+		for t := 0; t < readTries; t++ {
+			if st, valid := sh.tree.StatsOptimistic(); valid {
+				return st
+			}
+		}
+	}
+	sh.mu.RLock()
+	st := sh.tree.Stats()
+	sh.mu.RUnlock()
+	return st
+}
+
+// shardMemStats reads one shard's allocator statistics. The allocator walk
+// only loads published tables, but its counters are plain fields mutated
+// inside write brackets (including the deferred-free drain), so the seqlock
+// check makes the snapshot consistent.
+func (s *Store) shardMemStats(sh *shard) memman.Stats {
+	if s.lockFreeReads {
+		for t := 0; t < readTries; t++ {
+			if st, valid := s.memStatsOptimistic(sh); valid {
+				return st
+			}
+		}
+	}
+	sh.mu.RLock()
+	st := sh.tree.Allocator().Stats()
+	sh.mu.RUnlock()
+	return st
+}
+
+func (s *Store) memStatsOptimistic(sh *shard) (st memman.Stats, valid bool) {
+	defer func() {
+		if recover() != nil {
+			valid = false
+		}
+	}()
+	s0, stable := sh.tree.ReadSeq()
+	if !stable {
+		return st, false
+	}
+	st = sh.tree.Allocator().Stats()
+	if !sh.tree.SeqValid(s0) {
+		return memman.Stats{}, false
+	}
+	return st, true
+}
+
+// shardFootprint reads one shard's allocator footprint.
+func (s *Store) shardFootprint(sh *shard) int64 {
+	if s.lockFreeReads {
+		for t := 0; t < readTries; t++ {
+			if n, valid := s.footprintOptimistic(sh); valid {
+				return n
+			}
+		}
+	}
+	sh.mu.RLock()
+	n := sh.tree.MemoryFootprint()
+	sh.mu.RUnlock()
+	return n
+}
+
+func (s *Store) footprintOptimistic(sh *shard) (n int64, valid bool) {
+	s0, stable := sh.tree.ReadSeq()
+	if !stable {
+		return 0, false
+	}
+	n = sh.tree.MemoryFootprint()
+	if !sh.tree.SeqValid(s0) {
+		return 0, false
+	}
+	return n, true
+}
+
+// readGetGroup fills results for a GetBatch shard group (opIdx nil = all of
+// lookups): optimistic attempts first, shard read lock as fallback.
+func (s *Store) readGetGroup(sh *shard, lookups [][]byte, opIdx []int32, results []Result) {
+	if s.lockFreeReads {
+		ps := s.epochs.TryPinRead()
+		if ps == nil {
+			ps = s.epochs.PinReadSlow()
+		}
+		if ps != nil {
+			for t := 0; t < readTries; t++ {
+				if s.optimisticGetGroup(sh, lookups, opIdx, results) {
+					ps.Release()
+					return
+				}
+			}
+			ps.Release()
+		}
+	}
+	sh.mu.RLock()
+	s.getGroupWalk(sh, lookups, opIdx, results)
+	sh.mu.RUnlock()
+}
+
+// getGroupWalk runs a group of lookups against sh's tree. It is shared by
+// the locked and optimistic group paths and deliberately contains no defer:
+// a defer in scope pessimises codegen for the whole function, which matters
+// for a loop that runs once per batched key.
+func (s *Store) getGroupWalk(sh *shard, lookups [][]byte, opIdx []int32, results []Result) {
+	var scratch [opScratchSize]byte
+	if opIdx == nil {
+		for i := range lookups {
+			results[i].Value, results[i].Ok = sh.tree.Get(s.transformAppend(scratch[:0], lookups[i]))
+		}
+	} else {
+		for _, i := range opIdx {
+			results[i].Value, results[i].Ok = sh.tree.Get(s.transformAppend(scratch[:0], lookups[i]))
+		}
+	}
+}
+
+// optimisticGetGroup runs a whole group of lookups under one seqlock
+// snapshot: one sequence check per group instead of per key. A torn walk
+// (panic or sequence change) invalidates the whole group; the results slice
+// may then hold partial garbage, which the caller overwrites on retry or
+// fallback.
+func (s *Store) optimisticGetGroup(sh *shard, lookups [][]byte, opIdx []int32, results []Result) (valid bool) {
+	s0, stable := sh.tree.ReadSeq()
+	if !stable {
+		return false
+	}
+	walking := true
+	defer func() {
+		if walking && recover() != nil {
+			valid = false
+		}
+	}()
+	s.getGroupWalk(sh, lookups, opIdx, results)
+	walking = false
+	return sh.tree.SeqValid(s0)
+}
+
+// readApplyGroup executes a read-only ApplyBatch shard group (OpGet/OpHas
+// only; opIdx nil = the whole batch): optimistic first, locked fallback.
+func (s *Store) readApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Result) {
+	if s.lockFreeReads {
+		ps := s.epochs.TryPinRead()
+		if ps == nil {
+			ps = s.epochs.PinReadSlow()
+		}
+		if ps != nil {
+			for t := 0; t < readTries; t++ {
+				if s.optimisticApplyGroup(sh, ops, opIdx, results) {
+					ps.Release()
+					return
+				}
+			}
+			ps.Release()
+		}
+	}
+	sh.mu.RLock()
+	s.applyGroupWalk(sh, ops, opIdx, results)
+	sh.mu.RUnlock()
+}
+
+// applyGroupWalk runs a read-only op group against sh's tree; shared by the
+// locked and optimistic paths, defer-free for the same codegen reason as
+// getGroupWalk.
+func (s *Store) applyGroupWalk(sh *shard, ops []Op, opIdx []int32, results []Result) {
+	var scratch [opScratchSize]byte
+	if opIdx == nil {
+		for i, op := range ops {
+			results[i] = applyOp(sh.tree, op, s.transformAppend(scratch[:0], op.Key))
+		}
+	} else {
+		for _, i := range opIdx {
+			results[i] = applyOp(sh.tree, ops[i], s.transformAppend(scratch[:0], ops[i].Key))
+		}
+	}
+}
+
+func (s *Store) optimisticApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Result) (valid bool) {
+	s0, stable := sh.tree.ReadSeq()
+	if !stable {
+		return false
+	}
+	walking := true
+	defer func() {
+		if walking && recover() != nil {
+			valid = false
+		}
+	}()
+	s.applyGroupWalk(sh, ops, opIdx, results)
+	walking = false
+	return sh.tree.SeqValid(s0)
+}

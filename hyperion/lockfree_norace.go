@@ -1,0 +1,8 @@
+//go:build !race
+
+package hyperion
+
+// lockFreeBuild enables the epoch/seqlock optimistic read path. Non-race
+// builds use it (subject to Options.DisableLockFreeReads); race-enabled
+// builds compile it out — see lockfree_race.go.
+const lockFreeBuild = true

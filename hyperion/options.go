@@ -56,6 +56,13 @@ type Options struct {
 	DisableJumpSuccessor   bool
 	DisableJumpTables      bool
 	DisableContainerSplit  bool
+
+	// DisableLockFreeReads forces point reads and scans onto the shard
+	// RWMutex even on builds where the epoch-based lock-free read path is
+	// available. It is the rwmutex baseline of the concurrency benchmark and
+	// an escape hatch; semantics are identical either way. (Race-detector
+	// builds always use the mutex path — see lockfree_race.go.)
+	DisableLockFreeReads bool
 }
 
 // DefaultOptions returns the paper's string-tuned configuration: one arena,

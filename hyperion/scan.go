@@ -81,43 +81,44 @@ func (c *kvChunk) hasValue(i int) bool { return c.hasv[i] }
 // that crosses the bound.
 func (s *Store) scanShardChunks(sh *shard, tstart, tend []byte, chunkSize int, abort func() bool, nextChunk func() *kvChunk, emit func(*kvChunk) bool) (reachedEnd bool) {
 	var cur core.Cursor
-	var resume []byte
+	// Two resume buffers: the optimistic fill builds the NEXT resume key into
+	// a separate buffer so a discarded (torn) attempt cannot clobber the
+	// current one; the swap below commits it only after validation.
+	var resume, resumeNext []byte
 	resume = append(resume, tstart...)
 	for {
 		if abort != nil && abort() {
 			return false
 		}
 		chunk := nextChunk()
-		full := false
-		sh.mu.RLock()
-		cur.Init(sh.tree)
-		cur.Seek(resume)
-		for {
-			if abort != nil && abort() {
-				break
+		var full, hitEnd bool
+		filled := false
+		if s.lockFreeReads {
+			// Pinned lock-free fill (lockfree.go protocol): the pin keeps
+			// every reachable byte from being recycled, the seqlock check
+			// discards chunks that raced a mutation.
+			g := s.epochs.Pin()
+			for t := 0; t < readTries; t++ {
+				var valid bool
+				resumeNext, full, hitEnd, valid = s.fillChunkOptimistic(sh, &cur, chunk, resume, resumeNext, tend, chunkSize, abort)
+				if valid {
+					filled = true
+					break
+				}
+				chunk.reset()
 			}
-			k, v, hasValue, ok := cur.Next()
-			if !ok {
-				break
-			}
-			if tend != nil && bytes.Compare(k, tend) >= 0 {
-				reachedEnd = true
-				break
-			}
-			chunk.keys = s.untransformAppend(chunk.keys, k)
-			chunk.offs = append(chunk.offs, int32(len(chunk.keys)))
-			chunk.vals = append(chunk.vals, v)
-			chunk.hasv = append(chunk.hasv, hasValue)
-			if len(chunk.vals) == chunkSize {
-				// Remember the stored-form successor of this key before the
-				// lock is dropped.
-				resume = append(resume[:0], k...)
-				resume = append(resume, 0)
-				full = true
-				break
-			}
+			g.Unpin()
 		}
-		sh.mu.RUnlock()
+		if !filled {
+			sh.mu.RLock()
+			cur.SetMaxFrames(0)
+			resumeNext, full, hitEnd = s.fillChunk(sh, &cur, chunk, resume, resumeNext, tend, chunkSize, abort)
+			sh.mu.RUnlock()
+		}
+		if hitEnd {
+			reachedEnd = true
+		}
+		resume, resumeNext = resumeNext, resume
 		if chunk.len() > 0 && !emit(chunk) {
 			return reachedEnd
 		}
@@ -125,6 +126,64 @@ func (s *Store) scanShardChunks(sh *shard, tstart, tend []byte, chunkSize int, a
 			return reachedEnd
 		}
 	}
+}
+
+// fillChunk advances the scan by one chunk: it seeks cur to resume, appends
+// up to chunkSize pairs with stored keys in [resume, tend) to chunk, and —
+// when the chunk fills — writes the stored-form successor of the last key
+// into resumeNext (returned possibly regrown). The caller must guarantee a
+// stable tree: either it holds the shard read lock, or it validates the
+// seqlock afterwards and discards everything on a conflict.
+func (s *Store) fillChunk(sh *shard, cur *core.Cursor, chunk *kvChunk, resume, resumeNext, tend []byte, chunkSize int, abort func() bool) (nextResume []byte, full, reachedEnd bool) {
+	cur.Init(sh.tree)
+	cur.Seek(resume)
+	for {
+		if abort != nil && abort() {
+			break
+		}
+		k, v, hasValue, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if tend != nil && bytes.Compare(k, tend) >= 0 {
+			reachedEnd = true
+			break
+		}
+		chunk.keys = s.untransformAppend(chunk.keys, k)
+		chunk.offs = append(chunk.offs, int32(len(chunk.keys)))
+		chunk.vals = append(chunk.vals, v)
+		chunk.hasv = append(chunk.hasv, hasValue)
+		if len(chunk.vals) == chunkSize {
+			resumeNext = append(resumeNext[:0], k...)
+			resumeNext = append(resumeNext, 0)
+			full = true
+			break
+		}
+	}
+	return resumeNext, full, reachedEnd
+}
+
+// fillChunkOptimistic is fillChunk under the seqlock contract: it runs
+// without any lock (caller holds an epoch pin), bounds the cursor depth, and
+// reports valid=false — converting torn-walk panics into a retry — when the
+// tree mutated underneath it.
+func (s *Store) fillChunkOptimistic(sh *shard, cur *core.Cursor, chunk *kvChunk, resume, resumeNext, tend []byte, chunkSize int, abort func() bool) (nextResume []byte, full, reachedEnd, valid bool) {
+	nextResume = resumeNext
+	defer func() {
+		if recover() != nil {
+			full, reachedEnd, valid = false, false, false
+		}
+	}()
+	s0, stable := sh.tree.ReadSeq()
+	if !stable {
+		return nextResume, false, false, false
+	}
+	cur.SetMaxFrames(optimisticMaxFrames)
+	nextResume, full, reachedEnd = s.fillChunk(sh, cur, chunk, resume, nextResume, tend, chunkSize, abort)
+	if !sh.tree.SeqValid(s0) {
+		return nextResume, false, false, false
+	}
+	return nextResume, full, reachedEnd, true
 }
 
 // countChunkSize bounds how many pairs CountPrefix counts per lock
@@ -142,46 +201,95 @@ const countChunkSize = 4096
 // Returns the count and whether the scan crossed tend.
 func (s *Store) countShardRange(sh *shard, tstart, tend, rawPrefix []byte) (int, bool) {
 	var cur core.Cursor
-	var resume, scratch []byte
+	var resume, resumeNext, scratch []byte
 	resume = append(resume, tstart...)
 	total := 0
 	reachedEnd := false
 	for {
-		n := 0
-		steps := 0
-		full := false
-		sh.mu.RLock()
-		cur.Init(sh.tree)
-		cur.Seek(resume)
-		for {
-			k, _, _, ok := cur.Next()
-			if !ok {
-				break
-			}
-			if tend != nil && bytes.Compare(k, tend) >= 0 {
-				reachedEnd = true
-				break
-			}
-			steps++
-			if rawPrefix == nil {
-				n++
-			} else {
-				scratch = s.untransformAppend(scratch[:0], k)
-				if bytes.HasPrefix(scratch, rawPrefix) {
-					n++
+		var n int
+		var full, hitEnd bool
+		counted := false
+		if s.lockFreeReads {
+			g := s.epochs.Pin()
+			for t := 0; t < readTries; t++ {
+				var valid bool
+				n, resumeNext, scratch, full, hitEnd, valid = s.countChunkOptimistic(sh, &cur, resume, resumeNext, scratch, tend, rawPrefix)
+				if valid {
+					counted = true
+					break
 				}
 			}
-			if steps == countChunkSize {
-				resume = append(resume[:0], k...)
-				resume = append(resume, 0)
-				full = true
-				break
-			}
+			g.Unpin()
 		}
-		sh.mu.RUnlock()
+		if !counted {
+			sh.mu.RLock()
+			cur.SetMaxFrames(0)
+			n, resumeNext, scratch, full, hitEnd = s.countChunk(sh, &cur, resume, resumeNext, scratch, tend, rawPrefix)
+			sh.mu.RUnlock()
+		}
+		if hitEnd {
+			reachedEnd = true
+		}
 		total += n
+		resume, resumeNext = resumeNext, resume
 		if !full || reachedEnd {
 			return total, reachedEnd
 		}
 	}
+}
+
+// countChunk counts up to countChunkSize pairs in [resume, tend) and, when
+// the chunk fills, writes the resume successor into resumeNext. Same
+// stability contract as fillChunk.
+func (s *Store) countChunk(sh *shard, cur *core.Cursor, resume, resumeNext, scratch, tend, rawPrefix []byte) (n int, nextResume, nextScratch []byte, full, reachedEnd bool) {
+	cur.Init(sh.tree)
+	cur.Seek(resume)
+	steps := 0
+	for {
+		k, _, _, ok := cur.Next()
+		if !ok {
+			break
+		}
+		if tend != nil && bytes.Compare(k, tend) >= 0 {
+			reachedEnd = true
+			break
+		}
+		steps++
+		if rawPrefix == nil {
+			n++
+		} else {
+			scratch = s.untransformAppend(scratch[:0], k)
+			if bytes.HasPrefix(scratch, rawPrefix) {
+				n++
+			}
+		}
+		if steps == countChunkSize {
+			resumeNext = append(resumeNext[:0], k...)
+			resumeNext = append(resumeNext, 0)
+			full = true
+			break
+		}
+	}
+	return n, resumeNext, scratch, full, reachedEnd
+}
+
+// countChunkOptimistic is countChunk under the seqlock contract (see
+// fillChunkOptimistic).
+func (s *Store) countChunkOptimistic(sh *shard, cur *core.Cursor, resume, resumeNext, scratch, tend, rawPrefix []byte) (n int, nextResume, nextScratch []byte, full, reachedEnd, valid bool) {
+	nextResume, nextScratch = resumeNext, scratch
+	defer func() {
+		if recover() != nil {
+			n, full, reachedEnd, valid = 0, false, false, false
+		}
+	}()
+	s0, stable := sh.tree.ReadSeq()
+	if !stable {
+		return 0, nextResume, nextScratch, false, false, false
+	}
+	cur.SetMaxFrames(optimisticMaxFrames)
+	n, nextResume, nextScratch, full, reachedEnd = s.countChunk(sh, cur, resume, nextResume, nextScratch, tend, rawPrefix)
+	if !sh.tree.SeqValid(s0) {
+		return 0, nextResume, nextScratch, false, false, false
+	}
+	return n, nextResume, nextScratch, full, reachedEnd, true
 }

@@ -20,13 +20,16 @@ type Stats struct {
 	ContainerJTUpdates int64
 }
 
-// Stats aggregates the engine counters across arenas.
+// Stats aggregates the engine counters across arenas. Each shard snapshot is
+// collected through the lock-free read path (shardStats, lockfree.go) on
+// non-race builds, so Stats neither blocks behind writers nor forces
+// writers to wait; per-shard snapshots are seq-validated (never torn), and
+// like the locked implementation the cross-shard aggregate is not an atomic
+// global snapshot.
 func (s *Store) Stats() Stats {
 	var out Stats
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		st := sh.tree.Stats()
-		sh.mu.RUnlock()
+		st := s.shardStats(sh)
 		out.Keys += st.Keys
 		out.Containers += st.Containers
 		out.EmbeddedContainers += st.EmbeddedContainers
@@ -66,14 +69,13 @@ type MemoryStats struct {
 	Footprint       int64
 }
 
-// MemoryStats aggregates the allocator statistics of every arena.
+// MemoryStats aggregates the allocator statistics of every arena, through
+// the same lock-free collection as Stats.
 func (s *Store) MemoryStats() MemoryStats {
 	var agg memman.Stats
 	first := true
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		st := sh.tree.Allocator().Stats()
-		sh.mu.RUnlock()
+		st := s.shardMemStats(sh)
 		if first {
 			agg = st
 			first = false
@@ -108,9 +110,7 @@ func (s *Store) MemoryStats() MemoryStats {
 func (s *Store) MemoryFootprint() int64 {
 	total := int64(0)
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		total += sh.tree.MemoryFootprint()
-		sh.mu.RUnlock()
+		total += s.shardFootprint(sh)
 	}
 	return total
 }

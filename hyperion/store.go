@@ -5,6 +5,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/epoch"
 	"repro/internal/keys"
 )
 
@@ -22,6 +23,17 @@ type Store struct {
 	opts    Options
 	shards  []*shard
 	workers int
+
+	// epochs is the store-wide reclamation domain of the lock-free read
+	// path; lockFree caches whether that machinery is active (non-race build
+	// and not disabled via options). lockFreeReads additionally gates just
+	// the read-side protocol and can be toggled at runtime
+	// (SetLockFreeReads) for paired benchmarking; write-side publication and
+	// deferred reclamation stay on whenever lockFree is set, so a toggled
+	// store never leaks un-drainable retired memory. See lockfree.go.
+	epochs        *epoch.Domain
+	lockFree      bool
+	lockFreeReads bool
 }
 
 // New creates an empty store.
@@ -37,6 +49,16 @@ func New(opts Options) *Store {
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
+	s.epochs = epoch.NewDomain()
+	s.lockFree = lockFreeBuild && !opts.DisableLockFreeReads
+	s.lockFreeReads = s.lockFree
+	if s.lockFree {
+		// Frees must not recycle memory a pinned reader may still reach:
+		// route them through the epoch-deferred queue.
+		for _, sh := range s.shards {
+			sh.tree.Allocator().DeferFrees(true)
+		}
+	}
 	return s
 }
 
@@ -48,9 +70,9 @@ func (s *Store) Put(key []byte, value uint64) {
 	sh := s.shardFor(key)
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
-	sh.mu.Lock()
+	g := s.lockShardWrite(sh)
 	sh.tree.Put(k, value)
-	sh.mu.Unlock()
+	s.unlockShardWrite(sh, g)
 }
 
 // PutKey stores key without a value (set semantics).
@@ -58,34 +80,31 @@ func (s *Store) PutKey(key []byte) {
 	sh := s.shardFor(key)
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
-	sh.mu.Lock()
+	g := s.lockShardWrite(sh)
 	sh.tree.PutKey(k)
-	sh.mu.Unlock()
+	s.unlockShardWrite(sh, g)
 }
 
 // Get returns the value stored for key; ok is false if the key is absent or
 // has no value attached. Get performs no heap allocation for keys whose
 // transformed form fits the stack scratch (raw keys under opScratchSize-1
-// bytes); longer keys pay one allocation.
+// bytes); longer keys pay one allocation. On non-race builds the lookup is
+// lock-free (pinned epoch read with seqlock validation, lockfree.go); it
+// falls back to the shard read lock only under sustained write pressure.
 func (s *Store) Get(key []byte) (value uint64, ok bool) {
 	sh := s.shardFor(key)
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
-	sh.mu.RLock()
-	value, ok = sh.tree.Get(k)
-	sh.mu.RUnlock()
-	return value, ok
+	return s.shardGet(sh, k)
 }
 
-// Has reports whether key is stored (with or without a value).
+// Has reports whether key is stored (with or without a value). Like Get, Has
+// reads lock-free on non-race builds.
 func (s *Store) Has(key []byte) bool {
 	sh := s.shardFor(key)
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
-	sh.mu.RLock()
-	ok := sh.tree.Has(k)
-	sh.mu.RUnlock()
-	return ok
+	return s.shardHas(sh, k)
 }
 
 // Delete removes key and reports whether it was present.
@@ -93,19 +112,20 @@ func (s *Store) Delete(key []byte) bool {
 	sh := s.shardFor(key)
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
-	sh.mu.Lock()
+	g := s.lockShardWrite(sh)
 	ok := sh.tree.Delete(k)
-	sh.mu.Unlock()
+	s.unlockShardWrite(sh, g)
 	return ok
 }
 
-// Len returns the number of stored keys.
+// Len returns the number of stored keys. Each shard's count is read through
+// the lock-free path (seq-validated, so never torn); the sum across shards
+// is not an atomic global snapshot — exactly like the locked implementation,
+// which also reads shard counts one lock at a time.
 func (s *Store) Len() int {
 	total := int64(0)
 	for _, sh := range s.shards {
-		sh.mu.RLock()
-		total += sh.tree.Len()
-		sh.mu.RUnlock()
+		total += s.shardLen(sh)
 	}
 	return int(total)
 }
@@ -322,9 +342,9 @@ func (s *Store) DeleteUint64(key uint64) bool {
 // Clear removes every key from the store.
 func (s *Store) Clear() {
 	for _, sh := range s.shards {
-		sh.mu.Lock()
+		g := s.lockShardWrite(sh)
 		sh.tree.Clear()
-		sh.mu.Unlock()
+		s.unlockShardWrite(sh, g)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -15,18 +16,54 @@ func TestRunConcurrencyGrid(t *testing.T) {
 	cfg.ConcArenas = []int{1, 8}
 	cfg.ConcWorkers = []int{1, 4}
 	res := RunConcurrency(cfg)
-	if want := len(cfg.ConcArenas) * len(cfg.ConcWorkers); len(res.Points) != want {
-		t.Fatalf("expected %d grid points, got %d", want, len(res.Points))
+	// Per (arenas, workers) cell: two lock modes × four mixes.
+	if want := len(cfg.ConcArenas) * len(cfg.ConcWorkers) * 2 * 4; len(res.Points) != want {
+		t.Fatalf("expected %d grid rows, got %d", want, len(res.Points))
 	}
+	modes := map[string]int{}
+	mixes := map[string]int{}
 	for _, p := range res.Points {
-		if p.PutSingleOps <= 0 || p.PutBatchOps <= 0 || p.GetSingleOps <= 0 || p.GetBatchOps <= 0 {
-			t.Fatalf("cell arenas=%d workers=%d has non-positive throughput: %+v", p.Arenas, p.Workers, p)
+		if p.OpsPerSec <= 0 {
+			t.Fatalf("row %+v has non-positive throughput", p)
 		}
+		if p.GOMAXPROCS != runtime.GOMAXPROCS(0) || p.NumCPU != runtime.NumCPU() {
+			t.Fatalf("row %+v does not record the machine shape", p)
+		}
+		if p.LockMode != "epoch" && p.LockMode != "rwmutex" {
+			t.Fatalf("row %+v has unknown lock mode", p)
+		}
+		switch p.Mix {
+		case MixWrite:
+			if p.ReadFraction != 0 {
+				t.Fatalf("write row with read fraction %v", p.ReadFraction)
+			}
+		case MixRead, MixBatchRead:
+			if p.ReadFraction != 1 {
+				t.Fatalf("pure-read row with read fraction %v", p.ReadFraction)
+			}
+		case MixMixed:
+			if p.ReadFraction != 0.95 {
+				t.Fatalf("95/5 row with read fraction %v", p.ReadFraction)
+			}
+		default:
+			t.Fatalf("row %+v has unknown mix", p)
+		}
+		modes[p.LockMode]++
+		mixes[p.Mix]++
 	}
+	if len(mixes) != 4 {
+		t.Fatalf("expected 4 mixes, got %v", mixes)
+	}
+	// On race-detector builds the lock-free path is compiled out and both
+	// stores honestly report rwmutex; otherwise the modes must split evenly.
+	if len(modes) == 2 && modes["epoch"] != modes["rwmutex"] {
+		t.Fatalf("uneven mode split: %v", modes)
+	}
+
 	var buf bytes.Buffer
 	WriteConcurrency(&buf, res)
 	out := buf.String()
-	for _, want := range []string{"arenas", "workers", "puts/s batch", "batch×"} {
+	for _, want := range []string{"arenas", "workers", "mix", "epoch ops/s", "rwmutex ops/s", "gomaxprocs"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendered concurrency grid misses %q:\n%s", want, out)
 		}
@@ -65,7 +102,11 @@ func TestWriteJSONFile(t *testing.T) {
 		Result     struct {
 			Keys   int `json:"keys"`
 			Points []struct {
-				PutBatchOps float64 `json:"put_batch_ops_per_sec"`
+				LockMode  string  `json:"lock_mode"`
+				Mix       string  `json:"mix"`
+				OpsPerSec float64 `json:"ops_per_sec"`
+				GMP       int     `json:"gomaxprocs"`
+				NumCPU    int     `json:"numcpu"`
 			} `json:"points"`
 		} `json:"result"`
 	}
@@ -75,7 +116,12 @@ func TestWriteJSONFile(t *testing.T) {
 	if env.Experiment != "concurrency" || env.GOMAXPROCS <= 0 {
 		t.Fatalf("bad envelope: %+v", env)
 	}
-	if env.Result.Keys != cfg.ConcKeys || len(env.Result.Points) != 1 || env.Result.Points[0].PutBatchOps <= 0 {
-		t.Fatalf("bad result payload: %+v", env.Result)
+	if env.Result.Keys != cfg.ConcKeys || len(env.Result.Points) != 8 {
+		t.Fatalf("bad result payload: keys=%d points=%d", env.Result.Keys, len(env.Result.Points))
+	}
+	for _, p := range env.Result.Points {
+		if p.LockMode == "" || p.Mix == "" || p.OpsPerSec <= 0 || p.GMP <= 0 || p.NumCPU <= 0 {
+			t.Fatalf("row missing attribution fields: %+v", p)
+		}
 	}
 }

@@ -102,35 +102,46 @@ func WriteFigure15(w io.Writer, f Figure15Result) {
 	write("Randomized integer keys", f.Randomized)
 }
 
-// WriteConcurrency renders the arenas × workers throughput grid. The
-// "batch×" columns relate the batched throughput of a cell to the sequential
-// (workers=1) single-op loop over the same number of arenas — the speedup
-// the batched execution layer buys.
+// WriteConcurrency renders the arenas × workers × mix grid with the epoch
+// and rwmutex lock modes side by side; the "epoch×" column is the lock-free
+// read path's throughput over the RWMutex baseline for the same cell — the
+// scaling headroom the epoch layer buys.
 func WriteConcurrency(w io.Writer, c ConcurrencyResult) {
 	fmt.Fprintf(w, "\n%s\n", c.Title)
-	seqPut := map[int]float64{}
-	seqGet := map[int]float64{}
+	type cell struct {
+		arenas, workers int
+		mix             string
+	}
+	byMode := map[string]map[cell]float64{}
+	var order []cell
+	seen := map[cell]bool{}
+	gmp := 0
 	for _, p := range c.Points {
-		if p.Workers == 1 {
-			seqPut[p.Arenas] = p.PutSingleOps
-			seqGet[p.Arenas] = p.GetSingleOps
+		k := cell{p.Arenas, p.Workers, p.Mix}
+		if byMode[p.LockMode] == nil {
+			byMode[p.LockMode] = map[cell]float64{}
 		}
-	}
-	speedup := func(base map[int]float64, arenas int, ops float64) string {
-		if base[arenas] <= 0 {
-			return "-"
+		byMode[p.LockMode][k] = p.OpsPerSec
+		if !seen[k] {
+			seen[k] = true
+			order = append(order, k)
 		}
-		return fmt.Sprintf("%.2f", ops/base[arenas])
+		gmp = p.GOMAXPROCS
 	}
-	fmt.Fprintf(w, "  %6s %7s %14s %14s %7s %14s %14s %7s\n",
-		"arenas", "workers", "puts/s single", "puts/s batch", "batch×", "gets/s single", "gets/s batch", "batch×")
-	for _, p := range c.Points {
-		fmt.Fprintf(w, "  %6d %7d %14.0f %14.0f %7s %14.0f %14.0f %7s\n",
-			p.Arenas, p.Workers,
-			p.PutSingleOps, p.PutBatchOps, speedup(seqPut, p.Arenas, p.PutBatchOps),
-			p.GetSingleOps, p.GetBatchOps, speedup(seqGet, p.Arenas, p.GetBatchOps))
+	fmt.Fprintf(w, "  gomaxprocs %d\n", gmp)
+	fmt.Fprintf(w, "  %6s %7s %12s %14s %14s %7s\n",
+		"arenas", "workers", "mix", "epoch ops/s", "rwmutex ops/s", "epoch×")
+	for _, k := range order {
+		e, eok := byMode["epoch"][k]
+		r, rok := byMode["rwmutex"][k]
+		ratio := "-"
+		if eok && rok && r > 0 {
+			ratio = fmt.Sprintf("%.2f", e/r)
+		}
+		fmt.Fprintf(w, "  %6d %7d %12s %14.0f %14.0f %7s\n",
+			k.arenas, k.workers, k.mix, e, r, ratio)
 	}
-	fmt.Fprintf(w, "  (batch× = batched ops/s over the sequential workers=1 single-op loop, same arenas)\n")
+	fmt.Fprintf(w, "  (epoch× = the lock-free read path over the RWMutex baseline, same cell)\n")
 }
 
 // WriteLatency renders the per-op latency/allocation profiles. Reading the

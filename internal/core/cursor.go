@@ -84,6 +84,11 @@ type Cursor struct {
 	// probes counts decoded node headers and jump-probe steps since the last
 	// Seek — the bounded-work instrumentation of the seek contract.
 	probes int64
+	// maxFrames, when non-zero, bounds the descent depth. Optimistic
+	// (seqlock) scans set it so that a torn read which manufactures a cyclic
+	// HP chain panics out of the walk (recovered by the caller) instead of
+	// pushing frames forever; locked scans leave it zero (unbounded).
+	maxFrames int
 }
 
 // NewCursor returns a cursor bound to t, positioned before the first key.
@@ -360,8 +365,16 @@ func (c *Cursor) seekTop(low []byte) (nextHP memman.HP, nextLow []byte, nextBase
 	}
 }
 
+// SetMaxFrames bounds the cursor's descent depth; exceeding it panics (the
+// optimistic scan wrapper recovers and falls back to a locked scan). Zero
+// removes the bound. The setting survives Init/Seek until changed.
+func (c *Cursor) SetMaxFrames(n int) { c.maxFrames = n }
+
 // pushFrame appends a frame for one node stream.
 func (c *Cursor) pushFrame(buf []byte, reg region, baseLen int, top bool) *cursorFrame {
+	if c.maxFrames > 0 && len(c.frames) >= c.maxFrames {
+		panic("core: cursor depth bound exceeded (torn optimistic read)")
+	}
 	c.frames = append(c.frames, cursorFrame{
 		buf:     buf,
 		pos:     int32(reg.start),

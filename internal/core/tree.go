@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"repro/internal/memman"
 )
 
@@ -33,6 +35,11 @@ type Tree struct {
 	// bulkScratch is the reusable stream-assembly buffer of the bulk
 	// ingestion path (bulk.go).
 	bulkScratch []byte
+
+	// seq is the tree's publication sequence (publish.go): odd while a
+	// structural mutation is in flight, even when the tree is quiescent.
+	// Lock-free readers snapshot it before and after an optimistic walk.
+	seq atomic.Uint64
 }
 
 // New creates an empty tree with its own memory manager.

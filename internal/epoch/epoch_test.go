@@ -1,0 +1,140 @@
+package epoch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinUnpinAdvance(t *testing.T) {
+	d := NewDomain()
+	start := d.Epoch()
+	if start != firstEpoch {
+		t.Fatalf("fresh domain epoch = %d, want %d", start, firstEpoch)
+	}
+
+	// With no pins, the epoch advances freely.
+	if got := d.TryAdvance(); got != start+epochStep {
+		t.Fatalf("TryAdvance with no pins = %d, want %d", got, start+epochStep)
+	}
+
+	// A pinned guard at the current epoch allows one advance (every pinned
+	// slot equals the global epoch), but then blocks the next: the guard is
+	// now one step behind.
+	g := d.Pin()
+	if g.Epoch() != d.Epoch() {
+		t.Fatalf("guard epoch %d != global %d", g.Epoch(), d.Epoch())
+	}
+	cur := d.TryAdvance()
+	if cur != g.Epoch()+epochStep {
+		t.Fatalf("advance over same-epoch pin = %d, want %d", cur, g.Epoch()+epochStep)
+	}
+	if got := d.TryAdvance(); got != cur {
+		t.Fatalf("advance over stale pin succeeded: %d (global should stay %d)", got, cur)
+	}
+	g.Unpin()
+	if got := d.TryAdvance(); got != cur+epochStep {
+		t.Fatalf("advance after unpin = %d, want %d", got, cur+epochStep)
+	}
+}
+
+func TestSafeEpochLagsTwoAdvances(t *testing.T) {
+	d := NewDomain()
+	retireTag := d.Epoch() // writer pinned here would tag frees with this
+	if d.SafeEpoch() >= retireTag {
+		t.Fatalf("fresh SafeEpoch %d must lag retire tag %d", d.SafeEpoch(), retireTag)
+	}
+	d.TryAdvance()
+	if d.SafeEpoch() >= retireTag {
+		t.Fatalf("after one advance SafeEpoch %d must still lag %d", d.SafeEpoch(), retireTag)
+	}
+	d.TryAdvance()
+	if d.SafeEpoch() < retireTag {
+		t.Fatalf("after two advances SafeEpoch %d should cover %d", d.SafeEpoch(), retireTag)
+	}
+}
+
+func TestOverflowPinsBlockAdvance(t *testing.T) {
+	d := NewDomain()
+	// Exhaust every slot plus one, forcing the overflow path.
+	guards := make([]Guard, d.Slots()+1)
+	for i := range guards {
+		guards[i] = d.Pin()
+	}
+	overflowed := false
+	for _, g := range guards {
+		if g.s == nil {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatalf("expected at least one overflow pin with %d guards", len(guards))
+	}
+	before := d.Epoch()
+	if got := d.TryAdvance(); got != before {
+		t.Fatalf("advance with overflow pin = %d, want blocked at %d", got, before)
+	}
+	for _, g := range guards {
+		g.Unpin()
+	}
+	if got := d.TryAdvance(); got != before+epochStep {
+		t.Fatalf("advance after releasing overflow pins = %d, want %d", got, before+epochStep)
+	}
+}
+
+func TestZeroGuardUnpin(t *testing.T) {
+	var g Guard
+	g.Unpin() // must not panic
+	if g.Active() {
+		t.Fatal("zero guard reports active")
+	}
+}
+
+func TestConcurrentPinUnpin(t *testing.T) {
+	d := NewDomain()
+	const workers = 32
+	const iters = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// One goroutine advances continuously while readers pin/unpin.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.TryAdvance()
+			}
+		}
+	}()
+	var rg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < iters; i++ {
+				g := d.Pin()
+				if g.Epoch()&1 != 0 {
+					t.Error("pinned an odd epoch")
+				}
+				g.Unpin()
+			}
+		}()
+	}
+	rg.Wait()
+	close(stop)
+	wg.Wait()
+	// All guards released: the domain must be fully quiescent.
+	for i := 0; i < 3; i++ {
+		d.TryAdvance()
+	}
+	if d.overflow.Load() != 0 {
+		t.Fatalf("overflow counter leaked: %d", d.overflow.Load())
+	}
+	for i := range d.slots {
+		if st := d.slots[i].state.Load(); st != 0 {
+			t.Fatalf("slot %d leaked state %d", i, st)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package memman
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
 
 // Size-class constants (paper §3.2).
@@ -67,9 +68,12 @@ func blockChunksFor(chunkSize int) int {
 }
 
 // bin is a fixed-capacity group of ChunksPerBin equally sized chunks. Backing
-// memory is allocated lazily in blocks of blockChunks chunks.
+// memory is allocated lazily in blocks of blockChunks chunks. The block table
+// has a fixed length (set at bin creation) and each block pointer is
+// published atomically, so lock-free readers can resolve a chunk without
+// observing a torn slice header; only Alloc materialises missing blocks.
 type bin struct {
-	blocks      [][]byte
+	blocks      []atomic.Pointer[[]byte]
 	blockChunks int
 	used        [ChunksPerBin / 64]uint64
 	usedCount   int
@@ -105,19 +109,46 @@ func (b *bin) firstFree() int {
 
 // extEntry is one extended-bin record (paper: 16-byte eHP stored in SB0). It
 // owns an individual heap allocation that can grow in place without changing
-// the HP that references it.
+// the HP that references it. The buffer pointer is published atomically so a
+// lock-free reader never tears the slice header while a writer replaces the
+// buffer; a replaced buffer stays alive (and intact) for readers that loaded
+// it, courtesy of the garbage collector.
 type extEntry struct {
-	buf       []byte
+	buf       atomic.Pointer[[]byte]
 	requested int32
 	inUse     bool
 	chainHead bool // first chunk of a chained extended bin
 	chainSlot bool // non-head member of a chained extended bin
 }
 
+func (e *extEntry) buffer() []byte {
+	if p := e.buf.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (e *extEntry) setBuffer(b []byte) {
+	if b == nil {
+		e.buf.Store(nil)
+		return
+	}
+	e.buf.Store(&b)
+}
+
+func (e *extEntry) reset() {
+	e.buf.Store(nil)
+	e.requested = 0
+	e.inUse = false
+	e.chainHead = false
+	e.chainSlot = false
+}
+
 // extBin is the extended-bin analogue of bin: up to ChunksPerBin records,
-// with the record table grown on demand.
+// with the record table grown on demand. Records are pointers (the table is
+// append-published; extEntry contains an atomic and must not be copied).
 type extBin struct {
-	entries   []extEntry
+	entries   pubSlice[*extEntry]
 	usedCount int
 }
 
@@ -125,16 +156,17 @@ func (b *extBin) isFull() bool { return b.usedCount == ChunksPerBin }
 
 // at returns the record for a chunk index, panicking on dangling references.
 func (b *extBin) at(chunk int) *extEntry {
-	if chunk >= len(b.entries) {
-		panic(fmt.Sprintf("memman: dangling extended chunk %d (table holds %d)", chunk, len(b.entries)))
+	es := b.entries.load()
+	if chunk >= len(es) {
+		panic(fmt.Sprintf("memman: dangling extended chunk %d (table holds %d)", chunk, len(es)))
 	}
-	return &b.entries[chunk]
+	return es[chunk]
 }
 
 // metabin groups up to BinsPerMetabin bins. The bin tables grow on demand.
 type metabin struct {
-	bins    []*bin
-	extBins []*extBin
+	bins    pubSlice[*bin]
+	extBins pubSlice[*extBin]
 	// nonFull tracks bins that exist and still have free chunks.
 	nonFull  [BinsPerMetabin / 64]uint64
 	numBins  int
@@ -151,18 +183,20 @@ func (m *metabin) markNonFull(bin int, nonFull bool) {
 
 // bin returns the i-th bin or nil if it does not exist yet.
 func (m *metabin) bin(i int) *bin {
-	if i >= len(m.bins) {
+	bs := m.bins.load()
+	if i >= len(bs) {
 		return nil
 	}
-	return m.bins[i]
+	return bs[i]
 }
 
 // extBin returns the i-th extended bin or nil if it does not exist yet.
 func (m *metabin) extBin(i int) *extBin {
-	if i >= len(m.extBins) {
+	ebs := m.extBins.load()
+	if i >= len(ebs) {
 		return nil
 	}
-	return m.extBins[i]
+	return ebs[i]
 }
 
 func (m *metabin) firstNonFull() int {
@@ -178,14 +212,18 @@ func (m *metabin) firstNonFull() int {
 type superbin struct {
 	field     int // internal field value
 	chunkSize int // 0 for the extended superbin
-	metabins  []*metabin
+	metabins  pubSlice[*metabin]
 	// nonFull is a small cache of metabin IDs that are known to have free
 	// capacity (paper: sorted list of 16 non-full metabin IDs).
 	nonFull []int
 }
 
-// Allocator is Hyperion's memory manager. It is not safe for concurrent use;
-// the store creates one allocator per arena (paper §3.2, Arenas).
+// Allocator is Hyperion's memory manager. The store creates one allocator per
+// arena (paper §3.2, Arenas). Mutations require external synchronisation (the
+// shard writer lock); resolution of live HPs (Resolve, ChainedSlot,
+// ResolveChained, Capacity) is safe from lock-free readers because every
+// table a reader dereferences is published atomically and freed memory is
+// only recycled through the epoch-deferred queue.
 type Allocator struct {
 	superbins [NumSuperbins]superbin
 
@@ -200,6 +238,13 @@ type Allocator struct {
 	totalAllocs   int64 // cumulative allocation operations
 	totalReallocs int64
 	totalFrees    int64
+
+	// epoch-deferred reclamation (see retire.go)
+	deferFrees  bool
+	retireEpoch uint64
+	retired     []retiredRef
+	retiredHead int
+	reclaimed   int64
 }
 
 // New creates an empty allocator. The chunk that would encode to the nil HP is
@@ -222,64 +267,87 @@ func New() *Allocator {
 }
 
 func (a *Allocator) ensureMetabin(sb *superbin, id int) *metabin {
-	for len(sb.metabins) <= id {
-		sb.metabins = append(sb.metabins, nil)
+	mbs := sb.metabins.load()
+	grew := false
+	for len(mbs) <= id {
+		mbs = append(mbs, nil)
+		grew = true
 	}
-	if sb.metabins[id] == nil {
-		sb.metabins[id] = &metabin{}
+	if mbs[id] == nil {
+		mbs[id] = &metabin{}
 		a.metaBytes += 128 // metabin housekeeping; bin tables are accounted as they grow
 	}
-	return sb.metabins[id]
+	if grew {
+		sb.metabins.store(mbs)
+	}
+	return mbs[id]
 }
 
 func (a *Allocator) ensureBin(sb *superbin, mb *metabin, id int) *bin {
-	for len(mb.bins) <= id {
-		mb.bins = append(mb.bins, nil)
+	bs := mb.bins.load()
+	grew := false
+	for len(bs) <= id {
+		bs = append(bs, nil)
 		a.metaBytes += 8
+		grew = true
 	}
-	if mb.bins[id] == nil {
-		b := &bin{blockChunks: blockChunksFor(sb.chunkSize)}
-		mb.bins[id] = b
+	if bs[id] == nil {
+		bc := blockChunksFor(sb.chunkSize)
+		b := &bin{blockChunks: bc, blocks: make([]atomic.Pointer[[]byte], ChunksPerBin/bc)}
+		bs[id] = b
 		mb.numBins++
 		mb.markNonFull(id, true)
-		a.metaBytes += int64(len(b.used) * 8)
+		a.metaBytes += int64(len(b.used)*8 + len(b.blocks)*8)
 	}
-	return mb.bins[id]
+	if grew {
+		mb.bins.store(bs)
+	}
+	return bs[id]
 }
 
 func (a *Allocator) ensureExtBin(mb *metabin, id int) *extBin {
-	for len(mb.extBins) <= id {
-		mb.extBins = append(mb.extBins, nil)
+	ebs := mb.extBins.load()
+	grew := false
+	for len(ebs) <= id {
+		ebs = append(ebs, nil)
 		a.metaBytes += 8
+		grew = true
 	}
-	if mb.extBins[id] == nil {
+	if ebs[id] == nil {
 		// The record table grows on demand; a full bin would hold
 		// ChunksPerBin records.
-		b := &extBin{entries: make([]extEntry, 0, 64)}
-		mb.extBins[id] = b
+		b := &extBin{}
+		b.entries.store(make([]*extEntry, 0, 64))
+		ebs[id] = b
 		mb.numBins++
 		mb.markNonFull(id, true)
 		a.metaBytes += 64
 	}
-	return mb.extBins[id]
+	if grew {
+		mb.extBins.store(ebs)
+	}
+	return ebs[id]
 }
 
 // growExtBin appends n zeroed records to the extended bin's table.
 func (a *Allocator) growExtBin(eb *extBin, n int) {
+	es := eb.entries.load()
 	for i := 0; i < n; i++ {
-		eb.entries = append(eb.entries, extEntry{})
+		es = append(es, &extEntry{})
 	}
-	a.metaBytes += int64(n * 40)
+	eb.entries.store(es)
+	a.metaBytes += int64(n * 48)
 }
 
 // findSlot locates (or creates) a free chunk in superbin sb and returns its
 // metabin, bin and chunk indices. extended selects the record type.
 func (a *Allocator) findSlot(sb *superbin, extended bool) (mbID, binID, chunkID int) {
+	mbs := sb.metabins.load()
 	// Try cached non-full metabins first.
 	for i := 0; i < len(sb.nonFull); i++ {
 		mbID = sb.nonFull[i]
-		if mbID < len(sb.metabins) && sb.metabins[mbID] != nil {
-			if binID = sb.metabins[mbID].firstNonFull(); binID >= 0 {
+		if mbID < len(mbs) && mbs[mbID] != nil {
+			if binID = mbs[mbID].firstNonFull(); binID >= 0 {
 				goto found
 			}
 		}
@@ -288,22 +356,22 @@ func (a *Allocator) findSlot(sb *superbin, extended bool) (mbID, binID, chunkID 
 		i--
 	}
 	// Scan all metabins, then grow.
-	for id := 0; id < len(sb.metabins); id++ {
-		if sb.metabins[id] == nil {
+	for id := 0; id < len(mbs); id++ {
+		if mbs[id] == nil {
 			continue
 		}
-		if binID = sb.metabins[id].firstNonFull(); binID >= 0 {
+		if binID = mbs[id].firstNonFull(); binID >= 0 {
 			mbID = id
 			goto found
 		}
-		if sb.metabins[id].numBins < BinsPerMetabin {
+		if mbs[id].numBins < BinsPerMetabin {
 			mbID = id
-			binID = sb.metabins[id].numBins
+			binID = mbs[id].numBins
 			goto found
 		}
 	}
 	// All existing metabins are exhausted; create a new one.
-	mbID = len(sb.metabins)
+	mbID = len(mbs)
 	if mbID >= MaxMetabins {
 		panic("memman: superbin exhausted (2^34 chunks)")
 	}
@@ -317,16 +385,17 @@ found:
 	}
 	if extended {
 		eb := a.ensureExtBin(mb, binID)
+		es := eb.entries.load()
 		chunkID = -1
-		for i := range eb.entries {
-			if !eb.entries[i].inUse {
+		for i, e := range es {
+			if !e.inUse {
 				chunkID = i
 				break
 			}
 		}
-		if chunkID < 0 && len(eb.entries) < ChunksPerBin {
+		if chunkID < 0 && len(es) < ChunksPerBin {
 			a.growExtBin(eb, 1)
-			chunkID = len(eb.entries) - 1
+			chunkID = len(es)
 		}
 		if chunkID < 0 {
 			mb.markNonFull(binID, false)
@@ -363,7 +432,7 @@ func (a *Allocator) Alloc(size int) (HP, []byte) {
 		field := classForSize(size) - 1
 		sb := &a.superbins[field]
 		mbID, binID, chunkID := a.findSlot(sb, false)
-		mb := sb.metabins[mbID]
+		mb := sb.metabins.load()[mbID]
 		b := mb.bin(binID)
 		b.take(chunkID)
 		if b.isFull() {
@@ -377,10 +446,16 @@ func (a *Allocator) Alloc(size int) (HP, []byte) {
 	// Extended bin.
 	sb := &a.superbins[extendedSB]
 	mbID, binID, chunkID := a.findSlot(sb, true)
-	mb := sb.metabins[mbID]
+	mb := sb.metabins.load()[mbID]
 	eb := mb.extBin(binID)
 	granted := roundExtended(size)
-	eb.entries[chunkID] = extEntry{buf: make([]byte, granted), requested: int32(size), inUse: true}
+	buf := make([]byte, granted)
+	e := eb.at(chunkID)
+	e.setBuffer(buf)
+	e.requested = int32(size)
+	e.inUse = true
+	e.chainHead = false
+	e.chainSlot = false
 	eb.usedCount++
 	if eb.isFull() {
 		mb.markNonFull(binID, false)
@@ -388,22 +463,37 @@ func (a *Allocator) Alloc(size int) (HP, []byte) {
 	a.allocatedExt++
 	a.requestedExt += int64(size)
 	a.extBytes += int64(granted)
-	return MakeHP(extendedSB, mbID, binID, chunkID), eb.entries[chunkID].buf
+	return MakeHP(extendedSB, mbID, binID, chunkID), buf
 }
 
+// chunkSlice returns the backing slice of a small chunk, materialising the
+// block if needed. Writer-only: lock-free readers go through chunkRO.
 func (a *Allocator) chunkSlice(sb *superbin, b *bin, chunk int) []byte {
 	blockID := chunk / b.blockChunks
-	for len(b.blocks) <= blockID {
-		b.blocks = append(b.blocks, nil)
-		a.metaBytes += 24
-	}
-	if b.blocks[blockID] == nil {
-		b.blocks[blockID] = make([]byte, b.blockChunks*sb.chunkSize)
+	bp := b.blocks[blockID].Load()
+	if bp == nil {
+		blk := make([]byte, b.blockChunks*sb.chunkSize)
+		b.blocks[blockID].Store(&blk)
 		b.liveBlocks++
-		a.slabBytes += int64(len(b.blocks[blockID]))
+		a.slabBytes += int64(len(blk))
+		bp = &blk
 	}
 	off := (chunk % b.blockChunks) * sb.chunkSize
-	return b.blocks[blockID][off : off+sb.chunkSize : off+sb.chunkSize]
+	return (*bp)[off : off+sb.chunkSize : off+sb.chunkSize]
+}
+
+// chunkRO resolves a small chunk without mutating allocator state. A missing
+// block means the HP dangles (its block was released); that is a programming
+// error for writers and a recoverable torn-read signal for optimistic
+// readers, so it panics either way.
+func (b *bin) chunkRO(hp HP, chunkSize, chunk int) []byte {
+	blockID := chunk / b.blockChunks
+	bp := b.blocks[blockID].Load()
+	if bp == nil {
+		panic(fmt.Sprintf("memman: dangling %v (released block)", hp))
+	}
+	off := (chunk % b.blockChunks) * chunkSize
+	return (*bp)[off : off+chunkSize : off+chunkSize]
 }
 
 // locate returns the containers behind an HP. It panics on nil or dangling
@@ -414,42 +504,64 @@ func (a *Allocator) locate(hp HP) (*superbin, *metabin, int) {
 	}
 	sb := &a.superbins[hp.Superbin()]
 	mbID := hp.Metabin()
-	if mbID >= len(sb.metabins) || sb.metabins[mbID] == nil {
+	mbs := sb.metabins.load()
+	if mbID >= len(mbs) || mbs[mbID] == nil {
 		panic(fmt.Sprintf("memman: dangling %v (no metabin)", hp))
 	}
-	return sb, sb.metabins[mbID], hp.Bin()
+	return sb, mbs[mbID], hp.Bin()
 }
 
-// Resolve translates a (non-chained) HP into its backing byte slice.
+// Resolve translates a (non-chained) HP into its backing byte slice. It does
+// not mutate allocator state and is safe for pinned lock-free readers.
 func (a *Allocator) Resolve(hp HP) []byte {
 	sb, mb, binID := a.locate(hp)
 	if sb.field == extendedSB {
 		eb := mb.extBin(binID)
+		if eb == nil {
+			panic(fmt.Sprintf("memman: dangling %v (no extended bin)", hp))
+		}
 		e := eb.at(hp.Chunk())
 		if !e.inUse {
 			panic(fmt.Sprintf("memman: dangling %v (freed extended entry)", hp))
 		}
-		return e.buf
+		return e.buffer()
 	}
 	b := mb.bin(binID)
 	if b == nil || !b.inUse(hp.Chunk()) {
 		panic(fmt.Sprintf("memman: dangling %v (freed chunk)", hp))
 	}
-	return a.chunkSlice(sb, b, hp.Chunk())
+	return b.chunkRO(hp, sb.chunkSize, hp.Chunk())
 }
 
 // Capacity returns the granted capacity behind hp without touching the data.
 func (a *Allocator) Capacity(hp HP) int {
 	sb, mb, binID := a.locate(hp)
 	if sb.field == extendedSB {
-		return len(mb.extBin(binID).at(hp.Chunk()).buf)
+		eb := mb.extBin(binID)
+		if eb == nil {
+			panic(fmt.Sprintf("memman: dangling %v (no extended bin)", hp))
+		}
+		return len(eb.at(hp.Chunk()).buffer())
 	}
 	return sb.chunkSize
 }
 
-// Free releases the chunk behind hp.
+// Free releases the chunk behind hp. With deferred reclamation enabled
+// (DeferFrees) the release is queued until the current retire epoch is
+// provably quiescent; until then the chunk stays occupied and its bytes stay
+// intact for any reader that still holds a stale pointer into it.
 func (a *Allocator) Free(hp HP) {
 	a.totalFrees++
+	if a.deferFrees {
+		a.retire(hp, false)
+		return
+	}
+	a.reallyFree(hp)
+}
+
+// reallyFree performs the actual release (immediately from Free, or from
+// DrainRetired once the retire epoch is safe).
+func (a *Allocator) reallyFree(hp HP) {
 	sb, mb, binID := a.locate(hp)
 	if sb.field == extendedSB {
 		eb := mb.extBin(binID)
@@ -457,10 +569,10 @@ func (a *Allocator) Free(hp HP) {
 		if !e.inUse {
 			panic(fmt.Sprintf("memman: double free of %v", hp))
 		}
-		a.extBytes -= int64(len(e.buf))
+		a.extBytes -= int64(len(e.buffer()))
 		a.requestedExt -= int64(e.requested)
 		a.allocatedExt--
-		*e = extEntry{}
+		e.reset()
 		eb.usedCount--
 		mb.markNonFull(binID, true)
 		return
@@ -482,7 +594,11 @@ func (a *Allocator) Free(hp HP) {
 // this for free from the OS).
 func (a *Allocator) maybeReleaseBlock(sb *superbin, b *bin, chunk int) {
 	blockID := chunk / b.blockChunks
-	if blockID >= len(b.blocks) || b.blocks[blockID] == nil {
+	if blockID >= len(b.blocks) {
+		return
+	}
+	bp := b.blocks[blockID].Load()
+	if bp == nil {
 		return
 	}
 	for c := blockID * b.blockChunks; c < (blockID+1)*b.blockChunks; c++ {
@@ -490,8 +606,8 @@ func (a *Allocator) maybeReleaseBlock(sb *superbin, b *bin, chunk int) {
 			return
 		}
 	}
-	a.slabBytes -= int64(len(b.blocks[blockID]))
-	b.blocks[blockID] = nil
+	a.slabBytes -= int64(len(*bp))
+	b.blocks[blockID].Store(nil)
 	b.liveBlocks--
 	_ = sb
 }
@@ -510,20 +626,22 @@ func (a *Allocator) Realloc(hp HP, newSize int) (HP, []byte) {
 		if newSize <= MaxSmallAlloc {
 			// Shrink back into a small class.
 			newHP, dst := a.Alloc(newSize)
-			copy(dst, e.buf)
+			copy(dst, e.buffer())
 			a.Free(hp)
 			return newHP, dst
 		}
 		granted := roundExtended(newSize)
-		if granted != len(e.buf) {
+		old := e.buffer()
+		if granted != len(old) {
 			nb := make([]byte, granted)
-			copy(nb, e.buf)
-			a.extBytes += int64(granted - len(e.buf))
-			e.buf = nb
+			copy(nb, old)
+			a.extBytes += int64(granted - len(old))
+			e.setBuffer(nb)
+			old = nb
 		}
 		a.requestedExt += int64(newSize) - int64(e.requested)
 		e.requested = int32(newSize)
-		return hp, e.buf
+		return hp, old
 	}
 	// Small chunk.
 	if newSize <= sb.chunkSize && newSize > sb.chunkSize-ChunkAlign {

@@ -24,10 +24,11 @@ func (a *Allocator) AllocChained() HP {
 			if eb.usedCount+ChainLen > ChunksPerBin {
 				continue
 			}
+			es := eb.entries.load()
 			start := -1
 			run := 0
-			for i := range eb.entries {
-				if eb.entries[i].inUse {
+			for i, e := range es {
+				if e.inUse {
 					run = 0
 					continue
 				}
@@ -39,16 +40,20 @@ func (a *Allocator) AllocChained() HP {
 			}
 			if start < 0 {
 				// No run among the existing records: extend the table.
-				if len(eb.entries)+ChainLen > ChunksPerBin {
+				if len(es)+ChainLen > ChunksPerBin {
 					continue
 				}
-				start = len(eb.entries)
+				start = len(es)
 				a.growExtBin(eb, ChainLen)
+				es = eb.entries.load()
 			}
 			for j := start; j < start+ChainLen; j++ {
-				eb.entries[j] = extEntry{inUse: true, chainSlot: j != start}
+				e := es[j]
+				e.inUse = true
+				e.chainHead = j == start
+				e.chainSlot = j != start
+				e.requested = 0
 			}
-			eb.entries[start].chainHead = true
 			eb.usedCount += ChainLen
 			if eb.isFull() {
 				mb.markNonFull(binID, false)
@@ -59,17 +64,22 @@ func (a *Allocator) AllocChained() HP {
 	}
 }
 
-// IsChained reports whether hp is the head of a chained extended bin.
+// IsChained reports whether hp is the head of a chained extended bin. It is
+// read-only and safe for pinned lock-free readers.
 func (a *Allocator) IsChained(hp HP) bool {
 	if hp.IsNil() || hp.Superbin() != extendedSB {
 		return false
 	}
 	_, mb, binID := a.locate(hp)
 	eb := mb.extBin(binID)
-	if eb == nil || hp.Chunk() >= len(eb.entries) {
+	if eb == nil {
 		return false
 	}
-	e := &eb.entries[hp.Chunk()]
+	es := eb.entries.load()
+	if hp.Chunk() >= len(es) {
+		return false
+	}
+	e := es[hp.Chunk()]
 	return e.inUse && e.chainHead
 }
 
@@ -79,6 +89,9 @@ func (a *Allocator) chainEntry(hp HP, slot int) *extEntry {
 	}
 	_, mb, binID := a.locate(hp)
 	eb := mb.extBin(binID)
+	if eb == nil {
+		panic(fmt.Sprintf("memman: dangling chained %v (no extended bin)", hp))
+	}
 	e := eb.at(hp.Chunk() + slot)
 	if !e.inUse {
 		panic(fmt.Sprintf("memman: dangling chained %v slot %d", hp, slot))
@@ -87,26 +100,27 @@ func (a *Allocator) chainEntry(hp HP, slot int) *extEntry {
 }
 
 // ChainedSlot returns the buffer of the given slot, or nil if the slot is
-// void.
+// void. Read-only; safe for pinned lock-free readers.
 func (a *Allocator) ChainedSlot(hp HP, slot int) []byte {
-	return a.chainEntry(hp, slot).buf
+	return a.chainEntry(hp, slot).buffer()
 }
 
 // SetChainedSlot (re)allocates the buffer of the given slot to hold at least
 // size bytes and returns it. Existing content is preserved.
 func (a *Allocator) SetChainedSlot(hp HP, slot int, size int) []byte {
 	e := a.chainEntry(hp, slot)
+	buf := e.buffer()
 	granted := roundExtended(size)
-	if granted <= len(e.buf) {
+	if granted <= len(buf) {
 		a.requestedExt += int64(size) - int64(e.requested)
 		e.requested = int32(size)
-		return e.buf
+		return buf
 	}
 	nb := make([]byte, granted)
-	copy(nb, e.buf)
-	a.extBytes += int64(granted - len(e.buf))
+	copy(nb, buf)
+	a.extBytes += int64(granted - len(buf))
 	a.requestedExt += int64(size) - int64(e.requested)
-	e.buf = nb
+	e.setBuffer(nb)
 	e.requested = int32(size)
 	return nb
 }
@@ -119,30 +133,34 @@ func (a *Allocator) SetChainedSlot(hp HP, slot int, size int) []byte {
 // request at the known final size replaces it.
 func (a *Allocator) ReplaceChainedSlot(hp HP, slot, size int) []byte {
 	e := a.chainEntry(hp, slot)
+	buf := e.buffer()
 	granted := roundExtended(size)
-	if granted != len(e.buf) {
-		a.extBytes += int64(granted - len(e.buf))
-		e.buf = make([]byte, granted)
+	if granted != len(buf) {
+		a.extBytes += int64(granted - len(buf))
+		buf = make([]byte, granted)
+		e.setBuffer(buf)
 	}
 	a.requestedExt += int64(size) - int64(e.requested)
 	e.requested = int32(size)
-	return e.buf
+	return buf
 }
 
 // ClearChainedSlot releases the buffer of the given slot, making it void
-// again. The chain itself remains allocated.
+// again. The chain itself remains allocated. The buffer object stays alive
+// for any reader that already loaded it (GC grace), so unpinned readers never
+// observe recycled bytes.
 func (a *Allocator) ClearChainedSlot(hp HP, slot int) {
 	e := a.chainEntry(hp, slot)
-	a.extBytes -= int64(len(e.buf))
+	a.extBytes -= int64(len(e.buffer()))
 	a.requestedExt -= int64(e.requested)
-	e.buf = nil
+	e.setBuffer(nil)
 	e.requested = 0
 }
 
 // ResolveChained maps a T-Node key byte onto the split container responsible
 // for it (paper §3.3): the candidate slot is key/32, and void slots are
 // skipped downwards until a populated one is found. It returns the buffer and
-// the slot index that answered.
+// the slot index that answered. Read-only; safe for pinned lock-free readers.
 func (a *Allocator) ResolveChained(hp HP, key byte) ([]byte, int) {
 	start := int(key) / 32
 	for slot := start; slot >= 0; slot-- {
@@ -153,20 +171,30 @@ func (a *Allocator) ResolveChained(hp HP, key byte) ([]byte, int) {
 	panic(fmt.Sprintf("memman: chained %v has no container for key %d", hp, key))
 }
 
-// FreeChained releases all eight slots and the chain itself.
+// FreeChained releases all eight slots and the chain itself. With deferred
+// reclamation enabled the release is queued like Free.
 func (a *Allocator) FreeChained(hp HP) {
 	a.totalFrees++
+	if a.deferFrees {
+		a.retire(hp, true)
+		return
+	}
+	a.reallyFreeChained(hp)
+}
+
+func (a *Allocator) reallyFreeChained(hp HP) {
 	_, mb, binID := a.locate(hp)
 	eb := mb.extBin(binID)
+	es := eb.entries.load()
 	start := hp.Chunk()
-	if !eb.entries[start].chainHead {
+	if start >= len(es) || !es[start].chainHead {
 		panic(fmt.Sprintf("memman: FreeChained on non-chain %v", hp))
 	}
 	for i := 0; i < ChainLen; i++ {
-		e := &eb.entries[start+i]
-		a.extBytes -= int64(len(e.buf))
+		e := es[start+i]
+		a.extBytes -= int64(len(e.buffer()))
 		a.requestedExt -= int64(e.requested)
-		*e = extEntry{}
+		e.reset()
 	}
 	eb.usedCount -= ChainLen
 	a.allocatedExt -= ChainLen

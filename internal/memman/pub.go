@@ -1,0 +1,33 @@
+package memman
+
+import "sync/atomic"
+
+// pubSlice is an atomically published slice. The allocator's lookup tables
+// (superbin → metabin → bin → chunk) are read by lock-free readers while a
+// writer may be growing them; a Go slice header is three words and a torn
+// header read is memory-unsafe, so every table that a reader dereferences is
+// published through a single atomic pointer instead.
+//
+// The growth pattern is always "load, append, store": append either mutates
+// the shared backing array in place (same header, readers see new elements
+// only through in-place writes of pointer-sized words) or allocates a fresh
+// backing array (old header keeps indexing the old array). Either way a
+// reader that loaded the previous header stays within bounds of intact
+// memory. Element writes are pointer- or word-sized, so they cannot tear.
+//
+// Only the owning writer (under the shard mutex) may store; readers only
+// load. The zero value is an empty slice.
+type pubSlice[T any] struct {
+	p atomic.Pointer[[]T]
+}
+
+func (ps *pubSlice[T]) load() []T {
+	if s := ps.p.Load(); s != nil {
+		return *s
+	}
+	return nil
+}
+
+func (ps *pubSlice[T]) store(s []T) {
+	ps.p.Store(&s)
+}

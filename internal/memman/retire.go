@@ -1,0 +1,77 @@
+package memman
+
+// Epoch-deferred reclamation. With DeferFrees enabled, Free and FreeChained
+// queue the released HP instead of recycling it immediately; the chunk's
+// occupancy bits stay set (so Alloc cannot hand it out again) and its backing
+// bytes stay intact (so a lock-free reader that still holds a stale pointer
+// into it reads stale-but-valid memory, never recycled bytes). DrainRetired
+// performs the real release once the epoch layer proves quiescence.
+//
+// The allocator itself stays single-writer: retire and drain are called only
+// by the shard writer while it holds the shard mutex. The epoch machinery
+// (internal/epoch) supplies the two values that cross the boundary: the
+// writer's pinned epoch as the retire tag, and the domain's SafeEpoch as the
+// drain horizon.
+
+// retiredRef is one queued release.
+type retiredRef struct {
+	hp      HP
+	epoch   uint64
+	chained bool
+}
+
+// DeferFrees switches deferred reclamation on or off. Turning it off drains
+// the whole queue immediately (used on teardown and in tests).
+func (a *Allocator) DeferFrees(on bool) {
+	if !on && a.deferFrees {
+		a.DrainRetired(^uint64(0))
+	}
+	a.deferFrees = on
+}
+
+// SetRetireEpoch records the epoch tag for subsequent Free/FreeChained calls.
+// The shard writer sets it to its pinned epoch when it takes the write lock;
+// successive write-lock holders observe a non-decreasing global epoch, so the
+// retire queue stays sorted by tag and DrainRetired can stop at the first
+// unsafe entry.
+func (a *Allocator) SetRetireEpoch(e uint64) { a.retireEpoch = e }
+
+// retire queues hp for release at the current retire epoch.
+func (a *Allocator) retire(hp HP, chained bool) {
+	a.retired = append(a.retired, retiredRef{hp: hp, epoch: a.retireEpoch, chained: chained})
+}
+
+// RetiredCount returns the number of queued, not-yet-reclaimed releases.
+func (a *Allocator) RetiredCount() int { return len(a.retired) - a.retiredHead }
+
+// ReclaimedFrees returns the cumulative number of deferred releases that have
+// actually been reclaimed (test hook: it must not move while a reader pins an
+// epoch at or before the queued tags).
+func (a *Allocator) ReclaimedFrees() int64 { return a.reclaimed }
+
+// DrainRetired releases every queued entry whose epoch tag is <= safe and
+// returns how many were reclaimed. Entries are tagged in non-decreasing
+// order, so the drain is a prefix cut.
+func (a *Allocator) DrainRetired(safe uint64) int {
+	n := 0
+	for a.retiredHead < len(a.retired) {
+		r := a.retired[a.retiredHead]
+		if r.epoch > safe {
+			break
+		}
+		a.retired[a.retiredHead] = retiredRef{}
+		a.retiredHead++
+		if r.chained {
+			a.reallyFreeChained(r.hp)
+		} else {
+			a.reallyFree(r.hp)
+		}
+		n++
+	}
+	if a.retiredHead == len(a.retired) {
+		a.retired = a.retired[:0]
+		a.retiredHead = 0
+	}
+	a.reclaimed += int64(n)
+	return n
+}

@@ -1,0 +1,109 @@
+package memman
+
+import "testing"
+
+func TestDeferredFreeQueuesUntilDrain(t *testing.T) {
+	a := New()
+	a.DeferFrees(true)
+	a.SetRetireEpoch(8)
+
+	hp, buf := a.Alloc(64)
+	buf[0] = 0xAB
+	live := a.AllocatedChunks()
+
+	a.Free(hp)
+	if got := a.RetiredCount(); got != 1 {
+		t.Fatalf("RetiredCount after deferred Free = %d, want 1", got)
+	}
+	if a.AllocatedChunks() != live {
+		t.Fatalf("deferred free changed AllocatedChunks: %d -> %d", live, a.AllocatedChunks())
+	}
+	// The chunk stays occupied and intact: a new Alloc in the same class must
+	// not reuse it.
+	hp2, buf2 := a.Alloc(64)
+	if hp2 == hp {
+		t.Fatalf("allocator reused retired chunk %v before drain", hp)
+	}
+	if got := a.Resolve(hp)[0]; got != 0xAB {
+		t.Fatalf("retired chunk content clobbered: %#x", got)
+	}
+	_ = buf2
+
+	// Draining below the retire tag reclaims nothing.
+	if n := a.DrainRetired(7); n != 0 {
+		t.Fatalf("DrainRetired(7) reclaimed %d entries tagged 8", n)
+	}
+	if a.ReclaimedFrees() != 0 {
+		t.Fatalf("ReclaimedFrees = %d, want 0", a.ReclaimedFrees())
+	}
+	// At or above the tag the release happens for real.
+	if n := a.DrainRetired(8); n != 1 {
+		t.Fatalf("DrainRetired(8) = %d, want 1", n)
+	}
+	if a.ReclaimedFrees() != 1 {
+		t.Fatalf("ReclaimedFrees = %d, want 1", a.ReclaimedFrees())
+	}
+	if a.AllocatedChunks() != live {
+		// live included hp; after reclaiming hp and allocating hp2 the count
+		// is back to the same value.
+		t.Fatalf("AllocatedChunks after drain = %d, want %d", a.AllocatedChunks(), live)
+	}
+	a.Free(hp2)
+	a.DeferFrees(false) // drains the backlog
+	if a.RetiredCount() != 0 {
+		t.Fatalf("RetiredCount after DeferFrees(false) = %d, want 0", a.RetiredCount())
+	}
+}
+
+func TestDeferredFreeChained(t *testing.T) {
+	a := New()
+	a.DeferFrees(true)
+	a.SetRetireEpoch(10)
+
+	hp := a.AllocChained()
+	buf := a.SetChainedSlot(hp, 3, 100)
+	buf[0] = 0x77
+	a.FreeChained(hp)
+
+	if !a.IsChained(hp) {
+		t.Fatal("retired chain should still resolve as chained before drain")
+	}
+	if got := a.ChainedSlot(hp, 3)[0]; got != 0x77 {
+		t.Fatalf("retired chain slot clobbered: %#x", got)
+	}
+	if n := a.DrainRetired(9); n != 0 {
+		t.Fatalf("premature drain reclaimed %d", n)
+	}
+	if n := a.DrainRetired(10); n != 1 {
+		t.Fatalf("DrainRetired(10) = %d, want 1", n)
+	}
+	if a.IsChained(hp) {
+		t.Fatal("chain still chained after drain")
+	}
+	st := a.Stats()
+	if st.Superbins[0].AllocatedChunks != 0 {
+		t.Fatalf("SB0 allocated after drain = %d, want 0", st.Superbins[0].AllocatedChunks)
+	}
+}
+
+func TestDrainStopsAtFirstUnsafeTag(t *testing.T) {
+	a := New()
+	a.DeferFrees(true)
+
+	a.SetRetireEpoch(8)
+	hpA, _ := a.Alloc(32)
+	a.Free(hpA)
+	a.SetRetireEpoch(10)
+	hpB, _ := a.Alloc(32)
+	a.Free(hpB)
+
+	if n := a.DrainRetired(8); n != 1 {
+		t.Fatalf("DrainRetired(8) = %d, want 1 (only the epoch-8 entry)", n)
+	}
+	if got := a.RetiredCount(); got != 1 {
+		t.Fatalf("RetiredCount = %d, want 1", got)
+	}
+	if n := a.DrainRetired(10); n != 1 {
+		t.Fatalf("DrainRetired(10) = %d, want 1", n)
+	}
+}

@@ -42,7 +42,7 @@ func (a *Allocator) Stats() Stats {
 		st := &s.Superbins[paperID]
 		st.ID = paperID
 		st.ChunkSize = chunkSize
-		for _, mb := range sb.metabins {
+		for _, mb := range sb.metabins.load() {
 			if mb == nil {
 				continue
 			}
@@ -57,10 +57,11 @@ func (a *Allocator) Stats() Stats {
 					st.EmptyBytes += int64((backed - b.usedCount) * chunkSize)
 				}
 				if eb := mb.extBin(binID); eb != nil {
+					es := eb.entries.load()
 					st.AllocatedChunks += int64(eb.usedCount)
-					st.EmptyChunks += int64(len(eb.entries) - eb.usedCount)
-					for i := range eb.entries {
-						st.AllocatedBytes += int64(len(eb.entries[i].buf))
+					st.EmptyChunks += int64(len(es) - eb.usedCount)
+					for _, e := range es {
+						st.AllocatedBytes += int64(len(e.buffer()))
 					}
 				}
 			}
