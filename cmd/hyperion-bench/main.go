@@ -13,10 +13,11 @@
 //	hyperion-bench -experiment bulkload -scale medium -json results/
 //	hyperion-bench -experiment recovery -scale medium -json results/
 //	hyperion-bench -experiment scan -scale medium -json results/
+//	hyperion-bench -experiment server -scale medium -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// concurrency, latency, bulkload, recovery, scan, all. See DESIGN.md for the
-// mapping of each experiment to the paper.
+// concurrency, latency, bulkload, recovery, scan, server, all. See DESIGN.md
+// for the mapping of each experiment to the paper.
 //
 // With -json DIR every selected experiment additionally writes a
 // machine-readable BENCH_<experiment>.json file (ops/s, footprint per
@@ -52,7 +53,7 @@ func parseIntList(flagName, s string) []int {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|scan|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|scan|server|all")
 		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
 		strKeys     = flag.Int("strings", 0, "override: number of string keys")
 		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
@@ -66,6 +67,10 @@ func main() {
 		latOps      = flag.Int("lat-ops", 0, "override: latency experiment timed operations per structure")
 		concArenas  = flag.String("conc-arenas", "", "override: comma separated arena counts of the concurrency grid (e.g. 1,8,64)")
 		concWorkers = flag.String("conc-workers", "", "override: comma separated worker counts of the concurrency grid (e.g. 1,4,16)")
+		srvKeys     = flag.Int("server-keys", 0, "override: server experiment preloaded store size")
+		srvOps      = flag.Int("server-ops", 0, "override: server experiment ops per grid row")
+		srvConns    = flag.String("server-conns", "", "override: comma separated connection counts of the server grid (e.g. 1,4)")
+		srvDepths   = flag.String("server-depths", "", "override: comma separated pipeline depths of the server grid (e.g. 1,64,256)")
 		jsonDir     = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json output")
 	)
 	flag.Parse()
@@ -106,6 +111,18 @@ func main() {
 	}
 	if *concWorkers != "" {
 		cfg.ConcWorkers = parseIntList("conc-workers", *concWorkers)
+	}
+	if *srvKeys > 0 {
+		cfg.ServerKeys = *srvKeys
+	}
+	if *srvOps > 0 {
+		cfg.ServerOps = *srvOps
+	}
+	if *srvConns != "" {
+		cfg.ServerConns = parseIntList("server-conns", *srvConns)
+	}
+	if *srvDepths != "" {
+		cfg.ServerDepths = parseIntList("server-depths", *srvDepths)
 	}
 	if *structures != "" {
 		cfg.Structures = map[string]bool{}
@@ -237,6 +254,14 @@ func main() {
 		run("Scan: cursor engine vs linear walk", func() {
 			res := bench.RunScan(cfg)
 			bench.WriteScan(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("server") {
+		ran = true
+		run("Server: pipelined byte-level engine vs flush-per-line loop", func() {
+			res := bench.RunServer(cfg)
+			bench.WriteServer(out, res)
 			emit(res.ID, res)
 		})
 	}

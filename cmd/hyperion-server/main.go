@@ -4,349 +4,65 @@
 // single node has to sustain a few million operations per second without
 // wasting memory (§1).
 //
-// Protocol (newline terminated, space separated, values are uint64):
-//
-//	PUT <key> <value>            -> +OK
-//	GET <key>                    -> +<value> | -NOTFOUND
-//	DEL <key>                    -> +1 | +0
-//	HAS <key>                    -> +1 | +0
-//	MPUT <k> <v> [<k> <v> ...]   -> +<n pairs stored>
-//	MLOAD <k> <v> [<k> <v> ...]  -> +<n pairs stored>
-//	MGET <k> [<k> ...]           -> one line per key: +<value> | -NOTFOUND
-//	RANGE <start> <n>            -> +<k> lines "<key> <value>", terminated by "."
-//	SCAN <prefix> [<n>]          -> keys under prefix, "<key> <value>" lines, "."
-//	COUNT <prefix>               -> +<count of keys under prefix>
-//	LEN                          -> +<count>
-//	STATS                        -> one line of engine counters
-//	SAVE <path>                  -> +<n keys saved> | -ERR ...
-//	RESTORE <path>               -> +<n keys restored> | -ERR ...
-//	QUIT                         -> closes the connection
-//
-// SCAN and COUNT are the prefix-query commands, answered by the store's
-// seek-aware cursor engine: the scan jumps to the prefix through the
-// container and T-Node jump tables and stops at the prefix successor, so the
-// cost is proportional to the answer, not to the key population. SCAN without
-// a limit streams the whole prefix range (pipelined, chunked under the hood);
-// COUNT never materialises the keys at all.
-//
-// MPUT and MGET are the pipelined batch commands: the whole batch is handed
-// to the store's batched execution layer (hyperion.ApplyBatch /
-// hyperion.GetBatch), which acquires each arena lock once per batch and
-// executes arena groups in parallel on a bounded worker pool. MLOAD is the
-// pipelined bulk-ingestion command: a sorted pair run goes straight to
-// hyperion.BulkLoad's append-only fast path (unsorted input transparently
-// falls back to per-key puts), the right command for restoring dumps and
-// loading pre-sorted data sets.
-//
-// SAVE writes a durable snapshot to a server-local path (atomic temp file +
-// rename; safe while other connections keep writing, see hyperion.Save).
-// RESTORE rebuilds the store from such a snapshot through the bulk-ingestion
-// fast path and atomically swaps it in; in-flight commands on other
-// connections finish against the store they started with. Both are operator
-// commands that touch the server's filesystem: with -snapshot-dir set,
-// client-supplied paths are confined to that directory (path-escaping
-// arguments are rejected); without it, any server-local path is accepted —
-// keep the listener on loopback or front it with auth in that mode.
+// The protocol and the request path live in internal/server: a byte-level
+// pipelined engine with deferred flush and GET/PUT batch coalescing, so a
+// pipelined client pays O(1) syscalls per burst and feeds the store's batched
+// execution layer straight from the wire. This command is only the
+// flag-parsing shell around it: it builds a server.Config, listens, serves,
+// and shuts down gracefully on SIGINT/SIGTERM (stop accepting, close active
+// connections, wait for their goroutines to drain).
 package main
 
 import (
-	"bufio"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
-	"path/filepath"
-	"strconv"
-	"strings"
-	"sync"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/hyperion"
+	"repro/internal/server"
 )
-
-type server struct {
-	opts hyperion.Options
-
-	// snapDir, when non-empty, confines SAVE/RESTORE to one directory.
-	snapDir string
-
-	// mu guards the store pointer, not the store: commands snapshot the
-	// pointer once per line, RESTORE swaps it.
-	mu    sync.RWMutex
-	store *hyperion.Store
-}
-
-// current returns the store the next command should run against.
-func (s *server) current() *hyperion.Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store
-}
-
-// snapshotPath validates a client-supplied SAVE/RESTORE argument. With a
-// configured snapshot directory the argument must be a local, non-escaping
-// relative path (no "..", no absolute or rooted form) and resolves inside
-// that directory; without one, the argument is trusted as-is.
-func (s *server) snapshotPath(arg string) (string, error) {
-	if s.snapDir == "" {
-		return arg, nil
-	}
-	if !filepath.IsLocal(arg) {
-		return "", fmt.Errorf("path %q escapes the snapshot directory", arg)
-	}
-	return filepath.Join(s.snapDir, arg), nil
-}
 
 func main() {
 	var (
 		addr    = flag.String("addr", "127.0.0.1:7411", "listen address")
 		arenas  = flag.Int("arenas", 16, "number of arenas (coarse-grained parallelism)")
 		snapDir = flag.String("snapshot-dir", "", "confine SAVE/RESTORE paths to this directory (empty: any server-local path)")
+		readBuf = flag.Int("read-buf", 64<<10, "initial per-connection read buffer in bytes (doubles on demand up to -max-line)")
+		writBuf = flag.Int("write-buf", 64<<10, "reply-buffer flush threshold in bytes")
+		maxLine = flag.Int("max-line", 1<<20, "maximum protocol line length in bytes")
+		noDelay = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections")
 	)
 	flag.Parse()
 
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = *arenas
-	s := &server{opts: opts, snapDir: *snapDir, store: hyperion.New(opts)}
+	srv := server.New(server.Config{
+		Options:     opts,
+		SnapshotDir: *snapDir,
+		ReadBuf:     *readBuf,
+		WriteBuf:    *writBuf,
+		MaxLine:     *maxLine,
+		NoDelay:     *noDelay,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("hyperion-server listening on %s (%d arenas)", *addr, *arenas)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
-		}
-		go s.handle(conn)
-	}
-}
 
-func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
-	r := bufio.NewScanner(conn)
-	r.Buffer(make([]byte, 1<<20), 1<<20)
-	w := bufio.NewWriter(conn)
-	defer w.Flush()
-	for r.Scan() {
-		fields := strings.Fields(r.Text())
-		if len(fields) == 0 {
-			continue
-		}
-		cmd := strings.ToUpper(fields[0])
-		args := fields[1:]
-		store := s.current()
-		switch cmd {
-		case "QUIT":
-			fmt.Fprintln(w, "+BYE")
-			w.Flush()
-			return
-		case "PUT":
-			if len(args) != 2 {
-				fmt.Fprintln(w, "-ERR usage: PUT key value")
-				break
-			}
-			v, err := strconv.ParseUint(args[1], 10, 64)
-			if err != nil {
-				fmt.Fprintln(w, "-ERR bad value")
-				break
-			}
-			store.Put([]byte(args[0]), v)
-			fmt.Fprintln(w, "+OK")
-		case "GET":
-			if len(args) != 1 {
-				fmt.Fprintln(w, "-ERR usage: GET key")
-				break
-			}
-			if v, ok := store.Get([]byte(args[0])); ok {
-				fmt.Fprintf(w, "+%d\n", v)
-			} else {
-				fmt.Fprintln(w, "-NOTFOUND")
-			}
-		case "DEL":
-			if len(args) != 1 {
-				fmt.Fprintln(w, "-ERR usage: DEL key")
-				break
-			}
-			if store.Delete([]byte(args[0])) {
-				fmt.Fprintln(w, "+1")
-			} else {
-				fmt.Fprintln(w, "+0")
-			}
-		case "HAS":
-			if len(args) != 1 {
-				fmt.Fprintln(w, "-ERR usage: HAS key")
-				break
-			}
-			if store.Has([]byte(args[0])) {
-				fmt.Fprintln(w, "+1")
-			} else {
-				fmt.Fprintln(w, "+0")
-			}
-		case "MPUT":
-			if len(args) == 0 || len(args)%2 != 0 {
-				fmt.Fprintln(w, "-ERR usage: MPUT key value [key value ...]")
-				break
-			}
-			ops := make([]hyperion.Op, 0, len(args)/2)
-			bad := false
-			for i := 0; i < len(args); i += 2 {
-				v, err := strconv.ParseUint(args[i+1], 10, 64)
-				if err != nil {
-					fmt.Fprintf(w, "-ERR bad value %q\n", args[i+1])
-					bad = true
-					break
-				}
-				ops = append(ops, hyperion.Op{Kind: hyperion.OpPut, Key: []byte(args[i]), Value: v})
-			}
-			if bad {
-				break
-			}
-			store.ApplyBatch(ops)
-			fmt.Fprintf(w, "+%d\n", len(ops))
-		case "MLOAD":
-			if len(args) == 0 || len(args)%2 != 0 {
-				fmt.Fprintln(w, "-ERR usage: MLOAD key value [key value ...]")
-				break
-			}
-			pairs := make([]hyperion.Pair, 0, len(args)/2)
-			bad := false
-			for i := 0; i < len(args); i += 2 {
-				v, err := strconv.ParseUint(args[i+1], 10, 64)
-				if err != nil {
-					fmt.Fprintf(w, "-ERR bad value %q\n", args[i+1])
-					bad = true
-					break
-				}
-				pairs = append(pairs, hyperion.Pair{Key: []byte(args[i]), Value: v})
-			}
-			if bad {
-				break
-			}
-			store.BulkLoad(pairs)
-			fmt.Fprintf(w, "+%d\n", len(pairs))
-		case "MGET":
-			if len(args) == 0 {
-				fmt.Fprintln(w, "-ERR usage: MGET key [key ...]")
-				break
-			}
-			keys := make([][]byte, len(args))
-			for i, a := range args {
-				keys[i] = []byte(a)
-			}
-			for _, res := range store.GetBatch(keys) {
-				if res.Ok {
-					fmt.Fprintf(w, "+%d\n", res.Value)
-				} else {
-					fmt.Fprintln(w, "-NOTFOUND")
-				}
-			}
-		case "RANGE":
-			if len(args) != 2 {
-				fmt.Fprintln(w, "-ERR usage: RANGE start n")
-				break
-			}
-			limit, err := strconv.Atoi(args[1])
-			if err != nil || limit <= 0 {
-				fmt.Fprintln(w, "-ERR bad count")
-				break
-			}
-			count := 0
-			store.Range([]byte(args[0]), func(key []byte, value uint64) bool {
-				fmt.Fprintf(w, "%s %d\n", key, value)
-				count++
-				return count < limit
-			})
-			fmt.Fprintln(w, ".")
-		case "SCAN":
-			if len(args) < 1 || len(args) > 2 {
-				fmt.Fprintln(w, "-ERR usage: SCAN prefix [n]")
-				break
-			}
-			limit := 0
-			if len(args) == 2 {
-				n, err := strconv.Atoi(args[1])
-				if err != nil || n <= 0 {
-					fmt.Fprintln(w, "-ERR bad count")
-					break
-				}
-				limit = n
-			}
-			count := 0
-			store.ScanPrefix([]byte(args[0]), func(key []byte, value uint64) bool {
-				fmt.Fprintf(w, "%s %d\n", key, value)
-				count++
-				return limit == 0 || count < limit
-			})
-			fmt.Fprintln(w, ".")
-		case "COUNT":
-			if len(args) != 1 {
-				fmt.Fprintln(w, "-ERR usage: COUNT prefix")
-				break
-			}
-			fmt.Fprintf(w, "+%d\n", store.CountPrefix([]byte(args[0])))
-		case "SAVE":
-			if len(args) != 1 {
-				fmt.Fprintln(w, "-ERR usage: SAVE path")
-				break
-			}
-			path, err := s.snapshotPath(args[0])
-			if err != nil {
-				fmt.Fprintf(w, "-ERR save: %v\n", err)
-				break
-			}
-			saved, err := store.SaveFile(path)
-			if err != nil {
-				fmt.Fprintf(w, "-ERR save: %v\n", err)
-				break
-			}
-			fmt.Fprintf(w, "+%d\n", saved)
-		case "RESTORE":
-			if len(args) != 1 {
-				fmt.Fprintln(w, "-ERR usage: RESTORE path")
-				break
-			}
-			path, err := s.snapshotPath(args[0])
-			if err != nil {
-				fmt.Fprintf(w, "-ERR restore: %v\n", err)
-				break
-			}
-			restored, err := hyperion.LoadFile(path, s.opts)
-			if err != nil {
-				fmt.Fprintf(w, "-ERR restore: %v\n", err)
-				break
-			}
-			// Count before publishing the store: other connections may
-			// mutate it the moment the pointer is swapped.
-			n := restored.Len()
-			s.mu.Lock()
-			s.store = restored
-			s.mu.Unlock()
-			fmt.Fprintf(w, "+%d\n", n)
-		case "LEN":
-			fmt.Fprintf(w, "+%d\n", store.Len())
-		case "STATS":
-			st := store.Stats()
-			ms := store.MemoryStats()
-			fmt.Fprintf(w, "+keys=%d containers=%d embedded=%d pc=%d deltas=%d footprint_bytes=%d\n",
-				st.Keys, st.Containers, st.EmbeddedContainers, st.PathCompressed, st.DeltaEncodedNodes, ms.Footprint)
-		default:
-			fmt.Fprintln(w, "-ERR unknown command")
-		}
-		w.Flush()
-	}
-	// Scan returning false is clean EOF only when Err is nil. A protocol
-	// line exceeding the scanner buffer (easy to hit with a large MLOAD)
-	// surfaces as bufio.ErrTooLong — tell the client before closing instead
-	// of silently dropping the connection.
-	if err := r.Err(); err != nil {
-		if errors.Is(err, bufio.ErrTooLong) {
-			fmt.Fprintln(w, "-ERR line too long")
-		} else {
-			log.Printf("read %v: %v", conn.RemoteAddr(), err)
-		}
-		w.Flush()
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-stop
+		log.Printf("received %v, shutting down", sig)
+		srv.Shutdown()
+	}()
+
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("serve: %v", err)
 	}
 }

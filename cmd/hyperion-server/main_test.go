@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/hyperion"
+	"repro/internal/server"
 )
 
 // dialTestServer wires a server instance to an in-memory connection and
@@ -19,9 +20,9 @@ func dialTestServer(t *testing.T, arenas int) (*bufio.Scanner, *bufio.Writer) {
 	t.Helper()
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = arenas
-	s := &server{opts: opts, store: hyperion.New(opts)}
+	s := server.New(server.Config{Options: opts, Logf: t.Logf})
 	serverSide, clientSide := net.Pipe()
-	go s.handle(serverSide)
+	go s.ServeConn(serverSide)
 	t.Cleanup(func() { clientSide.Close() })
 	return bufio.NewScanner(clientSide), bufio.NewWriter(clientSide)
 }
@@ -240,9 +241,9 @@ func TestServerSnapshotDirConfinement(t *testing.T) {
 	dir := t.TempDir()
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = 4
-	s := &server{opts: opts, snapDir: dir, store: hyperion.New(opts)}
+	s := server.New(server.Config{Options: opts, SnapshotDir: dir, Logf: t.Logf})
 	serverSide, clientSide := net.Pipe()
-	go s.handle(serverSide)
+	go s.ServeConn(serverSide)
 	t.Cleanup(func() { clientSide.Close() })
 	r, w := bufio.NewScanner(clientSide), bufio.NewWriter(clientSide)
 

@@ -40,6 +40,13 @@ type Config struct {
 	// of individually timed operations per structure and op kind.
 	LatKeys int
 	LatOps  int
+	// ServerKeys is the preloaded store size of the server experiment;
+	// ServerOps the approximate ops measured per grid row. ServerConns and
+	// ServerDepths span its connection × pipeline-depth grid.
+	ServerKeys   int
+	ServerOps    int
+	ServerConns  []int
+	ServerDepths []int
 }
 
 // SmallConfig finishes in well under a minute and is used by the `go test`
@@ -58,6 +65,10 @@ func SmallConfig() Config {
 		ConcWorkers:  []int{1, 4},
 		LatKeys:      100_000,
 		LatOps:       20_000,
+		ServerKeys:   20_000,
+		ServerOps:    30_000,
+		ServerConns:  []int{1, 2},
+		ServerDepths: []int{1, 64},
 	}
 }
 
@@ -76,6 +87,10 @@ func MediumConfig() Config {
 		ConcWorkers:  []int{1, 2, 4, 8},
 		LatKeys:      1_000_000,
 		LatOps:       200_000,
+		ServerKeys:   100_000,
+		ServerOps:    200_000,
+		ServerConns:  []int{1, 4},
+		ServerDepths: []int{1, 16, 64, 256},
 	}
 }
 
@@ -94,6 +109,10 @@ func LargeConfig() Config {
 		ConcWorkers:  []int{1, 2, 4, 8, 16},
 		LatKeys:      4_000_000,
 		LatOps:       500_000,
+		ServerKeys:   500_000,
+		ServerOps:    1_000_000,
+		ServerConns:  []int{1, 4, 16},
+		ServerDepths: []int{1, 16, 64, 256, 1024},
 	}
 }
 

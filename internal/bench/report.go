@@ -222,3 +222,21 @@ func WriteScan(w io.Writer, s ScanResult) {
 			r.Dataset, r.Shape, r.Engine, r.Keys, r.Pairs, r.PairsPerSec, r.MBPerSec, r.AllocsPerOp, speedup)
 	}
 }
+
+// WriteServer renders the server front-end experiment.
+func WriteServer(w io.Writer, s ServerResult) {
+	fmt.Fprintf(w, "\n%s\n", s.Title)
+	for _, skip := range s.Skipped {
+		fmt.Fprintf(w, "  (skipped %s)\n", skip)
+	}
+	fmt.Fprintf(w, "  %-6s %-16s %-6s %6s %6s %10s %12s %11s %10s\n",
+		"transp", "engine", "mix", "conns", "depth", "ops", "ops/s", "allocs/op", "speedup")
+	for _, r := range s.Rows {
+		speedup := "-"
+		if r.SpeedupVsFlush > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.SpeedupVsFlush)
+		}
+		fmt.Fprintf(w, "  %-6s %-16s %-6s %6d %6d %10d %12.0f %11.4f %10s\n",
+			r.Transport, r.Engine, r.Mix, r.Conns, r.Depth, r.Ops, r.OpsPerSec, r.AllocsPerOp, speedup)
+	}
+}

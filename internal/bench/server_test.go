@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunServerShape runs the server experiment at a deliberately tiny scale
+// (pipe transport only would still be covered if TCP is unavailable) and
+// checks the grid shape, the per-row invariants, and the rendered report. It
+// asserts only the robust direction of the perf claim — at depth > 1 the
+// pipelined engine must not lose to the flush-per-line loop — and leaves the
+// ≥3x acceptance threshold to the CI gate over the committed BENCH_server.json
+// (a tiny in-test run is too noisy to pin a multiple).
+func TestRunServerShape(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.ServerKeys = 2_000
+	cfg.ServerOps = 4_000
+	cfg.ServerConns = []int{1, 2}
+	cfg.ServerDepths = []int{1, 64}
+	res := RunServer(cfg)
+
+	if res.ID != "server" || res.Keys != cfg.ServerKeys {
+		t.Fatalf("result header wrong: id=%q keys=%d", res.ID, res.Keys)
+	}
+	transports := 2 - len(res.Skipped)
+	wantRows := transports * 3 /* mixes */ * 2 /* conns */ * 2 /* depths */ * 2 /* engines */
+	if len(res.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d (skipped: %v)", len(res.Rows), wantRows, res.Skipped)
+	}
+
+	type cellKey struct {
+		transport, mix string
+		conns, depth   int
+	}
+	cells := map[cellKey]map[string]ServerRow{}
+	for _, r := range res.Rows {
+		if r.Ops <= 0 || r.Seconds <= 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("row %+v has non-positive measurements", r)
+		}
+		if r.AllocsPerOp < 0 {
+			t.Fatalf("row %+v has negative allocs/op", r)
+		}
+		if r.GOMAXPROCS <= 0 {
+			t.Fatalf("row %+v misses gomaxprocs", r)
+		}
+		k := cellKey{r.Transport, r.Mix, r.Conns, r.Depth}
+		if cells[k] == nil {
+			cells[k] = map[string]ServerRow{}
+		}
+		cells[k][r.Engine] = r
+	}
+	for k, engines := range cells {
+		flush, ok1 := engines["flush-per-line"]
+		pipe, ok2 := engines["pipelined"]
+		if !ok1 || !ok2 {
+			t.Fatalf("cell %+v misses an engine: %v", k, engines)
+		}
+		if pipe.SpeedupVsFlush <= 0 {
+			t.Fatalf("cell %+v: pipelined row has no speedup ratio", k)
+		}
+		if flush.SpeedupVsFlush != 0 {
+			t.Fatalf("cell %+v: baseline row carries a speedup ratio", k)
+		}
+		if k.depth > 1 && pipe.OpsPerSec < flush.OpsPerSec {
+			t.Errorf("cell %+v: pipelined engine slower than flush-per-line (%.0f < %.0f ops/s)",
+				k, pipe.OpsPerSec, flush.OpsPerSec)
+		}
+	}
+
+	var buf bytes.Buffer
+	WriteServer(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"pipelined", "flush-per-line", "allocs/op", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered server report misses %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"testing"
+
+	"repro/hyperion"
+)
+
+// These tests extend the store's zero-allocation discipline (hyperion's
+// alloc_test.go) to the server layer: steady-state GET/PUT/MGET handling over
+// net.Pipe is pinned at exactly 0 heap allocations per pipelined burst —
+// framing, tokenization, batch execution and reply formatting all run out of
+// per-connection scratch that is warm after the first burst. The pin counts
+// every goroutine (client and engine), so the client half is allocation-free
+// too: prebuilt request blocks, fixed-size reply buffer.
+//
+// The burst uses unsorted keys on the PUT side deliberately: a sorted all-Put
+// run of bulkDivertMinRun (128) or more per shard diverts to BulkLoad, which
+// builds a pair slice — a legitimate allocation on the bulk path, but not the
+// steady-state overwrite path this test pins.
+
+const allocDepth = 64 // pipeline depth of one burst
+
+// newAllocConn starts a pipelined engine over net.Pipe on a store preloaded
+// with 256 keys key-0000..key-0255 (value = index*7).
+func newAllocConn(t *testing.T) net.Conn {
+	t.Helper()
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 1
+	srv := New(Config{Options: opts, Logf: func(string, ...any) {}})
+	st := srv.Store()
+	for i := 0; i < 256; i++ {
+		st.Put(fmt.Appendf(nil, "key-%04d", i), uint64(i)*7)
+	}
+	serverSide, clientSide := net.Pipe()
+	go srv.ServeConn(serverSide)
+	t.Cleanup(func() { clientSide.Close() })
+	return clientSide
+}
+
+// pinZeroAllocs replays one request block and pins the whole round trip —
+// client write, server processing, client read of the exact expected reply —
+// at zero allocations per burst.
+func pinZeroAllocs(t *testing.T, client net.Conn, request, want []byte) {
+	t.Helper()
+	reply := make([]byte, len(want))
+	run := func() {
+		if _, err := client.Write(request); err != nil {
+			panic(err)
+		}
+		if _, err := io.ReadFull(client, reply); err != nil {
+			panic(err)
+		}
+	}
+	run() // warm scratch arenas and verify the conversation once
+	if !bytes.Equal(reply, want) {
+		t.Fatalf("reply mismatch:\ngot  %q\nwant %q", reply, want)
+	}
+	if n := testing.AllocsPerRun(100, run); n != 0 {
+		t.Errorf("%v allocs per %d-op burst, want exactly 0", n, allocDepth)
+	}
+}
+
+func TestZeroAllocPipelinedGET(t *testing.T) {
+	client := newAllocConn(t)
+	var req, want []byte
+	for j := 0; j < allocDepth; j++ {
+		i := (j * 37) % 256
+		req = fmt.Appendf(req, "GET key-%04d\n", i)
+		want = fmt.Appendf(want, "+%d\n", i*7)
+	}
+	pinZeroAllocs(t, client, req, want)
+}
+
+func TestZeroAllocPipelinedPUT(t *testing.T) {
+	client := newAllocConn(t)
+	var req, want []byte
+	for j := 0; j < allocDepth; j++ {
+		i := (j * 37) % 256 // unsorted on purpose, see the package comment
+		req = fmt.Appendf(req, "PUT key-%04d %d\n", i, i*7)
+		want = append(want, "+OK\n"...)
+	}
+	pinZeroAllocs(t, client, req, want)
+}
+
+func TestZeroAllocMGET(t *testing.T) {
+	client := newAllocConn(t)
+	req := []byte("MGET")
+	var want []byte
+	for j := 0; j < 32; j++ {
+		i := (j * 53) % 256
+		req = fmt.Appendf(req, " key-%04d", i)
+		want = fmt.Appendf(want, "+%d\n", i*7)
+	}
+	req = append(req, '\n')
+	pinZeroAllocs(t, client, req, want)
+}

@@ -1,0 +1,430 @@
+package server
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strconv"
+
+	"repro/hyperion"
+)
+
+// This file is the pipelined protocol engine. Its contract:
+//
+//   - Deferred flush: replies accumulate in one reusable buffer and are
+//     written when no further complete request is buffered (i.e. just before
+//     the connection would block on a read), when the buffer exceeds
+//     Config.WriteBuf, or when the connection ends. A client pipelining N
+//     commands gets every reply in O(1) writes instead of N.
+//   - Coalescing: a run of consecutive buffered single-key GETs executes as
+//     one GetBatch, a run of consecutive well-formed PUTs as one ApplyBatch —
+//     the wire feeds the store's per-arena lock-amortised batch layer
+//     directly. Replies are still emitted per command, in command order, and
+//     a run never reaches past the bytes already buffered (coalescing never
+//     delays execution waiting for more input). Runs execute against one
+//     store snapshot; commands of one run and a concurrent RESTORE on another
+//     connection are ordered by whichever happens first.
+//   - Scratch reuse: the token table, key/op/pair arenas and the result
+//     buffer are per-connection and reused across commands, so steady-state
+//     GET/PUT/MGET handling performs zero heap allocations (pinned by
+//     alloc_test.go). Key slices handed to the store are subslices of the
+//     read buffer; they are valid until the next fill, which cannot happen
+//     before the command (or run) executes, and the store copies keys it
+//     retains.
+type connection struct {
+	srv  *Server
+	nc   net.Conn
+	rd   lineReader
+	out  []byte
+	werr error
+	quit bool
+
+	toks     [][]byte
+	peekToks [][]byte
+	keys     [][]byte
+	ops      []hyperion.Op
+	pairs    []hyperion.Pair
+	results  []hyperion.Result
+}
+
+// maxCoalesce bounds how many buffered commands one GET/PUT run may absorb,
+// bounding the per-connection arenas regardless of pipeline depth.
+const maxCoalesce = 4096
+
+// ServeConn serves one connection through the pipelined engine and closes it
+// when the client disconnects, sends QUIT, or exceeds the line cap. It is
+// the per-connection entry point of Serve, exported so tests and benchmarks
+// can drive in-memory connections (net.Pipe) directly.
+func (s *Server) ServeConn(nc net.Conn) {
+	defer nc.Close()
+	c := &connection{srv: s, nc: nc}
+	c.rd.init(nc, s.cfg.ReadBuf, s.cfg.MaxLine)
+	c.out = make([]byte, 0, 1024)
+	for {
+		line, n, ok := c.rd.peek()
+		if !ok {
+			// Nothing complete is buffered: this is the flush point of the
+			// deferred-flush contract — write pending replies before blocking.
+			c.flush()
+			err := c.rd.fill()
+			switch {
+			case err == nil:
+				continue
+			case errors.Is(err, errLineTooLong):
+				c.lit("-ERR line too long")
+				c.flush()
+				return
+			case errors.Is(err, io.EOF):
+				if c.rd.buffered() {
+					// Final unterminated line (bufio.ScanLines semantics).
+					c.dispatch(c.rd.rest())
+				}
+				c.flush()
+				return
+			default:
+				s.logf("read %v: %v", nc.RemoteAddr(), err)
+				return
+			}
+		}
+		c.rd.consume(n)
+		c.dispatch(line)
+		if c.quit {
+			c.flush()
+			return
+		}
+		c.maybeFlush()
+	}
+}
+
+// dispatch parses and executes one request line.
+func (c *connection) dispatch(line []byte) {
+	c.toks = splitFields(c.toks[:0], line)
+	if len(c.toks) == 0 {
+		return
+	}
+	cmd := c.toks[0]
+	args := c.toks[1:]
+	store := c.srv.current()
+	switch {
+	case cmdIs(cmd, "GET"):
+		if len(args) != 1 {
+			c.lit("-ERR usage: GET key")
+			break
+		}
+		c.getRun(args[0])
+	case cmdIs(cmd, "PUT"):
+		if len(args) != 2 {
+			c.lit("-ERR usage: PUT key value")
+			break
+		}
+		v, ok := parseUint(args[1])
+		if !ok {
+			c.lit("-ERR bad value")
+			break
+		}
+		c.putRun(args[0], v)
+	case cmdIs(cmd, "DEL"):
+		if len(args) != 1 {
+			c.lit("-ERR usage: DEL key")
+			break
+		}
+		if store.Delete(args[0]) {
+			c.lit("+1")
+		} else {
+			c.lit("+0")
+		}
+	case cmdIs(cmd, "HAS"):
+		if len(args) != 1 {
+			c.lit("-ERR usage: HAS key")
+			break
+		}
+		if store.Has(args[0]) {
+			c.lit("+1")
+		} else {
+			c.lit("+0")
+		}
+	case cmdIs(cmd, "MGET"):
+		if len(args) == 0 {
+			c.lit("-ERR usage: MGET key [key ...]")
+			break
+		}
+		c.keys = append(c.keys[:0], args...)
+		c.results = store.GetBatchInto(c.results, c.keys)
+		c.emitGetResults()
+	case cmdIs(cmd, "MPUT"):
+		if len(args) == 0 || len(args)%2 != 0 {
+			c.lit("-ERR usage: MPUT key value [key value ...]")
+			break
+		}
+		c.ops = c.ops[:0]
+		if !c.parsePairs(args, func(k []byte, v uint64) {
+			c.ops = append(c.ops, hyperion.Op{Kind: hyperion.OpPut, Key: k, Value: v})
+		}) {
+			break
+		}
+		c.results = store.ApplyBatchInto(c.results, c.ops)
+		c.uintReply(uint64(len(c.ops)))
+	case cmdIs(cmd, "MLOAD"):
+		if len(args) == 0 || len(args)%2 != 0 {
+			c.lit("-ERR usage: MLOAD key value [key value ...]")
+			break
+		}
+		c.pairs = c.pairs[:0]
+		if !c.parsePairs(args, func(k []byte, v uint64) {
+			c.pairs = append(c.pairs, hyperion.Pair{Key: k, Value: v})
+		}) {
+			break
+		}
+		store.BulkLoad(c.pairs)
+		c.uintReply(uint64(len(c.pairs)))
+	case cmdIs(cmd, "RANGE"):
+		if len(args) != 2 {
+			c.lit("-ERR usage: RANGE start n")
+			break
+		}
+		limit, ok := parseCount(args[1])
+		if !ok {
+			c.lit("-ERR bad count")
+			break
+		}
+		count := 0
+		store.Range(args[0], func(key []byte, value uint64) bool {
+			c.pairLine(key, value)
+			count++
+			return count < limit
+		})
+		c.lit(".")
+	case cmdIs(cmd, "SCAN"):
+		if len(args) < 1 || len(args) > 2 {
+			c.lit("-ERR usage: SCAN prefix [n]")
+			break
+		}
+		limit := 0
+		if len(args) == 2 {
+			n, ok := parseCount(args[1])
+			if !ok {
+				c.lit("-ERR bad count")
+				break
+			}
+			limit = n
+		}
+		count := 0
+		store.ScanPrefix(args[0], func(key []byte, value uint64) bool {
+			c.pairLine(key, value)
+			count++
+			return limit == 0 || count < limit
+		})
+		c.lit(".")
+	case cmdIs(cmd, "COUNT"):
+		if len(args) != 1 {
+			c.lit("-ERR usage: COUNT prefix")
+			break
+		}
+		c.intReply(int64(store.CountPrefix(args[0])))
+	case cmdIs(cmd, "LEN"):
+		c.intReply(int64(store.Len()))
+	case cmdIs(cmd, "STATS"):
+		c.statsReply(store)
+	case cmdIs(cmd, "SAVE"):
+		if len(args) != 1 {
+			c.lit("-ERR usage: SAVE path")
+			break
+		}
+		path, err := c.srv.snapshotPath(string(args[0]))
+		if err != nil {
+			c.errReply("-ERR save: ", err)
+			break
+		}
+		saved, err := store.SaveFile(path)
+		if err != nil {
+			c.errReply("-ERR save: ", err)
+			break
+		}
+		c.intReply(int64(saved))
+	case cmdIs(cmd, "RESTORE"):
+		if len(args) != 1 {
+			c.lit("-ERR usage: RESTORE path")
+			break
+		}
+		path, err := c.srv.snapshotPath(string(args[0]))
+		if err != nil {
+			c.errReply("-ERR restore: ", err)
+			break
+		}
+		restored, err := hyperion.LoadFile(path, c.srv.cfg.Options)
+		if err != nil {
+			c.errReply("-ERR restore: ", err)
+			break
+		}
+		// Count before publishing the store: other connections may mutate it
+		// the moment the pointer is swapped.
+		n := restored.Len()
+		c.srv.swapStore(restored)
+		c.intReply(int64(n))
+	case cmdIs(cmd, "QUIT"):
+		c.lit("+BYE")
+		c.quit = true
+	default:
+		c.lit("-ERR unknown command")
+	}
+}
+
+// getRun coalesces the GET that starts it with every consecutive buffered
+// single-key GET into one batched lookup, then emits the per-command replies
+// in order.
+func (c *connection) getRun(first []byte) {
+	c.keys = append(c.keys[:0], first)
+	for len(c.keys) < maxCoalesce {
+		line, n, ok := c.rd.peek()
+		if !ok {
+			break
+		}
+		c.peekToks = splitFields(c.peekToks[:0], line)
+		if len(c.peekToks) != 2 || !cmdIs(c.peekToks[0], "GET") {
+			break
+		}
+		c.keys = append(c.keys, c.peekToks[1])
+		c.rd.consume(n)
+	}
+	c.results = c.srv.current().GetBatchInto(c.results, c.keys)
+	c.emitGetResults()
+}
+
+// putRun coalesces the PUT that starts it with every consecutive buffered
+// well-formed PUT into one batch apply. A buffered PUT with a malformed
+// value ends the run and is re-dispatched by the main loop, so its error
+// reply lands after the run's +OKs — exactly the sequential order.
+func (c *connection) putRun(key []byte, value uint64) {
+	c.ops = append(c.ops[:0], hyperion.Op{Kind: hyperion.OpPut, Key: key, Value: value})
+	for len(c.ops) < maxCoalesce {
+		line, n, ok := c.rd.peek()
+		if !ok {
+			break
+		}
+		c.peekToks = splitFields(c.peekToks[:0], line)
+		if len(c.peekToks) != 3 || !cmdIs(c.peekToks[0], "PUT") {
+			break
+		}
+		v, ok := parseUint(c.peekToks[2])
+		if !ok {
+			break
+		}
+		c.ops = append(c.ops, hyperion.Op{Kind: hyperion.OpPut, Key: c.peekToks[1], Value: v})
+		c.rd.consume(n)
+	}
+	c.results = c.srv.current().ApplyBatchInto(c.results, c.ops)
+	for range c.ops {
+		c.lit("+OK")
+	}
+	c.maybeFlush()
+}
+
+// parsePairs validates and collects the key/value pairs of MPUT/MLOAD. On a
+// malformed value it replies with the failing token and its 1-based pair
+// index — a pipelined client can tell exactly which pair killed the batch —
+// and reports false; nothing is executed in that case.
+func (c *connection) parsePairs(args [][]byte, add func(k []byte, v uint64)) bool {
+	for i := 0; i < len(args); i += 2 {
+		v, ok := parseUint(args[i+1])
+		if !ok {
+			c.out = append(c.out, "-ERR bad value "...)
+			c.out = strconv.AppendQuote(c.out, string(args[i+1]))
+			c.out = append(c.out, " at pair "...)
+			c.out = strconv.AppendInt(c.out, int64(i/2+1), 10)
+			c.out = append(c.out, '\n')
+			return false
+		}
+		add(args[i], v)
+	}
+	return true
+}
+
+func (c *connection) emitGetResults() {
+	for _, r := range c.results {
+		if r.Ok {
+			c.uintReply(r.Value)
+		} else {
+			c.lit("-NOTFOUND")
+		}
+	}
+	c.maybeFlush()
+}
+
+func (c *connection) statsReply(store *hyperion.Store) {
+	st := store.Stats()
+	ms := store.MemoryStats()
+	c.out = append(c.out, "+keys="...)
+	c.out = strconv.AppendInt(c.out, st.Keys, 10)
+	c.out = append(c.out, " containers="...)
+	c.out = strconv.AppendInt(c.out, st.Containers, 10)
+	c.out = append(c.out, " embedded="...)
+	c.out = strconv.AppendInt(c.out, st.EmbeddedContainers, 10)
+	c.out = append(c.out, " pc="...)
+	c.out = strconv.AppendInt(c.out, st.PathCompressed, 10)
+	c.out = append(c.out, " deltas="...)
+	c.out = strconv.AppendInt(c.out, st.DeltaEncodedNodes, 10)
+	c.out = append(c.out, " footprint_bytes="...)
+	c.out = strconv.AppendInt(c.out, ms.Footprint, 10)
+	c.out = append(c.out, '\n')
+}
+
+// lit emits one literal reply line.
+func (c *connection) lit(s string) {
+	c.out = append(c.out, s...)
+	c.out = append(c.out, '\n')
+}
+
+// uintReply emits "+<v>".
+func (c *connection) uintReply(v uint64) {
+	c.out = append(c.out, '+')
+	c.out = strconv.AppendUint(c.out, v, 10)
+	c.out = append(c.out, '\n')
+}
+
+// intReply emits "+<v>".
+func (c *connection) intReply(v int64) {
+	c.out = append(c.out, '+')
+	c.out = strconv.AppendInt(c.out, v, 10)
+	c.out = append(c.out, '\n')
+}
+
+// errReply emits prefix + err.Error().
+func (c *connection) errReply(prefix string, err error) {
+	c.out = append(c.out, prefix...)
+	c.out = append(c.out, err.Error()...)
+	c.out = append(c.out, '\n')
+}
+
+// pairLine emits one "<key> <value>" streaming line (RANGE/SCAN), flushing
+// whenever the reply buffer crosses the write threshold so an unbounded scan
+// cannot grow it without limit.
+func (c *connection) pairLine(key []byte, value uint64) {
+	c.out = append(c.out, key...)
+	c.out = append(c.out, ' ')
+	c.out = strconv.AppendUint(c.out, value, 10)
+	c.out = append(c.out, '\n')
+	c.maybeFlush()
+}
+
+// maybeFlush flushes when the reply buffer exceeds the configured write
+// threshold.
+func (c *connection) maybeFlush() {
+	if len(c.out) >= c.srv.cfg.WriteBuf {
+		c.flush()
+	}
+}
+
+// flush writes the pending replies. After a write error the connection keeps
+// draining requests without replying (the next read will fail shortly); the
+// first error is kept for diagnostics.
+func (c *connection) flush() {
+	if len(c.out) == 0 {
+		return
+	}
+	if c.werr == nil {
+		if _, err := c.nc.Write(c.out); err != nil {
+			c.werr = err
+		}
+	}
+	c.out = c.out[:0]
+}

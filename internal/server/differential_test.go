@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/hyperion"
+)
+
+// The differential test replays randomized command scripts through the
+// historical flush-per-line loop (ServeConnLegacy) and the pipelined engine
+// (ServeConn) and requires byte-identical reply streams — across store
+// configurations (arenas 1/8 × KeyPreprocessing on/off) and across input
+// chunkings (everything buffered at once vs trickled in tiny reads), which
+// varies how much the engine coalesces. Scripts are ASCII: the byte-level
+// engine intentionally drops the legacy loop's accidental Unicode
+// whitespace/case folding (see parse.go).
+//
+// One field is masked before comparison: STATS' footprint_bytes reports
+// allocator-held bytes, which depend on the physical allocation pattern, not
+// on the logical store state — a coalesced ApplyBatch grows allocator chunks
+// differently than the same puts applied one by one (every structural counter
+// on the STATS line is still compared byte-for-byte; a dedicated probe showed
+// only the footprint differs between the two execution paths).
+
+// scriptConn is a deterministic single-goroutine net.Conn: the server reads
+// the script (possibly in randomized chunks) and its replies accumulate in
+// out. EOF after the script exercises the final-unterminated-line path.
+type scriptConn struct {
+	in  io.Reader
+	out bytes.Buffer
+}
+
+func (c *scriptConn) Read(p []byte) (int, error)         { return c.in.Read(p) }
+func (c *scriptConn) Write(p []byte) (int, error)        { return c.out.Write(p) }
+func (c *scriptConn) Close() error                       { return nil }
+func (c *scriptConn) LocalAddr() net.Addr                { return scriptAddr{} }
+func (c *scriptConn) RemoteAddr() net.Addr               { return scriptAddr{} }
+func (c *scriptConn) SetDeadline(time.Time) error        { return nil }
+func (c *scriptConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *scriptConn) SetWriteDeadline(t time.Time) error { return nil }
+
+type scriptAddr struct{}
+
+func (scriptAddr) Network() string { return "script" }
+func (scriptAddr) String() string  { return "script" }
+
+// chunkReader yields the script in random chunks of at most max bytes
+// (max 0: whatever the caller's buffer holds), so the engine sees different
+// pipeline depths for the same conversation.
+type chunkReader struct {
+	data []byte
+	r    *rand.Rand
+	max  int
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if c.max > 0 {
+		if m := 1 + c.r.Intn(c.max); m < n {
+			n = m
+		}
+	}
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+// runScript replays script through one handler over a fresh server and
+// returns the reply bytes. chunkMax controls the read chunking (0: unlimited).
+func runScript(t *testing.T, engine bool, opts hyperion.Options, script []byte, chunkMax int, chunkSeed int64) []byte {
+	t.Helper()
+	srv := New(Config{Options: opts, SnapshotDir: t.TempDir(), Logf: t.Logf})
+	conn := &scriptConn{in: &chunkReader{data: script, r: rand.New(rand.NewSource(chunkSeed)), max: chunkMax}}
+	if engine {
+		srv.ServeConn(conn)
+	} else {
+		srv.ServeConnLegacy(conn)
+	}
+	return conn.out.Bytes()
+}
+
+// genScript builds one randomized, self-contained conversation. RESTORE only
+// names snapshots the same script saved earlier (reply text for a missing
+// file would embed the per-run temp directory); path-escaping SAVE/RESTORE
+// arguments are fair game because their rejection message is path-only.
+func genScript(r *rand.Rand) []byte {
+	keys := make([]string, 40)
+	for i := range keys {
+		switch i % 4 {
+		case 0:
+			keys[i] = fmt.Sprintf("key-%02d", i)
+		case 1:
+			keys[i] = fmt.Sprintf("user:%d", i*7)
+		case 2:
+			keys[i] = fmt.Sprintf("a-rather-long-key-name-%03d", i)
+		default:
+			keys[i] = string(rune('a'+i%26)) + fmt.Sprint(i%10)
+		}
+	}
+	pick := func() string { return keys[r.Intn(len(keys))] }
+	prefix := func() string {
+		k := pick()
+		n := 1 + r.Intn(3)
+		if n > len(k) {
+			n = len(k)
+		}
+		return k[:n]
+	}
+	value := func() string {
+		switch r.Intn(10) {
+		case 0:
+			return "0"
+		case 1:
+			return "00042" // leading zeros parse identically
+		case 2:
+			return "18446744073709551615" // MaxUint64
+		case 3:
+			return fmt.Sprint(r.Uint64())
+		default:
+			return fmt.Sprint(r.Intn(100000))
+		}
+	}
+	badValue := func() string {
+		return []string{"abc", "12x", "-3", "+9", "18446744073709551616", "99999999999999999999999999", "1.5"}[r.Intn(7)]
+	}
+	count := func() string {
+		return []string{"1", "2", "5", "20", "+3", "0", "-1", "abc", "9999999999999999999999"}[r.Intn(9)]
+	}
+
+	var sb strings.Builder
+	sep := func() string {
+		return []string{" ", " ", " ", "  ", "\t", " \t "}[r.Intn(6)]
+	}
+	eol := func() string {
+		if r.Intn(10) == 0 {
+			return "\r\n"
+		}
+		return "\n"
+	}
+	emit := func(tokens ...string) {
+		if r.Intn(20) == 0 {
+			sb.WriteString(sep()) // leading whitespace
+		}
+		for i, tok := range tokens {
+			if i > 0 {
+				sb.WriteString(sep())
+			}
+			sb.WriteString(tok)
+		}
+		sb.WriteString(eol())
+	}
+	casing := func(cmd string) string {
+		switch r.Intn(4) {
+		case 0:
+			return strings.ToLower(cmd)
+		case 1: // mixed case
+			b := []byte(cmd)
+			for i := range b {
+				if r.Intn(2) == 0 {
+					b[i] |= 0x20
+				}
+			}
+			return string(b)
+		default:
+			return cmd
+		}
+	}
+
+	var saved []string
+	n := 150 + r.Intn(150)
+	for i := 0; i < n; i++ {
+		switch p := r.Intn(100); {
+		case p < 16:
+			emit(casing("PUT"), pick(), value())
+		case p < 30:
+			emit(casing("GET"), pick())
+		case p < 36: // command burst: exercises GET/PUT coalescing runs
+			m := 5 + r.Intn(76)
+			if r.Intn(2) == 0 {
+				for j := 0; j < m; j++ {
+					emit("GET", pick())
+				}
+			} else {
+				for j := 0; j < m; j++ {
+					emit("PUT", pick(), value())
+				}
+			}
+		case p < 42:
+			if r.Intn(2) == 0 {
+				emit(casing("DEL"), pick())
+			} else {
+				emit(casing("HAS"), pick())
+			}
+		case p < 50: // MPUT, sometimes with a bad pair
+			toks := []string{casing("MPUT")}
+			pairs := 1 + r.Intn(8)
+			bad := r.Intn(4) == 0
+			for j := 0; j < pairs; j++ {
+				v := value()
+				if bad && j == pairs-1 {
+					v = badValue()
+				}
+				toks = append(toks, pick(), v)
+			}
+			if r.Intn(8) == 0 {
+				toks = toks[:len(toks)-1] // odd arg count
+			}
+			emit(toks...)
+		case p < 56: // MLOAD, sorted or not
+			toks := []string{casing("MLOAD")}
+			pairs := 1 + r.Intn(8)
+			for j := 0; j < pairs; j++ {
+				v := value()
+				if r.Intn(10) == 0 {
+					v = badValue()
+				}
+				toks = append(toks, pick(), v)
+			}
+			emit(toks...)
+		case p < 62:
+			toks := []string{casing("MGET")}
+			for j := 1 + r.Intn(8); j > 0; j-- {
+				toks = append(toks, pick())
+			}
+			emit(toks...)
+		case p < 68:
+			emit(casing("RANGE"), pick(), count())
+		case p < 74:
+			if r.Intn(2) == 0 {
+				emit(casing("SCAN"), prefix())
+			} else {
+				emit(casing("SCAN"), prefix(), count())
+			}
+		case p < 78:
+			emit(casing("COUNT"), prefix())
+		case p < 82:
+			if r.Intn(2) == 0 {
+				emit(casing("LEN"))
+			} else {
+				emit(casing("STATS"))
+			}
+		case p < 86:
+			switch r.Intn(4) {
+			case 0:
+				name := fmt.Sprintf("snap-%d.hyp", r.Intn(3))
+				emit(casing("SAVE"), name)
+				saved = append(saved, name)
+			case 1:
+				if len(saved) > 0 {
+					emit(casing("RESTORE"), saved[r.Intn(len(saved))])
+				} else {
+					emit("RESTORE", "../escape.hyp")
+				}
+			case 2:
+				emit("SAVE", "../escape.hyp")
+			default:
+				emit("RESTORE", "/abs/escape.hyp")
+			}
+		default: // malformed and junk lines must error identically
+			switch r.Intn(10) {
+			case 0:
+				emit("PUT", pick())
+			case 1:
+				emit("PUT", pick(), value(), "extra")
+			case 2:
+				emit("GET")
+			case 3:
+				emit("FROB", pick())
+			case 4:
+				sb.WriteString(eol()) // empty line
+			case 5:
+				sb.WriteString(sep())
+				sb.WriteString(eol()) // whitespace-only line
+			case 6:
+				emit("PUT", pick(), badValue())
+			case 7:
+				emit("RANGE", pick())
+			case 8:
+				emit("SCAN")
+			default:
+				emit(pick()) // bare key: unknown command
+			}
+		}
+	}
+	switch r.Intn(4) {
+	case 0:
+		emit("QUIT")
+	case 1:
+		sb.WriteString("LEN") // unterminated final line: EOF semantics
+	default:
+		// plain EOF after a terminated line
+	}
+	return []byte(sb.String())
+}
+
+func TestDifferentialPipelinedConversations(t *testing.T) {
+	configs := []struct {
+		name   string
+		arenas int
+		prep   bool
+	}{
+		{"arenas1", 1, false},
+		{"arenas8", 8, false},
+		{"arenas1-prep", 1, true},
+		{"arenas8-prep", 8, true},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			opts := hyperion.DefaultOptions()
+			opts.Arenas = cfg.arenas
+			opts.KeyPreprocessing = cfg.prep
+			for seed := int64(1); seed <= 6; seed++ {
+				script := genScript(rand.New(rand.NewSource(seed)))
+				want := maskFootprint(runScript(t, false, opts, script, 0, 0))
+				// Three chunkings: everything at once (maximal coalescing),
+				// tiny trickle (no coalescing), and mid-size bursts.
+				for _, chunk := range []struct {
+					name string
+					max  int
+				}{{"all", 0}, {"trickle", 7}, {"bursts", 256}} {
+					got := maskFootprint(runScript(t, true, opts, script, chunk.max, seed*31+int64(chunk.max)))
+					if !bytes.Equal(got, want) {
+						t.Fatalf("script %d chunk %s: engine reply diverges from legacy\n%s",
+							seed, chunk.name, firstDiff(want, got))
+					}
+				}
+			}
+		})
+	}
+}
+
+var footprintRe = regexp.MustCompile(`footprint_bytes=\d+`)
+
+// maskFootprint blanks the one physical-memory field of STATS replies (see
+// the package comment above: allocation pattern, not logical state).
+func maskFootprint(reply []byte) []byte {
+	return footprintRe.ReplaceAll(reply, []byte("footprint_bytes=_"))
+}
+
+// firstDiff renders the first point where two reply streams diverge.
+func firstDiff(want, got []byte) string {
+	i := 0
+	for i < len(want) && i < len(got) && want[i] == got[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	end := func(b []byte) int {
+		if i+80 < len(b) {
+			return i + 80
+		}
+		return len(b)
+	}
+	return fmt.Sprintf("diverge at byte %d\nlegacy: %q\nengine: %q", i, want[lo:end(want)], got[lo:end(got)])
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"repro/hyperion"
+)
+
+// FuzzParseCommand drives the byte-level tokenizer and numeric parsers
+// against their stdlib oracles, then runs the full pipelined engine over the
+// input with a tiny line cap: no panics, every token a subslice of the input
+// (no over-reads), and parser behavior exactly matching the strconv calls the
+// legacy loop used.
+func FuzzParseCommand(f *testing.F) {
+	f.Add([]byte("PUT key 42\nGET key\n"))
+	f.Add([]byte("  MPUT\ta 1  b 2\r\nRANGE a +3\n"))
+	f.Add([]byte("put k 18446744073709551615\nput k 18446744073709551616"))
+	f.Add([]byte("GET\n\n \t \nQuIt\n"))
+	f.Add([]byte("MGET a b c\nSCAN a 0\nCOUNT -1\nxyzzy"))
+	f.Add([]byte{0xff, 0xfe, ' ', 0x00, '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			toks := splitFields(nil, line)
+
+			// Every token must be a subslice of the line: non-empty, in
+			// bounds, and the concatenation in order must equal the line with
+			// ASCII whitespace removed (nothing skipped, nothing duplicated,
+			// nothing read past the end).
+			var joined []byte
+			for _, tok := range toks {
+				if len(tok) == 0 {
+					t.Fatalf("empty token in %q", line)
+				}
+				joined = append(joined, tok...)
+			}
+			var stripped []byte
+			for _, c := range line {
+				if !asciiSpace(c) {
+					stripped = append(stripped, c)
+				}
+			}
+			if !bytes.Equal(joined, stripped) {
+				t.Fatalf("tokens %q drop or invent bytes of %q", toks, line)
+			}
+
+			for _, tok := range toks {
+				v, ok := parseUint(tok)
+				ev, err := strconv.ParseUint(string(tok), 10, 64)
+				if ok != (err == nil) || (ok && v != ev) {
+					t.Fatalf("parseUint(%q) = %d,%v; strconv says %d,%v", tok, v, ok, ev, err)
+				}
+
+				c, ok := parseCount(tok)
+				en, err := strconv.Atoi(string(tok))
+				wantOk := err == nil && en > 0
+				if ok != wantOk || (ok && c != en) {
+					t.Fatalf("parseCount(%q) = %d,%v; Atoi says %d,%v", tok, c, ok, en, err)
+				}
+
+				// ASCII case folding matches EqualFold on ASCII-only tokens
+				// (EqualFold additionally folds Unicode, which the byte-level
+				// protocol deliberately does not).
+				if utf8.Valid(tok) && isASCII(tok) {
+					for _, cmd := range []string{"GET", "PUT", "MPUT", "SCAN", "QUIT"} {
+						if cmdIs(tok, cmd) != strings.EqualFold(string(tok), cmd) {
+							t.Fatalf("cmdIs(%q, %s) disagrees with EqualFold", tok, cmd)
+						}
+					}
+				}
+			}
+		}
+
+		// Full engine over the raw input: must terminate without panicking,
+		// with a line cap small enough that fuzzed inputs actually hit it.
+		opts := hyperion.DefaultOptions()
+		opts.Arenas = 1
+		srv := New(Config{
+			Options:     opts,
+			SnapshotDir: t.TempDir(),
+			ReadBuf:     16,
+			MaxLine:     128,
+			Logf:        func(string, ...any) {},
+		})
+		conn := &scriptConn{in: &chunkReader{data: data, r: rand.New(rand.NewSource(1)), max: 5}}
+		srv.ServeConn(conn)
+	})
+}
+
+func isASCII(b []byte) bool {
+	for _, c := range b {
+		if c >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"io"
+)
+
+// errLineTooLong is reported by fill when a protocol line exceeds the
+// configured maximum without a terminator. The connection answers
+// "-ERR line too long" and closes, like the historical scanner-based loop.
+var errLineTooLong = errors.New("server: line too long")
+
+// lineReader frames newline-terminated protocol lines over one reusable
+// buffer. It replaces bufio.Scanner on the hot path: lines are returned as
+// subslices of the read buffer (no per-line token copy), complete buffered
+// lines can be peeked without consuming them (the hook the coalescing engine
+// uses to look ahead within a pipeline burst), and the buffer grows by
+// doubling from its initial size up to the line cap instead of being
+// allocated at the cap per connection.
+//
+// Buffer stability contract: peek/consume never move buffered bytes; only
+// fill compacts the buffer. Token slices handed out by peek therefore stay
+// valid until the next fill — which the engine only calls after every
+// buffered line has been consumed and executed.
+type lineReader struct {
+	src io.Reader
+	buf []byte
+	r   int // next unconsumed byte
+	w   int // end of buffered data
+	max int // line cap; also the buffer's maximum size
+}
+
+func (l *lineReader) init(src io.Reader, size, max int) {
+	if size < 512 {
+		size = 512
+	}
+	if size > max {
+		size = max
+	}
+	l.src = src
+	l.buf = make([]byte, size)
+	l.max = max
+	l.r, l.w = 0, 0
+}
+
+// peek returns the next complete buffered line without consuming it. The
+// line excludes the terminator and one optional trailing '\r' (CRLF clients);
+// n is the raw byte count to pass to consume. ok is false when no complete
+// line is buffered.
+func (l *lineReader) peek() (line []byte, n int, ok bool) {
+	i := bytes.IndexByte(l.buf[l.r:l.w], '\n')
+	if i < 0 {
+		return nil, 0, false
+	}
+	line = l.buf[l.r : l.r+i]
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line, i + 1, true
+}
+
+// consume advances past a line previously returned by peek.
+func (l *lineReader) consume(n int) { l.r += n }
+
+// buffered reports whether any unconsumed bytes are buffered (a trailing
+// partial line counts).
+func (l *lineReader) buffered() bool { return l.r < l.w }
+
+// rest returns the unterminated trailing bytes. At EOF this is the final
+// line (bufio.ScanLines semantics: returned without a terminator, trailing
+// '\r' stripped); it consumes them.
+func (l *lineReader) rest() []byte {
+	line := l.buf[l.r:l.w]
+	l.r = l.w
+	if len(line) > 0 && line[len(line)-1] == '\r' {
+		line = line[:len(line)-1]
+	}
+	return line
+}
+
+// fill compacts the buffer and reads more data from the source, blocking
+// until at least one byte arrives. It returns errLineTooLong when the buffer
+// already holds max bytes of a single unterminated line, and the source's
+// error (io.EOF included) when no further byte can be read.
+func (l *lineReader) fill() error {
+	if l.r > 0 {
+		copy(l.buf, l.buf[l.r:l.w])
+		l.w -= l.r
+		l.r = 0
+	}
+	if l.w == len(l.buf) {
+		if len(l.buf) >= l.max {
+			return errLineTooLong
+		}
+		size := 2 * len(l.buf)
+		if size > l.max {
+			size = l.max
+		}
+		grown := make([]byte, size)
+		copy(grown, l.buf[:l.w])
+		l.buf = grown
+	}
+	// Tolerate a bounded number of (0, nil) reads, like bufio.
+	for tries := 0; tries < 100; tries++ {
+		n, err := l.src.Read(l.buf[l.w:])
+		l.w += n
+		if n > 0 {
+			// Data first; a simultaneous error resurfaces on the next fill.
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return io.ErrNoProgress
+}

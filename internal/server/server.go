@@ -1,0 +1,260 @@
+// Package server implements the Hyperion line-protocol server: the network
+// front-end that exposes a hyperion.Store over TCP (or any net.Conn) in the
+// paper's primary deployment shape — a distributed in-memory KV-store node
+// that has to sustain a few million operations per second (§1).
+//
+// Protocol (newline terminated, ASCII-space separated, values are uint64,
+// commands are matched case-insensitively):
+//
+//	PUT <key> <value>            -> +OK
+//	GET <key>                    -> +<value> | -NOTFOUND
+//	DEL <key>                    -> +1 | +0
+//	HAS <key>                    -> +1 | +0
+//	MPUT <k> <v> [<k> <v> ...]   -> +<n pairs stored>
+//	MLOAD <k> <v> [<k> <v> ...]  -> +<n pairs stored>
+//	MGET <k> [<k> ...]           -> one line per key: +<value> | -NOTFOUND
+//	RANGE <start> <n>            -> up to <n> lines "<key> <value>", then "."
+//	SCAN <prefix> [<n>]          -> keys under prefix, "<key> <value>" lines, "."
+//	COUNT <prefix>               -> +<count of keys under prefix>
+//	LEN                          -> +<count>
+//	STATS                        -> one line of engine counters
+//	SAVE <path>                  -> +<n keys saved> | -ERR ...
+//	RESTORE <path>               -> +<n keys restored> | -ERR ...
+//	QUIT                         -> +BYE, closes the connection
+//
+// The request path is a byte-level pipelined engine (conn.go): a
+// per-connection length-capped framing buffer, in-place tokenization, scratch
+// arenas for ops/keys/pairs/replies, deferred flush (every fully-buffered
+// request is processed before the reply buffer is written once), and op
+// coalescing (runs of buffered GETs become one GetBatch, runs of buffered
+// PUTs one ApplyBatch) — so a depth-N pipeline costs O(1) syscalls and the
+// wire feeds the store's batched execution layer directly. The previous
+// flush-per-line loop is retained (legacy.go) as the differential oracle and
+// benchmark baseline.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/hyperion"
+)
+
+// Config configures a Server. The zero value is usable: it serves a store
+// built from hyperion.DefaultOptions with the default buffer sizes.
+type Config struct {
+	// Options configure the store the server creates and the stores RESTORE
+	// rebuilds.
+	Options hyperion.Options
+
+	// SnapshotDir, when non-empty, confines client-supplied SAVE/RESTORE
+	// paths to one directory (path-escaping arguments are rejected). Empty
+	// means any server-local path is accepted — keep the listener on
+	// loopback or front it with auth in that mode.
+	SnapshotDir string
+
+	// ReadBuf is the initial per-connection read-buffer size in bytes. The
+	// buffer doubles on demand up to MaxLine. Zero means 64 KiB.
+	ReadBuf int
+
+	// WriteBuf is the reply-buffer flush threshold in bytes: streaming
+	// replies (RANGE, SCAN) are written out whenever the pending reply bytes
+	// exceed it, bounding per-connection memory. Zero means 64 KiB.
+	WriteBuf int
+
+	// MaxLine caps the length of one protocol line in bytes; longer lines
+	// answer "-ERR line too long" and close the connection. Zero means 1 MiB
+	// (the historical scanner-buffer limit).
+	MaxLine int
+
+	// NoDelay disables Nagle's algorithm on accepted TCP connections when
+	// true. The deferred-flush engine already writes one coalesced reply
+	// buffer per pipeline burst, so this matters mostly for depth-1
+	// request/response traffic.
+	NoDelay bool
+
+	// Logf receives connection-level diagnostics (read errors, accept
+	// retries). Nil means the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Server serves the Hyperion line protocol. Create it with New, feed it
+// listeners via Serve, stop it with Shutdown. Tests can drive a single
+// in-memory connection with ServeConn.
+type Server struct {
+	cfg  Config
+	logf func(format string, args ...any)
+
+	// mu guards the store pointer, not the store: commands snapshot the
+	// pointer once per line, RESTORE swaps it.
+	mu    sync.RWMutex
+	store *hyperion.Store
+
+	// trackMu guards listeners and conns; closed flags shutdown so the
+	// accept loop can distinguish "listener closed by Shutdown" from a
+	// permanent accept failure.
+	trackMu   sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    atomic.Bool
+	wg        sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve when the server was already shut down
+// before the call.
+var ErrServerClosed = errors.New("server: already closed")
+
+// New creates a Server with an empty store.
+func New(cfg Config) *Server {
+	if cfg.ReadBuf <= 0 {
+		cfg.ReadBuf = 64 << 10
+	}
+	if cfg.WriteBuf <= 0 {
+		cfg.WriteBuf = 64 << 10
+	}
+	if cfg.MaxLine <= 0 {
+		cfg.MaxLine = 1 << 20
+	}
+	if cfg.ReadBuf > cfg.MaxLine {
+		cfg.ReadBuf = cfg.MaxLine
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		cfg:       cfg,
+		logf:      logf,
+		store:     hyperion.New(cfg.Options),
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[net.Conn]struct{}{},
+	}
+}
+
+// Store returns the store the next command would run against (RESTORE swaps
+// it). Exposed for preloading in benchmarks and tests.
+func (s *Server) Store() *hyperion.Store {
+	return s.current()
+}
+
+func (s *Server) current() *hyperion.Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store
+}
+
+func (s *Server) swapStore(st *hyperion.Store) {
+	s.mu.Lock()
+	s.store = st
+	s.mu.Unlock()
+}
+
+// snapshotPath validates a client-supplied SAVE/RESTORE argument. With a
+// configured snapshot directory the argument must be a local, non-escaping
+// relative path (no "..", no absolute or rooted form) and resolves inside
+// that directory; without one, the argument is trusted as-is.
+func (s *Server) snapshotPath(arg string) (string, error) {
+	if s.cfg.SnapshotDir == "" {
+		return arg, nil
+	}
+	if !filepath.IsLocal(arg) {
+		return "", fmt.Errorf("path %q escapes the snapshot directory", arg)
+	}
+	return filepath.Join(s.cfg.SnapshotDir, arg), nil
+}
+
+// Serve accepts connections on ln until a permanent accept error or
+// Shutdown, serving each connection through the pipelined engine on its own
+// goroutine. Temporary accept errors (fd exhaustion, aborted handshakes) are
+// retried with exponential backoff — 5ms doubling to 1s — instead of
+// hot-spinning; permanent errors are returned. After Shutdown, Serve returns
+// nil.
+func (s *Server) Serve(ln net.Listener) error {
+	if !s.trackListener(ln, true) {
+		return ErrServerClosed
+	}
+	defer s.trackListener(ln, false)
+
+	var backoff time.Duration
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			var ne net.Error
+			//lint:ignore SA1019 net.Error.Temporary is the only signal that
+			// distinguishes a transient accept failure from a dead listener.
+			if errors.As(err, &ne) && ne.Temporary() { //nolint:staticcheck
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("accept: %v; retrying in %v", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
+			return err
+		}
+		backoff = 0
+		if tc, ok := conn.(*net.TCPConn); ok && s.cfg.NoDelay {
+			tc.SetNoDelay(true)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.trackConn(conn, true)
+			defer s.trackConn(conn, false)
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops the server: it closes every listener (Serve returns nil),
+// closes every active connection, and waits for the connection goroutines to
+// drain. It is safe to call more than once.
+func (s *Server) Shutdown() {
+	s.closed.Store(true)
+	s.trackMu.Lock()
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.trackMu.Unlock()
+	s.wg.Wait()
+}
+
+// trackListener registers (add=true) or unregisters a listener; registration
+// fails when the server is already shut down.
+func (s *Server) trackListener(ln net.Listener, add bool) bool {
+	s.trackMu.Lock()
+	defer s.trackMu.Unlock()
+	if add {
+		if s.closed.Load() {
+			return false
+		}
+		s.listeners[ln] = struct{}{}
+		return true
+	}
+	delete(s.listeners, ln)
+	return true
+}
+
+func (s *Server) trackConn(c net.Conn, add bool) {
+	s.trackMu.Lock()
+	defer s.trackMu.Unlock()
+	if add {
+		s.conns[c] = struct{}{}
+	} else {
+		delete(s.conns, c)
+	}
+}

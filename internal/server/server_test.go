@@ -1,0 +1,270 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/hyperion"
+)
+
+// tempError satisfies net.Error with Temporary() == true, mimicking the
+// transient accept failures (fd exhaustion, aborted handshakes) the accept
+// loop must retry instead of giving up — or, before the Serve/Shutdown
+// rework, hot-spinning on.
+type tempError struct{}
+
+func (tempError) Error() string   { return "temporary accept failure" }
+func (tempError) Timeout() bool   { return false }
+func (tempError) Temporary() bool { return true }
+
+// scriptedListener serves a fixed sequence of Accept outcomes, then blocks
+// until closed.
+type scriptedListener struct {
+	mu     sync.Mutex
+	steps  []func() (net.Conn, error)
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newScriptedListener(steps ...func() (net.Conn, error)) *scriptedListener {
+	return &scriptedListener{steps: steps, closed: make(chan struct{})}
+}
+
+func (l *scriptedListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	if len(l.steps) > 0 {
+		step := l.steps[0]
+		l.steps = l.steps[1:]
+		l.mu.Unlock()
+		return step()
+	}
+	l.mu.Unlock()
+	<-l.closed
+	return nil, net.ErrClosed
+}
+
+func (l *scriptedListener) Close() error {
+	l.once.Do(func() { close(l.closed) })
+	return nil
+}
+
+func (l *scriptedListener) Addr() net.Addr { return scriptAddr{} }
+
+func errStep(err error) func() (net.Conn, error) {
+	return func() (net.Conn, error) { return nil, err }
+}
+
+func newTestServer(t *testing.T, arenas int) *Server {
+	t.Helper()
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = arenas
+	return New(Config{Options: opts, Logf: t.Logf})
+}
+
+// TestServeBacksOffOnTemporaryErrors: transient accept failures are retried
+// with increasing sleeps (5ms, 10ms, 20ms, ...) instead of a hot spin, and a
+// permanent error afterwards ends the loop with that error.
+func TestServeBacksOffOnTemporaryErrors(t *testing.T) {
+	var mu sync.Mutex
+	var logged int
+	boom := errors.New("listener is toast")
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	srv := New(Config{Options: opts, Logf: func(string, ...any) {
+		mu.Lock()
+		logged++
+		mu.Unlock()
+	}})
+	ln := newScriptedListener(
+		errStep(tempError{}), errStep(tempError{}), errStep(tempError{}),
+		errStep(boom),
+	)
+	start := time.Now()
+	if err := srv.Serve(ln); !errors.Is(err, boom) {
+		t.Fatalf("Serve = %v, want the permanent error", err)
+	}
+	if elapsed := time.Since(start); elapsed < 35*time.Millisecond {
+		t.Errorf("Serve returned after %v; three retries should back off >= 35ms", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if logged != 3 {
+		t.Errorf("logged %d retries, want 3", logged)
+	}
+}
+
+// TestServePermanentErrorReturnsImmediately: the old loop spun forever on a
+// non-temporary accept error; now it propagates promptly.
+func TestServePermanentErrorReturnsImmediately(t *testing.T) {
+	srv := newTestServer(t, 2)
+	boom := errors.New("bad listener")
+	start := time.Now()
+	if err := srv.Serve(newScriptedListener(errStep(boom))); !errors.Is(err, boom) {
+		t.Fatalf("Serve = %v, want %v", err, boom)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("permanent error took %v to surface", elapsed)
+	}
+}
+
+// TestServeShutdown drives the full lifecycle over loopback TCP: serve,
+// converse, shut down. Shutdown must unblock Serve (returning nil), close the
+// active connection, and wait for its goroutine — and a later Serve call must
+// refuse with ErrServerClosed.
+func TestServeShutdown(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	srv := newTestServer(t, 4)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "PUT a 1\nGET a\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	r := bufio.NewScanner(conn)
+	for _, want := range []string{"+OK", "+1"} {
+		if !r.Scan() || r.Text() != want {
+			t.Fatalf("got %q err=%v, want %q", r.Text(), r.Err(), want)
+		}
+	}
+
+	srv.Shutdown()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after Shutdown = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if r.Scan() {
+		t.Fatalf("connection still alive after Shutdown: %q", r.Text())
+	}
+
+	if err := srv.Serve(ln); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve on a shut-down server = %v, want ErrServerClosed", err)
+	}
+}
+
+// dialEngine wires one handler to net.Pipe and returns the client side.
+func dialEngine(t *testing.T, srv *Server, serve func(net.Conn)) (*bufio.Scanner, net.Conn) {
+	t.Helper()
+	serverSide, clientSide := net.Pipe()
+	go serve(serverSide)
+	t.Cleanup(func() { clientSide.Close() })
+	return bufio.NewScanner(clientSide), clientSide
+}
+
+// TestBatchErrorReportsPairIndex is the regression test for the blind MPUT/
+// MLOAD failure: the -ERR reply now names the offending token and its 1-based
+// pair index, nothing from the failed batch is applied, and the connection
+// stays fully usable — on both the engine and the legacy loop.
+func TestBatchErrorReportsPairIndex(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		serve func(*Server, net.Conn)
+	}{
+		{"engine", (*Server).ServeConn},
+		{"legacy", (*Server).ServeConnLegacy},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newTestServer(t, 4)
+			r, w := dialEngine(t, srv, func(c net.Conn) { tc.serve(srv, c) })
+			exchange := func(req, want string) {
+				t.Helper()
+				if _, err := fmt.Fprintf(w, "%s\n", req); err != nil {
+					t.Fatal(err)
+				}
+				if !r.Scan() {
+					t.Fatalf("connection closed after %q: %v", req, r.Err())
+				}
+				if got := r.Text(); got != want {
+					t.Fatalf("%q: got %q, want %q", req, got, want)
+				}
+			}
+			exchange("MPUT a 1 b bad c 3", `-ERR bad value "bad" at pair 2`)
+			exchange("HAS a", "+0") // the failed batch applied nothing
+			exchange("MLOAD m 1 n 2 o 8x", `-ERR bad value "8x" at pair 3`)
+			exchange("HAS m", "+0")
+			exchange("PUT x 9", "+OK") // connection still usable
+			exchange("GET x", "+9")
+			exchange("MPUT a 1 b 2", "+2")
+			exchange("GET b", "+2")
+		})
+	}
+}
+
+// TestEngineCRLFAndMixedPipelining: CRLF line endings, interleaved command
+// kinds and a QUIT that discards the already-buffered tail behave like the
+// legacy loop.
+func TestEngineCRLFAndMixedPipelining(t *testing.T) {
+	srv := newTestServer(t, 4)
+	r, w := dialEngine(t, srv, srv.ServeConn)
+	if _, err := w.Write([]byte("PUT a 1\r\nGET a\r\nMPUT b 2 c 3\r\nGET c\r\nQUIT\r\nGET b\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"+OK", "+1", "+2", "+3", "+BYE"} {
+		if !r.Scan() {
+			t.Fatalf("closed early (want %q): %v", want, r.Err())
+		}
+		if got := r.Text(); got != want {
+			t.Fatalf("got %q, want %q", got, want)
+		}
+	}
+	if r.Scan() {
+		t.Fatalf("command after QUIT answered: %q", r.Text())
+	}
+}
+
+// TestEngineLineTooLong: a line over MaxLine answers -ERR and closes, even
+// when the buffer started far smaller (growth capped at MaxLine).
+func TestEngineLineTooLong(t *testing.T) {
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	srv := New(Config{Options: opts, ReadBuf: 64, MaxLine: 512, Logf: t.Logf})
+	r, w := dialEngine(t, srv, srv.ServeConn)
+	go func() {
+		w.Write([]byte("PUT " + strings.Repeat("k", 1024) + " 1\n"))
+	}()
+	if !r.Scan() || r.Text() != "-ERR line too long" {
+		t.Fatalf("got %q err=%v, want -ERR line too long", r.Text(), r.Err())
+	}
+	if r.Scan() {
+		t.Fatalf("connection should close after the error, got %q", r.Text())
+	}
+}
+
+// TestEngineMaxLineBoundary: a line of exactly MaxLine bytes including the
+// terminator still parses (the historical scanner accepted tokens up to its
+// buffer size; the engine keeps that boundary).
+func TestEngineMaxLineBoundary(t *testing.T) {
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	srv := New(Config{Options: opts, ReadBuf: 32, MaxLine: 256, Logf: t.Logf})
+	r, w := dialEngine(t, srv, srv.ServeConn)
+	key := strings.Repeat("k", 256-len("PUT ")-len(" 1")-1)
+	line := "PUT " + key + " 1\n"
+	if len(line) != 256 {
+		t.Fatalf("test bug: line is %d bytes", len(line))
+	}
+	go w.Write([]byte(line + "GET " + key + "\n"))
+	for _, want := range []string{"+OK", "+1"} {
+		if !r.Scan() || r.Text() != want {
+			t.Fatalf("got %q err=%v, want %q", r.Text(), r.Err(), want)
+		}
+	}
+}
