@@ -14,10 +14,11 @@
 //	hyperion-bench -experiment recovery -scale medium -json results/
 //	hyperion-bench -experiment scan -scale medium -json results/
 //	hyperion-bench -experiment server -scale medium -json results/
+//	hyperion-bench -experiment wal -scale medium -json results/
 //
 // Experiments: table1, table2, table3, fig13, fig14, fig15, fig16, ablation,
-// concurrency, latency, bulkload, recovery, scan, server, all. See DESIGN.md
-// for the mapping of each experiment to the paper.
+// concurrency, latency, bulkload, recovery, scan, server, wal, all. See
+// DESIGN.md for the mapping of each experiment to the paper.
 //
 // With -json DIR every selected experiment additionally writes a
 // machine-readable BENCH_<experiment>.json file (ops/s, footprint per
@@ -53,7 +54,7 @@ func parseIntList(flagName, s string) []int {
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|scan|server|all")
+		experiment  = flag.String("experiment", "all", "experiment to run: table1|table2|table3|fig13|fig14|fig15|fig16|ablation|concurrency|latency|bulkload|recovery|scan|server|wal|all")
 		scale       = flag.String("scale", "medium", "preset scale: small|medium|large")
 		strKeys     = flag.Int("strings", 0, "override: number of string keys")
 		intKeys     = flag.Int("ints", 0, "override: number of integer keys")
@@ -71,6 +72,10 @@ func main() {
 		srvOps      = flag.Int("server-ops", 0, "override: server experiment ops per grid row")
 		srvConns    = flag.String("server-conns", "", "override: comma separated connection counts of the server grid (e.g. 1,4)")
 		srvDepths   = flag.String("server-depths", "", "override: comma separated pipeline depths of the server grid (e.g. 1,64,256)")
+		walKeys     = flag.Int("wal-keys", 0, "override: WAL experiment logged data-set size")
+		walDurable  = flag.Int("wal-durable-ops", 0, "override: WAL experiment fsync-bound op count")
+		walWriters  = flag.Int("wal-writers", 0, "override: WAL experiment group-commit writer count")
+		walBatch    = flag.Int("wal-batch", 0, "override: WAL experiment ApplyBatch size")
 		jsonDir     = flag.String("json", "", "directory for machine-readable BENCH_<experiment>.json output")
 	)
 	flag.Parse()
@@ -123,6 +128,18 @@ func main() {
 	}
 	if *srvDepths != "" {
 		cfg.ServerDepths = parseIntList("server-depths", *srvDepths)
+	}
+	if *walKeys > 0 {
+		cfg.WALKeys = *walKeys
+	}
+	if *walDurable > 0 {
+		cfg.WALDurableOps = *walDurable
+	}
+	if *walWriters > 0 {
+		cfg.WALWriters = *walWriters
+	}
+	if *walBatch > 0 {
+		cfg.WALBatch = *walBatch
 	}
 	if *structures != "" {
 		cfg.Structures = map[string]bool{}
@@ -262,6 +279,14 @@ func main() {
 		run("Server: pipelined byte-level engine vs flush-per-line loop", func() {
 			res := bench.RunServer(cfg)
 			bench.WriteServer(out, res)
+			emit(res.ID, res)
+		})
+	}
+	if want("wal") {
+		ran = true
+		run("WAL: group-commit durability and crash recovery", func() {
+			res := bench.RunWAL(cfg)
+			bench.WriteWAL(out, res)
 			emit(res.ID, res)
 		})
 	}

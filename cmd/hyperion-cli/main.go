@@ -23,6 +23,12 @@
 //	mem                   allocator summary and per-superbin usage
 //	help                  this text
 //	quit                  exit
+//
+// With -connect addr the CLI instead speaks the hyperion-server line protocol
+// to a running node (remote.go): commands pass through verbatim, -timeout
+// bounds the dial and every per-command read/write, and the exit code
+// distinguishes a node that cannot be reached (2) from one that misbehaves
+// after connecting (3).
 package main
 
 import (
@@ -75,8 +81,14 @@ func main() {
 		arenas  = flag.Int("arenas", 1, "number of arenas")
 		prep    = flag.Bool("preprocess", false, "enable key pre-processing (Hyperion_p)")
 		integer = flag.Bool("integer-tuned", false, "use the integer-tuned configuration")
+		connect = flag.String("connect", "", "address of a hyperion-server; speak the line protocol to it instead of an in-process store")
+		timeout = flag.Duration("timeout", 5*time.Second, "remote mode: bound the dial and every per-command read/write (0: wait forever)")
 	)
 	flag.Parse()
+
+	if *connect != "" {
+		os.Exit(runRemote(*connect, *timeout, os.Stdin, os.Stdout, os.Stderr))
+	}
 
 	opts := hyperion.DefaultOptions()
 	if *integer {

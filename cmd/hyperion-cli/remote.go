@@ -1,0 +1,109 @@
+package main
+
+// Remote mode: with -connect the CLI speaks the hyperion-server line protocol
+// over TCP instead of driving an in-process store. It is deliberately a thin,
+// synchronous client — one command, its full reply, then the next — so it
+// doubles as a smoke tool for live nodes ("is the server up, can it commit a
+// durable PUT").
+//
+// Failure modes map to distinct exit codes so scripts can tell an unreachable
+// node from a sick one:
+//
+//	0  clean exit (EOF on input, or quit)
+//	2  connect failure: dial error (refused, unresolvable, dial timeout)
+//	3  protocol/IO failure after connecting: write error, read error, or a
+//	   command deadline expiring (-timeout covers every read and write)
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"time"
+)
+
+const (
+	exitOK       = 0
+	exitConnect  = 2
+	exitProtocol = 3
+)
+
+// replyShape reports how many reply lines one command produces: n >= 0 for a
+// fixed count, n == -1 for a dot-terminated stream (RANGE/SCAN).
+func replyShape(fields []string) (n int, quit bool) {
+	switch strings.ToUpper(fields[0]) {
+	case "RANGE", "SCAN":
+		return -1, false
+	case "MGET":
+		return len(fields) - 1, false
+	case "QUIT":
+		return 1, true
+	default:
+		return 1, false
+	}
+}
+
+// runRemote connects to addr and plays commands from in against it, writing
+// every reply line to out. timeout bounds the dial and then every single
+// read/write (zero: wait forever). The return value is the process exit code.
+func runRemote(addr string, timeout time.Duration, in io.Reader, out, errOut io.Writer) int {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		fmt.Fprintf(errOut, "connect %s: %v\n", addr, err)
+		return exitConnect
+	}
+	defer conn.Close()
+
+	deadline := func() {
+		if timeout > 0 {
+			conn.SetDeadline(time.Now().Add(timeout))
+		}
+	}
+	rd := bufio.NewReader(conn)
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		want, quit := replyShape(fields)
+
+		deadline()
+		if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+			fmt.Fprintf(errOut, "send %q: %v\n", fields[0], err)
+			return exitProtocol
+		}
+		// Read the command's complete reply before the next command: each
+		// line re-arms the deadline, so -timeout bounds server silence, not
+		// total reply size.
+		for got := 0; want < 0 || got < want; got++ {
+			deadline()
+			reply, err := rd.ReadString('\n')
+			if err != nil {
+				fmt.Fprintf(errOut, "read reply to %q: %v\n", fields[0], err)
+				return exitProtocol
+			}
+			reply = strings.TrimRight(reply, "\r\n")
+			fmt.Fprintln(out, reply)
+			if want < 0 && reply == "." {
+				break
+			}
+			// A usage/parse error is a single line even when the happy path
+			// would stream more (e.g. "MGET" with no keys): stop early.
+			if got == 0 && want != 1 && strings.HasPrefix(reply, "-ERR") {
+				break
+			}
+		}
+		if quit {
+			return exitOK
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(errOut, "read input: %v\n", err)
+		return exitProtocol
+	}
+	return exitOK
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/hyperion"
+	"repro/internal/server"
+)
+
+func startServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	srv := server.New(server.Config{Options: opts, Logf: t.Logf})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Shutdown() })
+	return ln.Addr().String()
+}
+
+func TestRunRemoteHappyPath(t *testing.T) {
+	addr := startServer(t)
+	in := strings.NewReader(`
+# comments and blank lines are skipped
+PUT alpha 1
+PUT beta 2
+MGET alpha beta gamma
+SCAN a
+LEN
+QUIT
+`)
+	var out, errOut bytes.Buffer
+	if code := runRemote(addr, 5*time.Second, in, &out, &errOut); code != exitOK {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	want := "+OK\n+OK\n+1\n+2\n-NOTFOUND\nalpha 1\n.\n+2\n+BYE\n"
+	if out.String() != want {
+		t.Fatalf("output:\n%q\nwant:\n%q", out.String(), want)
+	}
+}
+
+func TestRunRemoteConnectFailureExits2(t *testing.T) {
+	// A listener that is closed immediately: the port is real but refuses.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	var out, errOut bytes.Buffer
+	if code := runRemote(addr, time.Second, strings.NewReader("LEN\n"), &out, &errOut); code != exitConnect {
+		t.Fatalf("exit %d, want %d (stderr %q)", code, exitConnect, errOut.String())
+	}
+	if errOut.Len() == 0 {
+		t.Fatal("connect failure produced no diagnostic")
+	}
+}
+
+func TestRunRemoteSilentServerExits3(t *testing.T) {
+	// Accepts, then never replies: the per-command deadline must fire and map
+	// to the protocol exit code, distinct from the connect one.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Swallow input, say nothing.
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	code := runRemote(ln.Addr().String(), 200*time.Millisecond, strings.NewReader("GET k\n"), &out, &errOut)
+	if code != exitProtocol {
+		t.Fatalf("exit %d, want %d (stderr %q)", code, exitProtocol, errOut.String())
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+	if !strings.Contains(errOut.String(), "read reply") {
+		t.Fatalf("stderr %q does not name the failing read", errOut.String())
+	}
+}
+
+func TestRunRemoteDurableNode(t *testing.T) {
+	// End-to-end durability through the CLI: write via one server process,
+	// shut it down, reopen the directory, and the key is still there.
+	dir := t.TempDir()
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	opts.WALDir = dir
+	st, err := hyperion.Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	srv := server.New(server.Config{Store: st, Logf: t.Logf})
+	go srv.Serve(ln)
+
+	var out, errOut bytes.Buffer
+	code := runRemote(ln.Addr().String(), 5*time.Second, strings.NewReader("PUT persist 9\nCHECKPOINT\nQUIT\n"), &out, &errOut)
+	if code != exitOK {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if want := "+OK\n+1\n+BYE\n"; out.String() != want {
+		t.Fatalf("output %q, want %q", out.String(), want)
+	}
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	reopened, err := hyperion.Open(opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	if v, ok := reopened.Get([]byte("persist")); !ok || v != 9 {
+		t.Fatalf("persist after restart: %d,%v want 9", v, ok)
+	}
+}

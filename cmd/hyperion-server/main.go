@@ -10,7 +10,12 @@
 // execution layer straight from the wire. This command is only the
 // flag-parsing shell around it: it builds a server.Config, listens, serves,
 // and shuts down gracefully on SIGINT/SIGTERM (stop accepting, close active
-// connections, wait for their goroutines to drain).
+// connections, wait for their goroutines to drain, close the store).
+//
+// With -wal-dir the node is durable: the store opens through crash recovery
+// (snapshot + WAL replay), every write is logged before it is acknowledged
+// (-fsync chooses how hard that promise is), and the CHECKPOINT command
+// compacts the log into a snapshot. -idle-timeout evicts silent connections.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/hyperion"
 	"repro/internal/server"
@@ -34,19 +40,48 @@ func main() {
 		writBuf = flag.Int("write-buf", 64<<10, "reply-buffer flush threshold in bytes")
 		maxLine = flag.Int("max-line", 1<<20, "maximum protocol line length in bytes")
 		noDelay = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections")
+		idle    = flag.Duration("idle-timeout", 0, "close connections idle for this long (0: never)")
+
+		walDir   = flag.String("wal-dir", "", "write-ahead log directory; enables durable writes and crash recovery (empty: in-memory only)")
+		fsync    = flag.String("fsync", "always", "WAL sync policy: always (group commit, acks wait for fsync), interval, never")
+		fsyncInt = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync cadence for -fsync=interval")
+		segMiB   = flag.Int64("wal-segment-mib", 64, "WAL segment rotation threshold in MiB")
 	)
 	flag.Parse()
 
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = *arenas
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Options:     opts,
 		SnapshotDir: *snapDir,
 		ReadBuf:     *readBuf,
 		WriteBuf:    *writBuf,
 		MaxLine:     *maxLine,
 		NoDelay:     *noDelay,
-	})
+		IdleTimeout: *idle,
+	}
+	if *walDir != "" {
+		switch *fsync {
+		case "always":
+			opts.WALSync = hyperion.SyncAlways
+		case "interval":
+			opts.WALSync = hyperion.SyncInterval
+		case "never":
+			opts.WALSync = hyperion.SyncNever
+		default:
+			log.Fatalf("bad -fsync %q (want always, interval or never)", *fsync)
+		}
+		opts.WALDir = *walDir
+		opts.WALSyncInterval = *fsyncInt
+		opts.WALSegmentBytes = *segMiB << 20
+		store, err := hyperion.Open(opts)
+		if err != nil {
+			log.Fatalf("open WAL-backed store: %v", err)
+		}
+		log.Printf("recovered %d keys from %s (fsync=%s)", store.Len(), *walDir, opts.WALSync)
+		cfg.Store = store
+	}
+	srv := server.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -120,10 +120,17 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 		}
 		var scratch [opScratchSize]byte
 		g := s.lockShardWrite(sh)
+		var seq uint64
+		if sh.wal != nil {
+			seq = s.walEnqueueBatch(sh, ops, nil)
+		}
 		for i, op := range ops {
 			results[i] = applyOp(sh.tree, op, s.transformAppend(scratch[:0], op.Key))
 		}
 		s.unlockShardWrite(sh, g)
+		if seq != 0 {
+			s.walAwait(sh, seq)
+		}
 		return results
 	}
 	anyWrites := func(opIdx []int32) bool {
@@ -146,10 +153,19 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 		}
 		var scratch [opScratchSize]byte
 		wg := s.lockShardWrite(sh)
+		var seq uint64
+		if sh.wal != nil {
+			seq = s.walEnqueueBatch(sh, ops, opIdx)
+		}
 		for _, i := range opIdx {
 			results[i] = applyOp(sh.tree, ops[i], s.transformAppend(scratch[:0], ops[i].Key))
 		}
 		s.unlockShardWrite(sh, wg)
+		if seq != 0 {
+			// Waiting inside the group fn keeps the per-shard fsyncs of one
+			// batch overlapped across the worker pool.
+			s.walAwait(sh, seq)
+		}
 	})
 	return results
 }
@@ -249,8 +265,15 @@ func (s *Store) bulkApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Res
 		return false
 	}
 	g := s.lockShardWrite(sh)
+	var seq uint64
+	if sh.wal != nil {
+		seq = s.walEnqueuePairs(sh, pairs)
+	}
 	sh.tree.BulkLoad(tkeys, vals)
 	s.unlockShardWrite(sh, g)
+	if seq != 0 {
+		s.walAwait(sh, seq)
+	}
 	for k := 0; k < n; k++ {
 		i := k
 		if opIdx != nil {

@@ -104,16 +104,30 @@ func (s *Store) bulkLoadShard(sh *shard, pairs []Pair) {
 		// Pre-processing broke the order (documented only across the
 		// <4-byte / ≥4-byte key-length boundary): per-key fallback.
 		g := s.lockShardWrite(sh)
+		var seq uint64
+		if sh.wal != nil {
+			seq = s.walEnqueuePairs(sh, pairs)
+		}
 		var scratch [opScratchSize]byte
 		for _, p := range pairs {
 			sh.tree.Put(s.transformAppend(scratch[:0], p.Key), p.Value)
 		}
 		s.unlockShardWrite(sh, g)
+		if seq != 0 {
+			s.walAwait(sh, seq)
+		}
 		return
 	}
 	g := s.lockShardWrite(sh)
+	var seq uint64
+	if sh.wal != nil {
+		seq = s.walEnqueuePairs(sh, pairs)
+	}
 	sh.tree.BulkLoad(tkeys, vals)
 	s.unlockShardWrite(sh, g)
+	if seq != 0 {
+		s.walAwait(sh, seq)
+	}
 }
 
 // transformRun builds the stored-form key and value slices of a run. With

@@ -17,7 +17,11 @@
 //	store.Range([]byte("k"), func(key []byte, value uint64) bool { return true })
 package hyperion
 
-import "repro/internal/core"
+import (
+	"time"
+
+	"repro/internal/core"
+)
 
 // Options configure a Store. The zero value is not valid; start from
 // DefaultOptions (string-tuned, all paper features enabled) or IntegerOptions
@@ -63,6 +67,27 @@ type Options struct {
 	// an escape hatch; semantics are identical either way. (Race-detector
 	// builds always use the mutex path — see lockfree_race.go.)
 	DisableLockFreeReads bool
+
+	// WALDir enables write-ahead logging: every mutation is logged to
+	// per-shard segment files in this directory before it is applied, and
+	// Open recovers the directory's previous state (checkpoint snapshot +
+	// WAL tail replay) on startup. Only honoured by Open — New always builds
+	// a memory-only store. A store with a WAL must be Closed. Empty disables
+	// durability entirely (zero hot-path cost). See wal.go.
+	WALDir string
+
+	// WALSync selects the fsync schedule: SyncAlways (default — every write
+	// acknowledged only after its record is fsynced, batched through group
+	// commit), SyncInterval (background fsync every WALSyncInterval), or
+	// SyncNever (OS page cache decides).
+	WALSync SyncPolicy
+
+	// WALSyncInterval is the SyncInterval fsync period. Zero means 50ms.
+	WALSyncInterval time.Duration
+
+	// WALSegmentBytes rotates a shard's segment file when it grows past this
+	// size. Zero means 64 MiB.
+	WALSegmentBytes int64
 }
 
 // DefaultOptions returns the paper's string-tuned configuration: one arena,

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/keys"
+	"repro/internal/wal"
 )
 
 // shard is one independently locked arena: a core trie guarded by a
@@ -13,6 +14,11 @@ import (
 type shard struct {
 	mu   sync.RWMutex
 	tree *core.Tree
+
+	// wal is the shard's write-ahead log, nil unless the store was created
+	// via Open with Options.WALDir. Mutations enqueue their record under mu
+	// (wal.go), so log order equals apply order per key.
+	wal *wal.Log
 }
 
 // arenaIndex routes a key to its arena by leading byte, keeping contiguous

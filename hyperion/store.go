@@ -3,6 +3,7 @@ package hyperion
 import (
 	"bytes"
 	"runtime"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/epoch"
@@ -34,6 +35,11 @@ type Store struct {
 	epochs        *epoch.Domain
 	lockFree      bool
 	lockFreeReads bool
+
+	// Durability state (wal.go): walErr is the sticky first WAL failure,
+	// closed flips once in Close. Both stay cold on stores without a WAL.
+	walErr atomic.Pointer[error]
+	closed atomic.Bool
 }
 
 // New creates an empty store.
@@ -71,8 +77,15 @@ func (s *Store) Put(key []byte, value uint64) {
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
 	g := s.lockShardWrite(sh)
+	var seq uint64
+	if sh.wal != nil {
+		seq = s.walEnqueueOp(sh, walOpPut, key, value)
+	}
 	sh.tree.Put(k, value)
 	s.unlockShardWrite(sh, g)
+	if seq != 0 {
+		s.walAwait(sh, seq)
+	}
 }
 
 // PutKey stores key without a value (set semantics).
@@ -81,8 +94,15 @@ func (s *Store) PutKey(key []byte) {
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
 	g := s.lockShardWrite(sh)
+	var seq uint64
+	if sh.wal != nil {
+		seq = s.walEnqueueOp(sh, walOpPutKey, key, 0)
+	}
 	sh.tree.PutKey(k)
 	s.unlockShardWrite(sh, g)
+	if seq != 0 {
+		s.walAwait(sh, seq)
+	}
 }
 
 // Get returns the value stored for key; ok is false if the key is absent or
@@ -113,8 +133,15 @@ func (s *Store) Delete(key []byte) bool {
 	var scratch [opScratchSize]byte
 	k := s.transformAppend(scratch[:0], key)
 	g := s.lockShardWrite(sh)
+	var seq uint64
+	if sh.wal != nil {
+		seq = s.walEnqueueOp(sh, walOpDelete, key, 0)
+	}
 	ok := sh.tree.Delete(k)
 	s.unlockShardWrite(sh, g)
+	if seq != 0 {
+		s.walAwait(sh, seq)
+	}
 	return ok
 }
 
@@ -341,10 +368,23 @@ func (s *Store) DeleteUint64(key uint64) bool {
 
 // Clear removes every key from the store.
 func (s *Store) Clear() {
-	for _, sh := range s.shards {
+	var seqs []uint64
+	for i, sh := range s.shards {
 		g := s.lockShardWrite(sh)
+		if sh.wal != nil {
+			if seqs == nil {
+				seqs = make([]uint64, len(s.shards))
+			}
+			seqs[i] = s.walEnqueueOp(sh, walOpClear, nil, 0)
+		}
 		sh.tree.Clear()
 		s.unlockShardWrite(sh, g)
+	}
+	// Await after all shards enqueued, so the per-shard fsyncs overlap.
+	for i, seq := range seqs {
+		if seq != 0 {
+			s.walAwait(s.shards[i], seq)
+		}
 	}
 }
 

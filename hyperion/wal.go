@@ -1,0 +1,507 @@
+package hyperion
+
+// Write-ahead logging and crash-consistent recovery: the durable-apply stage
+// between the public write API and the arenas.
+//
+// A store opened through Open with Options.WALDir set logs every mutation to
+// a per-shard append-only segment log (internal/wal) BEFORE applying it to
+// the arena trie. The enqueue happens under the shard write lock, so the
+// per-key order in the log is exactly the order mutations hit the tree; the
+// fsync happens after the lock is released, through the log's group-commit
+// committer, so durability never serialises writers on the disk. Under
+// SyncAlways every write-path call returns only after its record is fsynced
+// — riding one group commit together with every concurrently acknowledged
+// write — while SyncInterval and SyncNever trade a bounded window of recent
+// writes for hot-path speed.
+//
+// Recovery (Open) is "load newest snapshot, replay the WAL tail through the
+// bulk-ingest fast path": the checkpoint snapshot (checkpoint.hyp in the WAL
+// directory) is loaded first, then each shard's surviving segments are
+// replayed with last-op-wins per-key deduplication and the net result is fed
+// through BulkLoad/PutKey/Delete. A torn or corrupt tail of the newest
+// segment is truncated cleanly (a crash legitimately leaves one); the same
+// damage anywhere else surfaces wal.ErrCorruptWAL — never a panic, never
+// silently invented data.
+//
+// Checkpoint invariant: Checkpoint rotates every shard's log (so records
+// enqueued before it live in segments strictly below a per-shard boundary),
+// writes the snapshot atomically, and only then deletes the pre-boundary
+// segments, oldest first. Every crash window is covered:
+//
+//   - before the snapshot rename: the old snapshot plus the full log replay
+//     to the current state (rotation only added a segment boundary);
+//   - after the rename, before/during segment deletion: the new snapshot
+//     plus a *suffix* of the log (oldest-first deletion guarantees the
+//     survivors are a suffix). The snapshot is per-key consistent at a point
+//     at or after the boundary, and replaying any log suffix that starts at
+//     or before a key's snapshot state re-applies that key's final
+//     operations — last-op-wins makes the replay converge to the pre-crash
+//     state.
+//
+// Record payloads are sequences of operations:
+//
+//	kind byte (1=put, 2=putkey, 3=delete, 4=clear)
+//	uvarint key length, key bytes (raw, un-preprocessed)   [not for clear]
+//	uvarint value                                          [put only]
+//
+// Keys are logged raw (like snapshots): replay re-applies the configured key
+// transformation, so a WAL is portable across stores with the same routing.
+
+import (
+	"bytes"
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"slices"
+
+	"repro/internal/wal"
+)
+
+// SyncPolicy selects when WAL records are fsynced; see the wal package. The
+// zero value is SyncAlways.
+type SyncPolicy = wal.SyncPolicy
+
+// Re-exported fsync policies (Options.WALSync).
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNever    = wal.SyncNever
+)
+
+// ErrCorruptWAL is the typed mid-log corruption error; see wal.ErrCorruptWAL.
+var ErrCorruptWAL = wal.ErrCorruptWAL
+
+// ErrNoWAL is returned by Checkpoint on a store without a write-ahead log.
+var ErrNoWAL = errors.New("hyperion: no write-ahead log configured")
+
+// ErrWALArenaMismatch is returned by Open when the WAL directory was written
+// by a store with a different arena count. Per-key log order is only defined
+// within the shard routing that wrote the log, so the log cannot be replayed
+// under a different routing. To change the arena count: open the store with
+// the old count, call Checkpoint (which folds the log into the snapshot and
+// truncates it), Close, and reopen with the new count.
+var ErrWALArenaMismatch = errors.New("hyperion: WAL was written with a different arena count (checkpoint under the old count first)")
+
+// CheckpointFileName is the snapshot file Open loads from (and Checkpoint
+// writes into) the WAL directory.
+const CheckpointFileName = "checkpoint.hyp"
+
+// WAL op kinds (record payload encoding).
+const (
+	walOpPut    byte = 1
+	walOpPutKey byte = 2
+	walOpDelete byte = 3
+	walOpClear  byte = 4
+)
+
+// walMaxChunk bounds one bulk-run record's payload so huge BulkLoads stream
+// through the log in bounded memory.
+const walMaxChunk = 1 << 20
+
+// Open creates a store like New and, when Options.WALDir is set, makes it
+// durable: it recovers the directory's previous state (newest checkpoint
+// snapshot + WAL tail replay) and attaches per-shard write-ahead logs to the
+// write path. A store returned by Open with a WAL MUST be Closed — Close
+// quiesces writers, flushes and fsyncs the logs and releases the segment
+// files; abandoning the store instead loses up to one sync window of writes
+// under SyncInterval/SyncNever (never acknowledged SyncAlways writes).
+//
+// With an empty WALDir, Open is equivalent to New (and Close is a cheap
+// no-op), so callers can use Open unconditionally and let configuration
+// decide durability.
+func Open(opts Options) (*Store, error) {
+	opts = opts.normalized()
+	if opts.WALDir == "" {
+		return New(opts), nil
+	}
+	if err := os.MkdirAll(opts.WALDir, 0o755); err != nil {
+		return nil, fmt.Errorf("hyperion: create WAL dir: %w", err)
+	}
+	var s *Store
+	snap := filepath.Join(opts.WALDir, CheckpointFileName)
+	if _, err := os.Stat(snap); err == nil {
+		s, err = LoadFile(snap, opts)
+		if err != nil {
+			return nil, fmt.Errorf("hyperion: load checkpoint: %w", err)
+		}
+	} else if errors.Is(err, os.ErrNotExist) {
+		s = New(opts)
+	} else {
+		return nil, fmt.Errorf("hyperion: stat checkpoint: %w", err)
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	for i, sh := range s.shards {
+		lg, err := wal.Open(wal.Options{
+			Dir:          opts.WALDir,
+			Shard:        i,
+			Arenas:       len(s.shards),
+			Policy:       opts.WALSync,
+			Interval:     opts.WALSyncInterval,
+			SegmentBytes: opts.WALSegmentBytes,
+		})
+		if err != nil {
+			for _, prev := range s.shards[:i] {
+				prev.wal.Close()
+			}
+			return nil, err
+		}
+		sh.wal = lg
+	}
+	return s, nil
+}
+
+// replayWAL replays the WAL directory's surviving segments into the store
+// (which holds the checkpoint snapshot state, or nothing). Replay is
+// two-phase — decode and dedup everything first, apply second — so a corrupt
+// log is detected before the store is touched.
+func (s *Store) replayWAL() error {
+	dir := s.opts.WALDir
+	shardsOnDisk, err := wal.ListShards(dir)
+	if err != nil {
+		return err
+	}
+	if len(shardsOnDisk) == 0 {
+		return nil
+	}
+
+	// Phase 1: per shard, reduce the tail to its net effect — the final
+	// operation per key (shards never share keys, so per-shard tails compose)
+	// plus whether a clear wiped the shard mid-tail. Records are collected
+	// into a flat key arena and deduplicated by one sort (key, then arrival
+	// order) instead of a per-key map: the map's hashing and per-key string
+	// allocation dominated replay time, and the sort doubles as the ordering
+	// BulkLoad needs anyway.
+	type tailRec struct {
+		off, n int // key bytes in keybuf
+		idx    int // arrival order; the tie-break that makes last-op win
+		kind   byte
+		value  uint64
+	}
+	type shardTail struct {
+		shard   int
+		cleared bool
+		keybuf  []byte
+		recs    []tailRec
+	}
+	var tails []shardTail
+	for _, shardID := range shardsOnDisk {
+		if shardID >= len(s.shards) {
+			// Segments from a store generation with more arenas. Harmless
+			// only if they replay to nothing (a checkpoint under the old
+			// count leaves one empty segment per shard); any surviving
+			// record cannot be replayed under this routing.
+			info, err := wal.Replay(dir, shardID, func([]byte) error { return nil })
+			if err != nil {
+				return err
+			}
+			if info.Records > 0 {
+				return fmt.Errorf("%w: %d records exist for shard %d, store has %d arenas", ErrWALArenaMismatch, info.Records, shardID, len(s.shards))
+			}
+			if err := wal.RemoveShard(dir, shardID); err != nil {
+				return err
+			}
+			continue
+		}
+		tail := shardTail{shard: shardID}
+		info, err := wal.Replay(dir, shardID, func(payload []byte) error {
+			for len(payload) > 0 {
+				kind := payload[0]
+				payload = payload[1:]
+				if kind == walOpClear {
+					tail.cleared = true
+					tail.keybuf = tail.keybuf[:0]
+					tail.recs = tail.recs[:0]
+					continue
+				}
+				klen, n := binary.Uvarint(payload)
+				if n <= 0 || uint64(len(payload)-n) < klen {
+					return fmt.Errorf("%w: bad key length in record", ErrCorruptWAL)
+				}
+				key := payload[n : n+int(klen)]
+				payload = payload[n+int(klen):]
+				rec := tailRec{off: len(tail.keybuf), n: len(key), idx: len(tail.recs), kind: kind}
+				switch kind {
+				case walOpPut:
+					v, n := binary.Uvarint(payload)
+					if n <= 0 {
+						return fmt.Errorf("%w: bad value in record", ErrCorruptWAL)
+					}
+					payload = payload[n:]
+					rec.value = v
+				case walOpPutKey, walOpDelete:
+				default:
+					return fmt.Errorf("%w: unknown op kind %d", ErrCorruptWAL, kind)
+				}
+				tail.keybuf = append(tail.keybuf, key...)
+				tail.recs = append(tail.recs, rec)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		// Record-less segments (the empty tail a checkpoint under another
+		// arena count leaves) impose no ordering and are ignored; any actual
+		// record written under a different routing cannot be replayed.
+		if info.Records > 0 && info.Arenas != len(s.shards) {
+			return fmt.Errorf("%w: segments record %d arenas, store has %d", ErrWALArenaMismatch, info.Arenas, len(s.shards))
+		}
+		tails = append(tails, tail)
+	}
+
+	// Phase 2: apply. Clears first (they precede every surviving op of their
+	// shard), then per shard sort the records by key with arrival order as the
+	// tie-break and keep only the last record of each equal-key run — the same
+	// last-op-wins reduction a map would compute, without its hashing or
+	// per-key allocations. The surviving puts go through the bulk-ingest fast
+	// path (one global sorted run, arenas loading in parallel), then the
+	// stragglers. Keys alias each tail's arena; BulkLoad/PutKey/Delete copy
+	// what they keep. No shard has a log attached yet, so nothing here is
+	// re-logged.
+	var pairs []Pair
+	var putKeys, deletes [][]byte
+	for ti := range tails {
+		tail := &tails[ti]
+		if tail.cleared {
+			sh := s.shards[tail.shard]
+			g := s.lockShardWrite(sh)
+			sh.tree.Clear()
+			s.unlockShardWrite(sh, g)
+		}
+		buf := tail.keybuf
+		slices.SortFunc(tail.recs, func(a, b tailRec) int {
+			if c := bytes.Compare(buf[a.off:a.off+a.n], buf[b.off:b.off+b.n]); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.idx, b.idx)
+		})
+		for i, rec := range tail.recs {
+			if i+1 < len(tail.recs) {
+				next := tail.recs[i+1]
+				if bytes.Equal(buf[rec.off:rec.off+rec.n], buf[next.off:next.off+next.n]) {
+					continue // a later op on the same key supersedes this one
+				}
+			}
+			key := buf[rec.off : rec.off+rec.n]
+			switch rec.kind {
+			case walOpPut:
+				pairs = append(pairs, Pair{Key: key, Value: rec.value})
+			case walOpPutKey:
+				putKeys = append(putKeys, key)
+			case walOpDelete:
+				deletes = append(deletes, key)
+			}
+		}
+	}
+	// Shards never share keys and each tail contributed a sorted run, so with
+	// one shard this final pass is already-sorted (near free); with several it
+	// merges the runs.
+	slices.SortFunc(pairs, func(a, b Pair) int { return bytes.Compare(a.Key, b.Key) })
+	s.BulkLoad(pairs)
+	for _, k := range putKeys {
+		s.PutKey(k)
+	}
+	for _, k := range deletes {
+		s.Delete(k)
+	}
+	return nil
+}
+
+// WALEnabled reports whether the store has a write-ahead log attached.
+func (s *Store) WALEnabled() bool { return s.opts.WALDir != "" && s.shards[0].wal != nil }
+
+// WALError returns the first write-ahead log failure (write, fsync or
+// enqueue-after-close), or nil. The write API cannot change its signatures
+// to return errors (the index.KV contract predates durability), so WAL
+// failures are sticky: once set, the store keeps serving reads and in-memory
+// writes but no further write is acknowledged as durable, and servers should
+// surface the error to clients.
+func (s *Store) WALError() error {
+	if p := s.walErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (s *Store) noteWALErr(err error) {
+	if err == nil {
+		return
+	}
+	s.walErr.CompareAndSwap(nil, &err)
+}
+
+// Close makes the store's durable state final and releases its files:
+// in-flight writers are quiesced (each shard's write lock is taken once),
+// every per-shard log is flushed, fsynced and closed. Close is idempotent
+// and returns the first WAL error encountered over the store's lifetime —
+// a nil Close after SyncAlways writes means every acknowledged write is on
+// disk. Writes issued after Close mutate memory only and leave the sticky
+// ErrClosed in WALError. On a store without a WAL, Close only marks the
+// store closed.
+func (s *Store) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return s.WALError()
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock() // quiesce: no writer past this point enqueued before us
+		//lint:ignore SA2001 empty critical section is the point: a barrier
+		sh.mu.Unlock()
+	}
+	var first error
+	for _, sh := range s.shards {
+		if sh.wal == nil {
+			continue
+		}
+		if err := sh.wal.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.noteWALErr(first)
+	return s.WALError()
+}
+
+// Checkpoint folds the write-ahead log into a fresh snapshot: it rotates
+// every shard's log, writes the snapshot atomically to checkpoint.hyp in the
+// WAL directory, and then deletes the pre-rotation segments (oldest first —
+// see the crash-window analysis at the top of this file). It returns the
+// number of keys in the snapshot. Checkpoint is safe to run while other
+// goroutines read and write the store; concurrent writes land in the
+// post-rotation segments and replay idempotently over the snapshot.
+func (s *Store) Checkpoint() (int, error) {
+	if !s.WALEnabled() {
+		return 0, ErrNoWAL
+	}
+	boundaries := make([]uint64, len(s.shards))
+	for i, sh := range s.shards {
+		b, err := sh.wal.Rotate()
+		if err != nil {
+			s.noteWALErr(err)
+			return 0, err
+		}
+		boundaries[i] = b
+	}
+	n, err := s.SaveFile(filepath.Join(s.opts.WALDir, CheckpointFileName))
+	if err != nil {
+		// The snapshot failed but no segment was deleted: the log still
+		// covers everything and the store remains fully recoverable.
+		return 0, err
+	}
+	for i, sh := range s.shards {
+		if err := sh.wal.TruncateBefore(boundaries[i]); err != nil {
+			// Leftover pre-boundary segments are a space leak, not a
+			// correctness problem: replaying extra history under last-op-wins
+			// converges to the same state. Surface the error anyway.
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+// appendWalOp encodes one operation into a record payload.
+func appendWalOp(dst []byte, kind byte, key []byte, value uint64) []byte {
+	dst = append(dst, kind)
+	if kind == walOpClear {
+		return dst
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	if kind == walOpPut {
+		dst = binary.AppendUvarint(dst, value)
+	}
+	return dst
+}
+
+// walEnqueueOp logs one single-key operation. Called under the shard write
+// lock (that is what serialises the log against the tree). The returned
+// sequence is handed to walAwait after the lock is dropped; 0 means nothing
+// to wait for (no WAL, or the enqueue failed and the error is sticky).
+func (s *Store) walEnqueueOp(sh *shard, kind byte, key []byte, value uint64) uint64 {
+	var scratch [opScratchSize + 2*binary.MaxVarintLen64 + 1]byte
+	seq, err := sh.wal.Enqueue(appendWalOp(scratch[:0], kind, key, value))
+	if err != nil {
+		s.noteWALErr(err)
+		return 0
+	}
+	return seq
+}
+
+// walEnqueueBatch logs the write ops of one shard group as a single record.
+// opIdx nil means all of ops. Reads are skipped. Called under the shard
+// write lock.
+func (s *Store) walEnqueueBatch(sh *shard, ops []Op, opIdx []int32) uint64 {
+	n := len(opIdx)
+	if opIdx == nil {
+		n = len(ops)
+	}
+	payload := make([]byte, 0, n*16)
+	for k := 0; k < n; k++ {
+		op := &ops[k]
+		if opIdx != nil {
+			op = &ops[opIdx[k]]
+		}
+		switch op.Kind {
+		case OpPut:
+			payload = appendWalOp(payload, walOpPut, op.Key, op.Value)
+		case OpPutKey:
+			payload = appendWalOp(payload, walOpPutKey, op.Key, 0)
+		case OpDelete:
+			payload = appendWalOp(payload, walOpDelete, op.Key, 0)
+		}
+	}
+	if len(payload) == 0 {
+		return 0
+	}
+	seq, err := sh.wal.Enqueue(payload)
+	if err != nil {
+		s.noteWALErr(err)
+		return 0
+	}
+	return seq
+}
+
+// walEnqueuePairs logs a bulk run's pairs, chunked so one record payload
+// stays under walMaxChunk. Called under the shard write lock; returns the
+// last record's sequence.
+func (s *Store) walEnqueuePairs(sh *shard, pairs []Pair) uint64 {
+	var last uint64
+	payload := make([]byte, 0, min(len(pairs)*16, walMaxChunk+opScratchSize))
+	for i := range pairs {
+		payload = appendWalOp(payload, walOpPut, pairs[i].Key, pairs[i].Value)
+		if len(payload) >= walMaxChunk {
+			seq, err := sh.wal.Enqueue(payload)
+			if err != nil {
+				s.noteWALErr(err)
+				return 0
+			}
+			last = seq
+			payload = payload[:0]
+		}
+	}
+	if len(payload) > 0 {
+		seq, err := sh.wal.Enqueue(payload)
+		if err != nil {
+			s.noteWALErr(err)
+			return 0
+		}
+		last = seq
+	}
+	return last
+}
+
+// walAwait applies the durability policy to a previously enqueued record:
+// under SyncAlways it blocks until the record is fsynced. Called after the
+// shard lock is released, so writers across shards (and writers of the same
+// shard accumulated during an in-flight fsync) share group commits.
+func (s *Store) walAwait(sh *shard, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	if err := sh.wal.Commit(seq); err != nil {
+		s.noteWALErr(err)
+	}
+}

@@ -47,72 +47,93 @@ type Config struct {
 	ServerOps    int
 	ServerConns  []int
 	ServerDepths []int
+	// WALKeys is the logged data-set size of the WAL experiment (the
+	// non-durable write modes and the recovery scenarios); WALDurableOps the
+	// op count of its fsync-bound modes (each op may cost a real fsync, so
+	// this is necessarily much smaller). WALWriters is the concurrency of the
+	// group-commit mode, WALBatch the ApplyBatch size of the batched one.
+	WALKeys       int
+	WALDurableOps int
+	WALWriters    int
+	WALBatch      int
 }
 
 // SmallConfig finishes in well under a minute and is used by the `go test`
 // benchmarks.
 func SmallConfig() Config {
 	return Config{
-		StringKeys:   100_000,
-		IntKeys:      200_000,
-		Fig13Budget:  8 << 20,
-		Fig13MaxKeys: 400_000,
-		Fig15Samples: 10,
-		Seed:         42,
-		ConcKeys:     100_000,
-		ConcBatch:    512,
-		ConcArenas:   []int{1, 8},
-		ConcWorkers:  []int{1, 4},
-		LatKeys:      100_000,
-		LatOps:       20_000,
-		ServerKeys:   20_000,
-		ServerOps:    30_000,
-		ServerConns:  []int{1, 2},
-		ServerDepths: []int{1, 64},
+		StringKeys:    100_000,
+		IntKeys:       200_000,
+		Fig13Budget:   8 << 20,
+		Fig13MaxKeys:  400_000,
+		Fig15Samples:  10,
+		Seed:          42,
+		ConcKeys:      100_000,
+		ConcBatch:     512,
+		ConcArenas:    []int{1, 8},
+		ConcWorkers:   []int{1, 4},
+		LatKeys:       100_000,
+		LatOps:        20_000,
+		ServerKeys:    20_000,
+		ServerOps:     30_000,
+		ServerConns:   []int{1, 2},
+		ServerDepths:  []int{1, 64},
+		WALKeys:       60_000,
+		WALDurableOps: 400,
+		WALWriters:    8,
+		WALBatch:      256,
 	}
 }
 
 // MediumConfig is the default of cmd/hyperion-bench.
 func MediumConfig() Config {
 	return Config{
-		StringKeys:   1_000_000,
-		IntKeys:      2_000_000,
-		Fig13Budget:  64 << 20,
-		Fig13MaxKeys: 4_000_000,
-		Fig15Samples: 20,
-		Seed:         42,
-		ConcKeys:     1_000_000,
-		ConcBatch:    1024,
-		ConcArenas:   []int{1, 4, 8, 16},
-		ConcWorkers:  []int{1, 2, 4, 8},
-		LatKeys:      1_000_000,
-		LatOps:       200_000,
-		ServerKeys:   100_000,
-		ServerOps:    200_000,
-		ServerConns:  []int{1, 4},
-		ServerDepths: []int{1, 16, 64, 256},
+		StringKeys:    1_000_000,
+		IntKeys:       2_000_000,
+		Fig13Budget:   64 << 20,
+		Fig13MaxKeys:  4_000_000,
+		Fig15Samples:  20,
+		Seed:          42,
+		ConcKeys:      1_000_000,
+		ConcBatch:     1024,
+		ConcArenas:    []int{1, 4, 8, 16},
+		ConcWorkers:   []int{1, 2, 4, 8},
+		LatKeys:       1_000_000,
+		LatOps:        200_000,
+		ServerKeys:    100_000,
+		ServerOps:     200_000,
+		ServerConns:   []int{1, 4},
+		ServerDepths:  []int{1, 16, 64, 256},
+		WALKeys:       400_000,
+		WALDurableOps: 2_000,
+		WALWriters:    8,
+		WALBatch:      512,
 	}
 }
 
 // LargeConfig stresses a workstation (several GiB of index data).
 func LargeConfig() Config {
 	return Config{
-		StringKeys:   8_000_000,
-		IntKeys:      16_000_000,
-		Fig13Budget:  512 << 20,
-		Fig13MaxKeys: 32_000_000,
-		Fig15Samples: 25,
-		Seed:         42,
-		ConcKeys:     4_000_000,
-		ConcBatch:    2048,
-		ConcArenas:   []int{1, 8, 16, 64, 256},
-		ConcWorkers:  []int{1, 2, 4, 8, 16},
-		LatKeys:      4_000_000,
-		LatOps:       500_000,
-		ServerKeys:   500_000,
-		ServerOps:    1_000_000,
-		ServerConns:  []int{1, 4, 16},
-		ServerDepths: []int{1, 16, 64, 256, 1024},
+		StringKeys:    8_000_000,
+		IntKeys:       16_000_000,
+		Fig13Budget:   512 << 20,
+		Fig13MaxKeys:  32_000_000,
+		Fig15Samples:  25,
+		Seed:          42,
+		ConcKeys:      4_000_000,
+		ConcBatch:     2048,
+		ConcArenas:    []int{1, 8, 16, 64, 256},
+		ConcWorkers:   []int{1, 2, 4, 8, 16},
+		LatKeys:       4_000_000,
+		LatOps:        500_000,
+		ServerKeys:    500_000,
+		ServerOps:     1_000_000,
+		ServerConns:   []int{1, 4, 16},
+		ServerDepths:  []int{1, 16, 64, 256, 1024},
+		WALKeys:       2_000_000,
+		WALDurableOps: 5_000,
+		WALWriters:    16,
+		WALBatch:      1024,
 	}
 }
 

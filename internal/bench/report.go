@@ -202,6 +202,37 @@ func WriteRecovery(w io.Writer, r RecoveryResult) {
 	}
 }
 
+// WriteWAL renders the durability experiment. Reading the output: the
+// fsync-per-op row is the naive durable baseline (every ack pays its own
+// fsync); the group-commit rows show what sharing fsyncs buys — that ratio is
+// the headline CI gates on. The wal-never/wal-interval rows price the logging
+// itself (encode + buffer + background write) against the no-WAL reference,
+// and the recovery rows compare reopening a logged directory against per-key
+// re-ingestion of the same content.
+func WriteWAL(w io.Writer, r WALResult) {
+	fmt.Fprintf(w, "\n%s\n", r.Title)
+	fmt.Fprintf(w, "  %-20s %-10s %8s %6s %9s %10s %12s %12s %10s\n",
+		"Mode", "policy", "writers", "batch", "ops", "seconds", "ops/s", "vs fsync/op", "of nowal")
+	for _, row := range r.Writes {
+		speedup, frac := "-", "-"
+		if row.SpeedupVsFsyncPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", row.SpeedupVsFsyncPerOp)
+		}
+		if row.FracOfNoWAL > 0 {
+			frac = fmt.Sprintf("%.0f%%", row.FracOfNoWAL*100)
+		}
+		fmt.Fprintf(w, "  %-20s %-10s %8d %6d %9d %10.3f %12.0f %12s %10s\n",
+			row.Mode, row.Policy, row.Writers, row.Batch, row.Ops, row.Seconds, row.OpsPerSec, speedup, frac)
+	}
+	fmt.Fprintf(w, "\n  %-16s %10s %12s %10s %12s %12s %10s\n",
+		"Recovery", "keys", "tail recs", "open s", "keys/s", "reingest s", "speedup")
+	for _, row := range r.Recovery {
+		fmt.Fprintf(w, "  %-16s %10d %12d %10.3f %12.0f %12.3f %9.2fx\n",
+			row.Scenario, row.Keys, row.TailRecords, row.OpenSeconds, row.KeysPerSec,
+			row.ReingestSeconds, row.SpeedupVsReingest)
+	}
+}
+
 // WriteScan renders the scan-engine comparison. Reading the output: the
 // "chunked" cursor row's speedup is the headline (jump-structure re-seek vs
 // the linear O(position) resume of the Save/Range shape), "seek" shows the

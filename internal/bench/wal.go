@@ -1,0 +1,294 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/hyperion"
+	"repro/internal/workload"
+)
+
+// This file implements the WAL experiment: what durability costs and what
+// recovery buys. The write half measures the same Put workload under every
+// sync policy — no WAL at all (the logging-overhead reference), fsync-per-op
+// (one writer under SyncAlways, the naive durable baseline where every ack
+// waits for its own fsync), group commit (concurrent writers under
+// SyncAlways sharing fsyncs), batched group commit (ApplyBatch, one record
+// and one fsync per batch), interval and never. The recovery half measures
+// reopening a crashed-looking directory — pure log replay through the
+// bulk-ingest path, and checkpoint + tail replay — against the per-key
+// re-ingestion a store without a WAL would have to pay.
+
+// WALWriteRow is one write-throughput measurement.
+type WALWriteRow struct {
+	// Mode names the row: nowal, wal-never, wal-interval, fsync-per-op,
+	// group-commit, group-commit-batch.
+	Mode    string `json:"mode"`
+	Policy  string `json:"policy"`
+	Writers int    `json:"writers"`
+	// Batch is the ApplyBatch size (0: individual Puts).
+	Batch     int     `json:"batch"`
+	Ops       int     `json:"ops"`
+	Seconds   float64 `json:"seconds"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// SpeedupVsFsyncPerOp is filled on the durable (SyncAlways) rows.
+	SpeedupVsFsyncPerOp float64 `json:"speedup_vs_fsync_per_op,omitempty"`
+	// FracOfNoWAL is filled on the non-durable rows: throughput relative to
+	// the no-WAL reference (the price of logging without fsync stalls).
+	FracOfNoWAL float64 `json:"frac_of_nowal,omitempty"`
+}
+
+// WALRecoveryRow is one recovery measurement.
+type WALRecoveryRow struct {
+	// Scenario: replay-log (no checkpoint, the whole history is in the WAL)
+	// or checkpoint-tail (snapshot plus a short log suffix).
+	Scenario    string  `json:"scenario"`
+	Keys        int     `json:"keys"`
+	TailRecords int     `json:"tail_records"`
+	OpenSeconds float64 `json:"open_seconds"`
+	KeysPerSec  float64 `json:"keys_per_sec"`
+	// ReingestSeconds is the per-key Put loop over the same final content —
+	// what a restart without any durability subsystem would cost.
+	ReingestSeconds   float64 `json:"reingest_seconds"`
+	SpeedupVsReingest float64 `json:"speedup_vs_reingest"`
+}
+
+// WALResult is the full WAL experiment.
+type WALResult struct {
+	ID       string           `json:"id"`
+	Title    string           `json:"title"`
+	Writes   []WALWriteRow    `json:"writes"`
+	Recovery []WALRecoveryRow `json:"recovery"`
+}
+
+// walBenchOptions returns the store options of one write mode. One arena on
+// purpose: the experiment isolates the log's group-commit behavior, and a
+// single shard means a single segment log whose fsyncs every writer shares.
+func walBenchOptions(dir string, policy hyperion.SyncPolicy) hyperion.Options {
+	opts := hyperion.IntegerOptions()
+	opts.Arenas = 1
+	opts.WALDir = dir
+	opts.WALSync = policy
+	return opts
+}
+
+// putAll writes ds[0:n) across writers goroutines, each on its own disjoint
+// slice (batch 0: individual Puts; else ApplyBatch groups of that size), and
+// returns the wall time.
+func putAll(store *hyperion.Store, ds *workload.Dataset, n, writers, batch int) float64 {
+	start := time.Now()
+	if writers <= 1 {
+		if batch <= 0 {
+			for i := 0; i < n; i++ {
+				store.Put(ds.Key(i), ds.Value(i))
+			}
+		} else {
+			ops := make([]hyperion.Op, 0, batch)
+			for i := 0; i < n; i += batch {
+				ops = ops[:0]
+				for j := i; j < i+batch && j < n; j++ {
+					ops = append(ops, hyperion.Op{Kind: hyperion.OpPut, Key: ds.Key(j), Value: ds.Value(j)})
+				}
+				store.ApplyBatch(ops)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+	var wg sync.WaitGroup
+	per := (n + writers - 1) / writers
+	for w := 0; w < writers; w++ {
+		lo, hi := w*per, (w+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				store.Put(ds.Key(i), ds.Value(i))
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return time.Since(start).Seconds()
+}
+
+// RunWAL measures durable-write throughput under every sync policy and
+// recovery (log replay / checkpoint + tail) against per-key re-ingestion.
+func RunWAL(cfg Config) WALResult {
+	res := WALResult{
+		ID: "wal",
+		Title: fmt.Sprintf("WAL: group-commit durability and crash recovery (%d logged / %d fsync-bound ops)",
+			cfg.WALKeys, cfg.WALDurableOps),
+	}
+	root, err := os.MkdirTemp("", "hyperion-walbench-*")
+	if err != nil {
+		panic(fmt.Sprintf("bench: wal temp dir: %v", err))
+	}
+	defer os.RemoveAll(root)
+	ds := workload.RandomIntegers(cfg.WALKeys, cfg.Seed)
+
+	// ---- Write throughput: logging overhead (full data set, no fsync waits).
+	mustOpen := func(mode string, policy hyperion.SyncPolicy) *hyperion.Store {
+		dir, err := os.MkdirTemp(root, mode+"-*")
+		if err != nil {
+			panic(fmt.Sprintf("bench: wal dir: %v", err))
+		}
+		store, err := hyperion.Open(walBenchOptions(dir, policy))
+		if err != nil {
+			panic(fmt.Sprintf("bench: open %s: %v", mode, err))
+		}
+		return store
+	}
+	finish := func(store *hyperion.Store, mode string) {
+		if err := store.WALError(); err != nil {
+			panic(fmt.Sprintf("bench: %s: WAL failed: %v", mode, err))
+		}
+		// The random data set may contain duplicate keys, so the stored count
+		// is <= the op count; it only has to be non-trivial.
+		if store.Len() == 0 {
+			panic(fmt.Sprintf("bench: %s stored nothing", mode))
+		}
+		if err := store.Close(); err != nil {
+			panic(fmt.Sprintf("bench: close %s: %v", mode, err))
+		}
+	}
+	row := func(mode, policy string, writers, batch, ops int, sec float64) WALWriteRow {
+		r := WALWriteRow{Mode: mode, Policy: policy, Writers: writers, Batch: batch, Ops: ops, Seconds: sec}
+		if sec > 0 {
+			r.OpsPerSec = float64(ops) / sec
+		}
+		return r
+	}
+
+	nowal := hyperion.New(walBenchOptions("", hyperion.SyncNever)) // WALDir "" disables the log
+	nowalSec := putAll(nowal, ds, ds.Len(), 1, 0)
+	nowalRow := row("nowal", "none", 1, 0, ds.Len(), nowalSec)
+	res.Writes = append(res.Writes, nowalRow)
+
+	for _, m := range []struct {
+		mode   string
+		policy hyperion.SyncPolicy
+	}{
+		{"wal-never", hyperion.SyncNever},
+		{"wal-interval", hyperion.SyncInterval},
+	} {
+		store := mustOpen(m.mode, m.policy)
+		sec := putAll(store, ds, ds.Len(), 1, 0)
+		finish(store, m.mode)
+		r := row(m.mode, m.policy.String(), 1, 0, ds.Len(), sec)
+		if nowalRow.OpsPerSec > 0 {
+			r.FracOfNoWAL = r.OpsPerSec / nowalRow.OpsPerSec
+		}
+		res.Writes = append(res.Writes, r)
+	}
+
+	// ---- Write throughput: durable modes (fsync-bound, fewer ops).
+	durableOps := cfg.WALDurableOps
+	if durableOps > ds.Len() {
+		durableOps = ds.Len()
+	}
+	perOp := mustOpen("fsync-per-op", hyperion.SyncAlways)
+	perOpSec := putAll(perOp, ds, durableOps, 1, 0)
+	finish(perOp, "fsync-per-op")
+	perOpRow := row("fsync-per-op", hyperion.SyncAlways.String(), 1, 0, durableOps, perOpSec)
+	perOpRow.SpeedupVsFsyncPerOp = 1
+	res.Writes = append(res.Writes, perOpRow)
+
+	for _, m := range []struct {
+		mode    string
+		writers int
+		batch   int
+	}{
+		{"group-commit", cfg.WALWriters, 0},
+		{"group-commit-batch", 1, cfg.WALBatch},
+	} {
+		store := mustOpen(m.mode, hyperion.SyncAlways)
+		sec := putAll(store, ds, durableOps, m.writers, m.batch)
+		finish(store, m.mode)
+		r := row(m.mode, hyperion.SyncAlways.String(), m.writers, m.batch, durableOps, sec)
+		if perOpRow.OpsPerSec > 0 {
+			r.SpeedupVsFsyncPerOp = r.OpsPerSec / perOpRow.OpsPerSec
+		}
+		res.Writes = append(res.Writes, r)
+	}
+
+	// ---- Recovery: the re-ingestion baseline is a fresh per-key build of the
+	// same final content (what a restart without durability would cost).
+	reingest := func() float64 {
+		store := hyperion.New(walBenchOptions("", hyperion.SyncNever))
+		start := time.Now()
+		for i := 0; i < ds.Len(); i++ {
+			store.Put(ds.Key(i), ds.Value(i))
+		}
+		sec := time.Since(start).Seconds()
+		if store.Len() == 0 {
+			panic("bench: reingest stored nothing")
+		}
+		return sec
+	}()
+
+	recoverRun := func(scenario, dir string, checkpointAt int) {
+		// Build the directory state: log everything (checkpointAt < 0: no
+		// checkpoint; else compact the first checkpointAt keys into a
+		// snapshot, leaving the rest as the replayable tail).
+		store, err := hyperion.Open(walBenchOptions(dir, hyperion.SyncNever))
+		if err != nil {
+			panic(fmt.Sprintf("bench: open %s: %v", scenario, err))
+		}
+		tail := ds.Len()
+		if checkpointAt >= 0 {
+			for i := 0; i < checkpointAt; i++ {
+				store.Put(ds.Key(i), ds.Value(i))
+			}
+			if _, err := store.Checkpoint(); err != nil {
+				panic(fmt.Sprintf("bench: checkpoint %s: %v", scenario, err))
+			}
+			tail = ds.Len() - checkpointAt
+		}
+		start := ds.Len() - tail
+		for i := start; i < ds.Len(); i++ {
+			store.Put(ds.Key(i), ds.Value(i))
+		}
+		want := store.Len()
+		if err := store.Close(); err != nil {
+			panic(fmt.Sprintf("bench: close %s: %v", scenario, err))
+		}
+
+		begin := time.Now()
+		reopened, err := hyperion.Open(walBenchOptions(dir, hyperion.SyncNever))
+		if err != nil {
+			panic(fmt.Sprintf("bench: recover %s: %v", scenario, err))
+		}
+		openSec := time.Since(begin).Seconds()
+		if reopened.Len() != want {
+			panic(fmt.Sprintf("bench: %s recovered %d keys, want %d", scenario, reopened.Len(), want))
+		}
+		reopened.Close()
+
+		r := WALRecoveryRow{
+			Scenario:        scenario,
+			Keys:            want,
+			TailRecords:     tail,
+			OpenSeconds:     openSec,
+			ReingestSeconds: reingest,
+		}
+		if openSec > 0 {
+			r.KeysPerSec = float64(want) / openSec
+			r.SpeedupVsReingest = reingest / openSec
+		}
+		res.Recovery = append(res.Recovery, r)
+	}
+
+	replayDir, _ := os.MkdirTemp(root, "replay-*")
+	recoverRun("replay-log", replayDir, -1)
+	ckptDir, _ := os.MkdirTemp(root, "ckpt-*")
+	recoverRun("checkpoint-tail", ckptDir, ds.Len()-ds.Len()/8)
+
+	return res
+}

@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func walTinyConfig() Config {
+	cfg := tinyConfig()
+	cfg.WALKeys = 20000
+	cfg.WALDurableOps = 64
+	cfg.WALWriters = 4
+	cfg.WALBatch = 32
+	return cfg
+}
+
+func TestRunWAL(t *testing.T) {
+	res := RunWAL(walTinyConfig())
+	modes := map[string]WALWriteRow{}
+	for _, r := range res.Writes {
+		if r.Ops <= 0 || r.Seconds <= 0 || r.OpsPerSec <= 0 {
+			t.Fatalf("write row %s measured nothing: %+v", r.Mode, r)
+		}
+		modes[r.Mode] = r
+	}
+	for _, mode := range []string{"nowal", "wal-never", "wal-interval", "fsync-per-op", "group-commit", "group-commit-batch"} {
+		if _, ok := modes[mode]; !ok {
+			t.Fatalf("missing write mode %s", mode)
+		}
+	}
+	// The durable rows carry the headline ratio; at test scale only its
+	// presence and sign are asserted (CI gates the real margins).
+	for _, mode := range []string{"group-commit", "group-commit-batch"} {
+		if modes[mode].SpeedupVsFsyncPerOp <= 0 {
+			t.Fatalf("%s has no speedup ratio: %+v", mode, modes[mode])
+		}
+	}
+	if modes["wal-never"].FracOfNoWAL <= 0 {
+		t.Fatalf("wal-never has no nowal fraction: %+v", modes["wal-never"])
+	}
+
+	if len(res.Recovery) != 2 {
+		t.Fatalf("expected 2 recovery rows, got %d", len(res.Recovery))
+	}
+	for _, r := range res.Recovery {
+		if r.Keys <= 0 || r.OpenSeconds <= 0 || r.ReingestSeconds <= 0 || r.SpeedupVsReingest <= 0 {
+			t.Fatalf("recovery row %s measured nothing: %+v", r.Scenario, r)
+		}
+	}
+	if res.Recovery[1].Scenario != "checkpoint-tail" || res.Recovery[1].TailRecords >= res.Recovery[0].TailRecords {
+		t.Fatalf("checkpoint-tail row should replay a shorter tail: %+v", res.Recovery)
+	}
+
+	var buf bytes.Buffer
+	WriteWAL(&buf, res)
+	out := buf.String()
+	for _, want := range []string{"fsync-per-op", "group-commit", "vs fsync/op", "checkpoint-tail", "reingest s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered WAL table misses %q:\n%s", want, out)
+		}
+	}
+}

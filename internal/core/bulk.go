@@ -222,16 +222,19 @@ func (b *bulkBuilder) buildSRun(enc []byte, lo, hi, d, prevS int, jt bool, tIdx 
 
 // appendChildRun encodes the ≥2 keys[lo:hi) continuing below the S-Node at
 // sIdx (suffixes start at depth d): inline as an embedded container when the
-// result fits, moved out into a standalone container otherwise. Like
-// twoKeyStreamContent, embeddability of a fresh stream is purely a size
-// question — bulk-built streams carry no jump metadata below the top level.
+// result fits AND the stream assembled so far is still below the embedded
+// eject threshold, moved out into a standalone container otherwise. The
+// threshold check mirrors the put path's lazy ejection (and the merge path
+// above): without it a fresh bulk build of a wide key distribution embeds
+// millions of small children into one stream, whose 32-aligned chain parts
+// then overflow the 19-bit container size field.
 func (b *bulkBuilder) appendChildRun(enc []byte, sIdx, lo, hi, d int) []byte {
 	t := b.t
 	sizeIdx := len(enc)
 	enc = append(enc, 0) // embedded-size placeholder
 	enc = b.buildStream(enc, lo, hi, d, false, -1)
 	total := len(enc) - sizeIdx
-	if t.cfg.Embedded && total <= embMaxSize {
+	if t.cfg.Embedded && total <= embMaxSize && sizeIdx <= t.cfg.EmbeddedEjectThreshold {
 		enc[sizeIdx] = byte(total)
 		setSChildKind(enc[sIdx:], 0, childEmbedded)
 		t.stats.EmbeddedContainers++

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"io"
 	"net"
+	"os"
 	"strconv"
+	"time"
 
 	"repro/hyperion"
 )
@@ -66,12 +68,21 @@ func (s *Server) ServeConn(nc net.Conn) {
 			// Nothing complete is buffered: this is the flush point of the
 			// deferred-flush contract — write pending replies before blocking.
 			c.flush()
+			if d := s.cfg.IdleTimeout; d > 0 {
+				// The engine only blocks here, so arming the deadline at this
+				// single point bounds idle time without taxing the fast path.
+				nc.SetReadDeadline(time.Now().Add(d))
+			}
 			err := c.rd.fill()
 			switch {
 			case err == nil:
 				continue
 			case errors.Is(err, errLineTooLong):
 				c.lit("-ERR line too long")
+				c.flush()
+				return
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				c.lit("-ERR idle timeout")
 				c.flush()
 				return
 			case errors.Is(err, io.EOF):
@@ -128,7 +139,11 @@ func (c *connection) dispatch(line []byte) {
 			c.lit("-ERR usage: DEL key")
 			break
 		}
-		if store.Delete(args[0]) {
+		deleted := store.Delete(args[0])
+		if !c.walOK(store) {
+			break
+		}
+		if deleted {
 			c.lit("+1")
 		} else {
 			c.lit("+0")
@@ -163,6 +178,9 @@ func (c *connection) dispatch(line []byte) {
 			break
 		}
 		c.results = store.ApplyBatchInto(c.results, c.ops)
+		if !c.walOK(store) {
+			break
+		}
 		c.uintReply(uint64(len(c.ops)))
 	case cmdIs(cmd, "MLOAD"):
 		if len(args) == 0 || len(args)%2 != 0 {
@@ -176,6 +194,9 @@ func (c *connection) dispatch(line []byte) {
 			break
 		}
 		store.BulkLoad(c.pairs)
+		if !c.walOK(store) {
+			break
+		}
 		c.uintReply(uint64(len(c.pairs)))
 	case cmdIs(cmd, "RANGE"):
 		if len(args) != 2 {
@@ -246,6 +267,14 @@ func (c *connection) dispatch(line []byte) {
 			c.lit("-ERR usage: RESTORE path")
 			break
 		}
+		if store.WALEnabled() {
+			// Swapping in a snapshot-built store would orphan the open log
+			// (and the snapshot's content would never be in it) — the durable
+			// way to reset a WAL-backed node is to restart it on a directory
+			// seeded with the snapshot as its checkpoint.
+			c.lit("-ERR restore: store is WAL-backed; restart on the snapshot instead")
+			break
+		}
 		path, err := c.srv.snapshotPath(string(args[0]))
 		if err != nil {
 			c.errReply("-ERR restore: ", err)
@@ -260,6 +289,17 @@ func (c *connection) dispatch(line []byte) {
 		// the moment the pointer is swapped.
 		n := restored.Len()
 		c.srv.swapStore(restored)
+		c.intReply(int64(n))
+	case cmdIs(cmd, "CHECKPOINT"):
+		if len(args) != 0 {
+			c.lit("-ERR usage: CHECKPOINT")
+			break
+		}
+		n, err := store.Checkpoint()
+		if err != nil {
+			c.errReply("-ERR checkpoint: ", err)
+			break
+		}
 		c.intReply(int64(n))
 	case cmdIs(cmd, "QUIT"):
 		c.lit("+BYE")
@@ -312,11 +352,32 @@ func (c *connection) putRun(key []byte, value uint64) {
 		c.ops = append(c.ops, hyperion.Op{Kind: hyperion.OpPut, Key: c.peekToks[1], Value: v})
 		c.rd.consume(n)
 	}
-	c.results = c.srv.current().ApplyBatchInto(c.results, c.ops)
-	for range c.ops {
-		c.lit("+OK")
+	store := c.srv.current()
+	c.results = store.ApplyBatchInto(c.results, c.ops)
+	if err := store.WALError(); err != nil {
+		for range c.ops {
+			c.errReply("-ERR wal: ", err)
+		}
+	} else {
+		for range c.ops {
+			c.lit("+OK")
+		}
 	}
 	c.maybeFlush()
+}
+
+// walOK checks the store's sticky write-ahead-log error after a write
+// command executed. A durable store that can no longer log must not
+// acknowledge writes — the in-memory apply happened, but the durability the
+// ack promises did not — so the command answers -ERR instead. Always true on
+// stores without a WAL (WALError is constant nil there, keeping the reply
+// stream byte-identical to the legacy oracle).
+func (c *connection) walOK(store *hyperion.Store) bool {
+	if err := store.WALError(); err != nil {
+		c.errReply("-ERR wal: ", err)
+		return false
+	}
+	return true
 }
 
 // parsePairs validates and collects the key/value pairs of MPUT/MLOAD. On a

@@ -20,6 +20,7 @@
 //	STATS                        -> one line of engine counters
 //	SAVE <path>                  -> +<n keys saved> | -ERR ...
 //	RESTORE <path>               -> +<n keys restored> | -ERR ...
+//	CHECKPOINT                   -> +<n keys checkpointed> | -ERR ... (WAL stores)
 //	QUIT                         -> +BYE, closes the connection
 //
 // The request path is a byte-level pipelined engine (conn.go): a
@@ -52,6 +53,19 @@ type Config struct {
 	// Options configure the store the server creates and the stores RESTORE
 	// rebuilds.
 	Options hyperion.Options
+
+	// Store, when non-nil, is served instead of a store built from Options.
+	// This is how a durable node is assembled: open a WAL-backed store with
+	// hyperion.Open (replaying its log) and hand it to the server. Shutdown
+	// closes the served store either way, so acknowledged writes are flushed
+	// before the process exits.
+	Store *hyperion.Store
+
+	// IdleTimeout, when positive, bounds how long a connection may sit idle:
+	// each blocking read arms a deadline, and a connection that sends nothing
+	// for the duration is answered "-ERR idle timeout" and closed. Zero means
+	// connections may idle forever (the historical behavior).
+	IdleTimeout time.Duration
 
 	// SnapshotDir, when non-empty, confines client-supplied SAVE/RESTORE
 	// paths to one directory (path-escaping arguments are rejected). Empty
@@ -128,10 +142,14 @@ func New(cfg Config) *Server {
 	if logf == nil {
 		logf = log.Printf
 	}
+	store := cfg.Store
+	if store == nil {
+		store = hyperion.New(cfg.Options)
+	}
 	return &Server{
 		cfg:       cfg,
 		logf:      logf,
-		store:     hyperion.New(cfg.Options),
+		store:     store,
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[net.Conn]struct{}{},
 	}
@@ -218,9 +236,11 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Shutdown stops the server: it closes every listener (Serve returns nil),
-// closes every active connection, and waits for the connection goroutines to
-// drain. It is safe to call more than once.
-func (s *Server) Shutdown() {
+// closes every active connection, waits for the connection goroutines to
+// drain, and then closes the store — for a WAL-backed store that flushes and
+// fsyncs every acknowledged write before returning. It is safe to call more
+// than once; the store's close error (if any) is returned.
+func (s *Server) Shutdown() error {
 	s.closed.Store(true)
 	s.trackMu.Lock()
 	for ln := range s.listeners {
@@ -231,6 +251,14 @@ func (s *Server) Shutdown() {
 	}
 	s.trackMu.Unlock()
 	s.wg.Wait()
+	// Close after the drain: no connection goroutine can touch the store once
+	// wg.Wait returns. Store.Close is idempotent, so repeated Shutdowns are
+	// fine.
+	if err := s.current().Close(); err != nil {
+		s.logf("shutdown: close store: %v", err)
+		return err
+	}
+	return nil
 }
 
 // trackListener registers (add=true) or unregisters a listener; registration

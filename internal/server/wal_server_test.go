@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/hyperion"
+)
+
+// walStoreConfig builds a Config serving a WAL-backed store rooted at dir.
+func walStoreConfig(t *testing.T, dir string, policy hyperion.SyncPolicy) (Config, *hyperion.Store) {
+	t.Helper()
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	opts.WALDir = dir
+	opts.WALSync = policy
+	st, err := hyperion.Open(opts)
+	if err != nil {
+		t.Fatalf("hyperion.Open: %v", err)
+	}
+	return Config{Store: st, SnapshotDir: t.TempDir(), Logf: t.Logf}, st
+}
+
+// TestIdleTimeoutClosesStalledConnection is the regression test for a client
+// that connects and then goes silent forever: with IdleTimeout set, the
+// engine must answer "-ERR idle timeout" and close the connection instead of
+// pinning a goroutine (and its buffers) for the life of the process. The
+// stalled phase follows a successful command, proving the deadline re-arms at
+// every blocking read rather than only covering the first one.
+func TestIdleTimeoutClosesStalledConnection(t *testing.T) {
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 1
+	srv := New(Config{Options: opts, IdleTimeout: 150 * time.Millisecond, Logf: t.Logf})
+	sc, conn := dialEngine(t, srv, srv.ServeConn)
+
+	if _, err := fmt.Fprintf(conn, "PUT stall 7\nGET stall\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	for _, want := range []string{"+OK", "+7"} {
+		if !sc.Scan() || sc.Text() != want {
+			t.Fatalf("got %q err=%v, want %q", sc.Text(), sc.Err(), want)
+		}
+	}
+
+	// Now stall. The server must evict us on its own; the generous client-side
+	// deadline only stops the test from hanging if it does not.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	start := time.Now()
+	if !sc.Scan() || sc.Text() != "-ERR idle timeout" {
+		t.Fatalf("stalled conn got %q err=%v, want idle-timeout error", sc.Text(), sc.Err())
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("idle timeout fired after %v, before the configured 150ms", elapsed)
+	}
+	if sc.Scan() {
+		t.Fatalf("connection still alive after idle timeout: %q", sc.Text())
+	}
+}
+
+// TestIdleTimeoutUntouchedConnectionsIdleForever: the zero value keeps the
+// historical semantics — a silent connection simply waits.
+func TestIdleTimeoutZeroMeansNoDeadline(t *testing.T) {
+	srv := newTestServer(t, 1)
+	sc, conn := dialEngine(t, srv, srv.ServeConn)
+	// No server-side timeout configured: a short client-side read deadline
+	// must be what expires, not the server closing the pipe.
+	conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	if sc.Scan() {
+		t.Fatalf("server spoke on an idle connection: %q", sc.Text())
+	}
+	if err := sc.Err(); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("scanner error = %v, want the client-side deadline", err)
+	}
+}
+
+// TestWALServerCheckpointAndRestoreGuard serves a WAL-backed store:
+// CHECKPOINT must answer the checkpointed key count and actually truncate,
+// RESTORE must be refused (swapping stores would orphan the open log), and a
+// plain store must reject CHECKPOINT with the typed no-WAL error.
+func TestWALServerCheckpointAndRestoreGuard(t *testing.T) {
+	dir := t.TempDir()
+	cfg, _ := walStoreConfig(t, dir, hyperion.SyncAlways)
+	srv := New(cfg)
+	defer srv.Shutdown()
+	sc, conn := dialEngine(t, srv, srv.ServeConn)
+
+	script := "PUT k1 1\nPUT k2 2\nSAVE snap.hyp\nCHECKPOINT\nRESTORE snap.hyp\nCHECKPOINT extra-arg\n"
+	if _, err := fmt.Fprint(conn, script); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	reads := []struct{ want, desc string }{
+		{"+OK", "PUT k1"},
+		{"+OK", "PUT k2"},
+		{"", "SAVE (any +n)"},
+		{"+2", "CHECKPOINT"},
+		{"-ERR restore: store is WAL-backed; restart on the snapshot instead", "RESTORE refused"},
+		{"-ERR usage: CHECKPOINT", "CHECKPOINT with args"},
+	}
+	for _, step := range reads {
+		if !sc.Scan() {
+			t.Fatalf("%s: stream ended: %v", step.desc, sc.Err())
+		}
+		if step.want == "" {
+			if !strings.HasPrefix(sc.Text(), "+") {
+				t.Fatalf("%s: got %q", step.desc, sc.Text())
+			}
+			continue
+		}
+		if sc.Text() != step.want {
+			t.Fatalf("%s: got %q, want %q", step.desc, sc.Text(), step.want)
+		}
+	}
+	// The checkpoint must have really happened: the snapshot file exists in
+	// the WAL directory.
+	if _, err := hyperion.LoadFile(filepath.Join(dir, hyperion.CheckpointFileName), hyperion.DefaultOptions()); err != nil {
+		t.Fatalf("checkpoint snapshot unreadable: %v", err)
+	}
+
+	// A store without a WAL refuses CHECKPOINT with the typed error.
+	plain := newTestServer(t, 1)
+	psc, pconn := dialEngine(t, plain, plain.ServeConn)
+	fmt.Fprint(pconn, "CHECKPOINT\n")
+	if !psc.Scan() || !strings.Contains(psc.Text(), "no write-ahead log") {
+		t.Fatalf("plain CHECKPOINT got %q err=%v, want the no-WAL error", psc.Text(), psc.Err())
+	}
+}
+
+// TestShutdownClosesWALStore proves the Store.Close wiring: a SyncNever store
+// only persists its tail when closed, so if writes accepted over the wire
+// survive a Shutdown-then-reopen, Shutdown really closed (and flushed) the
+// store.
+func TestShutdownClosesWALStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg, _ := walStoreConfig(t, dir, hyperion.SyncNever)
+	srv := New(cfg)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	fmt.Fprint(conn, "PUT durable 42\nMPUT a 1 b 2\n")
+	sc := bufio.NewScanner(conn)
+	for _, want := range []string{"+OK", "+2"} {
+		if !sc.Scan() || sc.Text() != want {
+			t.Fatalf("got %q err=%v, want %q", sc.Text(), sc.Err(), want)
+		}
+	}
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	<-done
+
+	// Double Shutdown stays safe (Close is idempotent).
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	opts.WALDir = dir
+	reopened, err := hyperion.Open(opts)
+	if err != nil {
+		t.Fatalf("reopen after Shutdown: %v", err)
+	}
+	defer reopened.Close()
+	for key, want := range map[string]uint64{"durable": 42, "a": 1, "b": 2} {
+		if v, ok := reopened.Get([]byte(key)); !ok || v != want {
+			t.Fatalf("key %q after Shutdown+reopen: %d,%v want %d", key, v, ok, want)
+		}
+	}
+}
+
+// TestWALErrorRefusesAcks: once the store's log has failed (simulated by
+// closing the store out from under the server), write commands must answer
+// "-ERR wal: ..." instead of acknowledging, on every write path — coalesced
+// PUT runs, DEL, MPUT and MLOAD — while reads keep serving the in-memory
+// state.
+func TestWALErrorRefusesAcks(t *testing.T) {
+	dir := t.TempDir()
+	cfg, st := walStoreConfig(t, dir, hyperion.SyncAlways)
+	srv := New(cfg)
+	sc, conn := dialEngine(t, srv, srv.ServeConn)
+
+	fmt.Fprint(conn, "PUT ok 1\n")
+	if !sc.Scan() || sc.Text() != "+OK" {
+		t.Fatalf("healthy PUT got %q err=%v", sc.Text(), sc.Err())
+	}
+
+	// Kill the log. Every later enqueue reports the sticky closed error.
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	fmt.Fprint(conn, "PUT x 1\nPUT y 2\nDEL ok\nMPUT m 1\nMLOAD n 2\nGET x\nQUIT\n")
+	// The two PUTs coalesce into one run: both must error.
+	for i := 0; i < 5; i++ {
+		if !sc.Scan() || !strings.HasPrefix(sc.Text(), "-ERR wal: ") {
+			t.Fatalf("write %d after WAL failure got %q err=%v, want -ERR wal", i, sc.Text(), sc.Err())
+		}
+	}
+	for _, want := range []string{"+1", "+BYE"} {
+		if !sc.Scan() || sc.Text() != want {
+			t.Fatalf("got %q err=%v, want %q", sc.Text(), sc.Err(), want)
+		}
+	}
+}

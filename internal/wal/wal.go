@@ -1,0 +1,589 @@
+// Package wal implements the write-ahead log underneath hyperion's durable
+// write path: per-shard append-only segment logs with group commit.
+//
+// One Log instance owns one shard's stream of records. Writers encode a
+// record and hand it to Enqueue, which appends a length-prefixed, CRC-covered
+// frame to an in-memory pending buffer and assigns the record a sequence
+// number; a per-log committer goroutine drains the pending buffer to the
+// current segment file and fsyncs it. The committer is what turns per-op
+// fsync cost into group commit: while one fsync is in flight every arriving
+// record parks in the pending buffer, and the next commit makes them all
+// durable with a single write+fsync pair. Callers that need a durability
+// acknowledgement (SyncAlways) block in Commit until the committer reports
+// their sequence number durable; SyncInterval riders are fsynced by a ticker,
+// SyncNever leaves flushing entirely to the OS.
+//
+// On-disk layout: Dir holds segment files named wal-<shard>-<seq>.seg. Each
+// segment starts with a 32-byte header (magic, format version, shard index,
+// arena count, segment sequence, header CRC32) followed by record frames:
+//
+//	[0:4]  payload length (little-endian uint32)
+//	[4:8]  CRC32 (IEEE) of the payload
+//	[8:..] payload (opaque to this package)
+//
+// Every payload byte is checksum-covered, so replay (replay.go) detects torn
+// and corrupted records and can distinguish a torn tail (truncate, recover)
+// from mid-log damage (typed ErrCorruptWAL, never silent data invention).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways makes Commit block until the record's bytes are fsynced.
+	// Group commit keeps this far above one fsync per record: every record
+	// enqueued while a commit is in flight rides the next fsync.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a timer (Options.Interval). Commit returns
+	// without waiting; a crash can lose up to one interval of acknowledged
+	// writes.
+	SyncInterval
+	// SyncNever never fsyncs explicitly (segment rotation and Close still
+	// do). Durability is whatever the OS page cache provides.
+	SyncNever
+)
+
+// String names the policy for logs and bench reports.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+const (
+	segMagic      = "HYPWAL01"
+	segVersion    = 1
+	segHeaderSize = 32
+
+	// frameHeaderSize prefixes every record: payload length + payload CRC.
+	frameHeaderSize = 8
+
+	// MaxRecord bounds one record's payload. Replay treats a larger length
+	// field as corruption, so a flipped length byte cannot trigger a huge
+	// allocation.
+	MaxRecord = 1 << 30
+)
+
+// ErrClosed is returned by operations on a closed Log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrCorruptWAL is wrapped by every replay error caused by damaged log
+// content that cannot be explained as a torn tail (as opposed to an I/O
+// failure). A torn or corrupt tail of the newest segment is NOT an error: it
+// is truncated away, because a crash mid-append legitimately leaves one.
+var ErrCorruptWAL = errors.New("corrupt write-ahead log")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("wal: %w: %s", ErrCorruptWAL, fmt.Sprintf(format, args...))
+}
+
+// File is the write surface of one segment. Production code uses *os.File;
+// the fault-injection harness (failpoint.go) wraps it with writers that fail
+// or tear at a chosen byte offset.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Options configure one shard's log.
+type Options struct {
+	// Dir is the directory holding this log's segment files. It is shared by
+	// all shards of a store; files are distinguished by the shard index.
+	Dir string
+	// Shard is the shard index baked into segment names and headers.
+	Shard int
+	// Arenas is the store's arena count, recorded in every segment header so
+	// recovery can reject a reconfigured store (per-key ordering is only
+	// defined within the shard routing that wrote the log).
+	Arenas int
+	// Policy selects the fsync schedule. The zero value is SyncAlways.
+	Policy SyncPolicy
+	// Interval is the SyncInterval fsync period. Zero means 50ms.
+	Interval time.Duration
+	// SegmentBytes rotates the segment when it grows past this size. Zero
+	// means 64 MiB.
+	SegmentBytes int64
+	// FlushBytes bounds the pending buffer for the non-blocking policies:
+	// when pending bytes exceed it the committer is woken to write them out
+	// (without fsync). Zero means 256 KiB.
+	FlushBytes int
+
+	// OpenFile opens a new segment file for appending. Nil means os.Create.
+	// Tests inject failpoint wrappers here.
+	OpenFile func(path string) (File, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 50 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 256 << 10
+	}
+	if o.OpenFile == nil {
+		o.OpenFile = func(path string) (File, error) {
+			return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		}
+	}
+	return o
+}
+
+// SegmentName returns the file name of one shard's segment seq.
+func SegmentName(shard int, seq uint64) string {
+	return fmt.Sprintf("wal-%03d-%016d.seg", shard, seq)
+}
+
+// parseSegmentName inverts SegmentName; ok is false for foreign files.
+func parseSegmentName(name string) (shard int, seq uint64, ok bool) {
+	rest, ok := strings.CutPrefix(name, "wal-")
+	if !ok {
+		return 0, 0, false
+	}
+	rest, ok = strings.CutSuffix(rest, ".seg")
+	if !ok {
+		return 0, 0, false
+	}
+	shardStr, seqStr, ok := strings.Cut(rest, "-")
+	if !ok || len(shardStr) < 3 || len(seqStr) < 16 {
+		return 0, 0, false
+	}
+	sh, err := strconv.ParseUint(shardStr, 10, 16)
+	if err != nil {
+		return 0, 0, false
+	}
+	seq, err = strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return int(sh), seq, true
+}
+
+// Log is one shard's append-only segment log. All methods are safe for
+// concurrent use; the file itself is touched only by the committer goroutine.
+type Log struct {
+	opts Options
+
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast when durable, err or closed change
+	pending []byte     // encoded frames not yet handed to the committer
+	spare   []byte     // committer's drained buffer, swapped back for reuse
+	seq     uint64     // sequence of the last enqueued record
+	flushed uint64     // sequence through which records reached the OS
+	durable uint64     // sequence through which records are fsynced
+	err     error      // sticky first write/sync failure
+	closed  bool
+
+	kick     chan struct{}    // wake committer: pending bytes want writing
+	syncReq  chan struct{}    // wake committer: fsync wanted regardless of policy
+	rotate   chan chan uint64 // checkpoint rotation requests; reply is the new segment seq (0 = failed)
+	done     chan struct{}
+	finished sync.WaitGroup
+
+	// committer-owned state (touched only by the committer goroutine, or by
+	// Open before it starts).
+	f        File
+	fileSize int64
+	segSeq   uint64 // sequence of the open segment
+}
+
+// Open creates (or continues) a shard's log for appending. Existing segments
+// are left untouched — recovery must have replayed (and tail-truncated) them
+// first — and appending always starts a fresh segment with the next segment
+// sequence, so a recovered tail is never appended to in place.
+func Open(opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	segs, err := listSegments(opts.Dir, opts.Shard)
+	if err != nil {
+		return nil, err
+	}
+	next := uint64(1)
+	if n := len(segs); n > 0 {
+		next = segs[n-1].seq + 1
+	}
+	l := &Log{
+		opts:    opts,
+		kick:    make(chan struct{}, 1),
+		syncReq: make(chan struct{}, 1),
+		rotate:  make(chan chan uint64),
+		done:    make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	if err := l.openSegment(next); err != nil {
+		return nil, err
+	}
+	l.finished.Add(1)
+	go l.run()
+	return l, nil
+}
+
+// openSegment creates segment seq and writes its header. Committer-owned
+// (also called once from Open before the committer starts).
+func (l *Log) openSegment(seq uint64) error {
+	path := filepath.Join(l.opts.Dir, SegmentName(l.opts.Shard, seq))
+	f, err := l.opts.OpenFile(path)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	hdr := make([]byte, 0, segHeaderSize)
+	hdr = append(hdr, segMagic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, segVersion)
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(l.opts.Shard))
+	hdr = binary.LittleEndian.AppendUint16(hdr, uint16(l.opts.Arenas))
+	hdr = append(hdr, 0, 0) // reserved
+	hdr = binary.LittleEndian.AppendUint64(hdr, seq)
+	hdr = append(hdr, 0, 0, 0, 0) // reserved
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write segment header: %w", err)
+	}
+	// The header (and the new directory entry) must be durable before any
+	// record in the segment is acknowledged: sync the file, then the
+	// directory. Rotation is rare, so the cost does not ride the hot path.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync segment header: %w", err)
+	}
+	if err := syncDir(l.opts.Dir); err != nil {
+		f.Close()
+		return err
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.fileSize = segHeaderSize
+	l.segSeq = seq
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Enqueue appends one record to the log and returns its sequence number.
+// The record is NOT durable yet — pass the sequence to Commit for the
+// policy's durability guarantee. Callers serialise Enqueue per key ordering
+// domain themselves (hyperion enqueues under the shard write lock), which is
+// what makes replay order agree with apply order.
+func (l *Log) Enqueue(payload []byte) (uint64, error) {
+	if len(payload) == 0 || len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record payload size %d out of range", len(payload))
+	}
+	l.mu.Lock()
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return 0, err
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	l.pending = binary.LittleEndian.AppendUint32(l.pending, uint32(len(payload)))
+	l.pending = binary.LittleEndian.AppendUint32(l.pending, crc32.ChecksumIEEE(payload))
+	l.pending = append(l.pending, payload...)
+	l.seq++
+	seq := l.seq
+	wake := l.opts.Policy == SyncAlways || len(l.pending) >= l.opts.FlushBytes
+	l.mu.Unlock()
+	if wake {
+		select {
+		case l.kick <- struct{}{}:
+		default: // a wakeup is already pending; the committer will see our bytes
+		}
+	}
+	return seq, nil
+}
+
+// Commit applies the log's durability policy to the record seq returned by
+// Enqueue: under SyncAlways it blocks until the record is fsynced (riding a
+// group commit with every concurrently enqueued record), under SyncInterval
+// and SyncNever it only reports any sticky log error. A zero seq is a no-op.
+func (l *Log) Commit(seq uint64) error {
+	if seq == 0 {
+		return nil
+	}
+	if l.opts.Policy != SyncAlways {
+		l.mu.Lock()
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < seq && l.err == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.durable < seq {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Sync forces everything enqueued so far onto stable storage, regardless of
+// policy, and blocks until done.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.seq
+	l.mu.Unlock()
+	select {
+	case l.syncReq <- struct{}{}:
+	default:
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < seq && l.err == nil && !l.closed {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.durable < seq {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Rotate flushes and fsyncs the current segment, then switches appends to a
+// fresh segment, returning the new segment's sequence: every record enqueued
+// before Rotate lives in a segment with sequence < boundary. It is the first
+// half of a checkpoint — after the store snapshot succeeds, TruncateBefore
+// deletes the pre-boundary segments.
+func (l *Log) Rotate() (boundary uint64, err error) {
+	reply := make(chan uint64, 1)
+	select {
+	case l.rotate <- reply:
+	case <-l.done:
+		return 0, ErrClosed
+	}
+	if boundary = <-reply; boundary == 0 {
+		l.mu.Lock()
+		err = l.err
+		l.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return 0, err
+	}
+	return boundary, nil
+}
+
+// TruncateBefore deletes this shard's segments with sequence < boundary, in
+// ascending order. Deleting oldest-first keeps every crash window recoverable:
+// the surviving pre-boundary segments are always a suffix of the stream, and
+// replaying a suffix over a post-boundary snapshot converges to the same
+// final state (see the checkpoint invariant in hyperion/wal.go).
+func (l *Log) TruncateBefore(boundary uint64) error {
+	segs, err := listSegments(l.opts.Dir, l.opts.Shard)
+	if err != nil {
+		return err
+	}
+	removed := false
+	for _, s := range segs {
+		if s.seq >= boundary {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.opts.Dir, s.name)); err != nil {
+			return fmt.Errorf("wal: truncate segment: %w", err)
+		}
+		removed = true
+	}
+	if removed {
+		return syncDir(l.opts.Dir)
+	}
+	return nil
+}
+
+// Close flushes and fsyncs everything enqueued, closes the segment file and
+// stops the committer. Further Enqueues return ErrClosed. Close reports the
+// first sticky write error even if the final flush succeeded.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	l.closed = true
+	l.mu.Unlock()
+	close(l.done)
+	l.finished.Wait()
+	l.mu.Lock()
+	err := l.err
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// Err returns the sticky error, if any write or sync has failed.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// run is the committer goroutine: it drains the pending buffer into the
+// current segment, fsyncs per policy, rotates full segments and wakes
+// waiters. Single goroutine — it is the only code touching l.f.
+func (l *Log) run() {
+	defer l.finished.Done()
+	var ticker *time.Ticker
+	var tickC <-chan time.Time
+	if l.opts.Policy != SyncAlways {
+		ticker = time.NewTicker(l.opts.Interval)
+		tickC = ticker.C
+		defer ticker.Stop()
+	}
+	for {
+		select {
+		case <-l.done:
+			l.commit(true)
+			if l.f != nil {
+				l.f.Close()
+				l.f = nil
+			}
+			return
+		case <-l.kick:
+			if l.opts.Policy == SyncAlways {
+				// Group-commit window: the writer that kicked is blocked in
+				// Commit, but its peers may be runnable and about to enqueue.
+				// Yielding before the drain lets them land in this fsync
+				// instead of each paying for its own — on a single-P runtime
+				// the committer would otherwise win the race almost every
+				// time and degrade to fsync-per-record.
+				runtime.Gosched()
+			}
+			l.commit(l.opts.Policy == SyncAlways)
+		case <-tickC:
+			l.commit(l.opts.Policy == SyncInterval)
+		case <-l.syncReq:
+			l.commit(true)
+		case reply := <-l.rotate:
+			newSeq := uint64(0)
+			if l.commit(true) {
+				if err := l.openSegment(l.segSeq + 1); err != nil {
+					l.fail(err)
+				} else {
+					newSeq = l.segSeq
+				}
+			}
+			reply <- newSeq
+		}
+	}
+}
+
+// commit writes the pending frames to the segment and optionally fsyncs,
+// advancing flushed/durable and rotating a full segment. Reports false after
+// a sticky failure.
+func (l *Log) commit(sync bool) bool {
+	l.mu.Lock()
+	if l.err != nil {
+		l.mu.Unlock()
+		return false
+	}
+	buf := l.pending
+	seq := l.seq
+	l.pending = l.spare[:0]
+	l.mu.Unlock()
+
+	if len(buf) > 0 {
+		if _, err := l.f.Write(buf); err != nil {
+			l.fail(fmt.Errorf("wal: write segment: %w", err))
+			return false
+		}
+		l.fileSize += int64(len(buf))
+	}
+	if sync && (len(buf) > 0 || l.durableLagging(seq)) {
+		if err := l.f.Sync(); err != nil {
+			l.fail(fmt.Errorf("wal: sync segment: %w", err))
+			return false
+		}
+	}
+
+	l.mu.Lock()
+	l.spare = buf[:0]
+	l.flushed = seq
+	if sync {
+		l.durable = seq
+	}
+	l.cond.Broadcast()
+	rotate := l.fileSize >= l.opts.SegmentBytes
+	l.mu.Unlock()
+
+	if rotate {
+		// The drained records were just fsynced (rotation only happens on a
+		// durable boundary below); open the next segment.
+		if !sync {
+			if err := l.f.Sync(); err != nil {
+				l.fail(fmt.Errorf("wal: sync segment: %w", err))
+				return false
+			}
+			l.mu.Lock()
+			l.durable = seq
+			l.cond.Broadcast()
+			l.mu.Unlock()
+		}
+		if err := l.openSegment(l.segSeq + 1); err != nil {
+			l.fail(err)
+			return false
+		}
+	}
+	return true
+}
+
+// durableLagging reports whether an fsync is still owed for seq.
+func (l *Log) durableLagging(seq uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable < seq
+}
+
+// fail records the sticky error and wakes every waiter.
+func (l *Log) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}

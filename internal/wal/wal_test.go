@@ -1,0 +1,541 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect replays shard's log in dir and returns the payloads in order.
+func collect(t *testing.T, dir string, shard int) ([][]byte, ReplayInfo) {
+	t.Helper()
+	var got [][]byte
+	info, err := Replay(dir, shard, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, info
+}
+
+func record(i int) []byte {
+	return []byte(fmt.Sprintf("record-%04d-%s", i, "payload"))
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Shard: 3, Arenas: 16, Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		seq, err := l.Enqueue(record(i))
+		if err != nil {
+			t.Fatalf("Enqueue %d: %v", i, err)
+		}
+		if err := l.Commit(seq); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, info := collect(t, dir, 3)
+	if len(got) != n {
+		t.Fatalf("replayed %d records, want %d", len(got), n)
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, record(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, record(i))
+		}
+	}
+	if info.Arenas != 16 || info.TruncatedTail {
+		t.Fatalf("info = %+v, want Arenas=16, no truncation", info)
+	}
+	// Foreign shards replay to nothing.
+	other, _ := collect(t, dir, 4)
+	if len(other) != 0 {
+		t.Fatalf("shard 4 replayed %d records, want 0", len(other))
+	}
+	shards, err := ListShards(dir)
+	if err != nil || len(shards) != 1 || shards[0] != 3 {
+		t.Fatalf("ListShards = %v, %v; want [3]", shards, err)
+	}
+}
+
+func TestGroupCommitConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := l.Enqueue([]byte(fmt.Sprintf("w%02d-%04d", w, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if err := l.Commit(seq); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("writer: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, _ := collect(t, dir, 0)
+	if len(got) != writers*per {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*per)
+	}
+	// Per-writer order must be preserved (enqueue order = replay order).
+	next := make([]int, writers)
+	for _, p := range got {
+		var w, i int
+		if _, err := fmt.Sscanf(string(p), "w%02d-%04d", &w, &i); err != nil {
+			t.Fatalf("bad record %q", p)
+		}
+		if i != next[w] {
+			t.Fatalf("writer %d record %d out of order (want %d)", w, i, next[w])
+		}
+		next[w]++
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Shard: 1, Arenas: 4, Policy: SyncAlways, SegmentBytes: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		seq, _ := l.Enqueue(record(i))
+		if err := l.Commit(seq); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir, 1)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation to produce >=3 segments, got %d", len(segs))
+	}
+	got, info := collect(t, dir, 1)
+	if len(got) != n || info.Segments != len(segs) {
+		t.Fatalf("replayed %d records over %d segments, want %d over %d", len(got), info.Segments, n, len(segs))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, record(i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, record(i))
+		}
+	}
+}
+
+func TestRotateTruncateCheckpointFlow(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncAlways})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		seq, _ := l.Enqueue(record(i))
+		l.Commit(seq)
+	}
+	boundary, err := l.Rotate()
+	if err != nil {
+		t.Fatalf("Rotate: %v", err)
+	}
+	for i := 10; i < 15; i++ {
+		seq, _ := l.Enqueue(record(i))
+		l.Commit(seq)
+	}
+	if err := l.TruncateBefore(boundary); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, _ := collect(t, dir, 0)
+	if len(got) != 5 {
+		t.Fatalf("replayed %d records after checkpoint truncation, want 5", len(got))
+	}
+	for i, p := range got {
+		if !bytes.Equal(p, record(10+i)) {
+			t.Fatalf("record %d = %q, want %q", i, p, record(10+i))
+		}
+	}
+}
+
+func TestSyncIntervalAndNeverDurability(t *testing.T) {
+	for _, policy := range []SyncPolicy{SyncInterval, SyncNever} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l, err := Open(Options{Dir: dir, Shard: 0, Arenas: 1, Policy: policy, Interval: 5 * time.Millisecond})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			for i := 0; i < 20; i++ {
+				seq, err := l.Enqueue(record(i))
+				if err != nil {
+					t.Fatalf("Enqueue: %v", err)
+				}
+				if err := l.Commit(seq); err != nil {
+					t.Fatalf("Commit: %v", err)
+				}
+			}
+			if err := l.Sync(); err != nil { // explicit Sync works under any policy
+				t.Fatalf("Sync: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			got, _ := collect(t, dir, 0)
+			if len(got) != 20 {
+				t.Fatalf("replayed %d records, want 20", len(got))
+			}
+		})
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seq, _ := l.Enqueue(record(0))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Enqueue(record(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Enqueue after Close = %v, want ErrClosed", err)
+	}
+	if err := l.Commit(seq); err != nil { // already durable via Close's final flush
+		t.Fatalf("Commit after Close for flushed seq: %v", err)
+	}
+	got, _ := collect(t, dir, 0)
+	if len(got) != 1 { // Close flushed the un-synced record
+		t.Fatalf("replayed %d records, want 1", len(got))
+	}
+}
+
+func TestMissingSegmentIsCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncAlways, SegmentBytes: 128})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 30; i++ {
+		seq, _ := l.Enqueue(record(i))
+		l.Commit(seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, _ := listSegments(dir, 0)
+	if len(segs) < 3 {
+		t.Fatalf("need >=3 segments, got %d", len(segs))
+	}
+	// Remove a middle segment: the gap must be reported, not skipped.
+	if err := os.Remove(filepath.Join(dir, segs[1].name)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Replay(dir, 0, func([]byte) error { return nil })
+	if !errors.Is(err, ErrCorruptWAL) {
+		t.Fatalf("Replay with missing segment = %v, want ErrCorruptWAL", err)
+	}
+}
+
+func TestReplayCallbackErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncAlways})
+	for i := 0; i < 3; i++ {
+		seq, _ := l.Enqueue(record(i))
+		l.Commit(seq)
+	}
+	l.Close()
+	boom := errors.New("boom")
+	calls := 0
+	_, err := Replay(dir, 0, func([]byte) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || calls != 2 {
+		t.Fatalf("Replay = %v after %d calls, want boom after 2", err, calls)
+	}
+}
+
+// buildLog writes n records cleanly (optionally over multiple segments) and
+// returns the sorted segment list.
+func buildLog(t *testing.T, dir string, n int, segmentBytes int64) []segInfo {
+	t.Helper()
+	l, err := Open(Options{Dir: dir, Shard: 0, Arenas: 2, Policy: SyncAlways, SegmentBytes: segmentBytes})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		seq, _ := l.Enqueue(record(i))
+		if err := l.Commit(seq); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir, 0)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	return segs
+}
+
+// flipByte copies src to a fresh dir with one byte of one segment flipped
+// and returns the new dir.
+func copyLogDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestCorruptionByteFlips flips every byte of the segment header and of the
+// first record frame header, plus sampled payload bytes, in both the newest
+// and an older segment. Newest-segment damage must truncate cleanly; older-
+// segment damage must surface ErrCorruptWAL. Nothing may panic.
+func TestCorruptionByteFlips(t *testing.T) {
+	base := t.TempDir()
+	segs := buildLog(t, base, 30, 256)
+	if len(segs) < 2 {
+		t.Fatalf("need >=2 segments, got %d", len(segs))
+	}
+
+	// Offsets to attack: every segment-header byte, every frame-header byte
+	// of the first record, and sampled payload bytes.
+	firstPayload := len(record(0))
+	var offsets []int
+	for off := 0; off < segHeaderSize+frameHeaderSize; off++ {
+		offsets = append(offsets, off)
+	}
+	for _, rel := range []int{0, firstPayload / 2, firstPayload - 1} {
+		offsets = append(offsets, segHeaderSize+frameHeaderSize+rel)
+	}
+
+	for _, target := range []struct {
+		name string
+		seg  segInfo
+		last bool
+	}{
+		{"last-segment", segs[len(segs)-1], true},
+		{"older-segment", segs[0], false},
+	} {
+		for _, off := range offsets {
+			t.Run(fmt.Sprintf("%s/off%d", target.name, off), func(t *testing.T) {
+				dir := copyLogDir(t, base)
+				path := filepath.Join(dir, target.seg.name)
+				b, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if off >= len(b) {
+					t.Skip("segment shorter than offset")
+				}
+				b[off] ^= 0xFF
+				if err := os.WriteFile(path, b, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				var n int
+				info, err := Replay(dir, 0, func([]byte) error { n++; return nil })
+				if target.last {
+					if err != nil {
+						t.Fatalf("newest-segment flip at %d: Replay = %v, want clean truncation", off, err)
+					}
+					if !info.TruncatedTail {
+						t.Fatalf("newest-segment flip at %d: tail not truncated (replayed %d)", off, n)
+					}
+					// A second replay of the truncated log must be clean.
+					if _, err := Replay(dir, 0, func([]byte) error { return nil }); err != nil {
+						t.Fatalf("replay after truncation: %v", err)
+					}
+				} else if !errors.Is(err, ErrCorruptWAL) {
+					t.Fatalf("older-segment flip at %d: Replay = %v, want ErrCorruptWAL", off, err)
+				}
+			})
+		}
+	}
+}
+
+// TestCorruptionTruncationSweep truncates the newest segment at every byte
+// length from empty through the full file: replay must always succeed with
+// the longest intact record prefix, never panic, never invent data.
+func TestCorruptionTruncationSweep(t *testing.T) {
+	base := t.TempDir()
+	buildLog(t, base, 8, 1<<20) // single segment
+	segs, _ := listSegments(base, 0)
+	full, err := os.ReadFile(filepath.Join(base, segs[0].name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recFrame := frameHeaderSize + len(record(0))
+	for size := 0; size <= len(full); size++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segs[0].name), full[:size], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var n int
+		info, err := Replay(dir, 0, func(p []byte) error {
+			if !bytes.Equal(p, record(n)) {
+				return fmt.Errorf("record %d = %q", n, p)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("size %d: Replay = %v", size, err)
+		}
+		wantRecords := 0
+		if size >= segHeaderSize {
+			wantRecords = (size - segHeaderSize) / recFrame
+		}
+		if n != wantRecords {
+			t.Fatalf("size %d: replayed %d records, want %d", size, n, wantRecords)
+		}
+		if size < len(full) && !info.TruncatedTail && size != segHeaderSize+wantRecords*recFrame {
+			t.Fatalf("size %d: expected TruncatedTail", size)
+		}
+	}
+}
+
+func TestFailpointTornWrite(t *testing.T) {
+	for _, tear := range []bool{false, true} {
+		t.Run(fmt.Sprintf("tear=%v", tear), func(t *testing.T) {
+			dir := t.TempDir()
+			// Let the header plus ~3 records through, then tear mid-record.
+			rec := record(0)
+			frame := frameHeaderSize + len(rec)
+			fp := &Failpoint{FailAfter: int64(segHeaderSize + 3*frame + frame/2), Tear: tear}
+			opts := Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncAlways}
+			opts.OpenFile = func(path string) (File, error) {
+				f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+				if err != nil {
+					return nil, err
+				}
+				return fp.Wrap(f), nil
+			}
+			l, err := Open(opts)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			acked := 0
+			var firstErr error
+			for i := 0; i < 10; i++ {
+				seq, err := l.Enqueue(record(i))
+				if err != nil {
+					firstErr = err
+					break
+				}
+				if err := l.Commit(seq); err != nil {
+					firstErr = err
+					break
+				}
+				acked++
+			}
+			if firstErr == nil || !errors.Is(firstErr, ErrFailpoint) {
+				t.Fatalf("expected injected failure, got %v after %d acks", firstErr, acked)
+			}
+			if !fp.Tripped() {
+				t.Fatal("failpoint not tripped")
+			}
+			// The sticky error must surface on Close and on later Enqueues.
+			if _, err := l.Enqueue(record(99)); !errors.Is(err, ErrFailpoint) {
+				t.Fatalf("Enqueue after failure = %v, want ErrFailpoint", err)
+			}
+			if err := l.Close(); !errors.Is(err, ErrFailpoint) {
+				t.Fatalf("Close after failure = %v, want ErrFailpoint", err)
+			}
+			// Recovery: every acknowledged record must replay; a torn partial
+			// record must be truncated, not surfaced.
+			got, info := collect(t, dir, 0)
+			if len(got) < acked {
+				t.Fatalf("replayed %d records, acked %d — acknowledged write lost", len(got), acked)
+			}
+			for i, p := range got {
+				if !bytes.Equal(p, record(i)) {
+					t.Fatalf("record %d = %q, want %q", i, p, record(i))
+				}
+			}
+			if tear && !info.TruncatedTail && len(got) == acked {
+				// With tear=true the partial record should have been cut.
+				t.Logf("note: tear landed on a frame boundary (acked=%d replayed=%d)", acked, len(got))
+			}
+		})
+	}
+}
+
+func TestFailpointSyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	fp := &Failpoint{FailAfter: segHeaderSize + 2, Tear: true, FailSync: true}
+	opts := Options{Dir: dir, Shard: 0, Arenas: 1, Policy: SyncAlways}
+	opts.OpenFile = func(path string) (File, error) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return fp.Wrap(f), nil
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	seq, err := l.Enqueue(record(0))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Commit(seq); !errors.Is(err, ErrFailpoint) {
+		t.Fatalf("Commit with failing sync = %v, want ErrFailpoint", err)
+	}
+	l.Close()
+}
