@@ -53,7 +53,7 @@ func readPairs(path string) ([]hyperion.Pair, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //nolint:errsink read-only handle
 	var pairs []hyperion.Pair
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

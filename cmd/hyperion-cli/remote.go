@@ -53,7 +53,7 @@ func runRemote(addr string, timeout time.Duration, in io.Reader, out, errOut io.
 		fmt.Fprintf(errOut, "connect %s: %v\n", addr, err)
 		return exitConnect
 	}
-	defer conn.Close()
+	defer conn.Close() //nolint:errsink connection teardown on exit; nothing left to report to
 
 	deadline := func() {
 		if timeout > 0 {

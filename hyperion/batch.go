@@ -296,6 +296,8 @@ func resizeResults(dst []Result, n int) []Result {
 
 // applyOp executes one operation against a shard tree. The caller holds the
 // appropriate shard lock; k is the already-transformed key.
+//
+//nolint:seqlockpair every caller opened the shard write bracket before dispatching here
 func applyOp(t *core.Tree, op Op, k []byte) Result {
 	switch op.Kind {
 	case OpPut:

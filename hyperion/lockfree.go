@@ -81,6 +81,8 @@ func (s *Store) SetLockFreeReads(enable bool) {
 // lockShardWrite acquires sh's write lock and opens the publication bracket.
 // Every tree mutation in the package goes through this pair; the returned
 // guard must be handed back to unlockShardWrite.
+//
+//hyperion:bracket shardwrite-begin
 func (s *Store) lockShardWrite(sh *shard) epoch.Guard {
 	sh.mu.Lock()
 	if !s.lockFree {
@@ -98,6 +100,8 @@ func (s *Store) lockShardWrite(sh *shard) epoch.Guard {
 // allocator), publish the new tree state, release the pin and try to move
 // the global epoch forward so the next writer can drain what this one
 // retired.
+//
+//hyperion:bracket shardwrite-end
 func (s *Store) unlockShardWrite(sh *shard, g epoch.Guard) {
 	if s.lockFree {
 		a := sh.tree.Allocator()
@@ -140,6 +144,8 @@ func (s *Store) unlockShardWrite(sh *shard, g epoch.Guard) {
 // measurable slice of the protocol win. The one armed defer doubles as the
 // panic fallback — a torn walk that panics is recovered and redone under the
 // read lock, so the function still returns a correct result.
+//
+//hyperion:noalloc
 func (s *Store) shardGet(sh *shard, k []byte) (value uint64, ok bool) {
 	if s.lockFreeReads {
 		walking := false
@@ -171,6 +177,8 @@ func (s *Store) shardGet(sh *shard, k []byte) (value uint64, ok bool) {
 
 // shardHas is Store.Has's per-shard read; same open-coded protocol as
 // shardGet.
+//
+//hyperion:noalloc
 func (s *Store) shardHas(sh *shard, k []byte) (ok bool) {
 	if s.lockFreeReads {
 		walking := false

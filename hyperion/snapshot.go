@@ -133,7 +133,7 @@ func (s *Store) SaveFile(path string) (n int, err error) {
 	tmp := f.Name()
 	defer func() {
 		if err != nil {
-			f.Close()
+			f.Close() //nolint:errsink save already failed; the temp file is being discarded
 			os.Remove(tmp)
 		}
 	}()
@@ -158,7 +158,9 @@ func (s *Store) SaveFile(path string) (n int, err error) {
 	// synced, and "SaveFile returned" would not mean "durable".
 	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
 		err = d.Sync()
-		d.Close()
+		if cerr := d.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return 0, fmt.Errorf("hyperion: sync snapshot directory: %w", err)
 		}
@@ -222,7 +224,7 @@ func LoadFile(path string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("hyperion: open snapshot: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //nolint:errsink read-only handle; every read was already validated
 	return Load(bufio.NewReaderSize(f, 1<<20), opts)
 }
 

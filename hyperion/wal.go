@@ -146,7 +146,7 @@ func Open(opts Options) (*Store, error) {
 		})
 		if err != nil {
 			for _, prev := range s.shards[:i] {
-				prev.wal.Close()
+				prev.wal.Close() //nolint:errsink unwinding a failed open; the open error is what the caller sees
 			}
 			return nil, err
 		}

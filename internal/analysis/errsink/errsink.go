@@ -1,0 +1,100 @@
+// Package errsink flags dropped error returns from the I/O calls this
+// codebase depends on for durability: Sync, Close, Flush and Truncate.
+//
+// The WAL's crash-consistency story (PR 8) is only as strong as its weakest
+// error check — a Sync whose error vanishes means the group commit
+// acknowledged writes that may not be on disk, and a dropped Close on a
+// snapshot file can hide a short write until recovery fails. The checker
+// flags statement-level and deferred calls whose error result is discarded
+// implicitly. Explicitly assigning the error to the blank identifier
+// (`_ = f.Close()`) is accepted as a visible, deliberate drop; best-effort
+// sites that cannot even do that are annotated `//nolint:errsink <reason>`.
+// Test files are exempt.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the errsink entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "check that error returns from Sync/Close/Flush/Truncate are not silently dropped in non-test code",
+	Run:  run,
+}
+
+// watched is the set of durability-critical call names.
+var watched = map[string]bool{
+	"Sync":     true,
+	"Close":    true,
+	"Flush":    true,
+	"Truncate": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				checkCall(pass, s.X)
+			case *ast.DeferStmt:
+				checkCall(pass, s.Call)
+			case *ast.GoStmt:
+				checkCall(pass, s.Call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall reports e if it is a watched call whose result set includes an
+// error that this statement position necessarily discards.
+func checkCall(pass *analysis.Pass, e ast.Expr) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if !watched[name] {
+		return
+	}
+	if !returnsError(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error returned by %s is dropped", name)
+}
+
+// returnsError reports whether call's type is error or a tuple whose last
+// element is error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errsink"
+)
+
+func TestErrSink(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errsink.Analyzer, "a")
+}

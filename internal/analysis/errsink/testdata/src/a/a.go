@@ -1,0 +1,77 @@
+// Package a exercises errsink: a file-like type whose durability calls
+// return errors, dropped and checked in every statement shape.
+package a
+
+import "errors"
+
+// File mimics an *os.File / WAL segment handle.
+type File struct{ dirty bool }
+
+func (f *File) Sync() error            { return errors.New("sync") }
+func (f *File) Close() error           { return errors.New("close") }
+func (f *File) Flush() error           { return errors.New("flush") }
+func (f *File) Truncate(n int64) error { return errors.New("truncate") }
+
+// Write is NOT in the watched set even though it returns an error.
+func (f *File) Write(p []byte) (int, error) { return len(p), nil }
+
+// CloseNoErr returns nothing; a bare call is fine.
+type quietFile struct{}
+
+func (q *quietFile) Close() {}
+
+func sink(err error) {}
+
+// dropBare drops the Sync error on the floor.
+func dropBare(f *File) {
+	f.Sync() // want `error returned by Sync is dropped`
+}
+
+// dropDefer is the classic deferred-Close drop.
+func dropDefer(f *File) {
+	defer f.Close() // want `error returned by Close is dropped`
+	f.dirty = true
+}
+
+// dropGo loses the error in a goroutine.
+func dropGo(f *File) {
+	go f.Flush() // want `error returned by Flush is dropped`
+}
+
+// dropTruncate drops a multi-arg watched call.
+func dropTruncate(f *File) {
+	f.Truncate(0) // want `error returned by Truncate is dropped`
+}
+
+// checked routes the error to a handler: fine.
+func checked(f *File) {
+	if err := f.Sync(); err != nil {
+		sink(err)
+	}
+}
+
+// assigned binds the error: fine.
+func assigned(f *File) error {
+	err := f.Close()
+	return err
+}
+
+// blanked acknowledges the drop explicitly with the blank identifier.
+func blanked(f *File) {
+	_ = f.Flush()
+}
+
+// unwatched calls with dropped errors outside the watched set pass.
+func unwatched(f *File) {
+	f.Write(nil)
+}
+
+// noError calls a Close that returns nothing.
+func noError(q *quietFile) {
+	q.Close()
+}
+
+// suppressed is a best-effort cleanup path with a justified drop.
+func suppressed(f *File) {
+	f.Sync() //nolint:errsink best-effort sync before abandoning the segment
+}

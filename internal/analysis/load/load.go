@@ -1,0 +1,289 @@
+// Package load type-checks Go packages for the analysis driver without any
+// dependency outside the standard library.
+//
+// The usual foundation for analyzer drivers, golang.org/x/tools/go/packages,
+// is unavailable in this dependency-free repository, so load re-derives the
+// minimum it needs from the toolchain itself: `go list -deps -json` yields
+// every package in dependency order together with its build-tag-resolved file
+// list, and go/parser + go/types turn that into fully type-checked syntax.
+// Standard-library dependencies are type-checked from source the same way
+// (there is no pre-compiled export data to import since Go 1.20), with the
+// results cached per Loader so a test binary running several analyzers pays
+// the stdlib cost once.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package: syntax, types and positions.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// Errors holds type-checking problems. Standard-library packages are
+	// allowed to carry errors (analyzers never inspect their syntax);
+	// packages of the module under analysis are not.
+	Errors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+}
+
+// Loader loads and caches type-checked packages. The zero value is not
+// usable; construct with NewLoader. A Loader is safe for concurrent use.
+type Loader struct {
+	mu    sync.Mutex
+	fset  *token.FileSet
+	dir   string // working directory for go list invocations
+	cache map[string]*Package
+	sizes types.Sizes
+}
+
+// NewLoader returns a loader that resolves import paths relative to dir
+// (any directory inside the target module; stdlib paths resolve anywhere).
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		fset:  token.NewFileSet(),
+		dir:   dir,
+		cache: make(map[string]*Package),
+		sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+}
+
+// Fset returns the loader's shared position set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Sizes returns the target's type-size model (gc, host GOARCH).
+func (l *Loader) Sizes() types.Sizes { return l.sizes }
+
+// goList runs `go list -deps -json` over patterns and decodes the package
+// stream. CGO_ENABLED=0 keeps every file list pure Go so the type checker
+// never meets an `import "C"`.
+func (l *Loader) goList(patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps",
+		"-json=ImportPath,Dir,Standard,DepOnly,GoFiles,Imports,ImportMap",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(patterns, " "), err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Roots loads the packages matching patterns plus everything they depend on
+// and returns the pattern-matched roots, sorted by import path.
+func (l *Loader) Roots(patterns ...string) ([]*Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	listed, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// -deps emits dependencies before dependents, so one sequential pass
+	// type-checks everything against already-cached imports.
+	var roots []*Package
+	for _, lp := range listed {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly {
+			roots = append(roots, p)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].PkgPath < roots[j].PkgPath })
+	return roots, nil
+}
+
+// Import returns the type-checked package for path, loading it (and its
+// dependencies) on first use. It backs the analysistest fixture checker,
+// which needs stdlib imports resolved for packages outside any module.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.importLocked(path)
+}
+
+func (l *Loader) importLocked(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.cache[path]; ok {
+		return p.Types, nil
+	}
+	listed, err := l.goList([]string{path})
+	if err != nil {
+		return nil, err
+	}
+	var want *Package
+	for _, lp := range listed {
+		p, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		if lp.ImportPath == path {
+			want = p
+		}
+	}
+	if want == nil {
+		return nil, fmt.Errorf("load: %q not in go list output", path)
+	}
+	return want.Types, nil
+}
+
+// check type-checks one listed package against the cache. Dependencies must
+// already be cached (guaranteed by -deps ordering within one goList call);
+// any still missing are loaded on demand.
+func (l *Loader) check(lp *listedPkg) (*Package, error) {
+	if p, ok := l.cache[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		p := &Package{PkgPath: "unsafe", Fset: l.fset, Types: types.Unsafe}
+		l.cache["unsafe"] = p
+		return p, nil
+	}
+	if len(lp.GoFiles) == 0 {
+		// Test-only packages (e.g. a module root holding just *_test.go)
+		// list no compiled files; give them an empty types.Package so the
+		// driver can skip them uniformly.
+		p := &Package{
+			PkgPath: lp.ImportPath,
+			Dir:     lp.Dir,
+			Fset:    l.fset,
+			Types:   types.NewPackage(lp.ImportPath, filepath.Base(lp.ImportPath)),
+		}
+		l.cache[lp.ImportPath] = p
+		return p, nil
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load %s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Dir:     lp.Dir,
+		Fset:    l.fset,
+		Files:   files,
+		TypesInfo: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer: &pkgImporter{l: l, importMap: lp.ImportMap},
+		Sizes:    l.sizes,
+		Error:    func(err error) { pkg.Errors = append(pkg.Errors, err) },
+	}
+	tpkg, err := conf.Check(lp.ImportPath, l.fset, files, pkg.TypesInfo)
+	if err != nil && tpkg == nil {
+		return nil, fmt.Errorf("load %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	// Standard-library packages occasionally trip go/types on constructs
+	// the compiler special-cases (runtime intrinsics); analyzers never read
+	// their syntax, so partial type information is acceptable there. The
+	// module's own packages must check cleanly or every downstream
+	// diagnostic would be suspect.
+	if len(pkg.Errors) > 0 && !lp.Standard {
+		return nil, fmt.Errorf("load %s: %d type errors, first: %v", lp.ImportPath, len(pkg.Errors), pkg.Errors[0])
+	}
+	l.cache[lp.ImportPath] = pkg
+	return pkg, nil
+}
+
+// pkgImporter resolves one package's imports: through its vendor map first,
+// then the loader cache, then an on-demand load (stdlib paths only reach the
+// fallback when a goList batch was partial).
+type pkgImporter struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (pi *pkgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := pi.importMap[path]; ok {
+		path = mapped
+	}
+	return pi.l.importLocked(path)
+}
+
+// CheckFiles type-checks an ad-hoc package from already-parsed files whose
+// imports resolve through the loader (used for analysistest fixtures, which
+// live outside any module). Unlike module packages, fixture type errors are
+// returned, not tolerated.
+func (l *Loader) CheckFiles(pkgPath string, files []*ast.File) (*types.Package, *types.Info, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: &pkgImporter{l: l},
+		Sizes:    l.sizes,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, err := conf.Check(pkgPath, l.fset, files, info)
+	if len(errs) > 0 {
+		return nil, nil, fmt.Errorf("check %s: %d type errors, first: %v", pkgPath, len(errs), errs[0])
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("check %s: %v", pkgPath, err)
+	}
+	return tpkg, info, nil
+}

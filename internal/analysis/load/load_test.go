@@ -1,0 +1,89 @@
+package load
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// repoRoot walks up from the working directory to the module root (the
+// directory holding go.mod) so the tests work from any package dir.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRootsModule type-checks the whole module from source, including its
+// standard-library dependency cone, and spot-checks the results.
+func TestRootsModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module load in -short mode")
+	}
+	l := NewLoader(repoRoot(t))
+	start := time.Now()
+	roots, err := l.Roots("./...")
+	if err != nil {
+		t.Fatalf("Roots(./...): %v", err)
+	}
+	t.Logf("loaded %d root packages in %v", len(roots), time.Since(start))
+	if len(roots) < 10 {
+		t.Fatalf("expected >= 10 root packages, got %d", len(roots))
+	}
+	seen := map[string]*Package{}
+	for _, p := range roots {
+		seen[p.PkgPath] = p
+		if p.Types == nil {
+			t.Errorf("%s: nil types", p.PkgPath)
+		}
+		if len(p.Errors) > 0 {
+			t.Errorf("%s: type errors: %v", p.PkgPath, p.Errors[0])
+		}
+		if len(p.Files) == 0 && p.PkgPath != "repro" {
+			// The module root is test-only; every other root must
+			// carry syntax.
+			t.Errorf("%s: no files", p.PkgPath)
+		}
+	}
+	core, ok := seen["repro/internal/core"]
+	if !ok {
+		t.Fatal("repro/internal/core not among roots")
+	}
+	if core.Types.Scope().Lookup("Tree") == nil {
+		t.Error("core.Tree not resolved")
+	}
+	// Method resolution across packages must work: hyperion uses
+	// core.Tree.BeginWrite, epoch.Domain.Pin etc.
+	hyp, ok := seen["repro/hyperion"]
+	if !ok {
+		t.Fatal("repro/hyperion not among roots")
+	}
+	if hyp.Types.Scope().Lookup("Store") == nil {
+		t.Error("hyperion.Store not resolved")
+	}
+}
+
+// TestImportStdlib loads a lone stdlib package outside any Roots call.
+func TestImportStdlib(t *testing.T) {
+	l := NewLoader(repoRoot(t))
+	pkg, err := l.Import("strconv")
+	if err != nil {
+		t.Fatalf("Import(strconv): %v", err)
+	}
+	if pkg.Scope().Lookup("AppendUint") == nil {
+		t.Error("strconv.AppendUint not resolved")
+	}
+}

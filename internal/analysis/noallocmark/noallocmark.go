@@ -1,0 +1,312 @@
+// Package noallocmark rejects allocating constructs in functions annotated
+// `//hyperion:noalloc` — the read hot paths whose zero-allocation property
+// the benchmarks depend on (Store.Get/Has, cursor Next, the server's
+// getRun/putRun coalescing loops).
+//
+// The runtime AllocsPerRun probes catch a regression only for the inputs
+// they run; this checker catches the construct itself, at compile time, on
+// every path. The check is shallow and syntactic by design: it looks at the
+// annotated function's own body (including deferred closures, which run on
+// the cold panic path but are still part of the function) and does not
+// follow calls. Flagged constructs: make, new, slice/map literals,
+// &composite-literal, go statements, non-deferred closures, defer inside a
+// loop (heap-allocated defer records), string concatenation, string<->[]byte
+// conversions, and fmt calls. Plain `append` into caller-owned or receiver
+// buffers is deliberately allowed — amortized growth is the hot paths'
+// contract, and the AllocsPerRun probes still police steady-state growth.
+// Genuine exceptions carry `//nolint:noallocmark <reason>`.
+package noallocmark
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the noallocmark entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "noallocmark",
+	Doc:  "reject allocating constructs in functions annotated //hyperion:noalloc",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isNoalloc(fd) {
+				continue
+			}
+			c := &checker{pass: pass, fn: fd.Name.Name}
+			c.stmts(fd.Body.List, false)
+		}
+	}
+	return nil, nil
+}
+
+func isNoalloc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, "hyperion:noalloc") {
+			return true
+		}
+	}
+	return false
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   string
+}
+
+func (c *checker) report(pos token.Pos, what string) {
+	c.pass.Reportf(pos, "%s in //hyperion:noalloc function %s", what, c.fn)
+}
+
+// stmts walks a statement list, tracking whether we are inside a loop (a
+// defer there heap-allocates its record every iteration).
+func (c *checker) stmts(list []ast.Stmt, inLoop bool) {
+	for _, s := range list {
+		c.stmt(s, inLoop)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, inLoop bool) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		c.stmts(x.List, inLoop)
+	case *ast.ForStmt:
+		c.stmt(x.Init, inLoop)
+		c.expr(x.Cond)
+		c.stmt(x.Post, true)
+		c.stmts(x.Body.List, true)
+	case *ast.RangeStmt:
+		c.expr(x.X)
+		c.stmts(x.Body.List, true)
+	case *ast.DeferStmt:
+		if inLoop {
+			c.report(x.Pos(), "defer inside a loop allocates a defer record per iteration")
+		}
+		// The deferred call itself is part of the function: check its
+		// arguments and, for a closure, its body (cold path, but an
+		// allocation there still breaks the annotation's promise).
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, false)
+		} else {
+			c.expr(x.Call.Fun)
+		}
+		for _, a := range x.Call.Args {
+			c.expr(a)
+		}
+	case *ast.GoStmt:
+		c.report(x.Pos(), "go statement allocates a goroutine")
+	case *ast.IfStmt:
+		c.stmt(x.Init, inLoop)
+		c.expr(x.Cond)
+		c.stmts(x.Body.List, inLoop)
+		c.stmt(x.Else, inLoop)
+	case *ast.SwitchStmt:
+		c.stmt(x.Init, inLoop)
+		c.expr(x.Tag)
+		c.stmts(x.Body.List, inLoop)
+	case *ast.TypeSwitchStmt:
+		c.stmt(x.Init, inLoop)
+		c.stmt(x.Assign, inLoop)
+		c.stmts(x.Body.List, inLoop)
+	case *ast.SelectStmt:
+		c.stmts(x.Body.List, inLoop)
+	case *ast.CaseClause:
+		for _, e := range x.List {
+			c.expr(e)
+		}
+		c.stmts(x.Body, inLoop)
+	case *ast.CommClause:
+		c.stmt(x.Comm, inLoop)
+		c.stmts(x.Body, inLoop)
+	case *ast.LabeledStmt:
+		c.stmt(x.Stmt, inLoop)
+	case *ast.ExprStmt:
+		c.expr(x.X)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			c.expr(e)
+		}
+		for _, e := range x.Lhs {
+			c.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			c.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(x.X)
+	case *ast.SendStmt:
+		c.expr(x.Chan)
+		c.expr(x.Value)
+	}
+}
+
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		c.call(x)
+	case *ast.FuncLit:
+		c.report(x.Pos(), "closure allocates")
+	case *ast.CompositeLit:
+		c.compositeLit(x, false)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			if cl, ok := x.X.(*ast.CompositeLit); ok {
+				c.report(x.Pos(), "&composite-literal allocates")
+				for _, el := range cl.Elts {
+					c.expr(el)
+				}
+				return
+			}
+		}
+		c.expr(x.X)
+	case *ast.BinaryExpr:
+		if x.Op == token.ADD && c.isString(x.X) {
+			c.report(x.Pos(), "string concatenation allocates")
+		}
+		c.expr(x.X)
+		c.expr(x.Y)
+	case *ast.ParenExpr:
+		c.expr(x.X)
+	case *ast.StarExpr:
+		c.expr(x.X)
+	case *ast.SelectorExpr:
+		c.expr(x.X)
+	case *ast.IndexExpr:
+		c.expr(x.X)
+		c.expr(x.Index)
+	case *ast.SliceExpr:
+		c.expr(x.X)
+		c.expr(x.Low)
+		c.expr(x.High)
+		c.expr(x.Max)
+	case *ast.TypeAssertExpr:
+		c.expr(x.X)
+	case *ast.KeyValueExpr:
+		c.expr(x.Key)
+		c.expr(x.Value)
+	}
+}
+
+// compositeLit flags literals whose backing store lives on the heap (slices,
+// maps); plain value struct literals are free.
+func (c *checker) compositeLit(cl *ast.CompositeLit, addressed bool) {
+	if tv, ok := c.pass.TypesInfo.Types[cl]; ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			c.report(cl.Pos(), "slice literal allocates")
+		case *types.Map:
+			c.report(cl.Pos(), "map literal allocates")
+		}
+	}
+	for _, el := range cl.Elts {
+		c.expr(el)
+	}
+}
+
+func (c *checker) call(call *ast.CallExpr) {
+	// Type conversion?
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && allocatingConversion(tv.Type, c.typeOf(call.Args[0])) {
+			c.report(call.Pos(), "string<->[]byte conversion allocates")
+		}
+		for _, a := range call.Args {
+			c.expr(a)
+		}
+		return
+	}
+
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if c.isBuiltin(fun) {
+			switch fun.Name {
+			case "make":
+				c.report(call.Pos(), "make allocates")
+			case "new":
+				c.report(call.Pos(), "new allocates")
+			}
+		}
+	case *ast.SelectorExpr:
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := c.pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				c.report(call.Pos(), "fmt call allocates")
+			}
+		}
+		c.expr(fun.X)
+	case *ast.FuncLit:
+		c.report(fun.Pos(), "closure allocates")
+	}
+	for _, a := range call.Args {
+		c.expr(a)
+	}
+}
+
+func (c *checker) isBuiltin(id *ast.Ident) bool {
+	_, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+func (c *checker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (c *checker) isString(e ast.Expr) bool {
+	t := c.typeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// allocatingConversion reports whether a conversion from `from` to `to`
+// copies its backing bytes: string <-> []byte/[]rune in either direction.
+func allocatingConversion(to, from types.Type) bool {
+	if from == nil {
+		return false
+	}
+	return (isStringType(to) && isByteOrRuneSlice(from)) ||
+		(isByteOrRuneSlice(to) && isStringType(from))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

@@ -1,0 +1,12 @@
+package noallocmark_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noallocmark"
+)
+
+func TestNoAllocMark(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noallocmark.Analyzer, "a")
+}

@@ -1,0 +1,152 @@
+// Package a exercises noallocmark: annotated functions with every flagged
+// allocating construct, plus the allocation-free shapes the hot paths use.
+package a
+
+import "fmt"
+
+type entry struct {
+	key []byte
+	val uint64
+}
+
+type table struct {
+	buf  []byte
+	keys [][]byte
+	mu   chan struct{}
+}
+
+func use(v interface{}) {}
+
+// getOK is the shape of a real hot path: index walks, appends into a
+// receiver buffer, value struct literals, integer conversions, a deferred
+// closure as recover barrier, and a retry loop.
+//
+//hyperion:noalloc
+func (t *table) getOK(k []byte) (uint64, bool) {
+	ok := false
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	for i := 0; i < len(t.keys); i++ {
+		e := entry{key: t.keys[i], val: uint64(i)}
+		if len(e.key) == len(k) {
+			t.buf = append(t.buf[:0], e.key...)
+			ok = true
+			return e.val, ok
+		}
+	}
+	return 0, ok
+}
+
+// makeAlloc allocates via make.
+//
+//hyperion:noalloc
+func makeAlloc(n int) []byte {
+	return make([]byte, n) // want `make allocates in //hyperion:noalloc function makeAlloc`
+}
+
+// newAlloc allocates via new.
+//
+//hyperion:noalloc
+func newAlloc() *entry {
+	return new(entry) // want `new allocates in //hyperion:noalloc function newAlloc`
+}
+
+// sliceLit allocates a slice literal.
+//
+//hyperion:noalloc
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal allocates in //hyperion:noalloc function sliceLit`
+}
+
+// mapLit allocates a map literal.
+//
+//hyperion:noalloc
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates in //hyperion:noalloc function mapLit`
+}
+
+// addrLit heap-allocates the struct behind the pointer.
+//
+//hyperion:noalloc
+func addrLit() *entry {
+	return &entry{val: 1} // want `&composite-literal allocates in //hyperion:noalloc function addrLit`
+}
+
+// goAlloc spawns a goroutine.
+//
+//hyperion:noalloc
+func goAlloc(t *table) {
+	go func() { <-t.mu }() // want `go statement allocates a goroutine in //hyperion:noalloc function goAlloc`
+}
+
+// closureAlloc builds a non-deferred closure.
+//
+//hyperion:noalloc
+func closureAlloc(k []byte) func() int {
+	f := func() int { return len(k) } // want `closure allocates in //hyperion:noalloc function closureAlloc`
+	return f
+}
+
+// deferLoop allocates one defer record per iteration.
+//
+//hyperion:noalloc
+func deferLoop(t *table) {
+	for i := 0; i < 3; i++ {
+		defer close(t.mu) // want `defer inside a loop allocates a defer record per iteration in //hyperion:noalloc function deferLoop`
+	}
+}
+
+// concat builds a new string.
+//
+//hyperion:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates in //hyperion:noalloc function concat`
+}
+
+// convString copies bytes into a fresh string.
+//
+//hyperion:noalloc
+func convString(b []byte) string {
+	return string(b) // want `string<->\[\]byte conversion allocates in //hyperion:noalloc function convString`
+}
+
+// convBytes copies a string into a fresh byte slice.
+//
+//hyperion:noalloc
+func convBytes(s string) []byte {
+	return []byte(s) // want `string<->\[\]byte conversion allocates in //hyperion:noalloc function convBytes`
+}
+
+// fmtCall formats (and boxes) through fmt.
+//
+//hyperion:noalloc
+func fmtCall(v uint64) {
+	fmt.Println(v) // want `fmt call allocates in //hyperion:noalloc function fmtCall`
+}
+
+// intConv is free: numeric conversions never allocate.
+//
+//hyperion:noalloc
+func intConv(i int) uint64 {
+	return uint64(i)
+}
+
+// unannotated functions allocate freely.
+func unannotated() []byte {
+	return make([]byte, 8)
+}
+
+// suppressed documents a deliberate cold-path allocation inside an
+// otherwise-annotated function.
+//
+//nolint:noallocmark error path allocates; hot path stays clean
+//hyperion:noalloc
+func suppressed(bad bool) []byte {
+	if bad {
+		return make([]byte, 1)
+	}
+	return nil
+}

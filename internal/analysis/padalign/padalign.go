@@ -1,0 +1,88 @@
+// Package padalign checks that structs annotated `//hyperion:cacheline` are
+// an exact multiple of the 64-byte cache line, so arrays of them never share
+// a line between adjacent elements.
+//
+// The epoch domain's per-reader slots are the motivating case: every Pin and
+// Release is an atomic RMW on its own slot, and two slots on one cache line
+// turn independent readers into a coherence ping-pong that erases the whole
+// point of per-reader state (false sharing). A refactor that adds a field or
+// shrinks the pad array breaks the layout silently — the code still works,
+// only ~3x slower under parallel load. This analyzer (together with the
+// unsafe.Sizeof compile-time asserts next to the types) makes the layout a
+// checked contract. The marker optionally takes the expected size:
+// `//hyperion:cacheline 128`.
+package padalign
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the padalign entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "padalign",
+	Doc:  "check that //hyperion:cacheline structs are a multiple of the 64-byte cache line (or the exact annotated size)",
+	Run:  run,
+}
+
+const cacheLine = 64
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				want, annotated := marker(gd.Doc, ts.Doc)
+				if !annotated {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name]
+				if !ok || obj == nil {
+					continue
+				}
+				size := pass.TypesSizes.Sizeof(obj.Type())
+				switch {
+				case want > 0 && size != want:
+					pass.Reportf(ts.Pos(), "struct %s is %d bytes, annotated //hyperion:cacheline %d", ts.Name.Name, size, want)
+				case want == 0 && size%cacheLine != 0:
+					pass.Reportf(ts.Pos(), "struct %s is %d bytes, not a multiple of the %d-byte cache line", ts.Name.Name, size, cacheLine)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// marker scans the declaration docs for a hyperion:cacheline annotation and
+// returns the expected exact size (0 = any multiple of 64).
+func marker(docs ...*ast.CommentGroup) (want int64, found bool) {
+	for _, cg := range docs {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			idx := strings.Index(c.Text, "hyperion:cacheline")
+			if idx < 0 {
+				continue
+			}
+			found = true
+			rest := strings.TrimSpace(c.Text[idx+len("hyperion:cacheline"):])
+			if rest != "" {
+				if n, err := strconv.ParseInt(strings.Fields(rest)[0], 10, 64); err == nil {
+					want = n
+				}
+			}
+		}
+	}
+	return want, found
+}

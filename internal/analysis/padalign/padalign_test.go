@@ -1,0 +1,12 @@
+package padalign_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/padalign"
+)
+
+func TestPadAlign(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), padalign.Analyzer, "a")
+}

@@ -1,0 +1,51 @@
+// Package a exercises padalign: annotated structs at exact cache-line
+// multiples, short of one, and with an explicit expected size.
+package a
+
+import "sync/atomic"
+
+// padded is exactly one 64-byte line: 8 bytes of state + 56 pad.
+//
+//hyperion:cacheline
+type padded struct {
+	state atomic.Uint64
+	_     [56]byte
+}
+
+// twoLines spans exactly two lines: fine, still a multiple.
+//
+//hyperion:cacheline
+type twoLines struct {
+	state atomic.Uint64
+	seq   uint64
+	_     [112]byte
+}
+
+// short lost its pad arithmetic: 8 + 48 = 56 bytes.
+//
+//hyperion:cacheline
+type short struct { // want `struct short is 56 bytes, not a multiple of the 64-byte cache line`
+	state atomic.Uint64
+	_     [48]byte
+}
+
+// exact128 pins the expected size explicitly and matches it.
+//
+//hyperion:cacheline 128
+type exact128 struct {
+	state atomic.Uint64
+	_     [120]byte
+}
+
+// wrong128 pins 128 but is only one line.
+//
+//hyperion:cacheline 128
+type wrong128 struct { // want `struct wrong128 is 64 bytes, annotated //hyperion:cacheline 128`
+	state atomic.Uint64
+	_     [56]byte
+}
+
+// unannotated structs are never checked.
+type unannotated struct {
+	b byte
+}

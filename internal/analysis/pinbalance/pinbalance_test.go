@@ -1,0 +1,12 @@
+package pinbalance_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/pinbalance"
+)
+
+func TestPinBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), pinbalance.Analyzer, "a")
+}

@@ -1,0 +1,132 @@
+// Package a models the epoch pin protocol for pinbalance tests: a Domain
+// handing out value Guards (Pin/Unpin) and nilable *Slots
+// (TryPinRead/PinReadSlow/Release), exercised in correct and leaky shapes.
+package a
+
+// Guard mimics epoch.Guard.
+type Guard struct{ d *Domain }
+
+// Unpin mimics Guard.Unpin.
+func (g Guard) Unpin() {}
+
+// Slot mimics epoch.Slot.
+type Slot struct{ epoch uint64 }
+
+// Release mimics Slot.Release.
+func (s *Slot) Release() {}
+
+// Read stands in for any non-releasing use of a pinned slot.
+func (s *Slot) Read() uint64 { return s.epoch }
+
+// Domain mimics epoch.Domain.
+type Domain struct{ global uint64 }
+
+func (d *Domain) Pin() Guard         { return Guard{d: d} }
+func (d *Domain) TryPinRead() *Slot  { return nil }
+func (d *Domain) PinReadSlow() *Slot { return &Slot{} }
+
+func bad() bool { return false }
+
+// pinOK releases on the only path.
+func pinOK(d *Domain) {
+	g := d.Pin()
+	g.Unpin()
+}
+
+// pinLeakConditional forgets the guard on the early return.
+func pinLeakConditional(d *Domain, cond bool) {
+	g := d.Pin() // want `pin acquired by Pin is not released on every path to return`
+	if cond {
+		return
+	}
+	g.Unpin()
+}
+
+// tryOK is the canonical readGetGroup shape: optimistic TryPinRead with a
+// PinReadSlow fallback, one Release for whichever succeeded.
+func tryOK(d *Domain) uint64 {
+	ps := d.TryPinRead()
+	if ps == nil {
+		ps = d.PinReadSlow()
+	}
+	v := ps.Read()
+	ps.Release()
+	return v
+}
+
+// tryLeak releases only the failure arm: the successful pin escapes with the
+// return value.
+func tryLeak(d *Domain) uint64 {
+	ps := d.TryPinRead() // want `pin acquired by TryPinRead is not released on every path to return`
+	if ps == nil {
+		return 0
+	}
+	return ps.Read()
+}
+
+// tryNilOK releases exactly when the pin succeeded; the nil arm owes nothing.
+func tryNilOK(d *Domain) uint64 {
+	ps := d.TryPinRead()
+	if ps != nil {
+		v := ps.Read()
+		ps.Release()
+		return v
+	}
+	return 0
+}
+
+// deferOK covers the panic path with a deferred Unpin.
+func deferOK(d *Domain) {
+	g := d.Pin()
+	defer g.Unpin()
+	if bad() {
+		panic("corrupt state")
+	}
+}
+
+// deferClosureOK releases through a deferred closure, which the checker
+// scans for release calls.
+func deferClosureOK(d *Domain, cond bool) {
+	g := d.Pin()
+	defer func() {
+		g.Unpin()
+	}()
+	if cond {
+		return
+	}
+}
+
+// panicLeak unpins on the normal path only: the panic path leaks.
+func panicLeak(d *Domain) {
+	g := d.Pin() // want `pin acquired by Pin may still be held when this function panics`
+	if bad() {
+		panic("corrupt state")
+	}
+	g.Unpin()
+}
+
+// discard drops the guard on the floor; nothing can ever release it.
+func discard(d *Domain) {
+	d.Pin() // want `result of Pin discarded: the pin can never be released`
+}
+
+// overwrite clobbers a held guard with a fresh one.
+func overwrite(d *Domain) {
+	g := d.Pin() // want `pin acquired by Pin is overwritten before it is released`
+	g = d.Pin()
+	g.Unpin()
+}
+
+// transfer hands the guard to the caller: ownership moves, no leak here.
+func transfer(d *Domain) Guard {
+	g := d.Pin()
+	return g
+}
+
+// pinForever deliberately holds a process-lifetime pin; the suppression
+// carries the justification.
+//
+//nolint:pinbalance process-lifetime pin, released at shutdown elsewhere
+func pinForever(d *Domain) {
+	d.Pin()
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/load"
+)
+
+// Finding is one nolint-filtered diagnostic with its producing analyzer and
+// resolved position, ready for printing or test comparison.
+type Finding struct {
+	Analyzer *Analyzer
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer.Name)
+}
+
+// Run applies every analyzer to pkg and returns the surviving findings in
+// position order. Suppression: a `//nolint:name1,name2 reason` comment mutes
+// those analyzers on its own line; when it is part of a declaration's doc
+// comment it mutes them for the whole declaration.
+func Run(pkg *load.Package, analyzers []*Analyzer) ([]Finding, error) {
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	sup := collectNolint(pkg)
+	var findings []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			TypesInfo:  pkg.TypesInfo,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			Report: func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.suppressed(a.Name, d.Pos, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a, Pos: pos, Message: d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer.Name < findings[j].Analyzer.Name
+	})
+	return findings, nil
+}
+
+// suppressions records where each analyzer is muted.
+type suppressions struct {
+	// lines maps analyzer name -> "file:line" keys with a same-line nolint.
+	lines map[string]map[string]bool
+	// spans maps analyzer name -> declaration ranges with a doc nolint.
+	spans map[string][][2]token.Pos
+}
+
+var nolintRe = regexp.MustCompile(`^//\s*nolint:([a-zA-Z0-9_,-]+)`)
+
+func collectNolint(pkg *load.Package) *suppressions {
+	s := &suppressions{
+		lines: make(map[string]map[string]bool),
+		spans: make(map[string][][2]token.Pos),
+	}
+	addLine := func(names []string, pos token.Position) {
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		for _, n := range names {
+			if s.lines[n] == nil {
+				s.lines[n] = make(map[string]bool)
+			}
+			s.lines[n][key] = true
+		}
+	}
+	addSpan := func(names []string, lo, hi token.Pos) {
+		for _, n := range names {
+			s.spans[n] = append(s.spans[n], [2]token.Pos{lo, hi})
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if names := nolintNames(c.Text); names != nil {
+					addLine(names, pkg.Fset.Position(c.Pos()))
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var doc *ast.CommentGroup
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			case *ast.TypeSpec:
+				doc = d.Doc
+			case *ast.Field:
+				doc = d.Doc
+			}
+			if doc != nil {
+				for _, c := range doc.List {
+					if names := nolintNames(c.Text); names != nil {
+						addSpan(names, n.Pos(), n.End())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// nolintNames parses a `//nolint:a,b reason` comment into analyzer names, or
+// nil when text is not a nolint comment.
+func nolintNames(text string) []string {
+	m := nolintRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	return strings.Split(m[1], ",")
+}
+
+func (s *suppressions) suppressed(analyzer string, pos token.Pos, p token.Position) bool {
+	if s.lines[analyzer][fmt.Sprintf("%s:%d", p.Filename, p.Line)] {
+		return true
+	}
+	for _, span := range s.spans[analyzer] {
+		if pos >= span[0] && pos < span[1] {
+			return true
+		}
+	}
+	return false
+}

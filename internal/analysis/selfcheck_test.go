@@ -1,0 +1,70 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/suite"
+)
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestSelfCheck runs the full analyzer suite over every package of this
+// module — the same run CI's hyperion-lint step performs — and requires zero
+// findings. A change that tears a write bracket, leaks an epoch pin, drops a
+// durability error or allocates in a //hyperion:noalloc function fails here
+// before it reaches CI.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module lint in -short mode")
+	}
+	analyzers := suite.All()
+	if len(analyzers) < 4 {
+		t.Fatalf("suite has %d analyzers, want >= 4", len(analyzers))
+	}
+	loader := load.NewLoader(repoRoot(t))
+	start := time.Now()
+	pkgs, err := loader.Roots("./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	checked := 0
+	for _, pkg := range pkgs {
+		if len(pkg.Errors) > 0 {
+			t.Fatalf("%s: type errors: %v", pkg.PkgPath, pkg.Errors[0])
+		}
+		findings, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f)
+		}
+		checked++
+	}
+	t.Logf("linted %d packages with %d analyzers in %v", checked, len(analyzers), time.Since(start))
+	if checked < 10 {
+		t.Fatalf("only %d packages linted; expected the whole module", checked)
+	}
+}

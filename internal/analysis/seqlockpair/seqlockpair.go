@@ -1,0 +1,78 @@
+// Package seqlockpair verifies the seqlock publication protocol of the write
+// path (PR 6): every BeginWrite is matched by an EndWrite on all control-flow
+// paths of the same function, every lockShardWrite by an unlockShardWrite,
+// and — in packages implementing the bracket protocol — tree mutations and
+// WAL enqueues happen only inside an open bracket.
+//
+// A torn bracket is the worst kind of concurrency bug this codebase can
+// grow: an odd sequence number parks every optimistic reader on the locked
+// fallback forever (a silent performance collapse), and a mutation outside
+// the bracket publishes a half-built structure to lock-free readers (a
+// correctness hole that only a race window exposes). Both are invisible to
+// the compiler and usually to the tests.
+//
+// Functions that ARE the protocol — the bracket halves lockShardWrite and
+// unlockShardWrite — carry a `//hyperion:bracket <pair>-begin|-end` marker in
+// their doc comment and are exempt from intra-function pairing; their
+// presence in a package is also what switches on the mutation-under-bracket
+// rule there. Construction-time mutations of trees no reader can observe yet
+// are suppressed per function with `//nolint:seqlockpair <reason>`.
+package seqlockpair
+
+import (
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/flowcheck"
+)
+
+// Analyzer is the seqlockpair entry point.
+var Analyzer = &analysis.Analyzer{
+	Name: "seqlockpair",
+	Doc:  "check BeginWrite/EndWrite and lockShardWrite/unlockShardWrite bracket pairing on all control-flow paths",
+	Run:  run,
+}
+
+const (
+	seqPair   = "BeginWrite/EndWrite"
+	shardPair = "lockShardWrite/unlockShardWrite"
+)
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	cfg := flowcheck.Config{
+		Pairs: []flowcheck.PairSpec{
+			{Name: seqPair, Open: "BeginWrite", Close: "EndWrite"},
+			{Name: shardPair, Open: "lockShardWrite", Close: "unlockShardWrite"},
+		},
+		ExemptAnnotation: "hyperion:bracket",
+	}
+	// The mutation-under-bracket rule applies only to packages that
+	// implement the bracket protocol (detected by the presence of a
+	// hyperion:bracket marker): the package that shares trees with
+	// lock-free readers. The tree implementation itself (repro/internal/
+	// core) and single-owner users mutate trees freely.
+	if packageHasBracketProtocol(pass) {
+		cfg.UnderOpen = []flowcheck.UnderOpenSpec{
+			{Call: "Put", RecvType: "Tree", Pair: shardPair},
+			{Call: "PutKey", RecvType: "Tree", Pair: shardPair},
+			{Call: "Delete", RecvType: "Tree", Pair: shardPair},
+			{Call: "BulkMerge", RecvType: "Tree", Pair: shardPair},
+			{Call: "walEnqueueOp", RecvType: "Store", Pair: shardPair},
+		}
+	}
+	cfg.Check(pass)
+	return nil, nil
+}
+
+func packageHasBracketProtocol(pass *analysis.Pass) bool {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.Contains(c.Text, "hyperion:bracket") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

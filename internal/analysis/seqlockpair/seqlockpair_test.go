@@ -1,0 +1,12 @@
+package seqlockpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/seqlockpair"
+)
+
+func TestSeqlockPair(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), seqlockpair.Analyzer, "a")
+}

@@ -1,0 +1,176 @@
+// Package a models the hyperion write-bracket protocol for seqlockpair
+// tests: a Tree with BeginWrite/EndWrite, a Store with the
+// lockShardWrite/unlockShardWrite halves, and writer functions in both
+// correct and broken shapes.
+package a
+
+// Guard mimics epoch.Guard.
+type Guard struct{ held bool }
+
+// Unpin mimics Guard.Unpin.
+func (g Guard) Unpin() {}
+
+// Tree mimics core.Tree.
+type Tree struct{ seq uint64 }
+
+func (t *Tree) BeginWrite()            { t.seq++ }
+func (t *Tree) EndWrite()              { t.seq++ }
+func (t *Tree) Put(k []byte, v uint64) {}
+func (t *Tree) PutKey(k []byte)        {}
+func (t *Tree) Delete(k []byte) bool   { return false }
+func (t *Tree) BulkMerge(n int)        {}
+func (t *Tree) Get(k []byte) uint64    { return 0 }
+
+type shard struct{ tree *Tree }
+
+// Store mimics hyperion.Store.
+type Store struct{ sh *shard }
+
+// lockShardWrite is a bracket half: BeginWrite without EndWrite is its job.
+//
+//hyperion:bracket shardwrite-begin
+func (s *Store) lockShardWrite(sh *shard) Guard {
+	sh.tree.BeginWrite()
+	return Guard{held: true}
+}
+
+// unlockShardWrite is the closing half.
+//
+//hyperion:bracket shardwrite-end
+func (s *Store) unlockShardWrite(sh *shard, g Guard) {
+	sh.tree.EndWrite()
+	g.Unpin()
+}
+
+func (s *Store) walEnqueueOp(sh *shard, op byte) uint64 { return 1 }
+
+func work() bool { return false }
+
+// putOK pairs the bracket on the only path.
+func (s *Store) putOK(k []byte, v uint64) {
+	g := s.lockShardWrite(s.sh)
+	s.sh.tree.Put(k, v)
+	s.unlockShardWrite(s.sh, g)
+}
+
+// putEarlyReturn leaks the bracket on the early-return path.
+func (s *Store) putEarlyReturn(k []byte, v uint64, cond bool) {
+	g := s.lockShardWrite(s.sh) // want `lockShardWrite is not matched by unlockShardWrite on every path`
+	if cond {
+		return
+	}
+	s.sh.tree.Put(k, v)
+	s.unlockShardWrite(s.sh, g)
+}
+
+// rawUnpaired opens the seqlock and closes it only conditionally.
+func rawUnpaired(t *Tree, cond bool) {
+	t.BeginWrite() // want `BeginWrite is not matched by EndWrite on every path`
+	t.Put(nil, 0)
+	if cond {
+		t.EndWrite()
+	}
+}
+
+// rawPaired closes on both arms.
+func rawPaired(t *Tree, cond bool) {
+	t.BeginWrite()
+	if cond {
+		t.Put(nil, 1)
+		t.EndWrite()
+	} else {
+		t.EndWrite()
+	}
+}
+
+// deferClose covers every exit, including the early return.
+func deferClose(s *Store, cond bool) {
+	g := s.lockShardWrite(s.sh)
+	defer s.unlockShardWrite(s.sh, g)
+	if cond {
+		return
+	}
+	s.sh.tree.Put(nil, 0)
+}
+
+// mutateOutside writes the tree with no bracket open.
+func mutateOutside(t *Tree) {
+	t.Put(nil, 0) // want `Put called outside an open lockShardWrite/unlockShardWrite bracket`
+}
+
+// deleteOutside is the same hole through Delete.
+func deleteOutside(t *Tree) bool {
+	return t.Delete(nil) // want `Delete called outside an open lockShardWrite/unlockShardWrite bracket`
+}
+
+// closeOnly hands back a bracket that was never opened here... which is
+// exactly the double-unlock shape.
+func closeOnly(s *Store, g Guard) {
+	s.unlockShardWrite(s.sh, g) // want `unlockShardWrite without a preceding lockShardWrite`
+}
+
+// walBeforeBracket enqueues to the WAL before the shard lock is held,
+// breaking the enqueue-under-write-lock ordering.
+func walBeforeBracket(s *Store) {
+	seq := s.walEnqueueOp(s.sh, 1) // want `walEnqueueOp called outside an open lockShardWrite/unlockShardWrite bracket`
+	g := s.lockShardWrite(s.sh)
+	s.sh.tree.Put(nil, 0)
+	s.unlockShardWrite(s.sh, g)
+	_ = seq
+}
+
+// walInBracket is the correct ordering.
+func (s *Store) walInBracket(k []byte, v uint64) {
+	g := s.lockShardWrite(s.sh)
+	seq := s.walEnqueueOp(s.sh, 2)
+	s.sh.tree.Put(k, v)
+	s.unlockShardWrite(s.sh, g)
+	_ = seq
+}
+
+// loopBreak holds the bracket across a loop with break and closes after.
+func (s *Store) loopBreak(n int) {
+	g := s.lockShardWrite(s.sh)
+	for i := 0; i < n; i++ {
+		if work() {
+			break
+		}
+		s.sh.tree.Put(nil, uint64(i))
+	}
+	s.unlockShardWrite(s.sh, g)
+}
+
+// loopLeak returns from inside the loop with the bracket open.
+func (s *Store) loopLeak(n int) uint64 {
+	g := s.lockShardWrite(s.sh) // want `lockShardWrite is not matched by unlockShardWrite on every path`
+	for i := 0; i < n; i++ {
+		if work() {
+			return s.sh.tree.Get(nil)
+		}
+	}
+	s.unlockShardWrite(s.sh, g)
+	return 0
+}
+
+// switchPaired closes on every case.
+func (s *Store) switchPaired(mode int) {
+	g := s.lockShardWrite(s.sh)
+	switch mode {
+	case 0:
+		s.sh.tree.Put(nil, 0)
+	case 1:
+		s.sh.tree.PutKey(nil)
+	default:
+		s.sh.tree.BulkMerge(1)
+	}
+	s.unlockShardWrite(s.sh, g)
+}
+
+// constructionTime mutates a tree no reader can see yet; the suppression
+// carries the justification.
+//
+//nolint:seqlockpair fresh tree, not published to any reader
+func constructionTime(t *Tree) {
+	t.Put(nil, 0)
+	t.PutKey(nil)
+}

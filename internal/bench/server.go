@@ -164,7 +164,7 @@ func measureServerRow(transport, engineName string, dial func() (net.Conn, error
 		if err != nil {
 			return row, err
 		}
-		defer conn.Close()
+		defer conn.Close() //nolint:errsink bench client teardown
 		clients[i] = &serverClient{
 			conn:  conn,
 			block: buildBlock(mix, depth, keys, i*271),
@@ -250,7 +250,7 @@ func RunServer(cfg Config) ServerResult {
 				res.Skipped = append(res.Skipped, fmt.Sprintf("tcp: %v", err))
 				continue
 			} else {
-				ln.Close()
+				ln.Close() //nolint:errsink probe listener, opened only to test bindability
 			}
 		}
 		for _, mix := range []string{ServerMixGet, ServerMixPut, ServerMixMixed} {
@@ -288,7 +288,7 @@ func RunServer(cfg Config) ServerResult {
 							dial = func() (net.Conn, error) {
 								return net.Dial("tcp", ln.Addr().String())
 							}
-							cleanup = func() { ln.Close() }
+							cleanup = func() { ln.Close() } //nolint:errsink bench listener teardown
 						}
 						row, err := measureServerRow(transport, eng.name, dial, mix, conns, depth, cfg.ServerOps, cfg.ServerKeys)
 						cleanup()

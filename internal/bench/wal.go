@@ -269,7 +269,7 @@ func RunWAL(cfg Config) WALResult {
 		if reopened.Len() != want {
 			panic(fmt.Sprintf("bench: %s recovered %d keys, want %d", scenario, reopened.Len(), want))
 		}
-		reopened.Close()
+		reopened.Close() //nolint:errsink verification store discarded after the count check
 
 		r := WALRecoveryRow{
 			Scenario:        scenario,

@@ -176,6 +176,8 @@ func (c *Cursor) Prefix(p []byte) {
 // until the next cursor call and is capacity-capped: appending to it cannot
 // corrupt the cursor's buffer. ok is false when the iteration is exhausted.
 // hasValue distinguishes Put keys from PutKey set members, like Tree.Range.
+//
+//hyperion:noalloc
 func (c *Cursor) Next() (key []byte, value uint64, hasValue bool, ok bool) {
 	if c.emitEmpty {
 		c.emitEmpty = false

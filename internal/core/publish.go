@@ -55,6 +55,8 @@ func (t *Tree) SeqValid(seq uint64) bool { return t.seq.Load() == seq }
 // recover() only while `walking` is still set, i.e. only when Get actually
 // panicked: recover() is a runtime call costing a few ns even with no panic
 // in flight, and this function runs once per point read.
+//
+//hyperion:noalloc
 func (t *Tree) GetOptimistic(key []byte) (value uint64, ok, valid bool) {
 	s0, stable := t.ReadSeq()
 	if !stable {
@@ -76,6 +78,8 @@ func (t *Tree) GetOptimistic(key []byte) (value uint64, ok, valid bool) {
 
 // HasOptimistic performs Has without any locking; same contract as
 // GetOptimistic.
+//
+//hyperion:noalloc
 func (t *Tree) HasOptimistic(key []byte) (exists, valid bool) {
 	s0, stable := t.ReadSeq()
 	if !stable {

@@ -80,6 +80,8 @@ func (t *Tree) PutKey(key []byte) { t.put(key, 0, false) }
 
 // Get returns the value stored for key. ok is false if the key is absent or
 // was stored without a value.
+//
+//hyperion:noalloc
 func (t *Tree) Get(key []byte) (value uint64, ok bool) {
 	if len(key) == 0 {
 		return t.emptyValue, t.emptyExists && t.emptyHas
@@ -92,6 +94,8 @@ func (t *Tree) Get(key []byte) (value uint64, ok bool) {
 }
 
 // Has reports whether key is stored, with or without a value.
+//
+//hyperion:noalloc
 func (t *Tree) Has(key []byte) bool {
 	if len(key) == 0 {
 		return t.emptyExists

@@ -41,11 +41,22 @@ const slotBytes = 64
 // Slot is one cache-line-padded reader slot. Point-read hot paths hold a
 // *Slot directly (TryPinRead/Release) instead of a Guard so the pin fast
 // path stays under the inlining budget.
+//
+//hyperion:cacheline 64
 type Slot struct {
 	// state is 0 when the slot is free and epoch|1 while a reader holds it.
 	state atomic.Uint64
 	_     [slotBytes - 8]byte
 }
+
+// Compile-time layout assertions: a Slot must be exactly slotBytes so
+// adjacent slots in Domain.slots never share a cache line (each direction of
+// the comparison turns a size drift into a negative array length). The
+// padalign analyzer checks the same invariant via the annotation above.
+var (
+	_ [slotBytes - unsafe.Sizeof(Slot{})]byte
+	_ [unsafe.Sizeof(Slot{}) - slotBytes]byte
+)
 
 // Release frees a slot claimed by TryPinRead or PinReadSlow.
 func (s *Slot) Release() { s.state.Store(0) }

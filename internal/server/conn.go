@@ -58,7 +58,7 @@ const maxCoalesce = 4096
 // the per-connection entry point of Serve, exported so tests and benchmarks
 // can drive in-memory connections (net.Pipe) directly.
 func (s *Server) ServeConn(nc net.Conn) {
-	defer nc.Close()
+	defer nc.Close() //nolint:errsink connection teardown; the peer is gone either way
 	c := &connection{srv: s, nc: nc}
 	c.rd.init(nc, s.cfg.ReadBuf, s.cfg.MaxLine)
 	c.out = make([]byte, 0, 1024)
@@ -312,6 +312,8 @@ func (c *connection) dispatch(line []byte) {
 // getRun coalesces the GET that starts it with every consecutive buffered
 // single-key GET into one batched lookup, then emits the per-command replies
 // in order.
+//
+//hyperion:noalloc
 func (c *connection) getRun(first []byte) {
 	c.keys = append(c.keys[:0], first)
 	for len(c.keys) < maxCoalesce {
@@ -334,6 +336,8 @@ func (c *connection) getRun(first []byte) {
 // well-formed PUT into one batch apply. A buffered PUT with a malformed
 // value ends the run and is re-dispatched by the main loop, so its error
 // reply lands after the run's +OKs — exactly the sequential order.
+//
+//hyperion:noalloc
 func (c *connection) putRun(key []byte, value uint64) {
 	c.ops = append(c.ops[:0], hyperion.Op{Kind: hyperion.OpPut, Key: key, Value: value})
 	for len(c.ops) < maxCoalesce {
@@ -400,6 +404,7 @@ func (c *connection) parsePairs(args [][]byte, add func(k []byte, v uint64)) boo
 	return true
 }
 
+//hyperion:noalloc
 func (c *connection) emitGetResults() {
 	for _, r := range c.results {
 		if r.Ok {
@@ -430,12 +435,16 @@ func (c *connection) statsReply(store *hyperion.Store) {
 }
 
 // lit emits one literal reply line.
+//
+//hyperion:noalloc
 func (c *connection) lit(s string) {
 	c.out = append(c.out, s...)
 	c.out = append(c.out, '\n')
 }
 
 // uintReply emits "+<v>".
+//
+//hyperion:noalloc
 func (c *connection) uintReply(v uint64) {
 	c.out = append(c.out, '+')
 	c.out = strconv.AppendUint(c.out, v, 10)
@@ -443,6 +452,8 @@ func (c *connection) uintReply(v uint64) {
 }
 
 // intReply emits "+<v>".
+//
+//hyperion:noalloc
 func (c *connection) intReply(v int64) {
 	c.out = append(c.out, '+')
 	c.out = strconv.AppendInt(c.out, v, 10)
@@ -459,6 +470,8 @@ func (c *connection) errReply(prefix string, err error) {
 // pairLine emits one "<key> <value>" streaming line (RANGE/SCAN), flushing
 // whenever the reply buffer crosses the write threshold so an unbounded scan
 // cannot grow it without limit.
+//
+//hyperion:noalloc
 func (c *connection) pairLine(key []byte, value uint64) {
 	c.out = append(c.out, key...)
 	c.out = append(c.out, ' ')
@@ -469,6 +482,8 @@ func (c *connection) pairLine(key []byte, value uint64) {
 
 // maybeFlush flushes when the reply buffer exceeds the configured write
 // threshold.
+//
+//hyperion:noalloc
 func (c *connection) maybeFlush() {
 	if len(c.out) >= c.srv.cfg.WriteBuf {
 		c.flush()

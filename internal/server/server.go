@@ -244,10 +244,10 @@ func (s *Server) Shutdown() error {
 	s.closed.Store(true)
 	s.trackMu.Lock()
 	for ln := range s.listeners {
-		ln.Close()
+		ln.Close() //nolint:errsink shutdown teardown; Serve observes the closed listener
 	}
 	for c := range s.conns {
-		c.Close()
+		c.Close() //nolint:errsink shutdown teardown; the conn goroutine observes the close
 	}
 	s.trackMu.Unlock()
 	s.wg.Wait()

@@ -155,7 +155,7 @@ func replaySegment(path string, shard int, seq uint64, last bool, info *ReplayIn
 	if err != nil {
 		return 0, fmt.Errorf("wal: open segment: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //nolint:errsink read-only handle
 
 	var hdr [segHeaderSize]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
@@ -163,7 +163,7 @@ func replaySegment(path string, shard int, seq uint64, last bool, info *ReplayIn
 			if last {
 				// Crash while creating the segment: the header never made it
 				// to disk, so no record in it can have been acknowledged.
-				f.Close()
+				f.Close() //nolint:errsink read-only handle closed before removing the torn file
 				if err := os.Remove(path); err != nil {
 					return 0, fmt.Errorf("wal: remove torn segment: %w", err)
 				}
@@ -177,7 +177,7 @@ func replaySegment(path string, shard int, seq uint64, last bool, info *ReplayIn
 	arenas, err := checkHeader(hdr, shard, seq, filepath.Base(path))
 	if err != nil {
 		if last {
-			f.Close()
+			f.Close() //nolint:errsink read-only handle closed before removing the torn file
 			if rerr := os.Remove(path); rerr != nil {
 				return 0, fmt.Errorf("wal: remove torn segment: %w", rerr)
 			}
@@ -274,7 +274,9 @@ func fsyncFile(path string) error {
 		return fmt.Errorf("wal: reopen for sync: %w", err)
 	}
 	err = f.Sync()
-	f.Close()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
 		return fmt.Errorf("wal: sync truncated segment: %w", err)
 	}
