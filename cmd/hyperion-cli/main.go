@@ -28,7 +28,9 @@
 // to a running node (remote.go): commands pass through verbatim, -timeout
 // bounds the dial and every per-command read/write, and the exit code
 // distinguishes a node that cannot be reached (2) from one that misbehaves
-// after connecting (3).
+// after connecting (3). Two one-shot subcommands probe durability:
+// `hyperion-cli -connect addr health` prints the HEALTH line and exits 4 when
+// the node's WAL is degraded, and `... rearm` asks it to restore durability.
 package main
 
 import (
@@ -87,6 +89,12 @@ func main() {
 	flag.Parse()
 
 	if *connect != "" {
+		if flag.NArg() > 0 {
+			// One-shot probe mode: `hyperion-cli -connect addr health|rearm`
+			// runs a single command and encodes the node's durability state
+			// in the exit code (0 ok, 4 degraded) for scripts and monitors.
+			os.Exit(runSubcommand(*connect, *timeout, flag.Args(), os.Stdout, os.Stderr))
+		}
 		os.Exit(runRemote(*connect, *timeout, os.Stdin, os.Stdout, os.Stderr))
 	}
 

@@ -13,6 +13,13 @@ package main
 //	2  connect failure: dial error (refused, unresolvable, dial timeout)
 //	3  protocol/IO failure after connecting: write error, read error, or a
 //	   command deadline expiring (-timeout covers every read and write)
+//	4  degraded node: `hyperion-cli -connect addr health` reached the server
+//	   but its WAL is degraded (writes rejected), or `... rearm` failed to
+//	   restore durability — reachable, serving reads, but not durable
+//
+// Besides the stdin-driven shell, two one-shot subcommands make the tool a
+// monitoring probe: "health" prints the server's HEALTH line and exits 0/4 by
+// durability state, "rearm" asks a degraded node to re-establish durability.
 
 import (
 	"bufio"
@@ -27,6 +34,7 @@ const (
 	exitOK       = 0
 	exitConnect  = 2
 	exitProtocol = 3
+	exitDegraded = 4
 )
 
 // replyShape reports how many reply lines one command produces: n >= 0 for a
@@ -42,6 +50,66 @@ func replyShape(fields []string) (n int, quit bool) {
 	default:
 		return 1, false
 	}
+}
+
+// runSubcommand executes one monitoring subcommand ("health" or "rearm")
+// against addr and returns the process exit code. Unlike runRemote it
+// interprets the reply: health maps the server's durability state to exit 0
+// (ok or no WAL) vs 4 (degraded); rearm maps "+OK" to 0 and a rearm failure
+// to 4. Anything malformed is a protocol failure (3).
+func runSubcommand(addr string, timeout time.Duration, args []string, out, errOut io.Writer) int {
+	if len(args) != 1 {
+		fmt.Fprintf(errOut, "usage: hyperion-cli -connect addr [health|rearm]\n")
+		return exitProtocol
+	}
+	var cmd string
+	switch args[0] {
+	case "health":
+		cmd = "HEALTH"
+	case "rearm":
+		cmd = "REARM"
+	default:
+		fmt.Fprintf(errOut, "unknown subcommand %q (want health or rearm)\n", args[0])
+		return exitProtocol
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		fmt.Fprintf(errOut, "connect %s: %v\n", addr, err)
+		return exitConnect
+	}
+	defer conn.Close() //nolint:errsink connection teardown on exit; nothing left to report to
+	if timeout > 0 {
+		conn.SetDeadline(time.Now().Add(timeout))
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		fmt.Fprintf(errOut, "send %s: %v\n", cmd, err)
+		return exitProtocol
+	}
+	reply, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		fmt.Fprintf(errOut, "read reply to %s: %v\n", cmd, err)
+		return exitProtocol
+	}
+	reply = strings.TrimRight(reply, "\r\n")
+	fmt.Fprintln(out, reply)
+	switch args[0] {
+	case "health":
+		switch {
+		case strings.HasPrefix(reply, "+wal=degraded"):
+			return exitDegraded
+		case strings.HasPrefix(reply, "+"):
+			return exitOK
+		}
+	case "rearm":
+		switch {
+		case reply == "+OK":
+			return exitOK
+		case strings.HasPrefix(reply, "-ERR rearm:"):
+			return exitDegraded
+		}
+	}
+	return exitProtocol
 }
 
 // runRemote connects to addr and plays commands from in against it, writing

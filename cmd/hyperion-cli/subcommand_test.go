@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/hyperion"
+	"repro/internal/fault"
+	"repro/internal/server"
+)
+
+// startWALServer serves a WAL-backed store whose log I/O runs through the
+// returned injector, so tests can degrade the node on demand.
+func startWALServer(t *testing.T) (addr string, in *fault.Injector) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	in = &fault.Injector{}
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	opts.WALDir = t.TempDir()
+	opts.WALSync = hyperion.SyncAlways
+	opts.WALOpenFile = func(path string) (hyperion.WALFile, error) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(f), nil
+	}
+	st, err := hyperion.Open(opts)
+	if err != nil {
+		t.Fatalf("hyperion.Open: %v", err)
+	}
+	srv := server.New(server.Config{Store: st, Logf: t.Logf})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Shutdown() })
+	return ln.Addr().String(), in
+}
+
+// TestSubcommandHealthAndRearm walks the probe loop a monitoring script
+// would: health exits 0 on a durable node and 4 once it degrades, rearm
+// exits 4 while the disk is still broken and 0 once it heals, and a final
+// health confirms recovery.
+func TestSubcommandHealthAndRearm(t *testing.T) {
+	addr, in := startWALServer(t)
+
+	run := func(sub string) (int, string, string) {
+		t.Helper()
+		var out, errOut bytes.Buffer
+		code := runSubcommand(addr, 5*time.Second, []string{sub}, &out, &errOut)
+		return code, out.String(), errOut.String()
+	}
+
+	if code, out, errOut := run("health"); code != exitOK || !strings.HasPrefix(out, "+wal=ok ") {
+		t.Fatalf("healthy health: exit %d out %q stderr %q", code, out, errOut)
+	}
+
+	// Degrade the node: a persistent fault fails the next durable write.
+	in.FailWrites(-1, fault.ENOSPC())
+	var out, errOut bytes.Buffer
+	if code := runRemote(addr, 5*time.Second, strings.NewReader("PUT x 1\nQUIT\n"), &out, &errOut); code != exitOK {
+		t.Fatalf("degrading PUT session: exit %d stderr %q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "-ERR wal: ") {
+		t.Fatalf("degrading PUT got %q, want -ERR wal", out.String())
+	}
+
+	if code, out, _ := run("health"); code != exitDegraded || !strings.HasPrefix(out, "+wal=degraded ") {
+		t.Fatalf("degraded health: exit %d out %q, want exit %d", code, out, exitDegraded)
+	}
+	if code, out, _ := run("rearm"); code != exitDegraded || !strings.HasPrefix(out, "-ERR rearm: ") {
+		t.Fatalf("rearm on a broken disk: exit %d out %q, want exit %d", code, out, exitDegraded)
+	}
+
+	in.Heal()
+	if code, out, _ := run("rearm"); code != exitOK || out != "+OK\n" {
+		t.Fatalf("rearm after heal: exit %d out %q, want +OK exit 0", code, out)
+	}
+	if code, out, _ := run("health"); code != exitOK || !strings.HasPrefix(out, "+wal=ok ") {
+		t.Fatalf("recovered health: exit %d out %q", code, out)
+	}
+}
+
+// TestSubcommandHealthNoWAL: a node without a WAL is healthy by definition —
+// there is no durability to lose.
+func TestSubcommandHealthNoWAL(t *testing.T) {
+	addr := startServer(t)
+	var out, errOut bytes.Buffer
+	if code := runSubcommand(addr, 5*time.Second, []string{"health"}, &out, &errOut); code != exitOK {
+		t.Fatalf("exit %d stderr %q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out.String(), "+wal=none ") {
+		t.Fatalf("got %q, want +wal=none prefix", out.String())
+	}
+}
+
+// TestSubcommandErrors: usage mistakes and unreachable nodes keep their
+// distinct exit codes.
+func TestSubcommandErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := runSubcommand("127.0.0.1:1", time.Second, []string{"reboot"}, &out, &errOut); code != exitProtocol {
+		t.Fatalf("unknown subcommand: exit %d, want %d", code, exitProtocol)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if code := runSubcommand(addr, time.Second, []string{"health"}, &out, &errOut); code != exitConnect {
+		t.Fatalf("unreachable node: exit %d, want %d", code, exitConnect)
+	}
+}

@@ -42,23 +42,30 @@ func main() {
 		noDelay = flag.Bool("nodelay", true, "set TCP_NODELAY on accepted connections")
 		idle    = flag.Duration("idle-timeout", 0, "close connections idle for this long (0: never)")
 
-		walDir   = flag.String("wal-dir", "", "write-ahead log directory; enables durable writes and crash recovery (empty: in-memory only)")
-		fsync    = flag.String("fsync", "always", "WAL sync policy: always (group commit, acks wait for fsync), interval, never")
-		fsyncInt = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync cadence for -fsync=interval")
-		segMiB   = flag.Int64("wal-segment-mib", 64, "WAL segment rotation threshold in MiB")
+		maxConns = flag.Int("max-conns", 0, "refuse connections beyond this many concurrent clients with -ERR max clients (0: unlimited)")
+		writeTO  = flag.Duration("write-timeout", 0, "per-flush write deadline; a reader stalled this long gets disconnected (0: never)")
+
+		walDir    = flag.String("wal-dir", "", "write-ahead log directory; enables durable writes and crash recovery (empty: in-memory only)")
+		fsync     = flag.String("fsync", "always", "WAL sync policy: always (group commit, acks wait for fsync), interval, never")
+		fsyncInt  = flag.Duration("fsync-interval", 50*time.Millisecond, "fsync cadence for -fsync=interval")
+		segMiB    = flag.Int64("wal-segment-mib", 64, "WAL segment rotation threshold in MiB")
+		walRetry  = flag.Int("wal-retry", 4, "max in-place retries of a transient WAL write/fsync fault before the store degrades (negative: no retries)")
+		autoRearm = flag.Duration("wal-auto-rearm", 0, "probe a degraded WAL at this interval and re-arm it automatically (0: manual REARM only)")
 	)
 	flag.Parse()
 
 	opts := hyperion.DefaultOptions()
 	opts.Arenas = *arenas
 	cfg := server.Config{
-		Options:     opts,
-		SnapshotDir: *snapDir,
-		ReadBuf:     *readBuf,
-		WriteBuf:    *writBuf,
-		MaxLine:     *maxLine,
-		NoDelay:     *noDelay,
-		IdleTimeout: *idle,
+		Options:      opts,
+		SnapshotDir:  *snapDir,
+		ReadBuf:      *readBuf,
+		WriteBuf:     *writBuf,
+		MaxLine:      *maxLine,
+		NoDelay:      *noDelay,
+		IdleTimeout:  *idle,
+		MaxConns:     *maxConns,
+		WriteTimeout: *writeTO,
 	}
 	if *walDir != "" {
 		switch *fsync {
@@ -74,6 +81,8 @@ func main() {
 		opts.WALDir = *walDir
 		opts.WALSyncInterval = *fsyncInt
 		opts.WALSegmentBytes = *segMiB << 20
+		opts.WALRetryMax = *walRetry
+		opts.WALAutoRearm = *autoRearm
 		store, err := hyperion.Open(opts)
 		if err != nil {
 			log.Fatalf("open WAL-backed store: %v", err)

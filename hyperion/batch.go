@@ -122,7 +122,14 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 		g := s.lockShardWrite(sh)
 		var seq uint64
 		if sh.wal != nil {
-			seq = s.walEnqueueBatch(sh, ops, nil)
+			if seq = s.walEnqueueBatch(sh, ops, nil); seq == 0 && s.walErr.Load() != nil {
+				// Degraded (or closed) log: refuse the writes before they
+				// touch the tree, serve the reads. (seq == 0 with a healthy
+				// log just means the group had no writes to log.)
+				s.degradedApplyGroup(sh, ops, nil, results)
+				s.unlockShardWrite(sh, g)
+				return results
+			}
 		}
 		for i, op := range ops {
 			results[i] = applyOp(sh.tree, op, s.transformAppend(scratch[:0], op.Key))
@@ -155,7 +162,11 @@ func (s *Store) ApplyBatchInto(dst []Result, ops []Op) []Result {
 		wg := s.lockShardWrite(sh)
 		var seq uint64
 		if sh.wal != nil {
-			seq = s.walEnqueueBatch(sh, ops, opIdx)
+			if seq = s.walEnqueueBatch(sh, ops, opIdx); seq == 0 && s.walErr.Load() != nil {
+				s.degradedApplyGroup(sh, ops, opIdx, results)
+				s.unlockShardWrite(sh, wg)
+				return
+			}
 		}
 		for _, i := range opIdx {
 			results[i] = applyOp(sh.tree, ops[i], s.transformAppend(scratch[:0], ops[i].Key))
@@ -266,10 +277,14 @@ func (s *Store) bulkApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Res
 	}
 	g := s.lockShardWrite(sh)
 	var seq uint64
+	covered := n
 	if sh.wal != nil {
-		seq = s.walEnqueuePairs(sh, pairs)
+		// A mid-run log failure leaves the already-enqueued prefix in the
+		// log, so exactly that prefix is applied to the tree (memory must
+		// equal what the log replays); the rest of the run is refused.
+		seq, covered = s.walEnqueuePairs(sh, pairs)
 	}
-	sh.tree.BulkLoad(tkeys, vals)
+	sh.tree.BulkLoad(tkeys[:covered], vals[:covered])
 	s.unlockShardWrite(sh, g)
 	if seq != 0 {
 		s.walAwait(sh, seq)
@@ -279,7 +294,11 @@ func (s *Store) bulkApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Res
 		if opIdx != nil {
 			i = int(opIdx[k])
 		}
-		results[i] = Result{Value: ops[i].Value, Ok: true}
+		if k < covered {
+			results[i] = Result{Value: ops[i].Value, Ok: true}
+		} else {
+			results[i] = Result{}
+		}
 	}
 	return true
 }
@@ -315,6 +334,29 @@ func applyOp(t *core.Tree, op Op, k []byte) Result {
 		return Result{Ok: t.Delete(k)}
 	}
 	return Result{}
+}
+
+// degradedApplyGroup serves one shard group while the WAL cannot log: reads
+// execute normally, writes are refused with a zero Result (Ok=false) before
+// touching the tree — the fail-fast contract of degraded mode. The caller
+// holds the shard write lock.
+func (s *Store) degradedApplyGroup(sh *shard, ops []Op, opIdx []int32, results []Result) {
+	var scratch [opScratchSize]byte
+	n := len(opIdx)
+	if opIdx == nil {
+		n = len(ops)
+	}
+	for k := 0; k < n; k++ {
+		i := k
+		if opIdx != nil {
+			i = int(opIdx[k])
+		}
+		if ops[i].Kind.writes() {
+			results[i] = Result{}
+			continue
+		}
+		results[i] = applyOp(sh.tree, ops[i], s.transformAppend(scratch[:0], ops[i].Key))
+	}
 }
 
 // batchGroups is a stable counting-sort of batch indices by destination

@@ -105,11 +105,15 @@ func (s *Store) bulkLoadShard(sh *shard, pairs []Pair) {
 		// <4-byte / ≥4-byte key-length boundary): per-key fallback.
 		g := s.lockShardWrite(sh)
 		var seq uint64
+		covered := len(pairs)
 		if sh.wal != nil {
-			seq = s.walEnqueuePairs(sh, pairs)
+			// Only the prefix the log actually holds may be applied: a
+			// mid-run failure must not let memory run ahead of the replayable
+			// log (see walEnqueuePairs).
+			seq, covered = s.walEnqueuePairs(sh, pairs)
 		}
 		var scratch [opScratchSize]byte
-		for _, p := range pairs {
+		for _, p := range pairs[:covered] {
 			sh.tree.Put(s.transformAppend(scratch[:0], p.Key), p.Value)
 		}
 		s.unlockShardWrite(sh, g)
@@ -120,10 +124,11 @@ func (s *Store) bulkLoadShard(sh *shard, pairs []Pair) {
 	}
 	g := s.lockShardWrite(sh)
 	var seq uint64
+	covered := len(pairs)
 	if sh.wal != nil {
-		seq = s.walEnqueuePairs(sh, pairs)
+		seq, covered = s.walEnqueuePairs(sh, pairs)
 	}
-	sh.tree.BulkLoad(tkeys, vals)
+	sh.tree.BulkLoad(tkeys[:covered], vals[:covered])
 	s.unlockShardWrite(sh, g)
 	if seq != 0 {
 		s.walAwait(sh, seq)

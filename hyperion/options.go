@@ -88,6 +88,29 @@ type Options struct {
 	// WALSegmentBytes rotates a shard's segment file when it grows past this
 	// size. Zero means 64 MiB.
 	WALSegmentBytes int64
+
+	// WALRetryMax bounds how many times the WAL committer retries one
+	// transient write/fsync failure (EIO, EINTR, EAGAIN, timeouts — never
+	// ENOSPC) with exponential backoff before the store enters degraded
+	// read-only mode. Zero means the default (4); negative disables
+	// retrying, so the first failure degrades immediately.
+	WALRetryMax int
+
+	// WALRetryBackoff is the first retry's backoff delay; each retry
+	// doubles it and adds jitter, capped at the wal package's ceiling
+	// (50ms). Zero means 1ms.
+	WALRetryBackoff time.Duration
+
+	// WALAutoRearm, when positive, runs a background probe that attempts
+	// Rearm at this period whenever the store is degraded, so a store whose
+	// disk recovers re-establishes durability without an operator. Zero
+	// disables the probe; Store.Rearm (and the server REARM command) remain
+	// available either way.
+	WALAutoRearm time.Duration
+
+	// WALOpenFile overrides how WAL segment files are created — the
+	// fault-injection seam shared with internal/fault. Nil means real files.
+	WALOpenFile func(path string) (WALFile, error)
 }
 
 // DefaultOptions returns the paper's string-tuned configuration: one arena,

@@ -120,17 +120,35 @@ func (s *Store) Save(w io.Writer) (int, error) {
 	return int(total), nil
 }
 
+// snapTemp is the write surface SaveFile streams a snapshot through. The
+// production implementation is the *os.File from os.CreateTemp;
+// createSnapTemp is a package variable so fault-injection tests can splice
+// an injector (internal/fault) into the snapshot path, mirroring the WAL's
+// Options.WALOpenFile seam.
+type snapTemp interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+var createSnapTemp = func(dir, pattern string) (snapTemp, string, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, f.Name(), nil
+}
+
 // SaveFile writes a snapshot to path atomically and returns the exact number
 // of keys written: the bytes go to a temporary file in the same directory,
 // are synced, and the file is renamed over path only after everything
 // succeeded, so a crash mid-save never leaves a truncated snapshot under the
 // target name.
 func (s *Store) SaveFile(path string) (n int, err error) {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	f, tmp, err := createSnapTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return 0, fmt.Errorf("hyperion: snapshot temp file: %w", err)
 	}
-	tmp := f.Name()
 	defer func() {
 		if err != nil {
 			f.Close() //nolint:errsink save already failed; the temp file is being discarded
@@ -156,6 +174,9 @@ func (s *Store) SaveFile(path string) (n int, err error) {
 	// The rename itself lives in the directory: without syncing it, a crash
 	// can roll the directory entry back even though the data blocks were
 	// synced, and "SaveFile returned" would not mean "durable".
+	//
+	// (Directory-sync failures after a successful rename are surfaced but
+	// cannot un-rename: the new snapshot is in place either way.)
 	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
 		err = d.Sync()
 		if cerr := d.Close(); err == nil {

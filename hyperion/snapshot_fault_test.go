@@ -1,0 +1,130 @@
+package hyperion
+
+// Fault injection on the snapshot path, through the createSnapTemp seam: a
+// SaveFile that runs out of disk (or fails its fsync) must surface the error,
+// remove its temporary file, leave no partial file under the target name, and
+// leave a pre-existing snapshot byte-for-byte intact and loadable.
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// spliceSnapInjector routes every snapshot temp file of this test through in,
+// restoring the production seam on cleanup.
+func spliceSnapInjector(t *testing.T, in *fault.Injector) {
+	t.Helper()
+	orig := createSnapTemp
+	createSnapTemp = func(dir, pattern string) (snapTemp, string, error) {
+		f, name, err := orig(dir, pattern)
+		if err != nil {
+			return nil, "", err
+		}
+		return in.Wrap(f.(fault.File)), name, nil
+	}
+	t.Cleanup(func() { createSnapTemp = orig })
+}
+
+func listTempFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+func TestSaveFileENOSPC(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		inject func(in *fault.Injector)
+	}{
+		{"write", func(in *fault.Injector) { in.FailWrites(-1, fault.ENOSPC()) }},
+		{"sync", func(in *fault.Injector) { in.FailSyncs(-1, fault.ENOSPC()) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			target := filepath.Join(dir, "snap.hyp")
+			s := New(DefaultOptions())
+			defer s.Close() //nolint:errsink in-memory store teardown
+			for i := 0; i < 100; i++ {
+				s.Put([]byte{byte(i), byte(i >> 4), 'k'}, uint64(i)+7)
+			}
+
+			// A healthy save first: the failure below must not damage it.
+			if _, err := s.SaveFile(target); err != nil {
+				t.Fatalf("healthy SaveFile: %v", err)
+			}
+			before, err := os.ReadFile(target)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var in fault.Injector
+			spliceSnapInjector(t, &in)
+			tc.inject(&in)
+			s.Put([]byte("extra-key"), 1) // change the store so a rewrite would differ
+
+			if _, err := s.SaveFile(target); !errors.Is(err, syscall.ENOSPC) {
+				t.Fatalf("SaveFile under ENOSPC = %v, want ENOSPC surfaced", err)
+			}
+			if tmps := listTempFiles(t, dir); len(tmps) != 0 {
+				t.Fatalf("failed save left temp files behind: %v", tmps)
+			}
+			after, err := os.ReadFile(target)
+			if err != nil {
+				t.Fatalf("existing snapshot unreadable after failed save: %v", err)
+			}
+			if !bytes.Equal(before, after) {
+				t.Fatal("failed save modified the existing snapshot")
+			}
+			re, err := LoadFile(target, DefaultOptions())
+			if err != nil {
+				t.Fatalf("existing snapshot unloadable after failed save: %v", err)
+			}
+			defer re.Close() //nolint:errsink in-memory store teardown
+			if re.Has([]byte("extra-key")) {
+				t.Fatal("existing snapshot contains post-save state")
+			}
+			if v, ok := re.Get([]byte{3, 0, 'k'}); !ok || v != 10 {
+				t.Fatalf("existing snapshot content damaged: %d,%v", v, ok)
+			}
+
+			// The fault gone, the same store saves fine — the seam does not
+			// leave the path wedged.
+			in.Heal()
+			if _, err := s.SaveFile(target); err != nil {
+				t.Fatalf("SaveFile after heal: %v", err)
+			}
+		})
+	}
+}
+
+// TestSaveFileENOSPCFreshTarget: with no pre-existing snapshot, a failed save
+// leaves nothing at all — no partial file under the target name, no temp.
+func TestSaveFileENOSPCFreshTarget(t *testing.T) {
+	dir := t.TempDir()
+	target := filepath.Join(dir, "snap.hyp")
+	s := New(DefaultOptions())
+	defer s.Close() //nolint:errsink in-memory store teardown
+	s.Put([]byte("k"), 1)
+
+	var in fault.Injector
+	spliceSnapInjector(t, &in)
+	in.FailWrites(-1, fault.ENOSPC())
+	if _, err := s.SaveFile(target); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("SaveFile under ENOSPC = %v, want ENOSPC surfaced", err)
+	}
+	if _, err := os.Stat(target); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("failed save left a file under the target name: stat err=%v", err)
+	}
+	if tmps := listTempFiles(t, dir); len(tmps) != 0 {
+		t.Fatalf("failed save left temp files behind: %v", tmps)
+	}
+}

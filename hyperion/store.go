@@ -3,6 +3,7 @@ package hyperion
 import (
 	"bytes"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -36,10 +37,17 @@ type Store struct {
 	lockFree      bool
 	lockFreeReads bool
 
-	// Durability state (wal.go): walErr is the sticky first WAL failure,
-	// closed flips once in Close. Both stay cold on stores without a WAL.
-	walErr atomic.Pointer[error]
-	closed atomic.Bool
+	// Durability state (wal.go): walErr is the sticky first WAL failure
+	// (while set and the store is open, writes are rejected — degraded
+	// read-only mode), closed flips once in Close. rearmMu serialises Rearm
+	// attempts, rearms counts successful ones, and autoRearmStop (non-nil
+	// only with Options.WALAutoRearm) stops the background probe. All stay
+	// cold on stores without a WAL.
+	walErr        atomic.Pointer[error]
+	closed        atomic.Bool
+	rearmMu       sync.Mutex
+	rearms        atomic.Uint64
+	autoRearmStop chan struct{}
 }
 
 // New creates an empty store.
@@ -79,7 +87,12 @@ func (s *Store) Put(key []byte, value uint64) {
 	g := s.lockShardWrite(sh)
 	var seq uint64
 	if sh.wal != nil {
-		seq = s.walEnqueueOp(sh, walOpPut, key, value)
+		if seq = s.walEnqueueOp(sh, walOpPut, key, value); seq == 0 {
+			// Degraded (or closed) log: fail fast BEFORE the tree mutation,
+			// so memory never diverges from what the log can replay.
+			s.unlockShardWrite(sh, g)
+			return
+		}
 	}
 	sh.tree.Put(k, value)
 	s.unlockShardWrite(sh, g)
@@ -96,7 +109,10 @@ func (s *Store) PutKey(key []byte) {
 	g := s.lockShardWrite(sh)
 	var seq uint64
 	if sh.wal != nil {
-		seq = s.walEnqueueOp(sh, walOpPutKey, key, 0)
+		if seq = s.walEnqueueOp(sh, walOpPutKey, key, 0); seq == 0 {
+			s.unlockShardWrite(sh, g) // fail fast before mutating (see Put)
+			return
+		}
 	}
 	sh.tree.PutKey(k)
 	s.unlockShardWrite(sh, g)
@@ -135,7 +151,10 @@ func (s *Store) Delete(key []byte) bool {
 	g := s.lockShardWrite(sh)
 	var seq uint64
 	if sh.wal != nil {
-		seq = s.walEnqueueOp(sh, walOpDelete, key, 0)
+		if seq = s.walEnqueueOp(sh, walOpDelete, key, 0); seq == 0 {
+			s.unlockShardWrite(sh, g) // fail fast before mutating (see Put)
+			return false
+		}
 	}
 	ok := sh.tree.Delete(k)
 	s.unlockShardWrite(sh, g)
@@ -375,7 +394,10 @@ func (s *Store) Clear() {
 			if seqs == nil {
 				seqs = make([]uint64, len(s.shards))
 			}
-			seqs[i] = s.walEnqueueOp(sh, walOpClear, nil, 0)
+			if seqs[i] = s.walEnqueueOp(sh, walOpClear, nil, 0); seqs[i] == 0 {
+				s.unlockShardWrite(sh, g) // fail fast before mutating (see Put)
+				continue
+			}
 		}
 		sh.tree.Clear()
 		s.unlockShardWrite(sh, g)

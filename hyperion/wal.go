@@ -56,6 +56,7 @@ import (
 	"os"
 	"path/filepath"
 	"slices"
+	"time"
 
 	"repro/internal/wal"
 )
@@ -76,6 +77,17 @@ var ErrCorruptWAL = wal.ErrCorruptWAL
 
 // ErrNoWAL is returned by Checkpoint on a store without a write-ahead log.
 var ErrNoWAL = errors.New("hyperion: no write-ahead log configured")
+
+// ErrDegraded is the typed write-rejection error of degraded read-only mode:
+// a WAL failure exhausted its retry budget, so writes are refused before
+// they touch memory while reads, scans and snapshots keep serving. Errors
+// returned by WALError while degraded wrap both ErrDegraded and the root
+// cause, so errors.Is can test for either. Rearm leaves the mode.
+var ErrDegraded = errors.New("hyperion: WAL degraded, writes rejected (rearm to restore durability)")
+
+// WALFile is the injectable segment-file surface (Options.WALOpenFile); see
+// fault.File.
+type WALFile = wal.File
 
 // ErrWALArenaMismatch is returned by Open when the WAL directory was written
 // by a store with a different arena count. Per-key log order is only defined
@@ -143,6 +155,11 @@ func Open(opts Options) (*Store, error) {
 			Policy:       opts.WALSync,
 			Interval:     opts.WALSyncInterval,
 			SegmentBytes: opts.WALSegmentBytes,
+			Retry: wal.RetryPolicy{
+				MaxRetries: opts.WALRetryMax,
+				BaseDelay:  opts.WALRetryBackoff,
+			},
+			OpenFile: opts.WALOpenFile,
 		})
 		if err != nil {
 			for _, prev := range s.shards[:i] {
@@ -151,6 +168,10 @@ func Open(opts Options) (*Store, error) {
 			return nil, err
 		}
 		sh.wal = lg
+	}
+	if opts.WALAutoRearm > 0 {
+		s.autoRearmStop = make(chan struct{})
+		go s.autoRearmLoop(opts.WALAutoRearm)
 	}
 	return s, nil
 }
@@ -315,17 +336,30 @@ func (s *Store) replayWAL() error {
 // WALEnabled reports whether the store has a write-ahead log attached.
 func (s *Store) WALEnabled() bool { return s.opts.WALDir != "" && s.shards[0].wal != nil }
 
-// WALError returns the first write-ahead log failure (write, fsync or
-// enqueue-after-close), or nil. The write API cannot change its signatures
-// to return errors (the index.KV contract predates durability), so WAL
-// failures are sticky: once set, the store keeps serving reads and in-memory
-// writes but no further write is acknowledged as durable, and servers should
-// surface the error to clients.
+// WALError returns the store's sticky write-ahead log failure, or nil. The
+// write API cannot change its signatures to return errors (the index.KV
+// contract predates durability), so the failure is surfaced out of band:
+// while it is set the store is in degraded read-only mode — reads, scans and
+// snapshots keep serving, writes are rejected before they mutate memory —
+// and the returned error wraps both ErrDegraded and the root cause. On a
+// closed store the raw cause (usually wal.ErrClosed) is returned without the
+// degraded wrapper: a closed store is closed, not degraded. Rearm clears the
+// error.
 func (s *Store) WALError() error {
-	if p := s.walErr.Load(); p != nil {
+	p := s.walErr.Load()
+	if p == nil {
+		return nil
+	}
+	if s.closed.Load() {
 		return *p
 	}
-	return nil
+	return fmt.Errorf("%w: %w", ErrDegraded, *p)
+}
+
+// Degraded reports degraded read-only mode: a WAL failure is sticky and the
+// store is still open, so writes are being rejected. See WALError.
+func (s *Store) Degraded() bool {
+	return s.walErr.Load() != nil && !s.closed.Load()
 }
 
 func (s *Store) noteWALErr(err error) {
@@ -335,17 +369,94 @@ func (s *Store) noteWALErr(err error) {
 	s.walErr.CompareAndSwap(nil, &err)
 }
 
+// Rearm attempts to leave degraded mode and re-establish durability: every
+// shard's log abandons its suspect segment, rewrites the frames that were in
+// flight when it failed into a fresh segment and fsyncs them; then the
+// sticky error is lifted and the logs are folded into a fresh checkpoint.
+// On a healthy store Rearm degenerates to a durability probe (forced group
+// commit) plus a checkpoint. A checkpoint failure does not re-enter degraded
+// mode by itself — at that point the logs are already healthy and cover
+// everything — but it is surfaced so the caller can retry.
+//
+// Rearm is safe to call concurrently with reads and writes; concurrent Rearm
+// calls serialise.
+func (s *Store) Rearm() error {
+	if !s.WALEnabled() {
+		return ErrNoWAL
+	}
+	if s.closed.Load() {
+		return wal.ErrClosed
+	}
+	s.rearmMu.Lock()
+	defer s.rearmMu.Unlock()
+	for _, sh := range s.shards {
+		if err := sh.wal.Rearm(); err != nil {
+			return err
+		}
+	}
+	// Every shard's log accepts and persists records again: lift the sticky
+	// error so writers resume.
+	s.walErr.Store(nil)
+	s.rearms.Add(1)
+	if _, err := s.Checkpoint(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// autoRearmLoop probes a degraded store at the configured period until the
+// store closes (Options.WALAutoRearm). A failed probe is deliberately
+// dropped: the next tick retries, and the sticky WALError already tells
+// operators what is wrong.
+func (s *Store) autoRearmLoop(period time.Duration) {
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.autoRearmStop:
+			return
+		case <-t.C:
+			if s.Degraded() {
+				_ = s.Rearm()
+			}
+		}
+	}
+}
+
+// WALStats is the durability subsystem's health snapshot, surfaced by the
+// server HEALTH command and the CLI health subcommand.
+type WALStats struct {
+	Enabled  bool   // a write-ahead log is attached
+	Degraded bool   // writes currently rejected (see ErrDegraded)
+	Retries  uint64 // transient write/fsync failures retried by the committers
+	Rearms   uint64 // successful Rearm recoveries
+}
+
+// WALStats returns the durability health snapshot. Safe for concurrent use.
+func (s *Store) WALStats() WALStats {
+	st := WALStats{Enabled: s.WALEnabled(), Degraded: s.Degraded(), Rearms: s.rearms.Load()}
+	if st.Enabled {
+		for _, sh := range s.shards {
+			st.Retries += sh.wal.Stats().Retries
+		}
+	}
+	return st
+}
+
 // Close makes the store's durable state final and releases its files:
 // in-flight writers are quiesced (each shard's write lock is taken once),
 // every per-shard log is flushed, fsynced and closed. Close is idempotent
 // and returns the first WAL error encountered over the store's lifetime —
 // a nil Close after SyncAlways writes means every acknowledged write is on
-// disk. Writes issued after Close mutate memory only and leave the sticky
-// ErrClosed in WALError. On a store without a WAL, Close only marks the
-// store closed.
+// disk. Writes issued after Close are rejected before mutating memory (the
+// same fail-fast path as degraded mode) and leave the sticky ErrClosed in
+// WALError. On a store without a WAL, Close only marks the store closed.
 func (s *Store) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return s.WALError()
+	}
+	if s.autoRearmStop != nil {
+		close(s.autoRearmStop)
 	}
 	for _, sh := range s.shards {
 		sh.mu.Lock() // quiesce: no writer past this point enqueued before us
@@ -466,9 +577,12 @@ func (s *Store) walEnqueueBatch(sh *shard, ops []Op, opIdx []int32) uint64 {
 
 // walEnqueuePairs logs a bulk run's pairs, chunked so one record payload
 // stays under walMaxChunk. Called under the shard write lock; returns the
-// last record's sequence.
-func (s *Store) walEnqueuePairs(sh *shard, pairs []Pair) uint64 {
-	var last uint64
+// last record's sequence plus how many pairs were actually logged. The two
+// can disagree only when the log fails mid-run: earlier chunks are already
+// enqueued, so the caller MUST still apply exactly the covered prefix to the
+// tree — applying more (or less) would diverge memory from what the log
+// replays after a rearm or restart.
+func (s *Store) walEnqueuePairs(sh *shard, pairs []Pair) (last uint64, covered int) {
 	payload := make([]byte, 0, min(len(pairs)*16, walMaxChunk+opScratchSize))
 	for i := range pairs {
 		payload = appendWalOp(payload, walOpPut, pairs[i].Key, pairs[i].Value)
@@ -476,9 +590,10 @@ func (s *Store) walEnqueuePairs(sh *shard, pairs []Pair) uint64 {
 			seq, err := sh.wal.Enqueue(payload)
 			if err != nil {
 				s.noteWALErr(err)
-				return 0
+				return last, covered
 			}
 			last = seq
+			covered = i + 1
 			payload = payload[:0]
 		}
 	}
@@ -486,11 +601,11 @@ func (s *Store) walEnqueuePairs(sh *shard, pairs []Pair) uint64 {
 		seq, err := sh.wal.Enqueue(payload)
 		if err != nil {
 			s.noteWALErr(err)
-			return 0
+			return last, covered
 		}
 		last = seq
 	}
-	return last
+	return last, len(pairs)
 }
 
 // walAwait applies the durability policy to a previously enqueued record:

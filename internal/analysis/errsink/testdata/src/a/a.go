@@ -75,3 +75,33 @@ func noError(q *quietFile) {
 func suppressed(f *File) {
 	f.Sync() //nolint:errsink best-effort sync before abandoning the segment
 }
+
+// retryChecked is the bounded-retry helper shape (WAL committer): every
+// attempt's error is bound and routed — the loop is fine.
+func retryChecked(f *File, budget int) error {
+	var err error
+	for attempt := 0; attempt <= budget; attempt++ {
+		if err = f.Sync(); err == nil {
+			return nil
+		}
+		sink(err)
+	}
+	return err
+}
+
+// dropInLoop drops the error inside a retry loop — retrying does not excuse
+// ignoring the last attempt's outcome.
+func dropInLoop(f *File, budget int) {
+	for attempt := 0; attempt <= budget; attempt++ {
+		f.Sync() // want `error returned by Sync is dropped`
+	}
+}
+
+// dropAfterRetrySuccess checks the retried Sync but drops the follow-up
+// Truncate on the recovery path.
+func dropAfterRetrySuccess(f *File) {
+	if err := f.Sync(); err != nil {
+		f.Truncate(0) // want `error returned by Truncate is dropped`
+		sink(err)
+	}
+}

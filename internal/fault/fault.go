@@ -1,0 +1,345 @@
+// Package fault is the injectable I/O fault layer shared by the WAL and
+// snapshot paths. It has two halves:
+//
+//   - Injection: wrappers around the File write surface that fail, tear,
+//     delay or refuse writes and fsyncs on a schedule. Failpoint is the
+//     byte-budget harness from the original crash-consistency tests (fail
+//     once at byte N, optionally tearing); Injector is the richer scheduler
+//     driving the chaos tests — transient EIO bursts, ENOSPC windows, torn
+//     writes, slow-I/O latency and fail-sync, all retargetable mid-run.
+//
+//   - Classification: Classify buckets a write/fsync error as transient
+//     (worth retrying with backoff — EIO blips, EINTR, EAGAIN, timeouts) or
+//     persistent (fail now — ENOSPC, ErrFailpoint, anything unrecognised).
+//     Injected errors wrap the real syscall errnos, so the classifier treats
+//     the harness exactly like the kernel.
+//
+// The package deliberately knows nothing about segments or snapshots: it
+// only sees Write/Sync/Close calls, which is what lets one injector drive
+// both durability paths in a single chaos schedule.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// File is the write surface of one log segment or snapshot temp file.
+// Production code uses *os.File; tests wrap it with Failpoint or Injector.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// ErrInjected tags every error produced by this package's wrappers, so a
+// test can tell a scheduled fault from a real one with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// ErrFailpoint is the injected failure returned by a tripped Failpoint.
+// It wraps ErrInjected but no syscall errno, so Classify calls it
+// persistent — the byte-budget harness models hard faults, and the original
+// torn-tail tests depend on the first failure sticking immediately.
+var ErrFailpoint = fmt.Errorf("%w: failpoint", ErrInjected)
+
+// EIO returns an injected transient I/O error: it wraps syscall.EIO, so
+// Classify (and errors.Is(err, syscall.EIO) anywhere else) treats it like a
+// real device blip.
+func EIO() error { return fmt.Errorf("%w: %w", ErrInjected, syscall.EIO) }
+
+// ENOSPC returns an injected disk-full error: persistent under Classify,
+// like the real thing — retrying a full disk in a tight loop helps no one.
+func ENOSPC() error { return fmt.Errorf("%w: %w", ErrInjected, syscall.ENOSPC) }
+
+// Class buckets an I/O error for the retry policy.
+type Class int
+
+const (
+	// Persistent faults are not worth retrying: disk full, a tripped
+	// failpoint, closed files, and any error this package cannot identify.
+	// Unknown-means-persistent is deliberate — retrying an unclassified
+	// failure risks looping on something that will never succeed, while
+	// failing fast merely degrades earlier than strictly necessary.
+	Persistent Class = iota
+	// Transient faults may clear on their own; the WAL committer retries
+	// them with bounded exponential backoff before degrading.
+	Transient
+)
+
+// String names the class for logs and test output.
+func (c Class) String() string {
+	if c == Transient {
+		return "transient"
+	}
+	return "persistent"
+}
+
+// transientErrnos are the errnos the retry policy considers recoverable:
+// device blips (EIO), interrupted syscalls (EINTR), spurious would-block
+// (EAGAIN) and timeouts (ETIMEDOUT). ENOSPC is deliberately absent.
+var transientErrnos = []error{syscall.EIO, syscall.EINTR, syscall.EAGAIN, syscall.ETIMEDOUT}
+
+// Classify buckets err for the retry policy. Nil is (vacuously) transient;
+// anything not recognised as a transient errno is persistent.
+func Classify(err error) Class {
+	if err == nil {
+		return Transient
+	}
+	for _, e := range transientErrnos {
+		if errors.Is(err, e) {
+			return Transient
+		}
+	}
+	return Persistent
+}
+
+// Injector schedules faults across every file wrapped by it. All methods are
+// safe for concurrent use; schedules can be changed while I/O is in flight,
+// which is what the chaos harness does (a fault window opens mid-workload
+// and heals a few operations later).
+//
+// The zero Injector injects nothing and passes every call through.
+type Injector struct {
+	mu         sync.Mutex
+	failWrites int   // writes left to fail; -1 = every write until Heal
+	writeErr   error // error those writes return
+	tearBytes  int   // bytes of a failing write persisted first (torn write)
+	failSyncs  int   // syncs left to fail; -1 = every sync until Heal
+	syncErr    error // error those syncs return
+	latency    time.Duration
+
+	writes, syncs       uint64 // total calls seen
+	injWrites, injSyncs uint64 // calls that were failed
+}
+
+// Wrap returns f with this injector's schedule applied.
+func (in *Injector) Wrap(f File) File { return &injectedFile{in: in, f: f} }
+
+// FailWrites makes the next n writes (through any wrapped file) fail with
+// err; n < 0 fails every write until Heal. A nil err means EIO().
+func (in *Injector) FailWrites(n int, err error) {
+	if err == nil {
+		err = EIO()
+	}
+	in.mu.Lock()
+	in.failWrites, in.writeErr, in.tearBytes = n, err, 0
+	in.mu.Unlock()
+}
+
+// TearWrites is FailWrites, but each failing write persists up to keep bytes
+// of its buffer before reporting the error — a torn write.
+func (in *Injector) TearWrites(n int, err error, keep int) {
+	if err == nil {
+		err = EIO()
+	}
+	in.mu.Lock()
+	in.failWrites, in.writeErr, in.tearBytes = n, err, keep
+	in.mu.Unlock()
+}
+
+// FailSyncs makes the next n fsyncs fail with err; n < 0 fails every sync
+// until Heal. A nil err means EIO().
+func (in *Injector) FailSyncs(n int, err error) {
+	if err == nil {
+		err = EIO()
+	}
+	in.mu.Lock()
+	in.failSyncs, in.syncErr = n, err
+	in.mu.Unlock()
+}
+
+// SetLatency makes every write and sync sleep d first — the slow-device
+// schedule. Zero restores full speed.
+func (in *Injector) SetLatency(d time.Duration) {
+	in.mu.Lock()
+	in.latency = d
+	in.mu.Unlock()
+}
+
+// Heal clears every scheduled fault (latency included).
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.failWrites, in.failSyncs, in.tearBytes = 0, 0, 0
+	in.writeErr, in.syncErr = nil, nil
+	in.latency = 0
+	in.mu.Unlock()
+}
+
+// Counters returns (writes seen, syncs seen, writes failed, syncs failed).
+func (in *Injector) Counters() (writes, syncs, injWrites, injSyncs uint64) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.writes, in.syncs, in.injWrites, in.injSyncs
+}
+
+// nextWrite consumes one write from the schedule: fail reports whether it
+// should fail, keep how many bytes to persist first, err what to return.
+func (in *Injector) nextWrite() (fail bool, keep int, err error, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.writes++
+	delay = in.latency
+	if in.failWrites == 0 {
+		return false, 0, nil, delay
+	}
+	if in.failWrites > 0 {
+		in.failWrites--
+	}
+	in.injWrites++
+	return true, in.tearBytes, in.writeErr, delay
+}
+
+// nextSync consumes one sync from the schedule.
+func (in *Injector) nextSync() (fail bool, err error, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.syncs++
+	delay = in.latency
+	if in.failSyncs == 0 {
+		return false, nil, delay
+	}
+	if in.failSyncs > 0 {
+		in.failSyncs--
+	}
+	in.injSyncs++
+	return true, in.syncErr, delay
+}
+
+type injectedFile struct {
+	in *Injector
+	f  File
+}
+
+func (w *injectedFile) Write(p []byte) (int, error) {
+	fail, keep, err, delay := w.in.nextWrite()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !fail {
+		return w.f.Write(p)
+	}
+	if keep > len(p) {
+		keep = len(p)
+	}
+	if keep > 0 {
+		// Torn write: the prefix reaches the file, then the fault hits.
+		if n, werr := w.f.Write(p[:keep]); werr != nil {
+			return n, werr
+		}
+	}
+	return keep, err
+}
+
+func (w *injectedFile) Sync() error {
+	fail, err, delay := w.in.nextSync()
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if !fail {
+		return w.f.Sync()
+	}
+	return err
+}
+
+func (w *injectedFile) Close() error { return w.f.Close() }
+
+// Failpoint wraps a segment File and fails or tears writes at a chosen byte
+// offset — the byte-budget harness for crash-consistency tests. A torn write
+// persists a prefix of the buffer and then reports failure, modelling a
+// crash mid-write; FailSync models power loss between write and fsync.
+//
+// Wire it in through the WAL's Options.OpenFile:
+//
+//	fp := &fault.Failpoint{FailAfter: 100}
+//	opts.OpenFile = func(path string) (fault.File, error) {
+//	    f, err := os.Create(path)
+//	    if err != nil {
+//	        return nil, err
+//	    }
+//	    return fp.Wrap(f), nil
+//	}
+//
+// One Failpoint can wrap several files; the byte budget is shared, counting
+// every byte written through any wrapped file (segment headers included).
+type Failpoint struct {
+	// FailAfter is the total number of bytes allowed through before writes
+	// start failing. Negative means unlimited.
+	FailAfter int64
+	// Tear makes the failing write persist the bytes that fit under the
+	// budget before reporting failure; otherwise the failing write writes
+	// nothing at all.
+	Tear bool
+	// FailSync makes Sync return ErrFailpoint once Tripped (writes after
+	// FailAfter), modelling a device that accepted writes but lost power
+	// before the flush.
+	FailSync bool
+
+	mu      sync.Mutex
+	written int64
+	tripped bool
+}
+
+// Wrap returns f with this failpoint's budget applied to its writes.
+func (fp *Failpoint) Wrap(f File) File {
+	return &failpointFile{fp: fp, f: f}
+}
+
+// Tripped reports whether any write has hit the budget.
+func (fp *Failpoint) Tripped() bool {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.tripped
+}
+
+// Written returns the total bytes persisted through the failpoint.
+func (fp *Failpoint) Written() int64 {
+	fp.mu.Lock()
+	defer fp.mu.Unlock()
+	return fp.written
+}
+
+type failpointFile struct {
+	fp *Failpoint
+	f  File
+}
+
+func (w *failpointFile) Write(p []byte) (int, error) {
+	fp := w.fp
+	fp.mu.Lock()
+	if fp.FailAfter < 0 || fp.written+int64(len(p)) <= fp.FailAfter {
+		fp.written += int64(len(p))
+		fp.mu.Unlock()
+		return w.f.Write(p)
+	}
+	fp.tripped = true
+	allow := 0
+	if fp.Tear {
+		if room := fp.FailAfter - fp.written; room > 0 {
+			allow = int(room)
+		}
+	}
+	fp.written += int64(allow)
+	fp.mu.Unlock()
+	if allow > 0 {
+		if n, err := w.f.Write(p[:allow]); err != nil {
+			return n, err
+		}
+	}
+	return allow, ErrFailpoint
+}
+
+func (w *failpointFile) Sync() error {
+	fp := w.fp
+	fp.mu.Lock()
+	failSync := fp.FailSync && fp.tripped
+	fp.mu.Unlock()
+	if failSync {
+		return ErrFailpoint
+	}
+	return w.f.Sync()
+}
+
+func (w *failpointFile) Close() error { return w.f.Close() }

@@ -1,0 +1,163 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// memFile is an in-memory File recording what reached "disk".
+type memFile struct {
+	buf   bytes.Buffer
+	syncs int
+}
+
+func (m *memFile) Write(p []byte) (int, error) { return m.buf.Write(p) }
+func (m *memFile) Sync() error                 { m.syncs++; return nil }
+func (m *memFile) Close() error                { return nil }
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want Class
+	}{
+		{"nil", nil, Transient},
+		{"eio", syscall.EIO, Transient},
+		{"eintr", syscall.EINTR, Transient},
+		{"eagain", syscall.EAGAIN, Transient},
+		{"etimedout", syscall.ETIMEDOUT, Transient},
+		{"injected eio", EIO(), Transient},
+		{"wrapped injected eio", errors.Join(errors.New("wal: write"), EIO()), Transient},
+		{"enospc", syscall.ENOSPC, Persistent},
+		{"injected enospc", ENOSPC(), Persistent},
+		{"failpoint", ErrFailpoint, Persistent},
+		{"unknown", errors.New("mystery"), Persistent},
+		{"short write", io.ErrShortWrite, Persistent},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestInjectedErrorsAreRecognisable(t *testing.T) {
+	if !errors.Is(EIO(), ErrInjected) || !errors.Is(EIO(), syscall.EIO) {
+		t.Fatal("EIO() must wrap both ErrInjected and syscall.EIO")
+	}
+	if !errors.Is(ENOSPC(), ErrInjected) || !errors.Is(ENOSPC(), syscall.ENOSPC) {
+		t.Fatal("ENOSPC() must wrap both ErrInjected and syscall.ENOSPC")
+	}
+	if !errors.Is(ErrFailpoint, ErrInjected) {
+		t.Fatal("ErrFailpoint must wrap ErrInjected")
+	}
+}
+
+func TestInjectorFailWritesWindow(t *testing.T) {
+	var in Injector
+	m := &memFile{}
+	f := in.Wrap(m)
+
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("clean write: %v", err)
+	}
+	in.FailWrites(2, nil)
+	for i := 0; i < 2; i++ {
+		if n, err := f.Write([]byte("fail")); err == nil || n != 0 {
+			t.Fatalf("write %d: n=%d err=%v, want injected failure", i, n, err)
+		} else if !errors.Is(err, syscall.EIO) {
+			t.Fatalf("write %d: err=%v, want EIO", i, err)
+		}
+	}
+	if _, err := f.Write([]byte("healed")); err != nil {
+		t.Fatalf("post-window write: %v", err)
+	}
+	if got := m.buf.String(); got != "okhealed" {
+		t.Fatalf("disk = %q, want only the successful writes", got)
+	}
+	if _, _, injW, _ := in.Counters(); injW != 2 {
+		t.Fatalf("injected writes = %d, want 2", injW)
+	}
+}
+
+func TestInjectorTearWrites(t *testing.T) {
+	var in Injector
+	m := &memFile{}
+	f := in.Wrap(m)
+
+	in.TearWrites(1, ENOSPC(), 3)
+	n, err := f.Write([]byte("abcdef"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("torn write err = %v, want ENOSPC", err)
+	}
+	if n != 3 || m.buf.String() != "abc" {
+		t.Fatalf("torn write persisted n=%d disk=%q, want 3 bytes 'abc'", n, m.buf.String())
+	}
+}
+
+func TestInjectorFailSyncsAndHeal(t *testing.T) {
+	var in Injector
+	m := &memFile{}
+	f := in.Wrap(m)
+
+	in.FailSyncs(-1, nil)
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("sync err = %v, want injected", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync err = %v, want injected (n<0 persists)", err)
+	}
+	in.Heal()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("healed sync: %v", err)
+	}
+	if m.syncs != 1 {
+		t.Fatalf("underlying syncs = %d, want 1 (only the healed one)", m.syncs)
+	}
+}
+
+func TestInjectorLatency(t *testing.T) {
+	var in Injector
+	f := in.Wrap(&memFile{})
+	in.SetLatency(20 * time.Millisecond)
+	start := time.Now()
+	if _, err := f.Write([]byte("slow")); err != nil {
+		t.Fatalf("slow write: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("latency schedule not applied: write took %v", d)
+	}
+	in.Heal()
+	start = time.Now()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("Heal left latency behind: sync took %v", d)
+	}
+}
+
+func TestFailpointSharedBudget(t *testing.T) {
+	fp := &Failpoint{FailAfter: 10, Tear: true}
+	a := fp.Wrap(&memFile{})
+	mb := &memFile{}
+	b := fp.Wrap(mb)
+
+	if _, err := a.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("first write under budget: %v", err)
+	}
+	n, err := b.Write([]byte("abcdef"))
+	if !errors.Is(err, ErrFailpoint) {
+		t.Fatalf("over-budget write err = %v, want ErrFailpoint", err)
+	}
+	if n != 2 || mb.buf.String() != "ab" {
+		t.Fatalf("tear persisted n=%d %q, want the 2 bytes that fit", n, mb.buf.String())
+	}
+	if !fp.Tripped() || fp.Written() != 10 {
+		t.Fatalf("tripped=%v written=%d, want true/10", fp.Tripped(), fp.Written())
+	}
+}

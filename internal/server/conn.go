@@ -5,6 +5,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"time"
 
@@ -59,6 +60,14 @@ const maxCoalesce = 4096
 // can drive in-memory connections (net.Pipe) directly.
 func (s *Server) ServeConn(nc net.Conn) {
 	defer nc.Close() //nolint:errsink connection teardown; the peer is gone either way
+	// Panic isolation: a bug tickled by one connection's input logs and
+	// closes that connection instead of killing the process (and with it
+	// every other client plus the store's orderly shutdown path).
+	defer func() {
+		if r := recover(); r != nil {
+			s.logf("conn %v: panic: %v\n%s", nc.RemoteAddr(), r, debug.Stack())
+		}
+	}()
 	c := &connection{srv: s, nc: nc}
 	c.rd.init(nc, s.cfg.ReadBuf, s.cfg.MaxLine)
 	c.out = make([]byte, 0, 1024)
@@ -301,6 +310,22 @@ func (c *connection) dispatch(line []byte) {
 			break
 		}
 		c.intReply(int64(n))
+	case cmdIs(cmd, "HEALTH"):
+		if len(args) != 0 {
+			c.lit("-ERR usage: HEALTH")
+			break
+		}
+		c.healthReply(store)
+	case cmdIs(cmd, "REARM"):
+		if len(args) != 0 {
+			c.lit("-ERR usage: REARM")
+			break
+		}
+		if err := store.Rearm(); err != nil {
+			c.errReply("-ERR rearm: ", err)
+			break
+		}
+		c.lit("+OK")
 	case cmdIs(cmd, "QUIT"):
 		c.lit("+BYE")
 		c.quit = true
@@ -434,6 +459,32 @@ func (c *connection) statsReply(store *hyperion.Store) {
 	c.out = append(c.out, '\n')
 }
 
+// healthReply emits the HEALTH summary line. The wal field is the store's
+// durability state: "none" (no WAL configured), "ok", or "degraded" (writes
+// rejected until REARM succeeds).
+func (c *connection) healthReply(store *hyperion.Store) {
+	ws := store.WALStats()
+	state := "none"
+	if ws.Enabled {
+		if ws.Degraded {
+			state = "degraded"
+		} else {
+			state = "ok"
+		}
+	}
+	c.out = append(c.out, "+wal="...)
+	c.out = append(c.out, state...)
+	c.out = append(c.out, " retries="...)
+	c.out = strconv.AppendUint(c.out, ws.Retries, 10)
+	c.out = append(c.out, " rearms="...)
+	c.out = strconv.AppendUint(c.out, ws.Rearms, 10)
+	c.out = append(c.out, " conns="...)
+	c.out = strconv.AppendInt(c.out, int64(c.srv.connCount()), 10)
+	c.out = append(c.out, " keys="...)
+	c.out = strconv.AppendInt(c.out, int64(store.Len()), 10)
+	c.out = append(c.out, '\n')
+}
+
 // lit emits one literal reply line.
 //
 //hyperion:noalloc
@@ -498,6 +549,12 @@ func (c *connection) flush() {
 		return
 	}
 	if c.werr == nil {
+		if d := c.srv.cfg.WriteTimeout; d > 0 {
+			// A stalled or malicious reader cannot pin the goroutine in
+			// nc.Write forever; the deadline turns it into a write error and
+			// the connection winds down.
+			c.nc.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck deadline on a live conn cannot fail usefully
+		}
 		if _, err := c.nc.Write(c.out); err != nil {
 			c.werr = err
 		}

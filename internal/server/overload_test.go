@@ -1,0 +1,310 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/hyperion"
+	"repro/internal/fault"
+)
+
+// TestMaxConnsRefusal: the MaxConns cap answers surplus connections with
+// "-ERR max clients" and closes them instead of silently starving every
+// established client — and a freed slot is reusable immediately.
+func TestMaxConnsRefusal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback TCP unavailable: %v", err)
+	}
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	srv := New(Config{Options: opts, MaxConns: 1, Logf: t.Logf})
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		<-done
+	}()
+
+	dial := func() (net.Conn, *bufio.Scanner) {
+		t.Helper()
+		c, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		c.SetDeadline(time.Now().Add(10 * time.Second))
+		return c, bufio.NewScanner(c)
+	}
+
+	// The round trip proves the first connection is tracked before the
+	// second one is accepted.
+	c1, r1 := dial()
+	defer c1.Close()
+	fmt.Fprint(c1, "PUT a 1\n")
+	if !r1.Scan() || r1.Text() != "+OK" {
+		t.Fatalf("first conn got %q err=%v, want +OK", r1.Text(), r1.Err())
+	}
+
+	c2, r2 := dial()
+	defer c2.Close()
+	if !r2.Scan() || r2.Text() != "-ERR max clients" {
+		t.Fatalf("over-cap conn got %q err=%v, want -ERR max clients", r2.Text(), r2.Err())
+	}
+	if r2.Scan() {
+		t.Fatalf("over-cap conn still alive after refusal: %q", r2.Text())
+	}
+
+	// Releasing the slot re-admits the next client.
+	fmt.Fprint(c1, "QUIT\n")
+	if !r1.Scan() || r1.Text() != "+BYE" {
+		t.Fatalf("QUIT got %q err=%v", r1.Text(), r1.Err())
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.connCount() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("connection never untracked after QUIT")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c3, r3 := dial()
+	defer c3.Close()
+	fmt.Fprint(c3, "GET a\n")
+	if !r3.Scan() || r3.Text() != "+1" {
+		t.Fatalf("post-release conn got %q err=%v, want +1", r3.Text(), r3.Err())
+	}
+}
+
+// TestShutdownRefusesLateConn pins the accept/shutdown race: a connection the
+// listener hands over after Shutdown has flipped the closed flag must be
+// answered "-ERR shutting down" and closed — not served against a store that
+// is already closing, and not silently dropped.
+func TestShutdownRefusesLateConn(t *testing.T) {
+	srv := newTestServer(t, 2)
+	serverSide, clientSide := net.Pipe()
+	defer clientSide.Close()
+	accepting := make(chan struct{})
+	released := make(chan struct{})
+	ln := newScriptedListener(func() (net.Conn, error) {
+		close(accepting)
+		<-released
+		return serverSide, nil
+	})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	// Serve must be inside Accept before Shutdown starts, or Shutdown wins the
+	// listener-registration race and Serve just returns ErrServerClosed.
+	<-accepting
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown() }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.closed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("Shutdown never flipped the closed flag")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Only now does Accept deliver the connection — after shutdown began.
+	close(released)
+
+	clientSide.SetReadDeadline(time.Now().Add(10 * time.Second))
+	r := bufio.NewScanner(clientSide)
+	if !r.Scan() || r.Text() != "-ERR shutting down" {
+		t.Fatalf("late conn got %q err=%v, want -ERR shutting down", r.Text(), r.Err())
+	}
+	if r.Scan() {
+		t.Fatalf("late conn still alive after refusal: %q", r.Text())
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve after Shutdown = %v, want nil", err)
+	}
+}
+
+// TestWriteTimeoutFailsStalledReader: a peer that stops reading cannot pin a
+// connection goroutine in flush forever — the configured write deadline turns
+// the stalled write into an error and the connection winds down. net.Pipe has
+// no buffering, so without the deadline the final flush would block for good.
+func TestWriteTimeoutFailsStalledReader(t *testing.T) {
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 1
+	srv := New(Config{Options: opts, WriteTimeout: 100 * time.Millisecond, Logf: t.Logf})
+	serverSide, clientSide := net.Pipe()
+	defer clientSide.Close()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeConn(serverSide)
+		close(done)
+	}()
+	if _, err := fmt.Fprint(clientSide, "PUT a 1\nQUIT\n"); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	// Never read. The reply flush must hit the deadline and give up.
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeConn still blocked after 5s; the write deadline did not fire")
+	}
+}
+
+// readPanicConn panics from Read, standing in for any bug one connection's
+// input tickles in the engine.
+type readPanicConn struct{ net.Conn }
+
+func (readPanicConn) Read([]byte) (int, error) { panic("injected connection bug") }
+
+// TestPanicRecoveryIsolatesConnection: a panic while serving one connection
+// is logged and kills only that connection, not the process.
+func TestPanicRecoveryIsolatesConnection(t *testing.T) {
+	var mu sync.Mutex
+	var logged []string
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 1
+	srv := New(Config{Options: opts, Logf: func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}})
+
+	serverSide, clientSide := net.Pipe()
+	defer clientSide.Close()
+	done := make(chan struct{})
+	go func() {
+		srv.ServeConn(readPanicConn{serverSide})
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeConn did not return after the panic")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range logged {
+		if strings.Contains(line, "injected connection bug") {
+			// The server survived: a fresh connection still serves.
+			sc, conn := dialEngine(t, srv, srv.ServeConn)
+			fmt.Fprint(conn, "PUT ok 1\nGET ok\n")
+			for _, want := range []string{"+OK", "+1"} {
+				if !sc.Scan() || sc.Text() != want {
+					t.Fatalf("post-panic conn got %q err=%v, want %q", sc.Text(), sc.Err(), want)
+				}
+			}
+			return
+		}
+	}
+	t.Fatalf("panic was not logged; log lines: %q", logged)
+}
+
+// TestHealthAndRearmRoundTrip drives the operator loop over the wire: HEALTH
+// reports ok, a persistent injected fault degrades the store (fail-fast, the
+// refused key never becomes readable), HEALTH reports degraded, REARM fails
+// while the disk is still broken, and after the fault heals REARM restores
+// full write service.
+func TestHealthAndRearmRoundTrip(t *testing.T) {
+	var in fault.Injector
+	opts := hyperion.DefaultOptions()
+	opts.Arenas = 2
+	opts.WALDir = t.TempDir()
+	opts.WALSync = hyperion.SyncAlways
+	opts.WALOpenFile = func(path string) (hyperion.WALFile, error) {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(f), nil
+	}
+	st, err := hyperion.Open(opts)
+	if err != nil {
+		t.Fatalf("hyperion.Open: %v", err)
+	}
+	srv := New(Config{Store: st, Logf: t.Logf})
+	sc, conn := dialEngine(t, srv, srv.ServeConn)
+	exchange := func(req string, check func(string) bool, want string) {
+		t.Helper()
+		if _, err := fmt.Fprintf(conn, "%s\n", req); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatalf("connection closed after %q: %v", req, sc.Err())
+		}
+		if got := sc.Text(); !check(got) {
+			t.Fatalf("%q: got %q, want %s", req, got, want)
+		}
+	}
+	eq := func(want string) (func(string) bool, string) {
+		return func(got string) bool { return got == want }, fmt.Sprintf("%q", want)
+	}
+	prefix := func(want string) (func(string) bool, string) {
+		return func(got string) bool { return strings.HasPrefix(got, want) }, fmt.Sprintf("prefix %q", want)
+	}
+
+	ck, want := eq("+OK")
+	exchange("PUT a 1", ck, want)
+	ck, want = prefix("+wal=ok retries=")
+	exchange("HEALTH", ck, want)
+
+	in.FailWrites(-1, fault.ENOSPC())
+	// The write that discovers the fault has an ambiguous outcome: it is
+	// refused (no durability ack), but it was enqueued before the committer
+	// hit the disk, so it is applied in memory and its stashed frame becomes
+	// durable again on rearm — like a timed-out commit that did land.
+	ck, want = prefix("-ERR wal: ")
+	exchange("PUT b 2", ck, want)
+	ck, want = eq("+1")
+	exchange("HAS b", ck, want)
+	// Once degraded, writes fail fast before touching memory: "d" must not
+	// become readable, unlike "b".
+	ck, want = prefix("-ERR wal: ")
+	exchange("PUT d 4", ck, want)
+	ck, want = eq("+0")
+	exchange("HAS d", ck, want)
+	ck, want = prefix("+wal=degraded")
+	exchange("HEALTH", ck, want)
+	ck, want = prefix("-ERR rearm: ")
+	exchange("REARM", ck, want) // the disk is still broken
+
+	in.Heal()
+	ck, want = eq("+OK")
+	exchange("REARM", ck, want)
+	ck, want = prefix("+wal=ok")
+	exchange("HEALTH", ck, want)
+	ck, want = eq("+OK")
+	exchange("PUT c 3", ck, want)
+	ck, want = eq("+3")
+	exchange("GET c", ck, want)
+
+	if err := srv.Shutdown(); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// On disk: everything acknowledged, plus the ambiguous in-flight write
+	// ("b") whose stashed frame the rearm rewrote — and nothing that was
+	// failed fast ("d"), keeping recovery identical to the final memory state.
+	reopened, err := hyperion.Open(optsWithoutInjector(opts))
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer reopened.Close()
+	for key, want := range map[string]uint64{"a": 1, "b": 2, "c": 3} {
+		if v, ok := reopened.Get([]byte(key)); !ok || v != want {
+			t.Fatalf("key %q after reopen: %d,%v want %d", key, v, ok, want)
+		}
+	}
+	if reopened.Has([]byte("d")) {
+		t.Fatal("failed-fast key \"d\" survived recovery")
+	}
+}
+
+func optsWithoutInjector(opts hyperion.Options) hyperion.Options {
+	opts.WALOpenFile = nil
+	return opts
+}

@@ -21,6 +21,8 @@
 //	SAVE <path>                  -> +<n keys saved> | -ERR ...
 //	RESTORE <path>               -> +<n keys restored> | -ERR ...
 //	CHECKPOINT                   -> +<n keys checkpointed> | -ERR ... (WAL stores)
+//	HEALTH                       -> +wal=<ok|degraded|none> retries=<n> rearms=<n> conns=<n> keys=<n>
+//	REARM                        -> +OK | -ERR rearm: ... (restore durability after degraded)
 //	QUIT                         -> +BYE, closes the connection
 //
 // The request path is a byte-level pipelined engine (conn.go): a
@@ -92,6 +94,17 @@ type Config struct {
 	// buffer per pipeline burst, so this matters mostly for depth-1
 	// request/response traffic.
 	NoDelay bool
+
+	// MaxConns caps concurrently served connections. A connection accepted
+	// past the cap is answered "-ERR max clients" and closed instead of
+	// silently degrading every established client. Zero means unlimited.
+	MaxConns int
+
+	// WriteTimeout, when positive, bounds each reply-buffer flush: a peer
+	// that stops reading for the duration fails its connection instead of
+	// wedging the flush path (and pinning the reply buffer) forever. Zero
+	// means flushes may block indefinitely.
+	WriteTimeout time.Duration
 
 	// Logf receives connection-level diagnostics (read errors, accept
 	// retries). Nil means the standard logger.
@@ -228,11 +241,24 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.trackConn(conn, true)
+			if refusal := s.trackConn(conn, true); refusal != "" {
+				s.refuse(conn, refusal)
+				return
+			}
 			defer s.trackConn(conn, false)
 			s.ServeConn(conn)
 		}()
 	}
+}
+
+// refuse answers a connection the server will not serve with one error line
+// and closes it. The short write deadline keeps a stalled peer from pinning
+// the goroutine; the write itself is best effort (the peer may already be
+// gone, and the refusal reason is all we owe it).
+func (s *Server) refuse(c net.Conn, reason string) {
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	c.Write([]byte(reason + "\n")) //nolint:errcheck best-effort refusal notice
+	c.Close()                      //nolint:errsink refused connection teardown; nothing was buffered
 }
 
 // Shutdown stops the server: it closes every listener (Serve returns nil),
@@ -241,8 +267,12 @@ func (s *Server) Serve(ln net.Listener) error {
 // fsyncs every acknowledged write before returning. It is safe to call more
 // than once; the store's close error (if any) is returned.
 func (s *Server) Shutdown() error {
-	s.closed.Store(true)
+	// closed flips inside trackMu: trackConn also checks it under the lock,
+	// so a connection goroutine either registered before this point (and is
+	// closed below) or observes closed and refuses — no accepted connection
+	// can slip past shutdown untracked and unserved.
 	s.trackMu.Lock()
+	s.closed.Store(true)
 	for ln := range s.listeners {
 		ln.Close() //nolint:errsink shutdown teardown; Serve observes the closed listener
 	}
@@ -277,12 +307,32 @@ func (s *Server) trackListener(ln net.Listener, add bool) bool {
 	return true
 }
 
-func (s *Server) trackConn(c net.Conn, add bool) {
+// trackConn registers (add=true) or unregisters a connection. Registration
+// returns a non-empty refusal reply when the server will not serve the
+// connection — shutting down, or at the MaxConns cap. The decision happens
+// under trackMu, the same lock Shutdown flips closed under, so an accepted
+// connection is either tracked (and closed by Shutdown) or refused — never
+// lost in between.
+func (s *Server) trackConn(c net.Conn, add bool) (refusal string) {
 	s.trackMu.Lock()
 	defer s.trackMu.Unlock()
-	if add {
-		s.conns[c] = struct{}{}
-	} else {
+	if !add {
 		delete(s.conns, c)
+		return ""
 	}
+	if s.closed.Load() {
+		return "-ERR shutting down"
+	}
+	if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+		return "-ERR max clients"
+	}
+	s.conns[c] = struct{}{}
+	return ""
+}
+
+// connCount reports the number of tracked connections (HEALTH).
+func (s *Server) connCount() int {
+	s.trackMu.Lock()
+	defer s.trackMu.Unlock()
+	return len(s.conns)
 }

@@ -213,7 +213,9 @@ func TestWALErrorRefusesAcks(t *testing.T) {
 			t.Fatalf("write %d after WAL failure got %q err=%v, want -ERR wal", i, sc.Text(), sc.Err())
 		}
 	}
-	for _, want := range []string{"+1", "+BYE"} {
+	// Fail-fast: the refused PUT never reached memory, so the key does not
+	// exist — an unacknowledged write must not be readable.
+	for _, want := range []string{"-NOTFOUND", "+BYE"} {
 		if !sc.Scan() || sc.Text() != want {
 			t.Fatalf("got %q err=%v, want %q", sc.Text(), sc.Err(), want)
 		}

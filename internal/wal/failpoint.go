@@ -1,107 +1,14 @@
 package wal
 
-import (
-	"errors"
-	"sync"
-)
+import "repro/internal/fault"
+
+// The fault-injection harness grew up and moved out: Failpoint started here
+// in the crash-consistency PR and is now internal/fault, shared with the
+// snapshot path and extended with scheduled fault kinds (Injector). These
+// aliases keep the wal-level spelling working for existing tests and callers.
 
 // ErrFailpoint is the injected failure returned by a tripped Failpoint.
-var ErrFailpoint = errors.New("wal: injected failpoint")
+var ErrFailpoint = fault.ErrFailpoint
 
-// Failpoint wraps a segment File and fails or tears writes at a chosen byte
-// offset — the fault-injection harness for crash-consistency tests. A torn
-// write persists a prefix of the buffer and then reports failure, modelling
-// a crash mid-write; FailSync models power loss between write and fsync.
-//
-// Wire it in through Options.OpenFile:
-//
-//	fp := &wal.Failpoint{FailAfter: 100}
-//	opts.OpenFile = func(path string) (wal.File, error) {
-//	    f, err := os.Create(path)
-//	    if err != nil {
-//	        return nil, err
-//	    }
-//	    return fp.Wrap(f), nil
-//	}
-//
-// One Failpoint can wrap several files; the byte budget is shared, counting
-// every byte written through any wrapped file (segment headers included).
-type Failpoint struct {
-	// FailAfter is the total number of bytes allowed through before writes
-	// start failing. Negative means unlimited.
-	FailAfter int64
-	// Tear makes the failing write persist the bytes that fit under the
-	// budget before reporting failure; otherwise the failing write writes
-	// nothing at all.
-	Tear bool
-	// FailSync makes Sync return ErrFailpoint once Tripped (writes after
-	// FailAfter), modelling a device that accepted writes but lost power
-	// before the flush.
-	FailSync bool
-
-	mu      sync.Mutex
-	written int64
-	tripped bool
-}
-
-// Wrap returns f with this failpoint's budget applied to its writes.
-func (fp *Failpoint) Wrap(f File) File {
-	return &failpointFile{fp: fp, f: f}
-}
-
-// Tripped reports whether any write has hit the budget.
-func (fp *Failpoint) Tripped() bool {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
-	return fp.tripped
-}
-
-// Written returns the total bytes persisted through the failpoint.
-func (fp *Failpoint) Written() int64 {
-	fp.mu.Lock()
-	defer fp.mu.Unlock()
-	return fp.written
-}
-
-type failpointFile struct {
-	fp *Failpoint
-	f  File
-}
-
-func (w *failpointFile) Write(p []byte) (int, error) {
-	fp := w.fp
-	fp.mu.Lock()
-	if fp.FailAfter < 0 || fp.written+int64(len(p)) <= fp.FailAfter {
-		fp.written += int64(len(p))
-		fp.mu.Unlock()
-		return w.f.Write(p)
-	}
-	fp.tripped = true
-	allow := 0
-	if fp.Tear {
-		if room := fp.FailAfter - fp.written; room > 0 {
-			allow = int(room)
-		}
-	}
-	fp.written += int64(allow)
-	fp.mu.Unlock()
-	if allow > 0 {
-		if n, err := w.f.Write(p[:allow]); err != nil {
-			return n, err
-		}
-	}
-	return allow, ErrFailpoint
-}
-
-func (w *failpointFile) Sync() error {
-	fp := w.fp
-	fp.mu.Lock()
-	failSync := fp.FailSync && fp.tripped
-	fp.mu.Unlock()
-	if failSync {
-		return ErrFailpoint
-	}
-	return w.f.Sync()
-}
-
-func (w *failpointFile) Close() error { return w.f.Close() }
+// Failpoint is the byte-budget fault harness; see fault.Failpoint.
+type Failpoint = fault.Failpoint

@@ -1,0 +1,340 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// injectedOptions builds log options with an Injector spliced into the
+// segment-file seam and fast retry backoff for tests.
+func injectedOptions(t *testing.T, in *fault.Injector, policy SyncPolicy) Options {
+	t.Helper()
+	return Options{
+		Dir:    t.TempDir(),
+		Arenas: 1,
+		Policy: policy,
+		Retry:  RetryPolicy{MaxRetries: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		OpenFile: func(path string) (File, error) {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+			if err != nil {
+				return nil, err
+			}
+			return in.Wrap(f), nil
+		},
+	}
+}
+
+// appendRecord enqueues and commits one record, failing the test on error.
+func appendRecord(t *testing.T, l *Log, payload string) {
+	t.Helper()
+	seq, err := l.Enqueue([]byte(payload))
+	if err != nil {
+		t.Fatalf("Enqueue(%q): %v", payload, err)
+	}
+	if err := l.Commit(seq); err != nil {
+		t.Fatalf("Commit(%q): %v", payload, err)
+	}
+}
+
+// replayPayloads replays the shard's log and returns the payloads in order.
+func replayPayloads(t *testing.T, dir string) []string {
+	t.Helper()
+	var got []string
+	if _, err := Replay(dir, 0, func(payload []byte) error {
+		got = append(got, string(payload))
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got
+}
+
+// TestRetryTransientWriteFault: an EIO burst below the retry budget is
+// invisible to the caller — no error, no sticky state — and observable only
+// through the retry counter.
+func TestRetryTransientWriteFault(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncAlways)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendRecord(t, l, "before")
+
+	in.FailWrites(2, nil) // two EIOs, budget is 3
+	appendRecord(t, l, "during")
+	in.Heal()
+	appendRecord(t, l, "after")
+
+	if got := l.Stats().Retries; got < 2 {
+		t.Fatalf("Stats().Retries = %d, want >= 2", got)
+	}
+	if l.Err() != nil {
+		t.Fatalf("sticky error after recoverable burst: %v", l.Err())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	want := []string{"before", "during", "after"}
+	if got := replayPayloads(t, opts.Dir); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+}
+
+// TestRetryTransientSyncFault: transient fsync failures are retried the same
+// way as writes.
+func TestRetryTransientSyncFault(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncAlways)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	in.FailSyncs(2, nil)
+	appendRecord(t, l, "synced-through-retries")
+	if l.Err() != nil {
+		t.Fatalf("sticky error after recoverable sync burst: %v", l.Err())
+	}
+	if got := l.Stats().Retries; got < 2 {
+		t.Fatalf("Stats().Retries = %d, want >= 2", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestPersistentFaultFailsFast: ENOSPC is classified persistent, so the
+// first failure sticks without burning the retry budget.
+func TestPersistentFaultFailsFast(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncAlways)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close() //nolint:errsink the sticky injected error is the story
+
+	in.FailWrites(-1, fault.ENOSPC())
+	seq, err := l.Enqueue([]byte("doomed"))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Commit(seq); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Commit = %v, want injected ENOSPC", err)
+	}
+	if got := l.Stats().Retries; got != 0 {
+		t.Fatalf("Stats().Retries = %d, want 0 (persistent faults skip retry)", got)
+	}
+}
+
+// TestRearmRestoresDurability is the core re-arm walk: exhaust the retry
+// budget, observe the sticky failure, heal the device, Rearm, and verify
+// (a) new writes are accepted and (b) replay sees every acknowledged record
+// exactly in order — including the one in flight when the log failed.
+func TestRearmRestoresDurability(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncAlways)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendRecord(t, l, "acked-before-fault")
+
+	in.FailWrites(-1, nil) // EIO past any budget
+	seq, err := l.Enqueue([]byte("in-flight"))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Commit(seq); err == nil {
+		t.Fatal("Commit succeeded through an unbounded fault window")
+	}
+	if _, err := l.Enqueue([]byte("rejected")); err == nil {
+		t.Fatal("Enqueue accepted a record on a failed log")
+	}
+
+	in.Heal()
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("Rearm: %v", err)
+	}
+	if l.Err() != nil {
+		t.Fatalf("sticky error survives Rearm: %v", l.Err())
+	}
+	if got := l.Stats().Rearms; got != 1 {
+		t.Fatalf("Stats().Rearms = %d, want 1", got)
+	}
+	appendRecord(t, l, "acked-after-rearm")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	want := []string{"acked-before-fault", "in-flight", "acked-after-rearm"}
+	if got := replayPayloads(t, opts.Dir); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+}
+
+// TestRearmRepairsTornSegment: a torn write leaves garbage bytes in the
+// failed segment. Rearm must cut the segment back to its durable boundary —
+// otherwise, once fresh segments follow it, replay would see the damage as
+// mid-log corruption (ErrCorruptWAL) instead of a recoverable tail.
+func TestRearmRepairsTornSegment(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncAlways)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	appendRecord(t, l, "durable")
+
+	in.TearWrites(-1, fault.ENOSPC(), 5) // persist 5 garbage-prefix bytes, then fail
+	seq, err := l.Enqueue([]byte("torn-victim"))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Commit(seq); err == nil {
+		t.Fatal("Commit succeeded through a torn-write fault")
+	}
+	in.Heal()
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("Rearm: %v", err)
+	}
+	appendRecord(t, l, "fresh-segment")
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Replay must be clean: the torn prefix was truncated away, and the
+	// victim record was rewritten into the fresh segment.
+	want := []string{"durable", "torn-victim", "fresh-segment"}
+	if got := replayPayloads(t, opts.Dir); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+}
+
+// TestRearmFailedAttemptCanRetry: a Rearm attempt that itself hits a fault
+// leaves the log failed but keeps the stash, so a later attempt succeeds
+// with nothing lost.
+func TestRearmFailedAttemptCanRetry(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncAlways)
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	in.FailWrites(-1, fault.ENOSPC())
+	seq, err := l.Enqueue([]byte("stashed"))
+	if err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Commit(seq); err == nil {
+		t.Fatal("Commit succeeded through a fault")
+	}
+	// Still broken: the rearm attempt's fresh segment can't even be created
+	// durably (its header write fails). The attempt must report failure.
+	if err := l.Rearm(); err == nil {
+		t.Fatal("Rearm succeeded while the device still fails every write")
+	}
+	in.Heal()
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("Rearm after heal: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	want := []string{"stashed"}
+	if got := replayPayloads(t, opts.Dir); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("replay = %v, want %v", got, want)
+	}
+}
+
+// TestRearmHealthyProbe: Rearm on a healthy log is a forced commit, not an
+// error — the auto-probe path calls it blindly.
+func TestRearmHealthyProbe(t *testing.T) {
+	l, err := Open(Options{Dir: t.TempDir(), Arenas: 1, Policy: SyncNever})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Enqueue([]byte("probe-me")); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("Rearm on healthy log: %v", err)
+	}
+	if got := l.Stats().Rearms; got != 0 {
+		t.Fatalf("Stats().Rearms = %d, want 0 (probe is not a recovery)", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestRetryIntervalPolicyStash: under SyncInterval, frames written but not
+// yet fsynced when the log fails must survive a rearm — they were not
+// acknowledged as durable, but dropping them would diverge memory (which
+// applied them) from the replayed log.
+func TestRetryIntervalPolicyStash(t *testing.T) {
+	var in fault.Injector
+	opts := injectedOptions(t, &in, SyncInterval)
+	// A one-byte flush threshold makes every Enqueue kick a write-only
+	// commit, and the hour-long ticker keeps the periodic fsync out of the
+	// picture: frames land on disk un-fsynced, which is the state under test.
+	opts.Interval = time.Hour
+	opts.FlushBytes = 1
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := l.Enqueue([]byte("interval-1")); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Sync(); err != nil { // flushed AND fsynced
+		t.Fatalf("Sync: %v", err)
+	}
+	if _, err := l.Enqueue([]byte("interval-2")); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	// Force a non-sync flush so interval-2 is written but not fsynced, then
+	// break the device before the next tick can sync it.
+	deadline := time.Now().Add(time.Second)
+	for l.flushedSeq() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("committer never flushed interval-2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	in.FailSyncs(-1, fault.ENOSPC())
+	in.FailWrites(-1, fault.ENOSPC())
+	if _, err := l.Enqueue([]byte("interval-3")); err != nil {
+		t.Fatalf("Enqueue: %v", err)
+	}
+	if err := l.Sync(); err == nil {
+		t.Fatal("Sync succeeded through a fault window")
+	}
+	in.Heal()
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("Rearm: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := replayPayloads(t, opts.Dir)
+	seen := make(map[string]bool, len(got))
+	for _, p := range got {
+		seen[p] = true
+	}
+	for _, want := range []string{"interval-1", "interval-2", "interval-3"} {
+		if !seen[want] {
+			t.Fatalf("replay %v is missing %q", got, want)
+		}
+	}
+}
+
+// flushedSeq exposes the committer's flushed watermark for test polling.
+func (l *Log) flushedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}

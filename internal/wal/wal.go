@@ -31,13 +31,18 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -98,13 +103,9 @@ func corruptf(format string, args ...any) error {
 }
 
 // File is the write surface of one segment. Production code uses *os.File;
-// the fault-injection harness (failpoint.go) wraps it with writers that fail
-// or tear at a chosen byte offset.
-type File interface {
-	Write(p []byte) (int, error)
-	Sync() error
-	Close() error
-}
+// the fault-injection harness (internal/fault) wraps it with writers that
+// fail, tear or delay on a schedule.
+type File = fault.File
 
 // Options configure one shard's log.
 type Options struct {
@@ -129,9 +130,27 @@ type Options struct {
 	// (without fsync). Zero means 256 KiB.
 	FlushBytes int
 
+	// Retry bounds the committer's transient-failure retry loop. The zero
+	// value means the defaults documented on RetryPolicy.
+	Retry RetryPolicy
+
 	// OpenFile opens a new segment file for appending. Nil means os.Create.
 	// Tests inject failpoint wrappers here.
 	OpenFile func(path string) (File, error)
+}
+
+// RetryPolicy bounds the bounded-exponential-backoff retry the committer
+// applies to transient write/fsync failures (fault.Classify) before the log
+// fails sticky and the store degrades.
+type RetryPolicy struct {
+	// MaxRetries is how many times one failing write or fsync is retried.
+	// Zero means the default (4); negative disables retrying entirely.
+	MaxRetries int
+	// BaseDelay is the first backoff sleep; each retry doubles it and adds
+	// up to 50% jitter. Zero means 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep. Zero means 50ms.
+	MaxDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +162,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FlushBytes <= 0 {
 		o.FlushBytes = 256 << 10
+	}
+	switch {
+	case o.Retry.MaxRetries == 0:
+		o.Retry.MaxRetries = 4
+	case o.Retry.MaxRetries < 0:
+		o.Retry.MaxRetries = 0
+	}
+	if o.Retry.BaseDelay <= 0 {
+		o.Retry.BaseDelay = time.Millisecond
+	}
+	if o.Retry.MaxDelay <= 0 {
+		o.Retry.MaxDelay = 50 * time.Millisecond
 	}
 	if o.OpenFile == nil {
 		o.OpenFile = func(path string) (File, error) {
@@ -200,14 +231,32 @@ type Log struct {
 	kick     chan struct{}    // wake committer: pending bytes want writing
 	syncReq  chan struct{}    // wake committer: fsync wanted regardless of policy
 	rotate   chan chan uint64 // checkpoint rotation requests; reply is the new segment seq (0 = failed)
+	rearmReq chan chan error  // re-arm requests routed to the committer
 	done     chan struct{}
 	finished sync.WaitGroup
 
+	retries atomic.Uint64 // transient-failure retry attempts (Stats)
+	rearms  atomic.Uint64 // successful rearm recoveries (Stats)
+
 	// committer-owned state (touched only by the committer goroutine, or by
 	// Open before it starts).
-	f        File
-	fileSize int64
-	segSeq   uint64 // sequence of the open segment
+	f          File
+	fileSize   int64  // accounted size: advances only after write(+fsync) success
+	syncedSize int64  // fileSize at the last successful fsync — rearm's truncation point
+	segSeq     uint64 // sequence of the open segment
+	unsynced   []byte // frames written since the last fsync (empty under SyncAlways)
+	failedBuf  []byte // frames not provably on disk when the log failed; rearm rewrites them
+}
+
+// Stats are the log's cumulative fault-handling counters.
+type Stats struct {
+	Retries uint64 // transient write/fsync failures retried by the committer
+	Rearms  uint64 // successful rearm recoveries
+}
+
+// Stats returns the log's fault-handling counters. Safe for concurrent use.
+func (l *Log) Stats() Stats {
+	return Stats{Retries: l.retries.Load(), Rearms: l.rearms.Load()}
 }
 
 // Open creates (or continues) a shard's log for appending. Existing segments
@@ -228,11 +277,12 @@ func Open(opts Options) (*Log, error) {
 		next = segs[n-1].seq + 1
 	}
 	l := &Log{
-		opts:    opts,
-		kick:    make(chan struct{}, 1),
-		syncReq: make(chan struct{}, 1),
-		rotate:  make(chan chan uint64),
-		done:    make(chan struct{}),
+		opts:     opts,
+		kick:     make(chan struct{}, 1),
+		syncReq:  make(chan struct{}, 1),
+		rotate:   make(chan chan uint64),
+		rearmReq: make(chan chan error),
+		done:     make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	if err := l.openSegment(next); err != nil {
@@ -260,8 +310,12 @@ func (l *Log) openSegment(seq uint64) error {
 	hdr = binary.LittleEndian.AppendUint64(hdr, seq)
 	hdr = append(hdr, 0, 0, 0, 0) // reserved
 	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(hdr))
+	// A segment whose header never became durable is removed outright: left
+	// behind, its torn header would read as mid-log corruption once later
+	// segments exist, and its name would block a rearm retry (O_EXCL).
 	if _, err := f.Write(hdr); err != nil {
 		f.Close() //nolint:errsink abandoning the half-created segment; the write error is the story
+		os.Remove(path)
 		return fmt.Errorf("wal: write segment header: %w", err)
 	}
 	// The header (and the new directory entry) must be durable before any
@@ -269,10 +323,12 @@ func (l *Log) openSegment(seq uint64) error {
 	// directory. Rotation is rare, so the cost does not ride the hot path.
 	if err := f.Sync(); err != nil {
 		f.Close() //nolint:errsink abandoning the half-created segment; the sync error is the story
+		os.Remove(path)
 		return fmt.Errorf("wal: sync segment header: %w", err)
 	}
 	if err := syncDir(l.opts.Dir); err != nil {
 		f.Close() //nolint:errsink abandoning the half-created segment; the dir-sync error is the story
+		os.Remove(path)
 		return err
 	}
 	if l.f != nil {
@@ -283,6 +339,7 @@ func (l *Log) openSegment(seq uint64) error {
 	}
 	l.f = f
 	l.fileSize = segHeaderSize
+	l.syncedSize = segHeaderSize // the header was just fsynced
 	l.segSeq = seq
 	return nil
 }
@@ -413,6 +470,24 @@ func (l *Log) Rotate() (boundary uint64, err error) {
 	return boundary, nil
 }
 
+// Rearm attempts to restore durability after a sticky failure: the suspect
+// segment is abandoned (cut back to its last fsynced boundary), a fresh
+// segment is opened, every frame that was in flight when the log failed is
+// rewritten and fsynced there, and only then is the sticky error cleared.
+// On a healthy log Rearm degenerates to a forced group commit, making it
+// usable as a periodic durability probe. It blocks until the committer
+// finishes the attempt; on failure the log stays failed and Rearm may be
+// called again.
+func (l *Log) Rearm() error {
+	reply := make(chan error, 1)
+	select {
+	case l.rearmReq <- reply:
+		return <-reply
+	case <-l.done:
+		return ErrClosed
+	}
+}
+
 // TruncateBefore deletes this shard's segments with sequence < boundary, in
 // ascending order. Deleting oldest-first keeps every crash window recoverable:
 // the surviving pre-boundary segments are always a suffix of the stream, and
@@ -513,13 +588,16 @@ func (l *Log) run() {
 				}
 			}
 			reply <- newSeq
+		case reply := <-l.rearmReq:
+			reply <- l.rearm()
 		}
 	}
 }
 
 // commit writes the pending frames to the segment and optionally fsyncs,
-// advancing flushed/durable and rotating a full segment. Reports false after
-// a sticky failure.
+// advancing flushed/durable and rotating a full segment. Transient I/O
+// failures are retried with bounded backoff (writeAll/syncAll) before
+// anything becomes sticky. Reports false after a sticky failure.
 func (l *Log) commit(sync bool) bool {
 	l.mu.Lock()
 	if l.err != nil {
@@ -532,17 +610,33 @@ func (l *Log) commit(sync bool) bool {
 	l.mu.Unlock()
 
 	if len(buf) > 0 {
-		if _, err := l.f.Write(buf); err != nil {
+		if err := l.writeAll(buf); err != nil {
+			l.stashFailure(buf)
 			l.fail(fmt.Errorf("wal: write segment: %w", err))
 			return false
 		}
-		l.fileSize += int64(len(buf))
 	}
 	if sync && (len(buf) > 0 || l.durableLagging(seq)) {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncAll(); err != nil {
+			l.stashFailure(buf)
 			l.fail(fmt.Errorf("wal: sync segment: %w", err))
 			return false
 		}
+	}
+	// Only now — the write and any requested fsync both succeeded — does the
+	// accounted size advance. fileSize/syncedSize are what rearm truncates
+	// back to, so they must never run ahead of bytes that are provably on
+	// disk: a failing write can persist an arbitrary prefix, and a failed
+	// fsync can leave holes behind already-"written" bytes.
+	l.fileSize += int64(len(buf))
+	if sync {
+		l.syncedSize = l.fileSize
+		l.unsynced = l.unsynced[:0]
+	} else if len(buf) > 0 {
+		// Non-durable policies accumulate written-but-unsynced frames so a
+		// later failure can rewrite them into a fresh segment. SyncAlways
+		// never reaches here: its hot path stays copy-free.
+		l.unsynced = append(l.unsynced, buf...)
 	}
 
 	l.mu.Lock()
@@ -559,10 +653,13 @@ func (l *Log) commit(sync bool) bool {
 		// The drained records were just fsynced (rotation only happens on a
 		// durable boundary below); open the next segment.
 		if !sync {
-			if err := l.f.Sync(); err != nil {
+			if err := l.syncAll(); err != nil {
+				l.stashFailure(nil)
 				l.fail(fmt.Errorf("wal: sync segment: %w", err))
 				return false
 			}
+			l.syncedSize = l.fileSize
+			l.unsynced = l.unsynced[:0]
 			l.mu.Lock()
 			l.durable = seq
 			l.cond.Broadcast()
@@ -574,6 +671,158 @@ func (l *Log) commit(sync bool) bool {
 		}
 	}
 	return true
+}
+
+// writeAll writes buf to the segment, retrying transient failures. A retry
+// resumes after the bytes the failing attempt reported written, so a torn
+// write is not duplicated on disk.
+func (l *Log) writeAll(buf []byte) error {
+	written, attempt := 0, 0
+	for {
+		n, err := l.f.Write(buf[written:])
+		if n > 0 {
+			written += n
+		}
+		if err == nil {
+			if written >= len(buf) {
+				return nil
+			}
+			err = io.ErrShortWrite
+		}
+		if !l.retryable(err, &attempt) {
+			return err
+		}
+	}
+}
+
+// syncAll fsyncs the segment, retrying transient failures. The retry is
+// honest because of commit's accounting, not on its own: fileSize/syncedSize
+// only advance after the whole write+sync pair succeeds, and a sticky
+// failure rewrites everything doubtful from the in-memory stash, so a kernel
+// that drops dirty pages on a failed fsync cannot make us claim durability
+// for bytes it discarded. (DESIGN.md "Failure model" covers the caveat.)
+func (l *Log) syncAll() error {
+	attempt := 0
+	for {
+		err := l.f.Sync()
+		if err == nil {
+			return nil
+		}
+		if !l.retryable(err, &attempt) {
+			return err
+		}
+	}
+}
+
+// retryable is the backoff decision for one failing write or fsync:
+// transient faults (fault.Classify) are retried up to Retry.MaxRetries times
+// with exponential backoff and jitter; persistent faults and an exhausted
+// budget return false and the caller fails sticky. The sleep aborts early
+// when the log is closing, so shutdown never waits out a retry schedule
+// (the attempt after an aborted sleep is the last one that gets a chance).
+func (l *Log) retryable(err error, attempt *int) bool {
+	if *attempt >= l.opts.Retry.MaxRetries || fault.Classify(err) != fault.Transient {
+		return false
+	}
+	delay := l.opts.Retry.BaseDelay << uint(*attempt)
+	if delay <= 0 || delay > l.opts.Retry.MaxDelay {
+		delay = l.opts.Retry.MaxDelay
+	}
+	delay += time.Duration(rand.Int63n(int64(delay/2) + 1))
+	*attempt++
+	l.retries.Add(1)
+	select {
+	case <-time.After(delay):
+	case <-l.done:
+	}
+	return true
+}
+
+// stashFailure captures every frame that is not provably on disk when a
+// commit fails: frames written by earlier non-sync commits since the last
+// fsync (unsynced) plus the failing commit's drain. Rearm rewrites the stash
+// into a fresh segment; dropping it instead would silently diverge memory
+// from what the log can replay. Committer-owned.
+func (l *Log) stashFailure(buf []byte) {
+	l.failedBuf = append(append(l.failedBuf, l.unsynced...), buf...)
+	l.unsynced = l.unsynced[:0]
+}
+
+// rearm re-establishes durability after a sticky failure. Committer-owned.
+//
+// The failed segment's tail is suspect: a torn write or failed fsync may
+// have left bytes beyond the last durable boundary, and once fresh segments
+// follow it that damage would replay as mid-log corruption (ErrCorruptWAL)
+// rather than a recoverable torn tail. So the segment is first cut back to
+// syncedSize — the last provably-fsynced byte — then a fresh segment is
+// opened and the failure stash is rewritten and fsynced there. Only then is
+// the sticky error cleared. No acknowledged frame is dropped and no
+// unacknowledged frame is invented; at worst a frame that WAS durable
+// despite the reported error reappears in the fresh segment, and duplicated
+// well-formed frames replay idempotently (same order, last-op-wins).
+func (l *Log) rearm() error {
+	l.mu.Lock()
+	healthy := l.err == nil
+	l.mu.Unlock()
+	if healthy {
+		// Probe mode: force a real write-path round trip so the caller
+		// learns whether the log still accepts and persists records.
+		if !l.commit(true) {
+			return l.Err()
+		}
+		return nil
+	}
+	if l.f != nil {
+		l.f.Close() //nolint:errsink the segment is being abandoned; the original sticky error is the story
+		l.f = nil
+	}
+	path := filepath.Join(l.opts.Dir, SegmentName(l.opts.Shard, l.segSeq))
+	if err := os.Truncate(path, l.syncedSize); err != nil {
+		return fmt.Errorf("wal: rearm: truncate failed segment: %w", err)
+	}
+	if err := fsyncFile(path); err != nil {
+		return fmt.Errorf("wal: rearm: %w", err)
+	}
+	if err := l.openSegment(l.segSeq + 1); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	buf := l.failedBuf
+	if len(l.pending) > 0 {
+		// Enqueue refuses records while the sticky error is set, so pending
+		// can only hold frames that raced the original failure; fold them in
+		// behind the stash to preserve enqueue order.
+		buf = append(buf, l.pending...)
+		l.pending = l.pending[:0]
+	}
+	seq := l.seq
+	l.mu.Unlock()
+	if len(buf) > 0 {
+		if err := l.writeAll(buf); err != nil {
+			l.failedBuf = buf // keep the stash for the next attempt
+			return fmt.Errorf("wal: rearm: rewrite stashed frames: %w", err)
+		}
+	}
+	if err := l.syncAll(); err != nil {
+		l.failedBuf = buf
+		return fmt.Errorf("wal: rearm: sync fresh segment: %w", err)
+	}
+	l.fileSize += int64(len(buf))
+	l.syncedSize = l.fileSize
+	l.failedBuf = nil
+	l.rearms.Add(1)
+	l.mu.Lock()
+	// The failed drain left pending and spare aliasing one backing array
+	// (commit swaps them only on success); reset both so the next drain
+	// cannot hand the committer a buffer Enqueue is still appending to.
+	l.pending = nil
+	l.spare = nil
+	l.err = nil
+	l.flushed = seq
+	l.durable = seq
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
 }
 
 // durableLagging reports whether an fsync is still owed for seq.
